@@ -1,0 +1,53 @@
+package funseeker
+
+import (
+	"github.com/funseeker/funseeker/internal/eval"
+	"github.com/funseeker/funseeker/internal/fetch"
+	"github.com/funseeker/funseeker/internal/ghidra"
+	"github.com/funseeker/funseeker/internal/idapro"
+)
+
+// The comparison-tool surface: the three state-of-the-art baselines the
+// paper evaluates against, reimplemented at the fidelity needed for
+// comparative measurement, plus scoring utilities.
+
+// RunIDA identifies function entries with the IDA Pro model: recursive
+// descent, prologue signatures, code-reference analysis, unverified
+// tail-call splitting, and orphan-code rescue — but no use of end-branch
+// instructions.
+func RunIDA(bin *Binary) ([]uint64, error) {
+	r, err := idapro.Identify(bin)
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
+// RunGhidra identifies function entries with the Ghidra model:
+// .eh_frame FDE starts, recursive descent, and prologue signatures.
+func RunGhidra(bin *Binary) ([]uint64, error) {
+	r, err := ghidra.Identify(bin)
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
+// RunFETCH identifies function entries with the FETCH model (Pang et
+// al., DSN 2021): .eh_frame FDE starts plus tail-call targets verified by
+// CFG-level stack-height and calling-convention analysis.
+func RunFETCH(bin *Binary) ([]uint64, error) {
+	r, err := fetch.Identify(bin)
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
+// Metrics is a precision/recall accumulator.
+type Metrics = eval.Metrics
+
+// Score compares identified entries against ground truth.
+func Score(found []uint64, gt *GroundTruth) Metrics {
+	return eval.Score(found, gt)
+}

@@ -1,0 +1,239 @@
+package funseeker_test
+
+// The benchmark harness regenerates, in testing.B form, the measurement
+// behind every table and figure of the paper's evaluation:
+//
+//	BenchmarkTableI            — end-branch location classification
+//	BenchmarkFigure3           — function-property Venn analysis
+//	BenchmarkTableII_Config1-4 — the FunSeeker ablation configurations
+//	BenchmarkTableIII_*        — the four tools of the comparison table
+//	                             (the per-op times reproduce the paper's
+//	                             Table III "Time" columns; FETCH is the
+//	                             slow one)
+//	BenchmarkAblation*         — design-choice ablations from DESIGN.md §4
+//	BenchmarkCompile/Load      — synthetic-toolchain throughput
+//
+// Benchmarks run over a fixed mixed-configuration corpus built once per
+// process. `go test -bench=. -benchmem` prints the series; quality
+// numbers (precision/recall) for the same experiments come from
+// cmd/evaltables.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/funseeker/funseeker"
+)
+
+// benchCase is one prebuilt binary.
+type benchCase struct {
+	bin *funseeker.Binary
+	gt  *funseeker.GroundTruth
+}
+
+var (
+	benchOnce  sync.Once
+	benchSet   []benchCase
+	benchBytes int
+)
+
+// benchCorpus builds a mixed corpus: a few programs from each suite in
+// four representative configurations.
+func benchCorpus(tb testing.TB) []benchCase {
+	benchOnce.Do(func() {
+		opts := funseeker.CorpusOptions{Scale: 0.5, Seed: 424242, Programs: 3}
+		configs := []funseeker.BuildConfig{
+			{Compiler: funseeker.GCC, Mode: funseeker.ModeX64, Opt: funseeker.O2},
+			{Compiler: funseeker.GCC, Mode: funseeker.ModeX86, Opt: funseeker.O0},
+			{Compiler: funseeker.Clang, Mode: funseeker.ModeX64, PIE: true, Opt: funseeker.O3},
+			{Compiler: funseeker.Clang, Mode: funseeker.ModeX86, Opt: funseeker.Os},
+		}
+		for _, suite := range []funseeker.Suite{
+			funseeker.SuiteCoreutils, funseeker.SuiteBinutils, funseeker.SuiteSPEC,
+		} {
+			for _, spec := range funseeker.GenerateSuite(suite, opts) {
+				for _, cfg := range configs {
+					res, err := funseeker.Compile(spec, cfg)
+					if err != nil {
+						tb.Fatalf("bench corpus: %v", err)
+					}
+					bin, err := funseeker.Load(res.Stripped)
+					if err != nil {
+						tb.Fatalf("bench corpus: %v", err)
+					}
+					benchSet = append(benchSet, benchCase{bin: bin, gt: res.GT})
+					benchBytes += len(res.Stripped)
+				}
+			}
+		}
+	})
+	return benchSet
+}
+
+// BenchmarkTableI measures the Table I analysis: classifying every end
+// branch in a binary by location (entry / indirect-return / exception).
+func BenchmarkTableI(b *testing.B) {
+	set := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := set[i%len(set)]
+		if _, err := funseeker.ClassifyEndbrs(c.bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 measures the Figure 3 analysis: the three-property
+// partition of all ground-truth functions.
+func BenchmarkFigure3(b *testing.B) {
+	set := benchCorpus(b)
+	entries := make([][]uint64, len(set))
+	for i, c := range set {
+		entries[i] = c.gt.SortedEntries()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		funseeker.AnalyzeProperties(set[i%len(set)].bin, entries[i%len(set)])
+	}
+}
+
+// benchIdentify runs one options preset across the corpus.
+func benchIdentify(b *testing.B, opts funseeker.Options) {
+	b.Helper()
+	set := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.IdentifyBinary(set[i%len(set)].bin, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_* measure the four ablation configurations (Table II).
+func BenchmarkTableII_Config1(b *testing.B) { benchIdentify(b, funseeker.Config1) }
+func BenchmarkTableII_Config2(b *testing.B) { benchIdentify(b, funseeker.Config2) }
+func BenchmarkTableII_Config3(b *testing.B) { benchIdentify(b, funseeker.Config3) }
+func BenchmarkTableII_Config4(b *testing.B) { benchIdentify(b, funseeker.Config4) }
+
+// BenchmarkTableIII_FunSeeker measures the full algorithm — the paper's
+// Table III FunSeeker time column.
+func BenchmarkTableIII_FunSeeker(b *testing.B) { benchIdentify(b, funseeker.DefaultOptions) }
+
+// BenchmarkTableIII_IDA measures the IDA Pro model.
+func BenchmarkTableIII_IDA(b *testing.B) {
+	set := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.RunIDA(set[i%len(set)].bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII_Ghidra measures the Ghidra model.
+func BenchmarkTableIII_Ghidra(b *testing.B) {
+	set := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.RunGhidra(set[i%len(set)].bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIII_FETCH measures the FETCH model — the paper's Table
+// III FETCH time column (≈5× FunSeeker).
+func BenchmarkTableIII_FETCH(b *testing.B) {
+	set := benchCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.RunFETCH(set[i%len(set)].bin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationNoFilterEndbr isolates the cost/benefit of
+// FILTERENDBR: configuration ④ minus the end-branch filter.
+func BenchmarkAblationNoFilterEndbr(b *testing.B) {
+	benchIdentify(b, funseeker.Options{UseJumpTargets: true, SelectTailCall: true})
+}
+
+// BenchmarkAblationBoundaryOnlyTailCall weakens SELECTTAILCALL to the
+// boundary test alone (DESIGN.md §4).
+func BenchmarkAblationBoundaryOnlyTailCall(b *testing.B) {
+	opts := funseeker.Config4
+	opts.TailBoundaryOnly = true
+	benchIdentify(b, opts)
+}
+
+// BenchmarkCompile measures the synthetic toolchain end to end.
+func BenchmarkCompile(b *testing.B) {
+	spec := funseeker.GenerateSuite(funseeker.SuiteCoreutils,
+		funseeker.CorpusOptions{Scale: 0.5, Seed: 7, Programs: 1})[0]
+	cfg := funseeker.BuildConfig{Compiler: funseeker.GCC, Mode: funseeker.ModeX64, Opt: funseeker.O2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.Compile(spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoad measures ELF loading plus PLT-map construction.
+func BenchmarkLoad(b *testing.B) {
+	spec := funseeker.GenerateSuite(funseeker.SuiteBinutils,
+		funseeker.CorpusOptions{Scale: 0.5, Seed: 7, Programs: 1})[0]
+	cfg := funseeker.BuildConfig{Compiler: funseeker.GCC, Mode: funseeker.ModeX64, Opt: funseeker.O2}
+	res, err := funseeker.Compile(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(res.Stripped)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.Load(res.Stripped); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTIIdentify measures the ARM BTI port of the algorithm
+// (paper §VI extension).
+func BenchmarkBTIIdentify(b *testing.B) {
+	spec := funseeker.GenerateSuite(funseeker.SuiteBinutils,
+		funseeker.CorpusOptions{Scale: 0.5, Seed: 7, Programs: 1})[0]
+	res, err := funseeker.CompileBTI(spec, funseeker.BTIBuildConfig{Opt: funseeker.O2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(res.TextSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.IdentifyBTI(res.Image); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkManualEndbrIdentify measures FunSeeker over -mmanual-endbr
+// builds (paper §VI ablation) — the sparse-endbr case leans on C and J′.
+func BenchmarkManualEndbrIdentify(b *testing.B) {
+	spec := funseeker.GenerateSuite(funseeker.SuiteCoreutils,
+		funseeker.CorpusOptions{Scale: 0.5, Seed: 7, Programs: 1})[0]
+	cfg := funseeker.BuildConfig{Compiler: funseeker.GCC, Mode: funseeker.ModeX64, Opt: funseeker.O2, ManualEndbr: true}
+	res, err := funseeker.Compile(spec, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := funseeker.Load(res.Stripped)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := funseeker.IdentifyBinary(bin, funseeker.DefaultOptions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

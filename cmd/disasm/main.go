@@ -1,0 +1,63 @@
+// Command disasm linearly disassembles the .text section of an ELF
+// binary using the internal x86 decoder — the same sweep FunSeeker runs.
+//
+// Usage:
+//
+//	disasm [-n 0] [-branches] <binary>
+//
+// -n limits the number of instructions printed (0 = all); -branches
+// prints only control-flow instructions and end-branch markers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/funseeker/funseeker"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "disasm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		limit    = flag.Int("n", 0, "max instructions to print (0 = all)")
+		branches = flag.Bool("branches", false, "print only branches and end-branch markers")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: disasm [flags] <binary>")
+	}
+	bin, err := funseeker.Open(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	printed := 0
+	off := uint64(0)
+	for off < uint64(len(bin.Text)) {
+		if *limit > 0 && printed >= *limit {
+			break
+		}
+		text, n, err := x86.Format(bin.Text[off:], bin.TextAddr+off, bin.Mode)
+		if err != nil {
+			fmt.Printf("%#010x: .byte %#02x\n", bin.TextAddr+off, bin.Text[off])
+			off++
+			continue
+		}
+		inst, _ := x86.Decode(bin.Text[off:], bin.TextAddr+off, bin.Mode)
+		show := !*branches || inst.Class.IsBranch() || inst.IsEndbr()
+		if show {
+			fmt.Printf("%#010x: %s\n", bin.TextAddr+off, text)
+			printed++
+		}
+		off += uint64(n)
+	}
+	return nil
+}

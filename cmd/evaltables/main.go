@@ -1,0 +1,125 @@
+// Command evaltables regenerates the FunSeeker paper's evaluation
+// artifacts — Table I (end-branch locations), Figure 3 (function property
+// overlap), Table II (ablation configurations), Table III (tool
+// comparison with timing), and the §V-C failure analysis — over the
+// synthetic corpus.
+//
+// Usage:
+//
+//	evaltables [-scale 1.0] [-seed 2022] [-workers N] [-table all] [-out report.txt]
+//
+// -table selects one artifact: 1, 2, 3, fig3, failures, or all.
+// -scale shrinks the per-program function counts for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/eval"
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evaltables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale    = flag.Float64("scale", 1.0, "function-count scale factor (1.0 = paper-sized corpus)")
+		seed     = flag.Int64("seed", 2022, "corpus generation seed")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		table    = flag.String("table", "all", "artifact to print: 1, 2, 3, fig3, failures, manual-endbr, bti, superset, all")
+		out      = flag.String("out", "", "also write the report to this file")
+		programs = flag.Int("programs", 0, "override programs per suite (0 = paper counts)")
+	)
+	flag.Parse()
+
+	opts := corpus.Options{Scale: *scale, Seed: *seed, Programs: *programs}
+	cases := eval.Cases(corpus.AllSuites(), synth.AllConfigs(), opts)
+
+	if *table == "superset" {
+		// Regenerate the corpus with inline data blobs: the scenario the
+		// superset scan exists for.
+		dOpts := opts
+		dOpts.DataInText = 0.15
+		dCases := eval.Cases(corpus.AllSuites(), synth.AllConfigs(), dOpts)
+		fmt.Fprintf(os.Stderr, "evaltables: superset ablation over %d data-in-text binaries...\n", len(dCases))
+		res, err := eval.RunSupersetAblation(dCases, *workers)
+		if err != nil {
+			return err
+		}
+		report := res.Render()
+		fmt.Print(report)
+		if *out != "" {
+			return os.WriteFile(*out, []byte(report), 0o644)
+		}
+		return nil
+	}
+
+	if *table == "bti" {
+		fmt.Fprintf(os.Stderr, "evaltables: ARM BTI experiment...\n")
+		res, err := eval.RunBTI(corpus.AllSuites(), opts, *workers)
+		if err != nil {
+			return err
+		}
+		report := res.Render()
+		fmt.Print(report)
+		if *out != "" {
+			return os.WriteFile(*out, []byte(report), 0o644)
+		}
+		return nil
+	}
+
+	if *table == "manual-endbr" {
+		fmt.Fprintf(os.Stderr, "evaltables: manual-endbr ablation over %d binary pairs...\n", len(cases))
+		res, err := eval.RunManualEndbrAblation(cases, *workers)
+		if err != nil {
+			return err
+		}
+		report := res.Render()
+		fmt.Print(report)
+		if *out != "" {
+			return os.WriteFile(*out, []byte(report), 0o644)
+		}
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "evaltables: %d binaries to build and analyze...\n", len(cases))
+	start := time.Now()
+	res, err := eval.RunAll(cases, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "evaltables: done in %s\n", time.Since(start).Round(time.Millisecond))
+
+	var report string
+	switch *table {
+	case "1":
+		report = res.RenderTableI()
+	case "2":
+		report = res.RenderTableII()
+	case "3":
+		report = res.RenderTableIII()
+	case "fig3":
+		report = res.RenderFigure3()
+	case "failures":
+		report = res.RenderFailures()
+	case "all":
+		report = res.RenderAll()
+	default:
+		return fmt.Errorf("unknown -table %q", *table)
+	}
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Command funseeker identifies function entry points in a CET-enabled
+// ELF binary.
+//
+// Usage:
+//
+//	funseeker [-config 4] [-gt truth.json] [-stats] <binary>
+//
+// By default the full algorithm (configuration ④) runs and the entry
+// addresses are printed one per line. With -gt the result is scored
+// against a ground-truth sidecar produced by synthgen. With -stats the
+// intermediate set sizes and filter counters are reported.
+package main
+
+import (
+	"bytes"
+	"debug/elf"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/funseeker/funseeker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "funseeker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configN  = flag.Int("config", 4, "algorithm configuration 1-4 (Table II)")
+		gtPath   = flag.String("gt", "", "score against this ground-truth JSON")
+		stats    = flag.Bool("stats", false, "print intermediate set statistics")
+		quiet    = flag.Bool("quiet", false, "suppress the entry listing")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		superset = flag.Bool("superset", false, "additionally scan all byte offsets for end branches (data-in-text robustness)")
+		dist     = flag.Bool("endbr-dist", false, "print the end-branch location distribution (Table I study)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: funseeker [flags] <binary>")
+	}
+
+	var opts funseeker.Options
+	switch *configN {
+	case 1:
+		opts = funseeker.Config1
+	case 2:
+		opts = funseeker.Config2
+	case 3:
+		opts = funseeker.Config3
+	case 4:
+		opts = funseeker.Config4
+	default:
+		return fmt.Errorf("-config must be 1-4, got %d", *configN)
+	}
+
+	// AArch64 binaries dispatch to the BTI port of the algorithm.
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	if ef, err := elf.NewFile(bytes.NewReader(raw)); err == nil {
+		machine := ef.Machine
+		ef.Close()
+		if machine == elf.EM_AARCH64 {
+			return runBTI(raw, *gtPath, *stats, *quiet)
+		}
+	}
+
+	bin, err := funseeker.Load(raw)
+	if err != nil {
+		return err
+	}
+	bin.Path = flag.Arg(0)
+	if !bin.CETEnabled {
+		fmt.Fprintln(os.Stderr, "funseeker: warning: binary is not marked CET-enabled (no IBT property note)")
+	}
+	if *dist {
+		d, err := funseeker.ClassifyEndbrs(bin)
+		if err != nil {
+			return err
+		}
+		total := d.Total()
+		if total == 0 {
+			fmt.Println("no end-branch instructions found")
+			return nil
+		}
+		fmt.Printf("end branches: %d\n", total)
+		fmt.Printf("  function entries:      %6d (%.2f%%)\n", d.FuncEntry, 100*float64(d.FuncEntry)/float64(total))
+		fmt.Printf("  indirect-return sites: %6d (%.2f%%)\n", d.IndirectReturn, 100*float64(d.IndirectReturn)/float64(total))
+		fmt.Printf("  exception pads:        %6d (%.2f%%)\n", d.Exception, 100*float64(d.Exception)/float64(total))
+		return nil
+	}
+
+	opts.SupersetEndbrScan = *superset
+	report, err := funseeker.IdentifyBinary(bin, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Binary  string   `json:"binary"`
+			Config  int      `json:"config"`
+			Entries []uint64 `json:"entries"`
+			Endbrs  int      `json:"endbrs"`
+			Calls   int      `json:"call_targets"`
+			Jumps   int      `json:"jump_targets"`
+			Tails   int      `json:"tail_call_targets"`
+		}{
+			Binary:  flag.Arg(0),
+			Config:  *configN,
+			Entries: report.Entries,
+			Endbrs:  len(report.Endbrs),
+			Calls:   len(report.CallTargets),
+			Jumps:   len(report.JumpTargets),
+			Tails:   len(report.TailCallTargets),
+		})
+	}
+	if !*quiet {
+		for _, e := range report.Entries {
+			fmt.Printf("%#x\n", e)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "endbrs:            %d\n", len(report.Endbrs))
+		fmt.Fprintf(os.Stderr, "call targets:      %d\n", len(report.CallTargets))
+		fmt.Fprintf(os.Stderr, "jump targets:      %d\n", len(report.JumpTargets))
+		fmt.Fprintf(os.Stderr, "tail-call targets: %d\n", len(report.TailCallTargets))
+		fmt.Fprintf(os.Stderr, "filtered (indirect-return): %d\n", report.FilteredIndirectReturn)
+		fmt.Fprintf(os.Stderr, "filtered (landing pads):    %d\n", report.FilteredLandingPads)
+		fmt.Fprintf(os.Stderr, "entries:           %d\n", len(report.Entries))
+	}
+	if *gtPath != "" {
+		gt, err := funseeker.LoadGroundTruth(*gtPath)
+		if err != nil {
+			return err
+		}
+		m := funseeker.Score(report.Entries, gt)
+		fmt.Fprintf(os.Stderr, "precision %.3f%%  recall %.3f%%  (tp=%d fp=%d fn=%d)\n",
+			m.Precision(), m.Recall(), m.TP, m.FP, m.FN)
+	}
+	return nil
+}
+
+// runBTI handles AArch64 binaries with the BTI algorithm.
+func runBTI(raw []byte, gtPath string, stats, quiet bool) error {
+	report, err := funseeker.IdentifyBTI(raw)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		for _, e := range report.Entries {
+			fmt.Printf("%#x\n", e)
+		}
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "call pads (BTI c / PACIASP): %d\n", report.CallPads)
+		fmt.Fprintf(os.Stderr, "jump pads (BTI j, excluded): %d\n", report.JumpPads)
+		fmt.Fprintf(os.Stderr, "call targets:      %d\n", len(report.CallTargets))
+		fmt.Fprintf(os.Stderr, "jump targets:      %d\n", len(report.JumpTargets))
+		fmt.Fprintf(os.Stderr, "tail-call targets: %d\n", len(report.TailCallTargets))
+		fmt.Fprintf(os.Stderr, "entries:           %d\n", len(report.Entries))
+	}
+	if gtPath != "" {
+		gt, err := funseeker.LoadGroundTruth(gtPath)
+		if err != nil {
+			return err
+		}
+		m := funseeker.Score(report.Entries, gt)
+		fmt.Fprintf(os.Stderr, "precision %.3f%%  recall %.3f%%  (tp=%d fp=%d fn=%d)\n",
+			m.Precision(), m.Recall(), m.TP, m.FP, m.FN)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command synthgen materializes the synthetic CET-enabled benchmark
+// corpus to disk: for every program × build configuration it writes the
+// stripped binary, the unstripped binary, and a ground-truth JSON
+// sidecar.
+//
+// Usage:
+//
+//	synthgen -out dataset/ [-suites coreutils,binutils,spec]
+//	         [-scale 1.0] [-seed 2022] [-configs all|gcc-x86-64-nopie-O2,...]
+//
+// Layout produced:
+//
+//	dataset/<suite>/<config>/<program>            (stripped)
+//	dataset/<suite>/<config>/<program>.unstripped
+//	dataset/<suite>/<config>/<program>.gt.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/funseeker/funseeker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("out", "", "output directory (required)")
+		suites  = flag.String("suites", "coreutils,binutils,spec", "comma-separated suites")
+		scale   = flag.Float64("scale", 1.0, "function-count scale factor")
+		seed    = flag.Int64("seed", 2022, "generation seed")
+		configs = flag.String("configs", "all", "comma-separated config names or 'all'")
+		progs   = flag.Int("programs", 0, "override programs per suite (0 = paper counts)")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	suiteOf := map[string]funseeker.Suite{
+		"coreutils": funseeker.SuiteCoreutils,
+		"binutils":  funseeker.SuiteBinutils,
+		"spec":      funseeker.SuiteSPEC,
+	}
+	var selSuites []funseeker.Suite
+	for _, name := range strings.Split(*suites, ",") {
+		s, ok := suiteOf[strings.TrimSpace(name)]
+		if !ok {
+			return fmt.Errorf("unknown suite %q", name)
+		}
+		selSuites = append(selSuites, s)
+	}
+
+	all := funseeker.AllBuildConfigs()
+	var selConfigs []funseeker.BuildConfig
+	if *configs == "all" {
+		selConfigs = all
+	} else {
+		byName := make(map[string]funseeker.BuildConfig, len(all))
+		for _, c := range all {
+			byName[c.String()] = c
+		}
+		for _, name := range strings.Split(*configs, ",") {
+			c, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown config %q (want e.g. %q)", name, all[0].String())
+			}
+			selConfigs = append(selConfigs, c)
+		}
+	}
+
+	opts := funseeker.CorpusOptions{Scale: *scale, Seed: *seed, Programs: *progs}
+	written := 0
+	for _, suite := range selSuites {
+		specs := funseeker.GenerateSuite(suite, opts)
+		for _, cfg := range selConfigs {
+			dir := filepath.Join(*out, suiteDirName(suite), cfg.String())
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+			for _, spec := range specs {
+				res, err := funseeker.Compile(spec, cfg)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", spec.Name, cfg, err)
+				}
+				base := filepath.Join(dir, spec.Name)
+				if err := os.WriteFile(base, res.Stripped, 0o755); err != nil {
+					return err
+				}
+				if err := os.WriteFile(base+".unstripped", res.Image, 0o755); err != nil {
+					return err
+				}
+				if err := res.GT.Save(base + ".gt.json"); err != nil {
+					return err
+				}
+				written++
+			}
+		}
+	}
+	fmt.Printf("synthgen: wrote %d binaries under %s\n", written, *out)
+	return nil
+}
+
+func suiteDirName(s funseeker.Suite) string {
+	switch s {
+	case funseeker.SuiteCoreutils:
+		return "coreutils"
+	case funseeker.SuiteBinutils:
+		return "binutils"
+	default:
+		return "spec"
+	}
+}

@@ -1,0 +1,103 @@
+package funseeker
+
+import (
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// The synthetic-toolchain surface: build CET-enabled ELF binaries with
+// precisely known ground truth, in any of the paper's configurations.
+
+// Compiler identifies the modeled toolchain (GCC or Clang).
+type Compiler = synth.Compiler
+
+// Modeled compilers.
+const (
+	GCC   = synth.GCC
+	Clang = synth.Clang
+)
+
+// OptLevel is the modeled optimization level.
+type OptLevel = synth.OptLevel
+
+// Optimization levels.
+const (
+	O0    = synth.O0
+	O1    = synth.O1
+	O2    = synth.O2
+	O3    = synth.O3
+	Os    = synth.Os
+	Ofast = synth.Ofast
+)
+
+// Architecture decode/encode modes.
+const (
+	// ModeX86 selects 32-bit x86.
+	ModeX86 = x86.Mode32
+	// ModeX64 selects 64-bit x86-64.
+	ModeX64 = x86.Mode64
+)
+
+// BuildConfig is one build configuration: compiler × architecture ×
+// PIE × optimization level.
+type BuildConfig = synth.Config
+
+// AllBuildConfigs enumerates every configuration (48 = 2 compilers × 2
+// architectures × 2 PIE settings × 6 optimization levels).
+func AllBuildConfigs() []BuildConfig { return synth.AllConfigs() }
+
+// FuncSpec describes one source-level function to synthesize.
+type FuncSpec = synth.FuncSpec
+
+// ProgramSpec is one program to compile.
+type ProgramSpec = synth.ProgSpec
+
+// Lang is the source language of a program spec.
+type Lang = synth.Lang
+
+// Source languages for program specs.
+const (
+	// LangC marks a C program (no exception handling).
+	LangC = synth.LangC
+	// LangCPP marks a C++ program (functions may carry landing pads).
+	LangCPP = synth.LangCPP
+)
+
+// BuildResult is one compiled binary: the ELF images plus ground truth.
+type BuildResult = synth.Result
+
+// GroundTruth is the per-binary function-entry ground truth.
+type GroundTruth = groundtruth.GT
+
+// Compile turns a program specification into a CET-enabled ELF binary.
+func Compile(spec *ProgramSpec, cfg BuildConfig) (*BuildResult, error) {
+	return synth.Compile(spec, cfg)
+}
+
+// Suite identifies one benchmark suite of the paper's corpus.
+type Suite = corpus.Suite
+
+// The paper's three suites.
+const (
+	// SuiteCoreutils models GNU Coreutils v9.0 (108 C programs).
+	SuiteCoreutils = corpus.Coreutils
+	// SuiteBinutils models GNU Binutils v2.37 (15 C programs).
+	SuiteBinutils = corpus.Binutils
+	// SuiteSPEC models SPEC CPU 2017 (47 C/C++ programs).
+	SuiteSPEC = corpus.SPEC
+)
+
+// CorpusOptions tunes corpus generation.
+type CorpusOptions = corpus.Options
+
+// GenerateSuite builds the program specifications for one suite.
+func GenerateSuite(s Suite, opts CorpusOptions) []*ProgramSpec {
+	return corpus.Generate(s, opts)
+}
+
+// LoadGroundTruth reads a ground-truth sidecar written by cmd/synthgen.
+func LoadGroundTruth(path string) (*GroundTruth, error) {
+	return groundtruth.Load(path)
+}

@@ -1,0 +1,78 @@
+// Compare: a miniature Table III. Builds a handful of corpus programs in
+// two configurations (x86-64 GCC and x86 Clang) and runs all four
+// identification tools, printing precision, recall, and runtime. The
+// x86 Clang column shows the .eh_frame-dependent tools (Ghidra, FETCH)
+// losing recall, while FunSeeker's end-branch heuristics are unaffected.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/funseeker/funseeker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+// tool pairs a name with its runner.
+type tool struct {
+	name string
+	run  func(*funseeker.Binary) ([]uint64, error)
+}
+
+func run() error {
+	tools := []tool{
+		{"FunSeeker", func(b *funseeker.Binary) ([]uint64, error) {
+			r, err := funseeker.IdentifyBinary(b, funseeker.DefaultOptions)
+			if err != nil {
+				return nil, err
+			}
+			return r.Entries, nil
+		}},
+		{"IDA-like", funseeker.RunIDA},
+		{"Ghidra-like", funseeker.RunGhidra},
+		{"FETCH-like", funseeker.RunFETCH},
+	}
+	configs := []funseeker.BuildConfig{
+		{Compiler: funseeker.GCC, Mode: funseeker.ModeX64, Opt: funseeker.O2},
+		{Compiler: funseeker.Clang, Mode: funseeker.ModeX86, Opt: funseeker.O2},
+	}
+	specs := funseeker.GenerateSuite(funseeker.SuiteCoreutils,
+		funseeker.CorpusOptions{Scale: 0.5, Seed: 99, Programs: 8})
+
+	for _, cfg := range configs {
+		fmt.Printf("\n=== %s ===\n", cfg)
+		fmt.Printf("%-12s %10s %10s %12s\n", "tool", "precision", "recall", "time/binary")
+		for _, tl := range tools {
+			var m funseeker.Metrics
+			var elapsed time.Duration
+			for _, spec := range specs {
+				res, err := funseeker.Compile(spec, cfg)
+				if err != nil {
+					return err
+				}
+				bin, err := funseeker.Load(res.Stripped)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				entries, err := tl.run(bin)
+				elapsed += time.Since(start)
+				if err != nil {
+					return err
+				}
+				m.Add(funseeker.Score(entries, res.GT))
+			}
+			fmt.Printf("%-12s %9.2f%% %9.2f%% %12s\n",
+				tl.name, m.Precision(), m.Recall(),
+				(elapsed / time.Duration(len(specs))).Round(time.Microsecond))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Tailcall: demonstrates SELECTTAILCALL. Static functions reached only
+// by tail jumps carry no end branch and are never call targets, so the
+// only syntactic evidence for them is a direct jump. FunSeeker accepts a
+// jump target as a function entry when the jump escapes its function's
+// boundary and the target is referenced from multiple functions; a
+// target jumped to from a single site is rejected (one of the paper's
+// rare false-negative classes).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/funseeker/funseeker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tailcall:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec := &funseeker.ProgramSpec{
+		Name: "dispatch",
+		Lang: funseeker.LangC,
+		Seed: 3,
+		Funcs: []funseeker.FuncSpec{
+			{Name: "main", Calls: []int{1, 2, 4}},
+			// Two wrappers tail-jump into the same implementation.
+			{Name: "wrapper_a", TailCalls: []int{3}},
+			{Name: "wrapper_b", TailCalls: []int{3}},
+			{Name: "impl_shared", Static: true},
+			// Only one wrapper reaches this implementation.
+			{Name: "wrapper_c", TailCalls: []int{5}},
+			{Name: "impl_lone", Static: true},
+		},
+	}
+	cfg := funseeker.BuildConfig{
+		Compiler: funseeker.GCC,
+		Mode:     funseeker.ModeX64,
+		Opt:      funseeker.O2,
+	}
+	res, err := funseeker.Compile(spec, cfg)
+	if err != nil {
+		return err
+	}
+	report, err := funseeker.IdentifyBytes(res.Stripped, funseeker.DefaultOptions)
+	if err != nil {
+		return err
+	}
+
+	found := make(map[uint64]bool, len(report.Entries))
+	for _, e := range report.Entries {
+		found[e] = true
+	}
+	fmt.Println("SELECTTAILCALL results:")
+	for _, f := range res.GT.Funcs {
+		status := "found"
+		if !found[f.Addr] {
+			status = "MISSED (single-reference tail target)"
+		}
+		fmt.Printf("  %-14s endbr=%-5v  %s\n", f.Name, f.HasEndbr, status)
+	}
+	fmt.Printf("\ntail-call targets accepted: %d (of %d direct jump targets)\n",
+		len(report.TailCallTargets), len(report.JumpTargets))
+
+	m := funseeker.Score(report.Entries, res.GT)
+	fmt.Printf("precision %.1f%%  recall %.1f%%\n", m.Precision(), m.Recall())
+	return nil
+}

@@ -1,0 +1,91 @@
+// Package funseeker identifies function entry points in CET-enabled
+// x86/x86-64 ELF binaries, reproducing the FunSeeker system from
+// "How'd Security Benefit Reverse Engineers? The Implication of Intel CET
+// on Function Identification" (Kim, Lee, Kim, Jung, Cha — DSN 2022).
+//
+// The core insight: Intel CET's Indirect Branch Tracking makes compilers
+// mark every potential indirect-branch destination with an end-branch
+// instruction (ENDBR32/ENDBR64). Those markers sit at almost every
+// function entry — but also after calls to indirect-return functions
+// (the setjmp family) and at C++ exception landing pads, and some
+// functions (static, direct-called-only) carry no marker at all.
+// FunSeeker turns this into a fast, linear identification algorithm:
+//
+//	E, C, J  = DISASSEMBLE(text)   // end branches, call targets, jump targets
+//	E'       = FILTERENDBR(E)      // drop non-entry end branches
+//	J'       = SELECTTAILCALL(J)   // keep only tail-call jump targets
+//	entries  = E' ∪ C ∪ J'
+//
+// Basic use:
+//
+//	report, err := funseeker.Identify("/bin/ls-cet", funseeker.DefaultOptions)
+//	if err != nil { ... }
+//	for _, entry := range report.Entries {
+//		fmt.Printf("%#x\n", entry)
+//	}
+//
+// The module also ships everything needed to reproduce the paper's
+// evaluation offline: a synthetic CET-aware compiler (Compile, the
+// Suite corpus generators), reimplementations of the comparison tools
+// (RunIDA, RunGhidra, RunFETCH), and scoring utilities (Score).
+package funseeker
+
+import (
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
+)
+
+// Options selects which refinement passes run, mirroring the paper's four
+// evaluation configurations (Table II).
+type Options = core.Options
+
+// Configuration presets from the paper's Table II. DefaultOptions is the
+// full algorithm (configuration ④).
+var (
+	// Config1 is E ∪ C: raw end branches plus direct call targets.
+	Config1 = core.Config1
+	// Config2 adds FILTERENDBR (E′ ∪ C).
+	Config2 = core.Config2
+	// Config3 additionally includes every direct jump target (E′ ∪ C ∪ J).
+	Config3 = core.Config3
+	// Config4 is the full algorithm (E′ ∪ C ∪ J′).
+	Config4 = core.Config4
+	// DefaultOptions is Config4.
+	DefaultOptions = core.DefaultOptions
+)
+
+// Report is the result of one identification run: the identified entries
+// plus the intermediate sets (E, C, J, J′) and filter statistics.
+type Report = core.Report
+
+// Binary is a loaded ELF executable ready for analysis.
+type Binary = elfx.Binary
+
+// Identify runs FunSeeker on the ELF binary at path.
+func Identify(path string, opts Options) (*Report, error) {
+	return core.IdentifyFile(path, opts)
+}
+
+// IdentifyBytes runs FunSeeker on an in-memory ELF image.
+func IdentifyBytes(raw []byte, opts Options) (*Report, error) {
+	bin, err := elfx.Load(raw)
+	if err != nil {
+		return nil, err
+	}
+	return core.Identify(bin, opts)
+}
+
+// IdentifyBinary runs FunSeeker on an already-loaded binary.
+func IdentifyBinary(bin *Binary, opts Options) (*Report, error) {
+	return core.Identify(bin, opts)
+}
+
+// Open loads the ELF binary at path for analysis.
+func Open(path string) (*Binary, error) {
+	return elfx.Open(path)
+}
+
+// Load parses an in-memory ELF image for analysis.
+func Load(raw []byte) (*Binary, error) {
+	return elfx.Load(raw)
+}

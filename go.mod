@@ -1,0 +1,3 @@
+module github.com/funseeker/funseeker
+
+go 1.22

@@ -1,0 +1,406 @@
+package armsynth
+
+import (
+	"debug/elf"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/elfw"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+// Config is the ARM build configuration.
+type Config struct {
+	// Opt is the modeled optimization level (controls body size and the
+	// use of frame-pointer prologues).
+	Opt synth.OptLevel
+	// PAC additionally emits PACIASP prologues on returning functions
+	// (implicit BTI c), as -mbranch-protection=standard does.
+	PAC bool
+}
+
+// String renders e.g. "arm64-bti-O2" / "arm64-bti+pac-O2".
+func (c Config) String() string {
+	kind := "bti"
+	if c.PAC {
+		kind = "bti+pac"
+	}
+	return fmt.Sprintf("arm64-%s-%s", kind, c.Opt)
+}
+
+// Result is one compiled ARM binary with ground truth.
+type Result struct {
+	// Image is the ELF image (never carries a symbol table; BTI
+	// evaluation always runs stripped).
+	Image []byte
+	// GT is the ground truth.
+	GT *groundtruth.GT
+	// TextAddr / TextSize locate .text.
+	TextAddr uint64
+	TextSize int
+}
+
+const textBase = 0x400000 + 0x1000
+
+// usesFP reports whether the level keeps an explicit frame pointer move.
+func usesFP(o synth.OptLevel) bool { return o == synth.O0 || o == synth.O1 }
+
+// aarch64 GNU property feature bits.
+const (
+	featureBTI = 0x1
+	featurePAC = 0x2
+)
+
+// Compile builds a BTI-enabled AArch64 binary from a program spec. The
+// x86-specific spec features (PLT calls, indirect-return call sites,
+// C++ exception handling, cold splitting) are not modeled on ARM and are
+// ignored; everything else — BTI placement policy, direct calls, tail
+// calls, switch tables with BTI j labels, dead and data-referenced
+// functions — carries over.
+func Compile(spec *synth.ProgSpec, cfg Config) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &armGen{spec: spec, cfg: cfg, b: NewBuilder()}
+	g.assignHosts()
+	g.genAll()
+	return g.assemble()
+}
+
+type armFn struct {
+	spec     *synth.FuncSpec
+	start    int
+	end      int
+	hasBTI   bool
+	implicit bool
+}
+
+type armGen struct {
+	spec *synth.ProgSpec
+	cfg  Config
+	b    *Builder
+
+	fns      []*armFn
+	btiSites []groundtruth.EndbrSite // BTI c/jc pads and their roles
+	jSites   []int                   // BTI j offsets (switch labels)
+	pool     []poolEntry             // literal pool emitted after code
+	hosts    map[int]int             // address-taken func -> host
+	labelSeq int
+}
+
+// poolEntry is one literal-pool item: a function-pointer literal or a
+// jump table.
+type poolEntry struct {
+	label string   // pool label
+	fpOf  string   // function label for pointer literals
+	cases []string // case labels for jump tables
+}
+
+func (g *armGen) fresh(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf(".L%s%d", prefix, g.labelSeq)
+}
+
+func (g *armGen) funcLabel(i int) string { return "f." + g.spec.Funcs[i].Name }
+
+func (g *armGen) rng(i int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", g.spec.Name, g.cfg, g.spec.Seed, i)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// assignHosts picks callers for address-taken functions (both kinds are
+// materialized with code on ARM: ADR for code refs, a literal table via
+// ADR+LDR for data refs).
+func (g *armGen) assignHosts() {
+	g.hosts = make(map[int]int)
+	var pool []int
+	for i := range g.spec.Funcs {
+		f := &g.spec.Funcs[i]
+		if !f.Dead && !f.Intrinsic {
+			pool = append(pool, i)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	n := 0
+	for i := range g.spec.Funcs {
+		f := &g.spec.Funcs[i]
+		if f.AddressTaken || f.AddressTakenData {
+			host := pool[n%len(pool)]
+			if host == i && len(pool) > 1 {
+				n++
+				host = pool[n%len(pool)]
+			}
+			g.hosts[i] = host
+			n++
+		}
+	}
+}
+
+func (g *armGen) genAll() {
+	g.genStart()
+	for i := range g.spec.Funcs {
+		g.genFunc(i)
+	}
+	// Literal pool: jump tables and pointer literals after the code,
+	// still inside .text as ARM toolchains commonly place them. Pool
+	// words never alias BTI/BL encodings (they hold small offsets and
+	// low addresses), so the fixed-width sweep stays clean.
+	for _, p := range g.pool {
+		g.b.Label(p.label)
+		if p.fpOf != "" {
+			g.b.WordAddr64(p.fpOf)
+			continue
+		}
+		for _, c := range p.cases {
+			g.b.WordDelta(p.label, c)
+		}
+	}
+}
+
+func (g *armGen) entryFuncIdx() int {
+	for i := range g.spec.Funcs {
+		if g.spec.Funcs[i].Name == "main" {
+			return i
+		}
+	}
+	return 0
+}
+
+func (g *armGen) genStart() {
+	b := g.b
+	fi := &armFn{spec: &synth.FuncSpec{Name: "_start"}, implicit: true, hasBTI: true}
+	fi.start = b.Offset()
+	b.Label("f._start")
+	g.btiSites = append(g.btiSites, groundtruth.EndbrSite{
+		Addr: textBase + uint64(fi.start), Role: groundtruth.RoleFuncEntry,
+	})
+	b.BTI(1)
+	b.BL(g.funcLabel(g.entryFuncIdx()))
+	// Exit loop: the runtime never returns from here.
+	stop := g.fresh("stop")
+	b.Label(stop)
+	b.B(stop)
+	fi.end = b.Offset()
+	g.fns = append(g.fns, fi)
+}
+
+// filler emits n arithmetic instructions.
+func (g *armGen) filler(rng *rand.Rand, n int) {
+	b := g.b
+	regs := []Reg{X0, X1, X2, X9, X10}
+	r := func() Reg { return regs[rng.Intn(len(regs))] }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			b.Movz(r(), uint16(rng.Intn(1<<16)))
+		case 1:
+			b.AddImm(r(), r(), uint32(rng.Intn(1<<12)))
+		case 2:
+			b.SubImm(r(), r(), uint32(rng.Intn(1<<12)))
+		case 3:
+			b.AddReg(r(), r(), r())
+		case 4:
+			b.Mul(r(), r(), r())
+		}
+	}
+}
+
+func (g *armGen) genFunc(idx int) {
+	b := g.b
+	spec := &g.spec.Funcs[idx]
+	rng := g.rng(idx)
+	fi := &armFn{spec: spec}
+	fi.start = b.Offset()
+	b.Label(g.funcLabel(idx))
+
+	// BTI placement policy: same causal rule as x86 — every function the
+	// toolchain cannot prove is never an indirect target gets a pad.
+	fi.hasBTI = !spec.Intrinsic &&
+		(!spec.Static || spec.AddressTaken || spec.AddressTakenData || idx == g.entryFuncIdx())
+	if fi.hasBTI {
+		g.btiSites = append(g.btiSites, groundtruth.EndbrSite{
+			Addr: textBase + uint64(b.Offset()), Role: groundtruth.RoleFuncEntry,
+		})
+		if g.cfg.PAC {
+			b.Paciasp()
+		} else {
+			b.BTI(1) // BTI c
+		}
+	}
+	b.StpPre()
+	if usesFP(g.cfg.Opt) {
+		b.MovSPToFP()
+	}
+
+	bodyUnits := spec.BodySize
+	if bodyUnits <= 0 {
+		bodyUnits = 4 + rng.Intn(8)
+	}
+	g.filler(rng, bodyUnits)
+
+	for _, callee := range spec.Calls {
+		b.Movz(X0, uint16(rng.Intn(1000)))
+		b.BL(g.funcLabel(callee))
+		g.filler(rng, 1+rng.Intn(3))
+	}
+	// Address-taken materializations hosted here.
+	var hosted []int
+	for target, host := range g.hosts {
+		if host == idx {
+			hosted = append(hosted, target)
+		}
+	}
+	sort.Ints(hosted)
+	for _, target := range hosted {
+		t := &g.spec.Funcs[target]
+		if t.AddressTakenData {
+			// Load the pointer from a literal: no instruction references
+			// the function, only data does.
+			slot := fmt.Sprintf("lit.fp%d", target)
+			if !g.poolHas(slot) {
+				g.pool = append(g.pool, poolEntry{label: slot, fpOf: g.funcLabel(target)})
+			}
+			b.Adr(X9, slot)
+			b.Ldr(X9, X9, 0)
+		} else {
+			b.Adr(X9, g.funcLabel(target))
+		}
+		b.BLR(X9)
+		g.filler(rng, 1)
+	}
+	if spec.HasSwitch {
+		g.genSwitch(rng, spec)
+	}
+
+	b.LdpPost()
+	if len(spec.TailCalls) > 0 {
+		for i, target := range spec.TailCalls {
+			if i == len(spec.TailCalls)-1 {
+				b.B(g.funcLabel(target))
+				break
+			}
+			next := g.fresh("tc")
+			b.CmpImm(X0, uint32(i))
+			b.BCond(1 /* NE */, next)
+			b.B(g.funcLabel(target))
+			b.Label(next)
+		}
+	} else {
+		b.Ret()
+	}
+	fi.end = b.Offset()
+	g.fns = append(g.fns, fi)
+}
+
+// genSwitch emits a jump-table dispatch: every case label carries BTI j
+// because BR is a tracked indirect jump on ARM (there is no NOTRACK).
+func (g *armGen) genSwitch(rng *rand.Rand, spec *synth.FuncSpec) {
+	b := g.b
+	cases := spec.SwitchCases
+	if cases < 2 {
+		cases = 4
+	}
+	defL := g.fresh("swdef")
+	endL := g.fresh("swend")
+	tab := g.fresh("jt")
+
+	b.CmpImm(X0, uint32(cases-1))
+	b.BCond(8 /* HI */, defL)
+	b.Adr(X9, tab)
+	b.LdrswScaled(X10, X9, X0)
+	b.AddReg(X10, X9, X10)
+	b.BR(X10)
+
+	caseLabels := make([]string, cases)
+	for i := range caseLabels {
+		caseLabels[i] = g.fresh("case")
+	}
+	g.pool = append(g.pool, poolEntry{label: tab, cases: caseLabels})
+	for _, cl := range caseLabels {
+		b.Label(cl)
+		g.jSites = append(g.jSites, b.Offset())
+		b.BTI(2) // BTI j
+		g.filler(rng, 1+rng.Intn(2))
+		b.B(endL)
+	}
+	b.Label(defL)
+	g.filler(rng, 1)
+	b.Label(endL)
+}
+
+// Ldr emits LDR Xd, [Xn, #imm] (imm must be 8-byte aligned).
+func (b *Builder) Ldr(rd, rn Reg, imm uint32) {
+	b.emit(0xF9400000 | imm/8&0xFFF<<10 | uint32(rn)&31<<5 | uint32(rd)&31)
+}
+
+func (g *armGen) poolHas(label string) bool {
+	for _, p := range g.pool {
+		if p.label == label {
+			return true
+		}
+	}
+	return false
+}
+
+// assemble packages the code into an AArch64 ELF with the BTI property
+// note and builds the ground truth.
+func (g *armGen) assemble() (*Result, error) {
+	textBytes, err := g.b.Finalize(textBase)
+	if err != nil {
+		return nil, fmt.Errorf("armsynth: %s: %w", g.spec.Name, err)
+	}
+
+	gt := &groundtruth.GT{
+		Program: g.spec.Name,
+		Config:  g.cfg.String(),
+		Lang:    "c",
+	}
+	for _, fi := range g.fns {
+		gt.Funcs = append(gt.Funcs, groundtruth.Func{
+			Name:      fi.spec.Name,
+			Addr:      textBase + uint64(fi.start),
+			Size:      uint64(fi.end - fi.start),
+			Static:    fi.spec.Static,
+			HasEndbr:  fi.hasBTI,
+			Dead:      fi.spec.Dead,
+			Intrinsic: fi.spec.Intrinsic,
+		})
+	}
+	gt.Endbrs = append(gt.Endbrs, g.btiSites...)
+	for _, off := range g.jSites {
+		gt.Endbrs = append(gt.Endbrs, groundtruth.EndbrSite{
+			Addr: textBase + uint64(off), Role: groundtruth.RoleJumpTarget,
+		})
+	}
+
+	features := uint32(featureBTI)
+	if g.cfg.PAC {
+		features |= featurePAC
+	}
+	f := elfw.New(elf.ELFCLASS64, elf.ET_EXEC)
+	f.Machine = elf.EM_AARCH64
+	startVA := textBase
+	f.Entry = uint64(startVA)
+	f.AddSection(&elfw.Section{Name: ".note.gnu.property", Type: elf.SHT_NOTE,
+		Flags: elf.SHF_ALLOC, Addr: 0x400200,
+		Data: elfw.GNUPropertyNoteAArch64(elf.ELFCLASS64, features), Addralign: 8})
+	f.AddSection(&elfw.Section{Name: ".text", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_EXECINSTR, Addr: textBase,
+		Data: textBytes, Addralign: 4})
+	image, err := f.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("armsynth: %s: emit: %w", g.spec.Name, err)
+	}
+	return &Result{
+		Image:    image,
+		GT:       gt,
+		TextAddr: textBase,
+		TextSize: len(textBytes),
+	}, nil
+}

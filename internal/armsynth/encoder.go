@@ -1,0 +1,245 @@
+// Package armsynth synthesizes BTI-enabled AArch64 ELF binaries with
+// known ground truth, the ARM counterpart of internal/synth. It realizes
+// the paper's §VI claim that the FunSeeker algorithm extends to ARM
+// Branch Target Identification:
+//
+//   - every indirectly reachable function entry carries `BTI c` (or the
+//     PACIASP pointer-authentication prologue, an implicit BTI c);
+//   - switch-table case labels carry `BTI j` — the ARM analog of the
+//     "end branch at a non-entry location" problem, except the operand
+//     self-describes the distinction;
+//   - static direct-called functions carry no pad at all;
+//   - tail calls are direct `B` instructions.
+package armsynth
+
+import "fmt"
+
+// Reg is an AArch64 general-purpose register number (X0..X30).
+type Reg uint32
+
+// Registers used by the generator.
+const (
+	X0  Reg = 0
+	X1  Reg = 1
+	X2  Reg = 2
+	X9  Reg = 9
+	X10 Reg = 10
+	X16 Reg = 16
+	X29 Reg = 29 // frame pointer
+	X30 Reg = 30 // link register
+	SP  Reg = 31
+)
+
+// fixup records a pending label patch.
+type fixup struct {
+	wordIdx int
+	label   string
+	base    string // for fixDelta: the word is label - base, in bytes
+	kind    fixKind
+}
+
+type fixKind int
+
+const (
+	fixB26   fixKind = iota // B / BL imm26
+	fixB19                  // B.cond / CBZ imm19
+	fixAdr                  // ADR imm21
+	fixDelta                // 32-bit (label - base) jump-table entry
+	fixAbs64                // 64-bit absolute address across two words
+)
+
+// Builder emits AArch64 words with label fixups.
+type Builder struct {
+	words  []uint32
+	labels map[string]int
+	fixups []fixup
+	err    error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Size returns the emitted size in bytes.
+func (b *Builder) Size() int { return len(b.words) * 4 }
+
+// Offset returns the current emission offset in bytes.
+func (b *Builder) Offset() int { return b.Size() }
+
+// Label defines name at the current offset.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("armsynth: duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.words)
+}
+
+func (b *Builder) emit(w uint32) { b.words = append(b.words, w) }
+
+// Finalize resolves fixups and returns the little-endian bytes. base is
+// the virtual address of the first word.
+func (b *Builder) Finalize(base uint64) ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		idx, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("armsynth: undefined label %q", f.label)
+		}
+		delta := int64(idx-f.wordIdx) * 4
+		switch f.kind {
+		case fixB26:
+			if delta < -(1<<27) || delta >= 1<<27 {
+				return nil, fmt.Errorf("armsynth: b26 overflow to %q", f.label)
+			}
+			b.words[f.wordIdx] |= uint32(delta/4) & 0x03FFFFFF
+		case fixB19:
+			if delta < -(1<<20) || delta >= 1<<20 {
+				return nil, fmt.Errorf("armsynth: b19 overflow to %q", f.label)
+			}
+			b.words[f.wordIdx] |= (uint32(delta/4) & 0x7FFFF) << 5
+		case fixAdr:
+			if delta < -(1<<20) || delta >= 1<<20 {
+				return nil, fmt.Errorf("armsynth: adr overflow to %q", f.label)
+			}
+			d := uint32(delta)
+			b.words[f.wordIdx] |= (d & 3 << 29) | (d >> 2 & 0x7FFFF << 5)
+		case fixDelta:
+			bidx, ok := b.labels[f.base]
+			if !ok {
+				return nil, fmt.Errorf("armsynth: undefined base label %q", f.base)
+			}
+			b.words[f.wordIdx] = uint32(int32(idx-bidx) * 4)
+		case fixAbs64:
+			va := base + uint64(idx)*4
+			b.words[f.wordIdx] = uint32(va)
+			b.words[f.wordIdx+1] = uint32(va >> 32)
+		}
+	}
+	out := make([]byte, 0, len(b.words)*4)
+	for _, w := range b.words {
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return out, nil
+}
+
+// WordDelta emits one 32-bit jump-table entry holding (target - base) in
+// bytes, resolved at Finalize.
+func (b *Builder) WordDelta(baseLabel, target string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: target, base: baseLabel, kind: fixDelta})
+	b.emit(0)
+}
+
+// WordAddr64 emits an 8-byte absolute pointer to target (two words).
+func (b *Builder) WordAddr64(target string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: target, kind: fixAbs64})
+	b.emit(0)
+	b.emit(0)
+}
+
+// LabelOffset returns the byte offset of a defined label.
+func (b *Builder) LabelOffset(name string) (int, bool) {
+	idx, ok := b.labels[name]
+	return idx * 4, ok
+}
+
+// --- instruction emitters ----------------------------------------------
+
+// BTI emits a BTI landing pad; kind is 0 (plain), 1 (c), 2 (j), 3 (jc).
+func (b *Builder) BTI(kind uint32) { b.emit(0xD503241F | kind&3<<6) }
+
+// Paciasp emits PACIASP (implicit BTI c).
+func (b *Builder) Paciasp() { b.emit(0xD503233F) }
+
+// Nop emits NOP.
+func (b *Builder) Nop() { b.emit(0xD503201F) }
+
+// BL emits a direct call to label.
+func (b *Builder) BL(label string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: label, kind: fixB26})
+	b.emit(0x94000000)
+}
+
+// B emits a direct branch to label.
+func (b *Builder) B(label string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: label, kind: fixB26})
+	b.emit(0x14000000)
+}
+
+// BCond emits B.<cond> to label; cond is the 4-bit condition code.
+func (b *Builder) BCond(cond uint32, label string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: label, kind: fixB19})
+	b.emit(0x54000000 | cond&0xF)
+}
+
+// Cbz emits CBZ Xn, label.
+func (b *Builder) Cbz(rn Reg, label string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: label, kind: fixB19})
+	b.emit(0xB4000000 | uint32(rn)&31)
+}
+
+// Ret emits RET (X30).
+func (b *Builder) Ret() { b.emit(0xD65F03C0) }
+
+// BR emits an indirect branch through rn.
+func (b *Builder) BR(rn Reg) { b.emit(0xD61F0000 | uint32(rn)&31<<5) }
+
+// BLR emits an indirect call through rn.
+func (b *Builder) BLR(rn Reg) { b.emit(0xD63F0000 | uint32(rn)&31<<5) }
+
+// Adr emits ADR rd, label (PC-relative address within ±1 MiB).
+func (b *Builder) Adr(rd Reg, label string) {
+	b.fixups = append(b.fixups, fixup{wordIdx: len(b.words), label: label, kind: fixAdr})
+	b.emit(0x10000000 | uint32(rd)&31)
+}
+
+// Movz emits MOVZ Xd, #imm16.
+func (b *Builder) Movz(rd Reg, imm uint16) {
+	b.emit(0xD2800000 | uint32(imm)<<5 | uint32(rd)&31)
+}
+
+// AddImm emits ADD Xd, Xn, #imm12.
+func (b *Builder) AddImm(rd, rn Reg, imm uint32) {
+	b.emit(0x91000000 | imm&0xFFF<<10 | uint32(rn)&31<<5 | uint32(rd)&31)
+}
+
+// SubImm emits SUB Xd, Xn, #imm12.
+func (b *Builder) SubImm(rd, rn Reg, imm uint32) {
+	b.emit(0xD1000000 | imm&0xFFF<<10 | uint32(rn)&31<<5 | uint32(rd)&31)
+}
+
+// AddReg emits ADD Xd, Xn, Xm.
+func (b *Builder) AddReg(rd, rn, rm Reg) {
+	b.emit(0x8B000000 | uint32(rm)&31<<16 | uint32(rn)&31<<5 | uint32(rd)&31)
+}
+
+// Mul emits MUL Xd, Xn, Xm.
+func (b *Builder) Mul(rd, rn, rm Reg) {
+	b.emit(0x9B007C00 | uint32(rm)&31<<16 | uint32(rn)&31<<5 | uint32(rd)&31)
+}
+
+// CmpImm emits CMP Xn, #imm12 (SUBS XZR, Xn, #imm).
+func (b *Builder) CmpImm(rn Reg, imm uint32) {
+	b.emit(0xF100001F | imm&0xFFF<<10 | uint32(rn)&31<<5)
+}
+
+// StpPre emits STP X29, X30, [SP, #-16]! — the standard prologue store.
+func (b *Builder) StpPre() { b.emit(0xA9BF7BFD) }
+
+// LdpPost emits LDP X29, X30, [SP], #16 — the matching epilogue load.
+func (b *Builder) LdpPost() { b.emit(0xA8C17BFD) }
+
+// MovSPToFP emits MOV X29, SP.
+func (b *Builder) MovSPToFP() { b.emit(0x910003FD) }
+
+// LdrswScaled emits LDRSW Xd, [Xn, Xm, LSL #2] — jump-table entry load.
+func (b *Builder) LdrswScaled(rd, rn, rm Reg) {
+	b.emit(0xB8A07800 | uint32(rm)&31<<16 | uint32(rn)&31<<5 | uint32(rd)&31)
+}
+
+// Word emits a raw 32-bit literal (jump-table data inside .text is NOT
+// used; this is for rodata construction elsewhere).
+func (b *Builder) Word(w uint32) { b.emit(w) }

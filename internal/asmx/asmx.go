@@ -1,0 +1,354 @@
+// Package asmx implements a small x86 / x86-64 instruction encoder and a
+// label-aware code builder. It is the code-generation backend of the
+// synthetic CET-enabled compiler in internal/synth.
+//
+// The Builder appends instruction encodings to a growing buffer, records
+// symbolic label definitions and references, and patches all relative and
+// absolute fixups once the final load address of the buffer is known
+// (Finalize). Encoding errors are sticky: the first error disables further
+// emission and is reported by Finalize, so straight-line generation code
+// does not need to check every call.
+package asmx
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Reg is a general-purpose register number in the standard x86 encoding
+// order. The same numbers name RAX/EAX/AX depending on operand width.
+type Reg uint8
+
+// General-purpose registers.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+var regNames = [16]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// String returns the canonical 64-bit name of the register.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg%d", uint8(r))
+}
+
+// low3 returns the low 3 bits used in ModRM/opcode fields.
+func (r Reg) low3() byte { return byte(r) & 7 }
+
+// isExt reports whether the register needs a REX extension bit.
+func (r Reg) isExt() bool { return r >= R8 }
+
+// Cond is a condition code for conditional jumps (the low nibble of the
+// 0F 8x opcode).
+type Cond uint8
+
+// Condition codes.
+const (
+	CondO  Cond = 0x0
+	CondNO Cond = 0x1
+	CondB  Cond = 0x2
+	CondAE Cond = 0x3
+	CondE  Cond = 0x4
+	CondNE Cond = 0x5
+	CondBE Cond = 0x6
+	CondA  Cond = 0x7
+	CondS  Cond = 0x8
+	CondNS Cond = 0x9
+	CondP  Cond = 0xA
+	CondNP Cond = 0xB
+	CondL  Cond = 0xC
+	CondGE Cond = 0xD
+	CondLE Cond = 0xE
+	CondG  Cond = 0xF
+)
+
+// fixKind discriminates fixup flavours.
+type fixKind uint8
+
+const (
+	// fixRel32 is a 4-byte displacement relative to the end of the field.
+	fixRel32 fixKind = iota
+	// fixAbs32 is a 4-byte absolute virtual address.
+	fixAbs32
+	// fixAbs64 is an 8-byte absolute virtual address.
+	fixAbs64
+)
+
+// fixup is a pending patch of a label reference.
+type fixup struct {
+	off    int // buffer offset of the field
+	kind   fixKind
+	label  string
+	addend int64
+}
+
+// Builder accumulates encoded instructions and label fixups for one
+// contiguous code region (a section).
+type Builder struct {
+	mode    x86.Mode
+	buf     []byte
+	labels  map[string]int // label -> buffer offset
+	externs map[string]uint64
+	fixups  []fixup
+	err     error
+
+	base      uint64
+	finalized bool
+}
+
+// New returns an empty Builder for the given mode.
+func New(mode x86.Mode) *Builder {
+	return &Builder{
+		mode:    mode,
+		labels:  make(map[string]int),
+		externs: make(map[string]uint64),
+	}
+}
+
+// Mode returns the builder's decode/encode mode.
+func (b *Builder) Mode() x86.Mode { return b.mode }
+
+// Size returns the number of bytes emitted so far. Fixup resolution never
+// changes the size.
+func (b *Builder) Size() int { return len(b.buf) }
+
+// Err returns the first encoding error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// fail records the first error.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Label defines name at the current offset. Defining the same label twice
+// is an error.
+func (b *Builder) Label(name string) {
+	if b.err != nil {
+		return
+	}
+	if _, dup := b.labels[name]; dup {
+		b.fail("asmx: duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.buf)
+}
+
+// HasLabel reports whether name has been defined as a local label.
+func (b *Builder) HasLabel(name string) bool {
+	_, ok := b.labels[name]
+	return ok
+}
+
+// LabelOffset returns the buffer offset of a defined label.
+func (b *Builder) LabelOffset(name string) (int, bool) {
+	off, ok := b.labels[name]
+	return off, ok
+}
+
+// SetExtern assigns an absolute virtual address to an external label so
+// references to it can be resolved at Finalize.
+func (b *Builder) SetExtern(name string, va uint64) {
+	b.externs[name] = va
+}
+
+// Offset returns the current emission offset; useful for recording
+// function boundaries.
+func (b *Builder) Offset() int { return len(b.buf) }
+
+// resolve returns the virtual address of a label after base assignment.
+func (b *Builder) resolve(name string) (uint64, error) {
+	if off, ok := b.labels[name]; ok {
+		return b.base + uint64(off), nil
+	}
+	if va, ok := b.externs[name]; ok {
+		return va, nil
+	}
+	return 0, fmt.Errorf("asmx: undefined label %q", name)
+}
+
+// Finalize assigns the load address, patches all fixups, and returns the
+// encoded bytes. The Builder must not be modified afterwards.
+func (b *Builder) Finalize(base uint64) ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.finalized {
+		return nil, errors.New("asmx: Finalize called twice")
+	}
+	b.base = base
+	for _, f := range b.fixups {
+		target, err := b.resolve(f.label)
+		if err != nil {
+			return nil, err
+		}
+		target = uint64(int64(target) + f.addend)
+		switch f.kind {
+		case fixRel32:
+			rel := int64(target) - int64(base+uint64(f.off)+4)
+			if rel > 0x7FFFFFFF || rel < -0x80000000 {
+				return nil, fmt.Errorf("asmx: rel32 overflow to %q", f.label)
+			}
+			putU32(b.buf[f.off:], uint32(rel))
+		case fixAbs32:
+			if b.mode == x86.Mode32 && target > 0xFFFFFFFF {
+				return nil, fmt.Errorf("asmx: abs32 overflow to %q", f.label)
+			}
+			putU32(b.buf[f.off:], uint32(target))
+		case fixAbs64:
+			putU64(b.buf[f.off:], target)
+		}
+	}
+	b.finalized = true
+	return b.buf, nil
+}
+
+// Addr returns the resolved virtual address of a label. Valid only after
+// Finalize.
+func (b *Builder) Addr(name string) (uint64, error) {
+	if !b.finalized {
+		return 0, errors.New("asmx: Addr before Finalize")
+	}
+	return b.resolve(name)
+}
+
+// MustAddr is Addr for labels the caller knows exist; it reports the error
+// via the sticky error instead of returning it.
+func (b *Builder) MustAddr(name string) uint64 {
+	va, err := b.Addr(name)
+	if err != nil {
+		// Finalize already succeeded; an undefined label here is a
+		// caller bug. Record it so tests surface the problem.
+		if b.err == nil {
+			b.err = err
+		}
+		return 0
+	}
+	return va
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+// emit appends raw bytes.
+func (b *Builder) emit(bs ...byte) {
+	if b.err != nil {
+		return
+	}
+	b.buf = append(b.buf, bs...)
+}
+
+// emitU32 appends a little-endian 32-bit value.
+func (b *Builder) emitU32(v uint32) {
+	b.emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// is64 reports 64-bit mode.
+func (b *Builder) is64() bool { return b.mode == x86.Mode64 }
+
+// checkReg validates register availability in the current mode.
+func (b *Builder) checkReg(rs ...Reg) bool {
+	for _, r := range rs {
+		if r > R15 {
+			b.fail("asmx: bad register %d", r)
+			return false
+		}
+		if !b.is64() && r.isExt() {
+			b.fail("asmx: register %v unavailable in 32-bit mode", r)
+			return false
+		}
+	}
+	return b.err == nil
+}
+
+// rex emits a REX prefix for 64-bit operand size with the given extension
+// bits, or nothing in 32-bit mode.
+func (b *Builder) rex(w bool, rReg, xReg, bReg Reg) {
+	if !b.is64() {
+		return
+	}
+	var p byte = 0x40
+	if w {
+		p |= 8
+	}
+	if rReg.isExt() {
+		p |= 4
+	}
+	if xReg.isExt() {
+		p |= 2
+	}
+	if bReg.isExt() {
+		p |= 1
+	}
+	if p == 0x40 {
+		return // no REX bits needed; keep the encoding canonical
+	}
+	b.emit(p)
+}
+
+// modRM emits a ModRM byte.
+func (b *Builder) modRM(mod byte, reg, rm byte) {
+	b.emit(mod<<6 | (reg&7)<<3 | rm&7)
+}
+
+// memOperand emits ModRM (+SIB, +disp) for [base+disp] with the given
+// /reg field. RSP/R12 bases need a SIB byte; RBP/R13 bases need a
+// displacement even when zero.
+func (b *Builder) memOperand(regField byte, base Reg, disp int32) {
+	needsSIB := base.low3() == 4 // rsp/r12
+	var mod byte
+	switch {
+	case disp == 0 && base.low3() != 5:
+		mod = 0
+	case disp >= -128 && disp <= 127:
+		mod = 1
+	default:
+		mod = 2
+	}
+	if needsSIB {
+		b.modRM(mod, regField, 4)
+		b.emit(0x24) // scale=1, index=none, base=rsp/r12
+	} else {
+		b.modRM(mod, regField, base.low3())
+	}
+	switch mod {
+	case 1:
+		b.emit(byte(disp))
+	case 2:
+		b.emitU32(uint32(disp))
+	}
+}

@@ -1,0 +1,385 @@
+package asmx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// finalizeAt builds and finalizes at the given base, failing the test on
+// error.
+func finalizeAt(t *testing.T, b *Builder, base uint64) []byte {
+	t.Helper()
+	code, err := b.Finalize(base)
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return code
+}
+
+// sweepClean decodes the produced code and fails on any decode error.
+func sweepClean(t *testing.T, code []byte, base uint64, mode x86.Mode) []x86.Inst {
+	t.Helper()
+	var insts []x86.Inst
+	off := 0
+	for off < len(code) {
+		inst, err := x86.Decode(code[off:], base+uint64(off), mode)
+		if err != nil {
+			t.Fatalf("decode error at offset %d (byte %#02x): %v", off, code[off], err)
+		}
+		insts = append(insts, inst)
+		off += inst.Len
+	}
+	return insts
+}
+
+func TestEndbrEncoding(t *testing.T) {
+	b64 := New(x86.Mode64)
+	b64.Endbr()
+	code := finalizeAt(t, b64, 0)
+	if !bytes.Equal(code, []byte{0xF3, 0x0F, 0x1E, 0xFA}) {
+		t.Fatalf("endbr64 = % x", code)
+	}
+	b32 := New(x86.Mode32)
+	b32.Endbr()
+	code = finalizeAt(t, b32, 0)
+	if !bytes.Equal(code, []byte{0xF3, 0x0F, 0x1E, 0xFB}) {
+		t.Fatalf("endbr32 = % x", code)
+	}
+}
+
+func TestKnownEncodings64(t *testing.T) {
+	tests := []struct {
+		name string
+		emit func(*Builder)
+		want []byte
+	}{
+		{"push-rbp", func(b *Builder) { b.Push(RBP) }, []byte{0x55}},
+		{"push-r12", func(b *Builder) { b.Push(R12) }, []byte{0x41, 0x54}},
+		{"pop-rbp", func(b *Builder) { b.Pop(RBP) }, []byte{0x5D}},
+		{"mov-rbp-rsp", func(b *Builder) { b.MovRegReg(RBP, RSP) }, []byte{0x48, 0x89, 0xE5}},
+		{"mov-eax-1", func(b *Builder) { b.MovRegImm32(RAX, 1) }, []byte{0xB8, 0x01, 0x00, 0x00, 0x00}},
+		{"sub-rsp-16", func(b *Builder) { b.SubImm(RSP, 16) }, []byte{0x48, 0x83, 0xEC, 0x10}},
+		{"sub-rsp-256", func(b *Builder) { b.SubImm(RSP, 256) }, []byte{0x48, 0x81, 0xEC, 0x00, 0x01, 0x00, 0x00}},
+		{"xor-eax", func(b *Builder) { b.XorRegReg(RAX, RAX) }, []byte{0x48, 0x31, 0xC0}},
+		{"ret", func(b *Builder) { b.Ret() }, []byte{0xC3}},
+		{"leave", func(b *Builder) { b.Leave() }, []byte{0xC9}},
+		{"mov-mem-rbp-8", func(b *Builder) { b.MovMemReg(RBP, -8, RAX) }, []byte{0x48, 0x89, 0x45, 0xF8}},
+		{"mov-from-rsp", func(b *Builder) { b.MovRegMem(RAX, RSP, 8) }, []byte{0x48, 0x8B, 0x44, 0x24, 0x08}},
+		{"call-ind-rbp-16", func(b *Builder) { b.CallIndMem(RBP, -16) }, []byte{0xFF, 0x55, 0xF0}},
+		{"notrack-jmp-rdx", func(b *Builder) { b.JmpIndReg(RDX, true) }, []byte{0x3E, 0xFF, 0xE2}},
+		{"jmp-rax", func(b *Builder) { b.JmpIndReg(RAX, false) }, []byte{0xFF, 0xE0}},
+		{"call-ind-r11", func(b *Builder) { b.CallIndReg(R11) }, []byte{0x41, 0xFF, 0xD3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := New(x86.Mode64)
+			tt.emit(b)
+			code := finalizeAt(t, b, 0)
+			if !bytes.Equal(code, tt.want) {
+				t.Fatalf("encoded % x, want % x", code, tt.want)
+			}
+		})
+	}
+}
+
+func TestKnownEncodings32(t *testing.T) {
+	tests := []struct {
+		name string
+		emit func(*Builder)
+		want []byte
+	}{
+		{"push-ebp", func(b *Builder) { b.Push(RBP) }, []byte{0x55}},
+		{"mov-ebp-esp", func(b *Builder) { b.MovRegReg(RBP, RSP) }, []byte{0x89, 0xE5}},
+		{"xor-eax", func(b *Builder) { b.XorRegReg(RAX, RAX) }, []byte{0x31, 0xC0}},
+		{"sub-esp-16", func(b *Builder) { b.SubImm(RSP, 16) }, []byte{0x83, 0xEC, 0x10}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := New(x86.Mode32)
+			tt.emit(b)
+			code := finalizeAt(t, b, 0)
+			if !bytes.Equal(code, tt.want) {
+				t.Fatalf("encoded % x, want % x", code, tt.want)
+			}
+		})
+	}
+}
+
+func TestCallRelFixup(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Label("f")
+	b.Call("g") // at 0: call g; rel = 0x10 - 5 = 0x0B
+	b.Ret()
+	b.Nop(10)
+	b.Align(16)
+	b.Label("g")
+	b.Endbr()
+	b.Ret()
+	code := finalizeAt(t, b, 0x401000)
+	inst, err := x86.Decode(code, 0x401000, x86.Mode64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Class != x86.ClassCallRel {
+		t.Fatalf("class = %v", inst.Class)
+	}
+	g, err := b.Addr("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Target != g {
+		t.Fatalf("call target %#x, want %#x", inst.Target, g)
+	}
+	if g%16 != 0 {
+		t.Fatalf("aligned label not on 16-byte boundary: %#x", g)
+	}
+}
+
+func TestBackwardJump(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Label("loop")
+	b.AddImm(RAX, 1)
+	b.CmpImm(RAX, 10)
+	b.Jcc(CondL, "loop")
+	b.Ret()
+	code := finalizeAt(t, b, 0x1000)
+	insts := sweepClean(t, code, 0x1000, x86.Mode64)
+	var jcc *x86.Inst
+	for i := range insts {
+		if insts[i].Class == x86.ClassJccRel {
+			jcc = &insts[i]
+		}
+	}
+	if jcc == nil {
+		t.Fatal("no jcc found")
+	}
+	if jcc.Target != 0x1000 {
+		t.Fatalf("jcc target %#x, want 0x1000", jcc.Target)
+	}
+}
+
+func TestExternLabel(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Call("plt.setjmp")
+	b.Endbr()
+	b.Ret()
+	b.SetExtern("plt.setjmp", 0x400500)
+	code := finalizeAt(t, b, 0x401000)
+	inst, err := x86.Decode(code, 0x401000, x86.Mode64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Target != 0x400500 {
+		t.Fatalf("extern call target %#x, want 0x400500", inst.Target)
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Jmp("nowhere")
+	if _, err := b.Finalize(0); err == nil {
+		t.Fatal("want error for undefined label")
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Finalize(0); err == nil {
+		t.Fatal("want error for duplicate label")
+	}
+}
+
+func TestModeRestrictions(t *testing.T) {
+	b := New(x86.Mode32)
+	b.Push(R8)
+	if _, err := b.Finalize(0); err == nil {
+		t.Fatal("want error for r8 in 32-bit mode")
+	}
+	b = New(x86.Mode32)
+	b.LeaRIPLabel(RAX, "x")
+	if _, err := b.Finalize(0); err == nil {
+		t.Fatal("want error for rip-relative lea in 32-bit mode")
+	}
+	b = New(x86.Mode64)
+	b.MovRegImmLabel(RAX, "x")
+	if _, err := b.Finalize(0); err == nil {
+		t.Fatal("want error for abs32 mov in 64-bit mode")
+	}
+}
+
+func TestFinalizeTwiceFails(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Ret()
+	if _, err := b.Finalize(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finalize(0); err == nil {
+		t.Fatal("want error for double finalize")
+	}
+}
+
+func TestRIPRelativeLea(t *testing.T) {
+	b := New(x86.Mode64)
+	b.LeaRIPLabel(RAX, "data")
+	b.Ret()
+	b.Label("data")
+	code := finalizeAt(t, b, 0x10000)
+	inst, err := x86.Decode(code, 0x10000, x86.Mode64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := b.Addr("data")
+	if !inst.HasRIPRef || inst.RIPRef != want {
+		t.Fatalf("RIPRef = %#x, want %#x", inst.RIPRef, want)
+	}
+}
+
+func TestJumpTable32(t *testing.T) {
+	b := New(x86.Mode32)
+	b.JmpIndMemScaled(RAX, "table", true)
+	b.Ret()
+	b.SetExtern("table", 0x804a000)
+	code := finalizeAt(t, b, 0x8048000)
+	inst, err := x86.Decode(code, 0x8048000, x86.Mode32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Class != x86.ClassJmpInd || !inst.Notrack {
+		t.Fatalf("class %v notrack %v, want notrack jmp-ind", inst.Class, inst.Notrack)
+	}
+	if !inst.HasMemDisp || inst.MemDisp != 0x804a000 {
+		t.Fatalf("MemDisp = %#x, want 0x804a000", inst.MemDisp)
+	}
+}
+
+func TestNopLengths(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		b := New(x86.Mode64)
+		b.Nop(n)
+		code := finalizeAt(t, b, 0)
+		if len(code) != n {
+			t.Fatalf("Nop(%d) emitted %d bytes", n, len(code))
+		}
+		insts := sweepClean(t, code, 0, x86.Mode64)
+		for _, inst := range insts {
+			if inst.Class != x86.ClassNop {
+				t.Fatalf("Nop(%d) produced non-nop class %v", n, inst.Class)
+			}
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Ret()
+	b.Align(16)
+	if b.Size() != 16 {
+		t.Fatalf("aligned size %d, want 16", b.Size())
+	}
+	b.Align(16) // already aligned: no-op
+	if b.Size() != 16 {
+		t.Fatalf("re-align changed size to %d", b.Size())
+	}
+	b.Ret()
+	b.AlignInt3(8)
+	if b.Size() != 24 {
+		t.Fatalf("int3-aligned size %d, want 24", b.Size())
+	}
+}
+
+// TestEncodeDecodeRoundtripRandom emits long random instruction sequences
+// and checks the decoder agrees with the encoder on every instruction
+// boundary — the core property linking the two packages.
+func TestEncodeDecodeRoundtripRandom(t *testing.T) {
+	for _, mode := range []x86.Mode{x86.Mode32, x86.Mode64} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 50; trial++ {
+				b := New(mode)
+				var wantLens []int
+				emitTracked := func(f func()) {
+					before := b.Size()
+					f()
+					wantLens = append(wantLens, b.Size()-before)
+				}
+				regs := []Reg{RAX, RCX, RDX, RBX, RBP, RSI, RDI}
+				if mode == x86.Mode64 {
+					regs = append(regs, R8, R9, R10, R11, R12, R13, R14, R15)
+				}
+				rreg := func() Reg { return regs[rng.Intn(len(regs))] }
+				n := 20 + rng.Intn(60)
+				for i := 0; i < n; i++ {
+					switch rng.Intn(16) {
+					case 0:
+						emitTracked(func() { b.Push(rreg()) })
+					case 1:
+						emitTracked(func() { b.Pop(rreg()) })
+					case 2:
+						emitTracked(func() { b.MovRegReg(rreg(), rreg()) })
+					case 3:
+						emitTracked(func() { b.MovRegImm32(rreg(), rng.Uint32()) })
+					case 4:
+						emitTracked(func() { b.AddImm(rreg(), int32(rng.Intn(4096)-2048)) })
+					case 5:
+						emitTracked(func() { b.SubImm(rreg(), int32(rng.Intn(100000))-50000) })
+					case 6:
+						emitTracked(func() { b.XorRegReg(rreg(), rreg()) })
+					case 7:
+						emitTracked(func() { b.MovRegMem(rreg(), rreg(), int32(rng.Intn(512)-256)) })
+					case 8:
+						emitTracked(func() { b.MovMemReg(rreg(), int32(rng.Intn(512)-256), rreg()) })
+					case 9:
+						emitTracked(func() { b.TestRegReg(rreg(), rreg()) })
+					case 10:
+						emitTracked(func() { b.ImulRegReg(rreg(), rreg()) })
+					case 11:
+						emitTracked(func() { b.ShlImm(rreg(), byte(rng.Intn(31))) })
+					case 12:
+						emitTracked(func() { b.Endbr() })
+					case 13:
+						emitTracked(func() { b.LeaMem(rreg(), rreg(), int32(rng.Intn(512)-256)) })
+					case 14:
+						emitTracked(func() { b.CmpImm(rreg(), int32(rng.Intn(1000))) })
+					case 15:
+						emitTracked(func() { b.Nop(1 + rng.Intn(9)) })
+					}
+				}
+				emitTracked(func() { b.Ret() })
+				code := finalizeAt(t, b, 0x400000)
+				off := 0
+				for i, want := range wantLens {
+					// Nop(n) may be several instructions; decode until the
+					// tracked region is consumed.
+					remain := want
+					for remain > 0 {
+						inst, err := x86.Decode(code[off:], 0x400000+uint64(off), mode)
+						if err != nil {
+							t.Fatalf("trial %d inst %d: decode at %d: %v (bytes % x)", trial, i, off, err, code[off:min(off+8, len(code))])
+						}
+						if inst.Len > remain {
+							t.Fatalf("trial %d inst %d: decoder consumed %d bytes past the %d-byte encoding at offset %d", trial, i, inst.Len, want, off)
+						}
+						off += inst.Len
+						remain -= inst.Len
+					}
+				}
+				if off != len(code) {
+					t.Fatalf("trial %d: decoded %d of %d bytes", trial, off, len(code))
+				}
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

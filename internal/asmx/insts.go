@@ -1,0 +1,466 @@
+package asmx
+
+// Instruction emitters. Full-width operations use the natural register
+// width of the mode (64-bit registers in Mode64, 32-bit in Mode32).
+
+// Endbr emits the end-branch marker appropriate for the mode: ENDBR64 in
+// 64-bit mode, ENDBR32 in 32-bit mode.
+func (b *Builder) Endbr() {
+	if b.is64() {
+		b.emit(0xF3, 0x0F, 0x1E, 0xFA)
+	} else {
+		b.emit(0xF3, 0x0F, 0x1E, 0xFB)
+	}
+}
+
+// Push emits push reg.
+func (b *Builder) Push(r Reg) {
+	if !b.checkReg(r) {
+		return
+	}
+	if r.isExt() {
+		b.emit(0x41)
+	}
+	b.emit(0x50 + r.low3())
+}
+
+// Pop emits pop reg.
+func (b *Builder) Pop(r Reg) {
+	if !b.checkReg(r) {
+		return
+	}
+	if r.isExt() {
+		b.emit(0x41)
+	}
+	b.emit(0x58 + r.low3())
+}
+
+// MovRegReg emits mov dst, src at the native width.
+func (b *Builder) MovRegReg(dst, src Reg) {
+	if !b.checkReg(dst, src) {
+		return
+	}
+	b.rex(b.is64(), src, 0, dst)
+	b.emit(0x89)
+	b.modRM(3, src.low3(), dst.low3())
+}
+
+// MovRegImm32 emits mov dst, imm32 (zero-extending in 64-bit mode, as
+// compilers do for small constants).
+func (b *Builder) MovRegImm32(dst Reg, imm uint32) {
+	if !b.checkReg(dst) {
+		return
+	}
+	if dst.isExt() {
+		b.emit(0x41)
+	}
+	b.emit(0xB8 + dst.low3())
+	b.emitU32(imm)
+}
+
+// MovRegImmLabel emits mov dst, imm32 whose immediate is the absolute
+// address of label (32-bit mode; classic non-PIC address materialization).
+func (b *Builder) MovRegImmLabel(dst Reg, label string) {
+	if !b.checkReg(dst) {
+		return
+	}
+	if b.is64() {
+		b.fail("asmx: MovRegImmLabel is a 32-bit idiom; use LeaRIPLabel in 64-bit mode")
+		return
+	}
+	b.emit(0xB8 + dst.low3())
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixAbs32, label: label})
+	b.emitU32(0)
+}
+
+// MovRegMem emits mov dst, [base+disp] at the native width.
+func (b *Builder) MovRegMem(dst, base Reg, disp int32) {
+	if !b.checkReg(dst, base) {
+		return
+	}
+	b.rex(b.is64(), dst, 0, base)
+	b.emit(0x8B)
+	b.memOperand(dst.low3(), base, disp)
+}
+
+// MovMemReg emits mov [base+disp], src at the native width.
+func (b *Builder) MovMemReg(base Reg, disp int32, src Reg) {
+	if !b.checkReg(base, src) {
+		return
+	}
+	b.rex(b.is64(), src, 0, base)
+	b.emit(0x89)
+	b.memOperand(src.low3(), base, disp)
+}
+
+// MovRegMemRIPLabel emits mov dst, [rip+label] (64-bit mode only).
+func (b *Builder) MovRegMemRIPLabel(dst Reg, label string) {
+	if !b.checkReg(dst) {
+		return
+	}
+	if !b.is64() {
+		b.fail("asmx: RIP-relative addressing requires 64-bit mode")
+		return
+	}
+	b.rex(true, dst, 0, 0)
+	b.emit(0x8B)
+	b.modRM(0, dst.low3(), 5)
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixRel32, label: label})
+	b.emitU32(0)
+}
+
+// MovRegMemAbsLabel emits mov dst, [label] with a 32-bit absolute
+// displacement (32-bit mode only).
+func (b *Builder) MovRegMemAbsLabel(dst Reg, label string) {
+	if !b.checkReg(dst) {
+		return
+	}
+	if b.is64() {
+		b.fail("asmx: absolute-disp mov is a 32-bit idiom")
+		return
+	}
+	b.emit(0x8B)
+	b.modRM(0, dst.low3(), 5)
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixAbs32, label: label})
+	b.emitU32(0)
+}
+
+// LeaRIPLabel emits lea dst, [rip+label] (64-bit mode only).
+func (b *Builder) LeaRIPLabel(dst Reg, label string) {
+	if !b.checkReg(dst) {
+		return
+	}
+	if !b.is64() {
+		b.fail("asmx: RIP-relative lea requires 64-bit mode")
+		return
+	}
+	b.rex(true, dst, 0, 0)
+	b.emit(0x8D)
+	b.modRM(0, dst.low3(), 5)
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixRel32, label: label})
+	b.emitU32(0)
+}
+
+// LeaMem emits lea dst, [base+disp].
+func (b *Builder) LeaMem(dst, base Reg, disp int32) {
+	if !b.checkReg(dst, base) {
+		return
+	}
+	b.rex(b.is64(), dst, 0, base)
+	b.emit(0x8D)
+	b.memOperand(dst.low3(), base, disp)
+}
+
+// arithImm emits <op> reg, imm using the 83 (imm8) or 81 (imm32) group-1
+// form; regField selects the operation.
+func (b *Builder) arithImm(regField byte, dst Reg, imm int32) {
+	if !b.checkReg(dst) {
+		return
+	}
+	b.rex(b.is64(), 0, 0, dst)
+	if imm >= -128 && imm <= 127 {
+		b.emit(0x83)
+		b.modRM(3, regField, dst.low3())
+		b.emit(byte(imm))
+	} else {
+		b.emit(0x81)
+		b.modRM(3, regField, dst.low3())
+		b.emitU32(uint32(imm))
+	}
+}
+
+// AddImm emits add dst, imm.
+func (b *Builder) AddImm(dst Reg, imm int32) { b.arithImm(0, dst, imm) }
+
+// SubImm emits sub dst, imm.
+func (b *Builder) SubImm(dst Reg, imm int32) { b.arithImm(5, dst, imm) }
+
+// CmpImm emits cmp dst, imm.
+func (b *Builder) CmpImm(dst Reg, imm int32) { b.arithImm(7, dst, imm) }
+
+// AndImm emits and dst, imm.
+func (b *Builder) AndImm(dst Reg, imm int32) { b.arithImm(4, dst, imm) }
+
+// arithRegReg emits <op> dst, src using the /r MR form opcode.
+func (b *Builder) arithRegReg(opcode byte, dst, src Reg) {
+	if !b.checkReg(dst, src) {
+		return
+	}
+	b.rex(b.is64(), src, 0, dst)
+	b.emit(opcode)
+	b.modRM(3, src.low3(), dst.low3())
+}
+
+// AddRegReg emits add dst, src.
+func (b *Builder) AddRegReg(dst, src Reg) { b.arithRegReg(0x01, dst, src) }
+
+// SubRegReg emits sub dst, src.
+func (b *Builder) SubRegReg(dst, src Reg) { b.arithRegReg(0x29, dst, src) }
+
+// XorRegReg emits xor dst, src.
+func (b *Builder) XorRegReg(dst, src Reg) { b.arithRegReg(0x31, dst, src) }
+
+// OrRegReg emits or dst, src.
+func (b *Builder) OrRegReg(dst, src Reg) { b.arithRegReg(0x09, dst, src) }
+
+// AndRegReg emits and dst, src.
+func (b *Builder) AndRegReg(dst, src Reg) { b.arithRegReg(0x21, dst, src) }
+
+// CmpRegReg emits cmp dst, src.
+func (b *Builder) CmpRegReg(dst, src Reg) { b.arithRegReg(0x39, dst, src) }
+
+// TestRegReg emits test dst, src.
+func (b *Builder) TestRegReg(dst, src Reg) { b.arithRegReg(0x85, dst, src) }
+
+// ImulRegReg emits imul dst, src.
+func (b *Builder) ImulRegReg(dst, src Reg) {
+	if !b.checkReg(dst, src) {
+		return
+	}
+	b.rex(b.is64(), dst, 0, src)
+	b.emit(0x0F, 0xAF)
+	b.modRM(3, dst.low3(), src.low3())
+}
+
+// ShlImm emits shl dst, imm8.
+func (b *Builder) ShlImm(dst Reg, imm byte) {
+	if !b.checkReg(dst) {
+		return
+	}
+	b.rex(b.is64(), 0, 0, dst)
+	b.emit(0xC1)
+	b.modRM(3, 4, dst.low3())
+	b.emit(imm)
+}
+
+// SarImm emits sar dst, imm8.
+func (b *Builder) SarImm(dst Reg, imm byte) {
+	if !b.checkReg(dst) {
+		return
+	}
+	b.rex(b.is64(), 0, 0, dst)
+	b.emit(0xC1)
+	b.modRM(3, 7, dst.low3())
+	b.emit(imm)
+}
+
+// Movsxd emits movsxd dst, src32 (64-bit mode only); used by jump-table
+// dispatch sequences.
+func (b *Builder) Movsxd(dst, src Reg) {
+	if !b.checkReg(dst, src) {
+		return
+	}
+	if !b.is64() {
+		b.fail("asmx: movsxd requires 64-bit mode")
+		return
+	}
+	b.rex(true, dst, 0, src)
+	b.emit(0x63)
+	b.modRM(3, dst.low3(), src.low3())
+}
+
+// MovsxdRegMemSIB emits movsxd dst, dword [base+index*4] (64-bit mode
+// only), the load half of a PIC jump-table dispatch. base must not be
+// RBP/R13 (mod=00 encoding restriction).
+func (b *Builder) MovsxdRegMemSIB(dst, base, index Reg) {
+	if !b.checkReg(dst, base, index) {
+		return
+	}
+	if !b.is64() {
+		b.fail("asmx: movsxd requires 64-bit mode")
+		return
+	}
+	if base.low3() == 5 {
+		b.fail("asmx: movsxd SIB base %v needs a displacement", base)
+		return
+	}
+	if index.low3() == 4 && !index.isExt() {
+		b.fail("asmx: rsp cannot be an index register")
+		return
+	}
+	b.rex(true, dst, index, base)
+	b.emit(0x63)
+	b.modRM(0, dst.low3(), 4)
+	b.emit(2<<6 | index.low3()<<3 | base.low3())
+}
+
+// Call emits call rel32 to label.
+func (b *Builder) Call(label string) {
+	if b.err != nil {
+		return
+	}
+	b.emit(0xE8)
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixRel32, label: label})
+	b.emitU32(0)
+}
+
+// Jmp emits jmp rel32 to label.
+func (b *Builder) Jmp(label string) {
+	if b.err != nil {
+		return
+	}
+	b.emit(0xE9)
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixRel32, label: label})
+	b.emitU32(0)
+}
+
+// Jcc emits a conditional jump (0F 8x rel32) to label.
+func (b *Builder) Jcc(cc Cond, label string) {
+	if b.err != nil {
+		return
+	}
+	b.emit(0x0F, 0x80+byte(cc))
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixRel32, label: label})
+	b.emitU32(0)
+}
+
+// CallIndMem emits call [base+disp] (an indirect call through memory, as
+// produced for function-pointer variables).
+func (b *Builder) CallIndMem(base Reg, disp int32) {
+	if !b.checkReg(base) {
+		return
+	}
+	b.rex(false, 0, 0, base)
+	b.emit(0xFF)
+	b.memOperand(2, base, disp)
+}
+
+// CallIndReg emits call reg.
+func (b *Builder) CallIndReg(r Reg) {
+	if !b.checkReg(r) {
+		return
+	}
+	b.rex(false, 0, 0, r)
+	b.emit(0xFF)
+	b.modRM(3, 2, r.low3())
+}
+
+// JmpIndReg emits jmp reg, optionally NOTRACK-prefixed (the CET-sanctioned
+// form for bounds-checked switch dispatch).
+func (b *Builder) JmpIndReg(r Reg, notrack bool) {
+	if !b.checkReg(r) {
+		return
+	}
+	if notrack {
+		b.emit(0x3E)
+	}
+	b.rex(false, 0, 0, r)
+	b.emit(0xFF)
+	b.modRM(3, 4, r.low3())
+}
+
+// JmpIndMemScaled emits jmp [index*4+table] with an absolute table address
+// (32-bit non-PIC switch dispatch), optionally NOTRACK-prefixed.
+func (b *Builder) JmpIndMemScaled(index Reg, table string, notrack bool) {
+	if !b.checkReg(index) {
+		return
+	}
+	if b.is64() {
+		b.fail("asmx: absolute scaled jmp is a 32-bit idiom")
+		return
+	}
+	if notrack {
+		b.emit(0x3E)
+	}
+	b.emit(0xFF)
+	b.modRM(0, 4, 4)                   // jmp /4, SIB follows
+	b.emit(2<<6 | index.low3()<<3 | 5) // scale=4, base=none (disp32)
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixAbs32, label: table})
+	b.emitU32(0)
+}
+
+// PushImm32 emits push imm32 (the relocation-index push of a lazy PLT
+// stub).
+func (b *Builder) PushImm32(imm uint32) {
+	b.emit(0x68)
+	b.emitU32(imm)
+}
+
+// Ret emits a near return.
+func (b *Builder) Ret() { b.emit(0xC3) }
+
+// Leave emits leave.
+func (b *Builder) Leave() { b.emit(0xC9) }
+
+// Int3 emits int3.
+func (b *Builder) Int3() { b.emit(0xCC) }
+
+// Ud2 emits ud2.
+func (b *Builder) Ud2() { b.emit(0x0F, 0x0B) }
+
+// Hlt emits hlt.
+func (b *Builder) Hlt() { b.emit(0xF4) }
+
+// Nop emits n bytes of padding using the recommended multi-byte NOP forms.
+func (b *Builder) Nop(n int) {
+	for n > 0 {
+		k := n
+		if k > 9 {
+			k = 9
+		}
+		b.emit(nopForms[k]...)
+		n -= k
+	}
+}
+
+// nopForms are the Intel-recommended multi-byte NOP encodings, indexed by
+// length (1..9).
+var nopForms = [10][]byte{
+	1: {0x90},
+	2: {0x66, 0x90},
+	3: {0x0F, 0x1F, 0x00},
+	4: {0x0F, 0x1F, 0x40, 0x00},
+	5: {0x0F, 0x1F, 0x44, 0x00, 0x00},
+	6: {0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00},
+	7: {0x0F, 0x1F, 0x80, 0x00, 0x00, 0x00, 0x00},
+	8: {0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+	9: {0x66, 0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00},
+}
+
+// Align pads with multi-byte NOPs until the current offset is a multiple
+// of align (relative to the eventual section base, which must itself be
+// aligned at least as strictly).
+func (b *Builder) Align(align int) {
+	if align <= 1 {
+		return
+	}
+	rem := len(b.buf) % align
+	if rem != 0 {
+		b.Nop(align - rem)
+	}
+}
+
+// AlignInt3 pads to the alignment with int3 bytes (used between functions
+// by some toolchains).
+func (b *Builder) AlignInt3(align int) {
+	if align <= 1 {
+		return
+	}
+	for len(b.buf)%align != 0 {
+		b.emit(0xCC)
+	}
+}
+
+// Raw appends raw machine-code bytes verbatim.
+func (b *Builder) Raw(bs ...byte) { b.emit(bs...) }
+
+// PltJmp emits the first instruction of a PLT stub: an indirect jump
+// through the GOT slot named by label. In 64-bit mode it is RIP-relative,
+// in 32-bit mode an absolute-disp indirect jump. CET-enabled PLT stubs
+// are preceded by an end branch, which the caller emits.
+func (b *Builder) PltJmp(gotSlot string) {
+	if b.err != nil {
+		return
+	}
+	if b.is64() {
+		b.emit(0xFF)
+		b.modRM(0, 4, 5) // jmp [rip+disp32]
+		b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixRel32, label: gotSlot})
+		b.emitU32(0)
+		return
+	}
+	b.emit(0xFF)
+	b.modRM(0, 4, 5) // jmp [disp32]
+	b.fixups = append(b.fixups, fixup{off: len(b.buf), kind: fixAbs32, label: gotSlot})
+	b.emitU32(0)
+}

@@ -1,0 +1,269 @@
+package asmx
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// decodeOne decodes the first instruction of code.
+func decodeOne(t *testing.T, code []byte, mode x86.Mode) x86.Inst {
+	t.Helper()
+	inst, err := x86.Decode(code, 0x1000, mode)
+	if err != nil {
+		t.Fatalf("decode % x: %v", code, err)
+	}
+	return inst
+}
+
+func TestArithRegRegEncodings(t *testing.T) {
+	tests := []struct {
+		name string
+		emit func(*Builder)
+		want []byte
+	}{
+		{"add", func(b *Builder) { b.AddRegReg(RAX, RCX) }, []byte{0x48, 0x01, 0xC8}},
+		{"sub", func(b *Builder) { b.SubRegReg(RDX, RBX) }, []byte{0x48, 0x29, 0xDA}},
+		{"or", func(b *Builder) { b.OrRegReg(RSI, RDI) }, []byte{0x48, 0x09, 0xFE}},
+		{"and", func(b *Builder) { b.AndRegReg(RAX, R8) }, []byte{0x4C, 0x21, 0xC0}},
+		{"cmp", func(b *Builder) { b.CmpRegReg(RCX, RDX) }, []byte{0x48, 0x39, 0xD1}},
+		{"imul", func(b *Builder) { b.ImulRegReg(RAX, RCX) }, []byte{0x48, 0x0F, 0xAF, 0xC1}},
+		{"shl", func(b *Builder) { b.ShlImm(RAX, 4) }, []byte{0x48, 0xC1, 0xE0, 0x04}},
+		{"sar", func(b *Builder) { b.SarImm(RDX, 2) }, []byte{0x48, 0xC1, 0xFA, 0x02}},
+		{"and-imm", func(b *Builder) { b.AndImm(RCX, 0xFF) }, []byte{0x48, 0x81, 0xE1, 0xFF, 0x00, 0x00, 0x00}},
+		{"cmp-imm8", func(b *Builder) { b.CmpImm(RAX, 5) }, []byte{0x48, 0x83, 0xF8, 0x05}},
+		{"movsxd", func(b *Builder) { b.Movsxd(RCX, RAX) }, []byte{0x48, 0x63, 0xC8}},
+		{"push-imm32", func(b *Builder) { b.PushImm32(0x11223344) }, []byte{0x68, 0x44, 0x33, 0x22, 0x11}},
+		{"ud2", func(b *Builder) { b.Ud2() }, []byte{0x0F, 0x0B}},
+		{"hlt", func(b *Builder) { b.Hlt() }, []byte{0xF4}},
+		{"int3", func(b *Builder) { b.Int3() }, []byte{0xCC}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := New(x86.Mode64)
+			tt.emit(b)
+			code, err := b.Finalize(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(code, tt.want) {
+				t.Fatalf("encoded % x, want % x", code, tt.want)
+			}
+		})
+	}
+}
+
+func TestMovsxdRegMemSIB(t *testing.T) {
+	b := New(x86.Mode64)
+	b.MovsxdRegMemSIB(RCX, RDX, RAX)
+	code, err := b.Finalize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// movsxd rcx, dword [rdx+rax*4] = 48 63 0C 82
+	if !bytes.Equal(code, []byte{0x48, 0x63, 0x0C, 0x82}) {
+		t.Fatalf("encoded % x", code)
+	}
+	// Error paths.
+	b = New(x86.Mode32)
+	b.MovsxdRegMemSIB(RCX, RDX, RAX)
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("movsxd in 32-bit mode must fail")
+	}
+	b = New(x86.Mode64)
+	b.MovsxdRegMemSIB(RCX, RBP, RAX)
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("rbp base must fail (needs displacement)")
+	}
+	b = New(x86.Mode64)
+	b.MovsxdRegMemSIB(RCX, RDX, RSP)
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("rsp index must fail")
+	}
+}
+
+func TestPltJmpEncodings(t *testing.T) {
+	// 64-bit: RIP-relative jmp through the GOT slot.
+	b := New(x86.Mode64)
+	b.PltJmp("got.x")
+	b.SetExtern("got.x", 0x404018)
+	code, err := b.Finalize(0x401000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := decodeOne(t, code, x86.Mode64)
+	if inst.Class != x86.ClassJmpInd || !inst.HasRIPRef {
+		t.Fatalf("plt jmp64 decoded as %v", inst.Class)
+	}
+	// RIPRef computed against the decode address 0x1000, so re-decode at
+	// the real base.
+	inst2, err := x86.Decode(code, 0x401000, x86.Mode64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.RIPRef != 0x404018 {
+		t.Fatalf("RIPRef = %#x", inst2.RIPRef)
+	}
+	// 32-bit: absolute-disp jmp.
+	b = New(x86.Mode32)
+	b.PltJmp("got.x")
+	b.SetExtern("got.x", 0x804c018)
+	code, err = b.Finalize(0x8049000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst = decodeOne(t, code, x86.Mode32)
+	if inst.Class != x86.ClassJmpInd || !inst.HasMemDisp || inst.MemDisp != 0x804c018 {
+		t.Fatalf("plt jmp32 = %+v", inst)
+	}
+}
+
+func TestMemoryAddressingForms(t *testing.T) {
+	// MovRegMemRIPLabel (64-bit only).
+	b := New(x86.Mode64)
+	b.MovRegMemRIPLabel(RAX, "lit")
+	b.Ret()
+	b.Label("lit")
+	code, err := b.Finalize(0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := x86.Decode(code, 0x2000, x86.Mode64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "lit" sits at the end of the emitted code.
+	if !inst.HasRIPRef || inst.RIPRef != 0x2000+uint64(len(code)) {
+		t.Fatalf("rip load: %+v (code % x)", inst, code)
+	}
+	b = New(x86.Mode32)
+	b.MovRegMemRIPLabel(RAX, "x")
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("RIP-relative mov must fail in 32-bit mode")
+	}
+	// MovRegMemAbsLabel (32-bit only).
+	b = New(x86.Mode32)
+	b.MovRegMemAbsLabel(RAX, "g")
+	b.SetExtern("g", 0x804a000)
+	code, err = b.Finalize(0x8049000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst = decodeOne(t, code, x86.Mode32)
+	if !inst.HasMemDisp || inst.MemDisp != 0x804a000 {
+		t.Fatalf("abs load: %+v", inst)
+	}
+	b = New(x86.Mode64)
+	b.MovRegMemAbsLabel(RAX, "g")
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("abs-disp mov must fail in 64-bit mode")
+	}
+	// MovRegImmLabel (32-bit only).
+	b = New(x86.Mode32)
+	b.MovRegImmLabel(RCX, "f")
+	b.SetExtern("f", 0x8049123)
+	code, err = b.Finalize(0x8049000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst = decodeOne(t, code, x86.Mode32)
+	if uint32(inst.Imm) != 0x8049123 {
+		t.Fatalf("imm label = %#x", uint32(inst.Imm))
+	}
+}
+
+func TestMemOperandEdgeBases(t *testing.T) {
+	// RSP base always needs a SIB; RBP base with zero displacement needs
+	// a disp8; R12/R13 mirror them with REX.B.
+	cases := []struct {
+		name string
+		emit func(*Builder)
+	}{
+		{"rsp-base", func(b *Builder) { b.MovRegMem(RAX, RSP, 0) }},
+		{"rbp-base-zero", func(b *Builder) { b.MovRegMem(RAX, RBP, 0) }},
+		{"r12-base", func(b *Builder) { b.MovRegMem(RAX, R12, 8) }},
+		{"r13-base-zero", func(b *Builder) { b.MovRegMem(RAX, R13, 0) }},
+		{"large-disp", func(b *Builder) { b.MovMemReg(RBX, 0x1234, RCX) }},
+		{"neg-large-disp", func(b *Builder) { b.LeaMem(RDX, RSI, -0x200) }},
+		{"call-ind-r12", func(b *Builder) { b.CallIndMem(R12, 0x10) }},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			b := New(x86.Mode64)
+			tt.emit(b)
+			code, err := b.Finalize(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst := decodeOne(t, code, x86.Mode64)
+			if inst.Len != len(code) {
+				t.Fatalf("decoder len %d != emitted %d (% x)", inst.Len, len(code), code)
+			}
+		})
+	}
+}
+
+func TestBuilderMiscAPI(t *testing.T) {
+	b := New(x86.Mode64)
+	if b.Mode() != x86.Mode64 {
+		t.Error("Mode() wrong")
+	}
+	b.Label("x")
+	if !b.HasLabel("x") || b.HasLabel("y") {
+		t.Error("HasLabel wrong")
+	}
+	b.Ret()
+	if off, ok := b.LabelOffset("x"); !ok || off != 0 {
+		t.Errorf("LabelOffset = (%d, %v)", off, ok)
+	}
+	if b.Offset() != 1 {
+		t.Errorf("Offset = %d", b.Offset())
+	}
+	if b.Err() != nil {
+		t.Errorf("Err = %v", b.Err())
+	}
+	if _, err := b.Addr("x"); err == nil {
+		t.Error("Addr before Finalize must fail")
+	}
+	if _, err := b.Finalize(0x100); err != nil {
+		t.Fatal(err)
+	}
+	if b.MustAddr("x") != 0x100 {
+		t.Error("MustAddr wrong")
+	}
+	if b.MustAddr("missing") != 0 || b.Err() == nil {
+		t.Error("MustAddr on missing label should record an error")
+	}
+}
+
+func TestBadRegisterRejected(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Push(Reg(99))
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("register 99 must fail")
+	}
+	if Reg(99).String() == "" {
+		t.Error("bad register must still render")
+	}
+	if RAX.String() != "rax" || R15.String() != "r15" {
+		t.Error("register names changed")
+	}
+}
+
+func TestRel32Overflow(t *testing.T) {
+	b := New(x86.Mode64)
+	b.Jmp("far")
+	b.SetExtern("far", 1<<40)
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("rel32 overflow must fail")
+	}
+}
+
+func TestJmpIndMemScaledIn64Fails(t *testing.T) {
+	b := New(x86.Mode64)
+	b.JmpIndMemScaled(RAX, "t", true)
+	if _, err := b.Finalize(0); err == nil {
+		t.Error("absolute scaled jmp must fail in 64-bit mode")
+	}
+}

@@ -1,0 +1,171 @@
+package bticore
+
+import (
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/armsynth"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+func btiSpec() *synth.ProgSpec {
+	return &synth.ProgSpec{
+		Name: "btitest",
+		Lang: synth.LangC,
+		Seed: 77,
+		Funcs: []synth.FuncSpec{
+			{Name: "main", Calls: []int{1, 2}, HasSwitch: true, SwitchCases: 5},
+			{Name: "helper", Calls: []int{3}},
+			{Name: "worker", BodySize: 200},
+			{Name: "leaf", Static: true},
+			{Name: "exported_idle"},
+			{Name: "datacb", AddressTakenData: true},
+			{Name: "tail_impl", Static: true},
+			{Name: "tail_a", TailCalls: []int{6}},
+			{Name: "tail_b", TailCalls: []int{6}},
+			{Name: "dead_one", Static: true, Dead: true},
+		},
+	}
+}
+
+func compileBTI(t *testing.T, cfg armsynth.Config) (*armsynth.Result, *Report) {
+	t.Helper()
+	res, err := armsynth.Compile(btiSpec(), cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	report, err := IdentifyBytes(res.Image)
+	if err != nil {
+		t.Fatalf("IdentifyBytes: %v", err)
+	}
+	return res, report
+}
+
+func scoreBTI(report *Report, gt *groundtruth.GT) (fp, fn int, fnNames []string) {
+	truth := gt.Entries()
+	found := map[uint64]bool{}
+	for _, e := range report.Entries {
+		found[e] = true
+		if !truth[e] {
+			fp++
+		}
+	}
+	for _, f := range gt.Funcs {
+		if !found[f.Addr] {
+			fn++
+			fnNames = append(fnNames, f.Name)
+		}
+	}
+	return fp, fn, fnNames
+}
+
+func TestBTIIdentify(t *testing.T) {
+	for _, cfg := range []armsynth.Config{
+		{Opt: synth.O2},
+		{Opt: synth.O0},
+		{Opt: synth.O2, PAC: true},
+	} {
+		cfg := cfg
+		t.Run(cfg.String(), func(t *testing.T) {
+			res, report := compileBTI(t, cfg)
+			fp, _, fnNames := scoreBTI(report, res.GT)
+			if fp != 0 {
+				t.Errorf("%d false positives", fp)
+			}
+			// The only acceptable miss is the dead static function.
+			for _, name := range fnNames {
+				if name != "dead_one" {
+					t.Errorf("missed live function %s", name)
+				}
+			}
+			// Switch case labels (BTI j) must not be entries.
+			if report.JumpPads == 0 {
+				t.Error("no BTI j pads seen despite the switch")
+			}
+			if report.CallPads == 0 {
+				t.Error("no call pads seen")
+			}
+		})
+	}
+}
+
+func TestBTIJumpPadsExcluded(t *testing.T) {
+	res, report := compileBTI(t, armsynth.Config{Opt: synth.O2})
+	jPads := map[uint64]bool{}
+	for _, e := range res.GT.Endbrs {
+		if e.Role == groundtruth.RoleJumpTarget {
+			jPads[e.Addr] = true
+		}
+	}
+	if len(jPads) == 0 {
+		t.Fatal("ground truth has no BTI j sites")
+	}
+	if report.JumpPads != len(jPads) {
+		t.Errorf("JumpPads = %d, ground truth has %d", report.JumpPads, len(jPads))
+	}
+	for _, e := range report.Entries {
+		if jPads[e] {
+			t.Errorf("BTI j pad %#x identified as a function entry", e)
+		}
+	}
+}
+
+func TestBTITailCallSelection(t *testing.T) {
+	res, report := compileBTI(t, armsynth.Config{Opt: synth.O2})
+	var tailImpl uint64
+	for _, f := range res.GT.Funcs {
+		if f.Name == "tail_impl" {
+			tailImpl = f.Addr
+		}
+	}
+	foundTail := false
+	for _, a := range report.TailCallTargets {
+		if a == tailImpl {
+			foundTail = true
+		}
+	}
+	if !foundTail {
+		t.Error("tail_impl (2 tail callers) not selected as a tail-call target")
+	}
+}
+
+func TestBTIPACEntries(t *testing.T) {
+	// Under PAC, entries start with PACIASP instead of BTI c; both are
+	// valid call pads.
+	res, report := compileBTI(t, armsynth.Config{Opt: synth.O2, PAC: true})
+	truth := res.GT.Entries()
+	hits := 0
+	for _, e := range report.Entries {
+		if truth[e] {
+			hits++
+		}
+	}
+	if hits < len(res.GT.Funcs)-1 {
+		t.Errorf("PAC build: %d of %d entries found", hits, len(res.GT.Funcs))
+	}
+}
+
+func TestIdentifyBytesErrors(t *testing.T) {
+	if _, err := IdentifyBytes([]byte("junk")); err == nil {
+		t.Error("want error for junk input")
+	}
+}
+
+func TestDeterministicARMBuild(t *testing.T) {
+	a, err := armsynth.Compile(btiSpec(), armsynth.Config{Opt: synth.O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := armsynth.Compile(btiSpec(), armsynth.Config{Opt: synth.O3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Image) != len(b.Image) {
+		t.Fatal("nondeterministic image size")
+	}
+	for i := range a.Image {
+		if a.Image[i] != b.Image[i] {
+			t.Fatalf("images differ at byte %d", i)
+		}
+	}
+}

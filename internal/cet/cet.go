@@ -1,0 +1,23 @@
+// Package cet holds Intel CET domain knowledge shared by the synthesizer
+// and the identification tools: the list of indirect-return functions for
+// which compilers insert an end-branch instruction after the call site.
+package cet
+
+// IndirectReturnFuncs is the predefined list of functions that return via
+// an indirect jump, as hard-coded in GCC (gcc/calls.c, special_function_p).
+// A call to any of them is followed by an ENDBR instruction so the
+// indirect return edge passes the IBT check.
+var IndirectReturnFuncs = []string{
+	"setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork",
+}
+
+// IsIndirectReturnFunc reports whether name is in the predefined
+// indirect-return list.
+func IsIndirectReturnFunc(name string) bool {
+	for _, f := range IndirectReturnFuncs {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,21 @@
+package cet
+
+import "testing"
+
+func TestIndirectReturnFuncs(t *testing.T) {
+	// The exact five functions GCC's special_function_p flags.
+	want := []string{"setjmp", "_setjmp", "sigsetjmp", "__sigsetjmp", "vfork"}
+	if len(IndirectReturnFuncs) != len(want) {
+		t.Fatalf("list has %d entries, want %d", len(IndirectReturnFuncs), len(want))
+	}
+	for _, name := range want {
+		if !IsIndirectReturnFunc(name) {
+			t.Errorf("IsIndirectReturnFunc(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"longjmp", "fork", "", "setjmp2", "Setjmp"} {
+		if IsIndirectReturnFunc(name) {
+			t.Errorf("IsIndirectReturnFunc(%q) = true", name)
+		}
+	}
+}

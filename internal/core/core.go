@@ -1,0 +1,258 @@
+// Package core implements FunSeeker, the CET-aware function-entry
+// identification algorithm of Kim et al. (DSN 2022).
+//
+// The algorithm (paper Algorithm 1) is a single linear-sweep disassembly
+// pass followed by two purely syntactic refinements:
+//
+//	E, C, J  = DISASSEMBLE(text)   // end branches, call targets, jump targets
+//	E'       = FILTERENDBR(E)      // drop endbr after indirect-return calls
+//	                               // and endbr at exception landing pads
+//	J'       = SELECTTAILCALL(J)   // keep only direct jumps that look like
+//	                               // tail calls
+//	entries  = E' ∪ C ∪ J'
+//
+// Complexity is linear in the size of the binary; no data-flow analysis,
+// CFG recovery, or learned model is involved.
+package core
+
+import (
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/cet"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Options selects which refinements run, mirroring the paper's four
+// evaluation configurations (Table II).
+type Options struct {
+	// FilterEndbr enables FILTERENDBR (configurations ②③④).
+	FilterEndbr bool
+	// UseJumpTargets adds direct jump targets J to the candidate set
+	// (configurations ③④).
+	UseJumpTargets bool
+	// SelectTailCall enables SELECTTAILCALL, replacing J with the
+	// tail-call subset J′ (configuration ④).
+	SelectTailCall bool
+	// TailBoundaryOnly weakens SELECTTAILCALL to the boundary-escape
+	// test alone, dropping the multiple-reference requirement. This is
+	// an ablation knob (see DESIGN.md §4), not part of the paper's
+	// configurations.
+	TailBoundaryOnly bool
+	// SupersetEndbrScan additionally scans for end-branch encodings at
+	// every byte offset rather than only at linear-sweep instruction
+	// boundaries. This realizes the paper's §VI suggestion of pairing
+	// FunSeeker with superset disassembly: when hand-written assembly or
+	// inline data desynchronizes the linear sweep, the byte-level scan
+	// still recovers the end branches behind the junk. The end-branch
+	// encodings are long and never alias compiler-generated code, so the
+	// superset adds no false candidates on clean binaries.
+	SupersetEndbrScan bool
+}
+
+// Configuration presets from Table II.
+var (
+	// Config1 is E ∪ C: raw end branches plus direct call targets.
+	Config1 = Options{}
+	// Config2 is E′ ∪ C: adds FILTERENDBR.
+	Config2 = Options{FilterEndbr: true}
+	// Config3 is E′ ∪ C ∪ J: additionally treats every direct jump
+	// target as a candidate.
+	Config3 = Options{FilterEndbr: true, UseJumpTargets: true}
+	// Config4 is E′ ∪ C ∪ J′: the full FunSeeker algorithm.
+	Config4 = Options{FilterEndbr: true, UseJumpTargets: true, SelectTailCall: true}
+)
+
+// DefaultOptions is the full algorithm (configuration ④).
+var DefaultOptions = Config4
+
+// Report is the result of one identification run.
+type Report struct {
+	// Entries is the sorted set of identified function entry addresses.
+	Entries []uint64
+
+	// Endbrs is E: every end-branch address in .text.
+	Endbrs []uint64
+	// CallTargets is C: every direct-call target inside .text.
+	CallTargets []uint64
+	// JumpTargets is J: every direct unconditional-jump target inside
+	// .text.
+	JumpTargets []uint64
+	// TailCallTargets is J′ after SELECTTAILCALL (empty unless enabled).
+	TailCallTargets []uint64
+
+	// FilteredIndirectReturn counts end branches removed because they
+	// follow a call to an indirect-return function.
+	FilteredIndirectReturn int
+	// FilteredLandingPads counts end branches removed because they sit
+	// at an exception landing pad.
+	FilteredLandingPads int
+}
+
+// jumpRef records one direct unconditional jump.
+type jumpRef struct {
+	src    uint64 // address of the jmp instruction
+	target uint64
+}
+
+// sweepResult carries everything one disassembly pass collects.
+type sweepResult struct {
+	endbrs      []uint64
+	callTargets map[uint64]bool
+	jumpRefs    []jumpRef
+	// afterIRCall marks end-branch addresses immediately preceded by a
+	// call to a PLT entry of an indirect-return function.
+	afterIRCall map[uint64]bool
+}
+
+// Identify runs FunSeeker over a loaded binary.
+func Identify(bin *elfx.Binary, opts Options) (*Report, error) {
+	sw := disassemble(bin)
+	if opts.SupersetEndbrScan {
+		mergeSupersetEndbrs(bin, sw)
+	}
+
+	report := &Report{
+		Endbrs:      append([]uint64(nil), sw.endbrs...),
+		CallTargets: setToSorted(sw.callTargets),
+	}
+	jumpTargetSet := make(map[uint64]bool, len(sw.jumpRefs))
+	for _, j := range sw.jumpRefs {
+		if bin.InText(j.target) {
+			jumpTargetSet[j.target] = true
+		}
+	}
+	report.JumpTargets = setToSorted(jumpTargetSet)
+
+	// FILTERENDBR.
+	candidates := make(map[uint64]bool, len(sw.endbrs)+len(sw.callTargets))
+	landingPads := map[uint64]bool{}
+	if opts.FilterEndbr {
+		var err error
+		landingPads, err = landingPadSet(bin)
+		if err != nil {
+			// Corrupt exception metadata must not abort identification;
+			// fall back to the unfiltered set for the EH part.
+			landingPads = map[uint64]bool{}
+		}
+	}
+	for _, e := range sw.endbrs {
+		if opts.FilterEndbr {
+			if sw.afterIRCall[e] {
+				report.FilteredIndirectReturn++
+				continue
+			}
+			if landingPads[e] {
+				report.FilteredLandingPads++
+				continue
+			}
+		}
+		candidates[e] = true
+	}
+	for t := range sw.callTargets {
+		if bin.InText(t) {
+			candidates[t] = true
+		}
+	}
+
+	// Jump-target handling.
+	switch {
+	case opts.UseJumpTargets && opts.SelectTailCall:
+		tails := selectTailCalls(bin, sw.jumpRefs, candidates, opts.TailBoundaryOnly)
+		report.TailCallTargets = setToSorted(tails)
+		for t := range tails {
+			candidates[t] = true
+		}
+	case opts.UseJumpTargets:
+		for t := range jumpTargetSet {
+			candidates[t] = true
+		}
+	}
+
+	report.Entries = setToSorted(candidates)
+	return report, nil
+}
+
+// IdentifyFile loads the ELF at path and runs the full algorithm.
+func IdentifyFile(path string, opts Options) (*Report, error) {
+	bin, err := elfx.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return Identify(bin, opts)
+}
+
+// disassemble is the paper's DISASSEMBLE step: one linear sweep that
+// gathers E, C, and J (with jump sources retained for SELECTTAILCALL) and
+// flags end branches that directly follow indirect-return call sites.
+func disassemble(bin *elfx.Binary) *sweepResult {
+	sw := &sweepResult{
+		callTargets: make(map[uint64]bool),
+		afterIRCall: make(map[uint64]bool),
+	}
+	var prev x86.Inst
+	havePrev := false
+	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
+		switch inst.Class {
+		case x86.ClassEndbr64, x86.ClassEndbr32:
+			sw.endbrs = append(sw.endbrs, inst.Addr)
+			if havePrev && prev.Class == x86.ClassCallRel && prev.HasTarget {
+				if name, ok := bin.PLTName(prev.Target); ok && cet.IsIndirectReturnFunc(name) {
+					sw.afterIRCall[inst.Addr] = true
+				}
+			}
+		case x86.ClassCallRel:
+			if inst.HasTarget && bin.InText(inst.Target) {
+				sw.callTargets[inst.Target] = true
+			}
+		case x86.ClassJmpRel, x86.ClassJccRel:
+			// J collects every direct jump target, conditional or not —
+			// this is what makes configuration ③ so imprecise (interior
+			// branch targets flood the candidate set) and what
+			// SELECTTAILCALL has to clean up. Conditional targets almost
+			// never satisfy the boundary-escape test, so ④ loses nothing.
+			if inst.HasTarget {
+				sw.jumpRefs = append(sw.jumpRefs, jumpRef{src: inst.Addr, target: inst.Target})
+			}
+		}
+		prev = inst
+		havePrev = true
+		return true
+	})
+	return sw
+}
+
+// mergeSupersetEndbrs adds end branches found by scanning every byte
+// offset for the 4-byte ENDBR encodings (F3 0F 1E FA / FB) that the
+// linear sweep may have stepped over after a desynchronization.
+func mergeSupersetEndbrs(bin *elfx.Binary, sw *sweepResult) {
+	have := make(map[uint64]bool, len(sw.endbrs))
+	for _, e := range sw.endbrs {
+		have[e] = true
+	}
+	text := bin.Text
+	for off := 0; off+4 <= len(text); off++ {
+		if text[off] != 0xF3 || text[off+1] != 0x0F || text[off+2] != 0x1E {
+			continue
+		}
+		if b := text[off+3]; b != 0xFA && b != 0xFB {
+			continue
+		}
+		va := bin.TextAddr + uint64(off)
+		if !have[va] {
+			have[va] = true
+			sw.endbrs = append(sw.endbrs, va)
+		}
+	}
+	sort.Slice(sw.endbrs, func(i, j int) bool { return sw.endbrs[i] < sw.endbrs[j] })
+}
+
+// setToSorted converts an address set to a sorted slice.
+func setToSorted(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

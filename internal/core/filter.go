@@ -1,0 +1,29 @@
+package core
+
+import (
+	"github.com/funseeker/funseeker/internal/ehinfo"
+	"github.com/funseeker/funseeker/internal/elfx"
+)
+
+// landingPadSet computes the absolute addresses of every exception landing
+// pad in the binary by joining .eh_frame FDE records (function start +
+// LSDA pointer) against the LSDA call-site tables in .gcc_except_table.
+//
+// This is the exception half of FILTERENDBR: an end branch at a landing
+// pad is a catch-block entry, not a function entry. Note that function
+// identification itself never consumes the FDE pc-begin values — they are
+// used only to bind each LSDA to its landing-pad base, which is how the
+// C++ runtime itself interprets the table (LPStart is omitted in
+// practice, defaulting to the function start from the FDE).
+func landingPadSet(bin *elfx.Binary) (map[uint64]bool, error) {
+	return ehinfo.LandingPadSet(bin)
+}
+
+// LandingPads exposes the landing-pad computation for tools and studies.
+func LandingPads(bin *elfx.Binary) ([]uint64, error) {
+	set, err := landingPadSet(bin)
+	if err != nil {
+		return nil, err
+	}
+	return setToSorted(set), nil
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// TestDataInTextResync injects raw data bytes into .text (hand-written
+// assembly / jump-table-in-text style) and checks identification
+// neither crashes nor loses the functions after the junk — the
+// linear-sweep resync behaviour of §IV-B.
+func TestDataInTextResync(t *testing.T) {
+	bin, gt := compileAndLoad(t, studySpec(synth.LangC), defaultCfg())
+	// Overwrite the dead function's body with non-code bytes.
+	var deadStart, deadSize uint64
+	for _, f := range gt.Funcs {
+		if f.Name == "dead_static" {
+			deadStart, deadSize = f.Addr, f.Size
+		}
+	}
+	if deadSize == 0 {
+		t.Fatal("no dead function to corrupt")
+	}
+	lo := deadStart - bin.TextAddr
+	rng := rand.New(rand.NewSource(1))
+	for i := uint64(0); i < deadSize; i++ {
+		bin.Text[lo+i] = byte(rng.Intn(256))
+	}
+	report, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatalf("Identify on corrupted text: %v", err)
+	}
+	// Functions after the dead one must still be found.
+	found := map[uint64]bool{}
+	for _, e := range report.Entries {
+		found[e] = true
+	}
+	for _, f := range gt.Funcs {
+		if f.Addr <= deadStart || f.Dead {
+			continue
+		}
+		if !f.HasEndbr && f.Static {
+			continue // static functions may legitimately be missed
+		}
+		if !found[f.Addr] {
+			t.Errorf("%s at %#x lost after data-in-text", f.Name, f.Addr)
+		}
+	}
+}
+
+// TestMissingEHSections strips the exception metadata and checks
+// graceful degradation: no crash, no landing-pad filtering.
+func TestMissingEHSections(t *testing.T) {
+	bin, _ := compileAndLoad(t, studySpec(synth.LangCPP), defaultCfg())
+	bin.EHFrame = nil
+	bin.ExceptTable = nil
+	report, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatalf("Identify without EH sections: %v", err)
+	}
+	if report.FilteredLandingPads != 0 {
+		t.Error("filtered landing pads without exception metadata")
+	}
+	if len(report.Entries) == 0 {
+		t.Error("no entries found")
+	}
+}
+
+// TestCorruptEHFrameFallback corrupts .eh_frame and checks that
+// FILTERENDBR falls back to the unfiltered set instead of failing the
+// whole identification.
+func TestCorruptEHFrameFallback(t *testing.T) {
+	bin, gt := compileAndLoad(t, studySpec(synth.LangCPP), defaultCfg())
+	for i := range bin.EHFrame {
+		bin.EHFrame[i] = 0xA5
+	}
+	report, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatalf("Identify with corrupt eh_frame: %v", err)
+	}
+	_, _, fn, _, _ := score(report.Entries, gt)
+	// Recall must not degrade (only precision can, via unfiltered pads).
+	if fn > 3 {
+		t.Errorf("recall collapsed with corrupt eh_frame: %d FNs", fn)
+	}
+}
+
+// TestTruncatedText truncates .text mid-instruction.
+func TestTruncatedText(t *testing.T) {
+	bin, _ := compileAndLoad(t, studySpec(synth.LangC), defaultCfg())
+	bin.Text = bin.Text[:len(bin.Text)/2+1]
+	if _, err := Identify(bin, Config4); err != nil {
+		t.Fatalf("Identify on truncated text: %v", err)
+	}
+}
+
+// TestEmptyText handles a pathological empty section.
+func TestEmptyText(t *testing.T) {
+	bin, _ := compileAndLoad(t, studySpec(synth.LangC), defaultCfg())
+	bin.Text = nil
+	report, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatalf("Identify on empty text: %v", err)
+	}
+	if len(report.Entries) != 0 {
+		t.Errorf("found %d entries in empty text", len(report.Entries))
+	}
+}
+
+// TestLiveFunctionsAlwaysFound is the central correctness property,
+// checked over randomized program shapes: every live function that is
+// (a) non-static, (b) direct-called, or (c) tail-called from 2+
+// functions must be identified by configuration ④.
+func TestLiveFunctionsAlwaysFound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nf := 4 + rng.Intn(12)
+		spec := &synth.ProgSpec{
+			Name: "prop",
+			Lang: synth.LangC,
+			Seed: seed,
+		}
+		for i := 0; i < nf; i++ {
+			fs := synth.FuncSpec{Name: name(i), BodySize: 2 + rng.Intn(6)}
+			switch rng.Intn(4) {
+			case 0:
+				fs.Static = true
+			case 1:
+				fs.AddressTakenData = true
+			}
+			spec.Funcs = append(spec.Funcs, fs)
+		}
+		// Wire every static function to a caller; every second function
+		// also gets a direct call.
+		for i := 1; i < nf; i++ {
+			if spec.Funcs[i].Static || rng.Intn(2) == 0 {
+				caller := rng.Intn(i)
+				spec.Funcs[caller].Calls = append(spec.Funcs[caller].Calls, i)
+			}
+		}
+		cfgs := synth.AllConfigs()
+		cfg := cfgs[rng.Intn(len(cfgs))]
+		res, err := synth.Compile(spec, cfg)
+		if err != nil {
+			t.Logf("compile: %v", err)
+			return false
+		}
+		bin, err := elfx.Load(res.Stripped)
+		if err != nil {
+			t.Logf("load: %v", err)
+			return false
+		}
+		report, err := Identify(bin, Config4)
+		if err != nil {
+			t.Logf("identify: %v", err)
+			return false
+		}
+		found := map[uint64]bool{}
+		for _, e := range report.Entries {
+			found[e] = true
+		}
+		calledSet := map[int]bool{}
+		for i := range spec.Funcs {
+			for _, c := range spec.Funcs[i].Calls {
+				calledSet[c] = true
+			}
+		}
+		for i, fn := range res.GT.Funcs {
+			mustFind := fn.HasEndbr || calledSet[i-1] // funcs[0] in GT is _start
+			if fn.Name == "_start" {
+				mustFind = true
+			}
+			if mustFind && !found[fn.Addr] {
+				t.Logf("%s (%s): missed %s at %#x", spec.Name, cfg, fn.Name, fn.Addr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func name(i int) string {
+	if i == 0 {
+		return "main"
+	}
+	return "fn_" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// TestSweepFindsEveryEndbr cross-checks that disassembly recovers
+// exactly the ground-truth end-branch set on every configuration.
+func TestSweepFindsEveryEndbr(t *testing.T) {
+	spec := studySpec(synth.LangCPP)
+	for _, cfg := range []synth.Config{
+		{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O3},
+		{Compiler: synth.Clang, Mode: x86.Mode32, PIE: true, Opt: synth.Ofast},
+	} {
+		bin, gt := compileAndLoad(t, spec, cfg)
+		report, err := Identify(bin, Config1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(report.Endbrs) != len(gt.Endbrs) {
+			t.Errorf("%s: swept %d endbrs, ground truth has %d",
+				cfg, len(report.Endbrs), len(gt.Endbrs))
+		}
+	}
+}
+
+// TestSupersetEndbrScan injects junk that desynchronizes the linear
+// sweep right before a function and checks the superset scan (the §VI
+// future-work pairing) recovers the entry while plain config ④ may not.
+func TestSupersetEndbrScan(t *testing.T) {
+	bin, gt := compileAndLoad(t, studySpec(synth.LangC), defaultCfg())
+	// Find two adjacent functions and stomp the tail of the first with
+	// bytes that decode across the boundary (a long mov immediate whose
+	// operand swallows the next function's endbr would be ideal; an
+	// 0x48 0xB8 10-byte mov imm64 prefix works: place it 6 bytes before
+	// the boundary so the imm64 covers the endbr).
+	var funcs []groundtruth.Func
+	for _, f := range gt.Funcs {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+	var victim groundtruth.Func
+	for i := 0; i+1 < len(funcs); i++ {
+		if funcs[i+1].HasEndbr && funcs[i].Size >= 8 {
+			victim = funcs[i+1]
+			off := victim.Addr - bin.TextAddr - 6
+			bin.Text[off] = 0x48
+			bin.Text[off+1] = 0xB8 // mov rax, imm64: swallows 8 bytes
+			break
+		}
+	}
+	if victim.Addr == 0 {
+		t.Skip("no suitable adjacent function pair")
+	}
+	plain, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	super := Config4
+	super.SupersetEndbrScan = true
+	enhanced, err := Identify(bin, super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundIn := func(entries []uint64) bool {
+		for _, e := range entries {
+			if e == victim.Addr {
+				return true
+			}
+		}
+		return false
+	}
+	if !foundIn(enhanced.Entries) {
+		t.Errorf("superset scan did not recover %s at %#x", victim.Name, victim.Addr)
+	}
+	// The superset run must find at least as many endbrs as the plain run.
+	if len(enhanced.Endbrs) < len(plain.Endbrs) {
+		t.Errorf("superset endbrs %d < plain %d", len(enhanced.Endbrs), len(plain.Endbrs))
+	}
+}
+
+// TestSupersetNoEffectOnCleanBinaries: on well-formed binaries the
+// superset scan changes nothing (the encodings never straddle real
+// instructions).
+func TestSupersetNoEffectOnCleanBinaries(t *testing.T) {
+	bin, _ := compileAndLoad(t, studySpec(synth.LangCPP), defaultCfg())
+	plain, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	super := Config4
+	super.SupersetEndbrScan = true
+	enhanced, err := Identify(bin, super)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Entries) != len(enhanced.Entries) {
+		t.Fatalf("superset changed clean-binary results: %d vs %d entries",
+			len(plain.Entries), len(enhanced.Entries))
+	}
+	for i := range plain.Entries {
+		if plain.Entries[i] != enhanced.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+// TestOptionCombinations pins the less-traveled option interactions.
+func TestOptionCombinations(t *testing.T) {
+	bin, gt := compileAndLoad(t, studySpec(synth.LangC), defaultCfg())
+	// SelectTailCall without UseJumpTargets: jump machinery is off.
+	r, err := Identify(bin, Options{FilterEndbr: true, SelectTailCall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TailCallTargets) != 0 {
+		t.Error("tail-call targets selected without UseJumpTargets")
+	}
+	// TailBoundaryOnly is a superset of the strict rule.
+	strict, err := Identify(bin, Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := Config4
+	loose.TailBoundaryOnly = true
+	relaxed, err := Identify(bin, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relaxed.Entries) < len(strict.Entries) {
+		t.Errorf("boundary-only (%d entries) must not be stricter than config4 (%d)",
+			len(relaxed.Entries), len(strict.Entries))
+	}
+	// Boundary-only finds the lone tail target config4 rejects.
+	var lone uint64
+	for _, f := range gt.Funcs {
+		if f.Name == "lone_tail_target" {
+			lone = f.Addr
+		}
+	}
+	inSet := func(entries []uint64, a uint64) bool {
+		for _, e := range entries {
+			if e == a {
+				return true
+			}
+		}
+		return false
+	}
+	if inSet(strict.Entries, lone) {
+		t.Error("config4 should reject the lone tail target")
+	}
+	if !inSet(relaxed.Entries, lone) {
+		t.Error("boundary-only should accept the lone tail target")
+	}
+}

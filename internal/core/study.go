@@ -1,0 +1,155 @@
+package core
+
+import (
+	"github.com/funseeker/funseeker/internal/cet"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// EndbrDistribution counts end-branch instructions per location class,
+// reproducing the measurement behind Table I.
+type EndbrDistribution struct {
+	// FuncEntry counts end branches at function entries (the residual
+	// class: neither indirect-return sites nor landing pads).
+	FuncEntry int
+	// IndirectReturn counts end branches after indirect-return calls.
+	IndirectReturn int
+	// Exception counts end branches at exception landing pads.
+	Exception int
+}
+
+// Total is the number of classified end branches.
+func (d EndbrDistribution) Total() int {
+	return d.FuncEntry + d.IndirectReturn + d.Exception
+}
+
+// Add accumulates another distribution.
+func (d *EndbrDistribution) Add(o EndbrDistribution) {
+	d.FuncEntry += o.FuncEntry
+	d.IndirectReturn += o.IndirectReturn
+	d.Exception += o.Exception
+}
+
+// ClassifyEndbrs classifies every end branch in .text using only the
+// binary's own metadata (PLT names and exception tables) — the analysis
+// of paper §III-B.
+func ClassifyEndbrs(bin *elfx.Binary) (EndbrDistribution, error) {
+	var dist EndbrDistribution
+	pads, err := landingPadSet(bin)
+	if err != nil {
+		return dist, err
+	}
+	var prev x86.Inst
+	havePrev := false
+	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
+		if inst.IsEndbr() {
+			switch {
+			case havePrev && prev.Class == x86.ClassCallRel && prev.HasTarget && isIRCall(bin, prev.Target):
+				dist.IndirectReturn++
+			case pads[inst.Addr]:
+				dist.Exception++
+			default:
+				dist.FuncEntry++
+			}
+		}
+		prev = inst
+		havePrev = true
+		return true
+	})
+	return dist, nil
+}
+
+func isIRCall(bin *elfx.Binary, target uint64) bool {
+	name, ok := bin.PLTName(target)
+	return ok && cet.IsIndirectReturnFunc(name)
+}
+
+// Property bit masks for the Figure 3 Venn analysis.
+const (
+	// PropEndbr marks EndBrAtHead: the entry starts with an end branch.
+	PropEndbr = 1 << iota
+	// PropDirCall marks DirCallTarget: some direct call targets the entry.
+	PropDirCall
+	// PropDirJmp marks DirJmpTarget: some direct unconditional jump
+	// targets the entry.
+	PropDirJmp
+)
+
+// VennCounts is the 8-region partition of functions by the three
+// syntactic properties (Figure 3).
+type VennCounts struct {
+	// Region is indexed by the property bitmask (0..7).
+	Region [8]int
+	// Total is the number of functions analyzed.
+	Total int
+}
+
+// Add accumulates another count set.
+func (v *VennCounts) Add(o VennCounts) {
+	for i := range v.Region {
+		v.Region[i] += o.Region[i]
+	}
+	v.Total += o.Total
+}
+
+// Pct returns the percentage of functions in the region selected by mask.
+func (v VennCounts) Pct(mask int) float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	return 100 * float64(v.Region[mask]) / float64(v.Total)
+}
+
+// PctWith returns the percentage of functions having all properties in
+// mask (union over regions that include the mask).
+func (v VennCounts) PctWith(mask int) float64 {
+	if v.Total == 0 {
+		return 0
+	}
+	n := 0
+	for region, c := range v.Region {
+		if region&mask == mask {
+			n += c
+		}
+	}
+	return 100 * float64(n) / float64(v.Total)
+}
+
+// AnalyzeProperties computes, for each true function entry, which of the
+// three syntactic properties hold, reproducing the study behind Figure 3.
+func AnalyzeProperties(bin *elfx.Binary, entries []uint64) VennCounts {
+	endbrs := make(map[uint64]bool)
+	calls := make(map[uint64]bool)
+	jumps := make(map[uint64]bool)
+	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
+		switch inst.Class {
+		case x86.ClassEndbr64, x86.ClassEndbr32:
+			endbrs[inst.Addr] = true
+		case x86.ClassCallRel:
+			if inst.HasTarget {
+				calls[inst.Target] = true
+			}
+		case x86.ClassJmpRel:
+			if inst.HasTarget {
+				jumps[inst.Target] = true
+			}
+		}
+		return true
+	})
+	var v VennCounts
+	for _, e := range entries {
+		mask := 0
+		if endbrs[e] {
+			mask |= PropEndbr
+		}
+		if calls[e] {
+			mask |= PropDirCall
+		}
+		if jumps[e] {
+			mask |= PropDirJmp
+		}
+		v.Region[mask]++
+		v.Total++
+	}
+	return v
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/elfx"
+)
+
+// selectTailCalls implements SELECTTAILCALL (paper §IV-D): a direct
+// unconditional jump target is accepted as a tail-called function entry
+// when
+//
+//  1. the target lies beyond the boundary of the function containing the
+//     jump (boundaries approximated by the already-known starts E′ ∪ C,
+//     following Qiao et al.), and
+//  2. the target is referenced by multiple functions — the jump's own
+//     function alone is not evidence (inspired by FETCH).
+//
+// Both checks are purely syntactic; no stack-height or calling-convention
+// analysis is performed, which is what makes FunSeeker fast.
+// boundaryOnly drops check (2), the ablation measured in the benchmark
+// harness: without the multi-reference requirement every interior jump
+// that happens to cross an approximated boundary becomes a function.
+func selectTailCalls(bin *elfx.Binary, jumps []jumpRef, known map[uint64]bool, boundaryOnly bool) map[uint64]bool {
+	starts := setToSorted(known)
+	// funcOf returns the start of the known function containing addr,
+	// or 0 when addr precedes every known start.
+	funcOf := func(addr uint64) uint64 {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] > addr })
+		if i == 0 {
+			return 0
+		}
+		return starts[i-1]
+	}
+	// nextStartAfter returns the first known start strictly greater than
+	// addr, or the end of .text.
+	nextStartAfter := func(addr uint64) uint64 {
+		i := sort.Search(len(starts), func(i int) bool { return starts[i] > addr })
+		if i == len(starts) {
+			return bin.TextEnd()
+		}
+		return starts[i]
+	}
+
+	// Gather, per target, the distinct source functions that jump to it,
+	// and whether any jump escapes its containing function's boundary.
+	type targetInfo struct {
+		srcFuncs map[uint64]bool
+		escapes  bool
+	}
+	infos := make(map[uint64]*targetInfo)
+	for _, j := range jumps {
+		if !bin.InText(j.target) {
+			continue
+		}
+		info := infos[j.target]
+		if info == nil {
+			info = &targetInfo{srcFuncs: make(map[uint64]bool)}
+			infos[j.target] = info
+		}
+		src := funcOf(j.src)
+		info.srcFuncs[src] = true
+		if j.target < src || j.target >= nextStartAfter(j.src) {
+			info.escapes = true
+		}
+	}
+
+	out := make(map[uint64]bool)
+	for target, info := range infos {
+		if known[target] {
+			continue // already identified via E′ ∪ C
+		}
+		if !info.escapes {
+			continue
+		}
+		// "Referenced by multiple functions": more than one distinct
+		// source function must jump here.
+		if !boundaryOnly && len(info.srcFuncs) < 2 {
+			continue
+		}
+		out[target] = true
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+func TestSuiteProgramCounts(t *testing.T) {
+	// Suite sizes are part of the experimental identity (paper §III-A).
+	counts := map[Suite]int{Coreutils: 108, Binutils: 15, SPEC: 47}
+	for suite, want := range counts {
+		specs := Generate(suite, Options{Scale: 0.1, Seed: 1})
+		if len(specs) != want {
+			t.Errorf("%v: %d programs, want %d", suite, len(specs), want)
+		}
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, suite := range AllSuites() {
+		for _, spec := range Generate(suite, Options{Scale: 0.2, Seed: 3, Programs: 10}) {
+			if err := spec.Validate(); err != nil {
+				t.Errorf("%v/%s: %v", suite, spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(SPEC, Options{Scale: 0.3, Seed: 9, Programs: 5})
+	b := Generate(SPEC, Options{Scale: 0.3, Seed: 9, Programs: 5})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same options produced different corpora")
+	}
+	c := Generate(SPEC, Options{Scale: 0.3, Seed: 10, Programs: 5})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestLanguageMix(t *testing.T) {
+	for _, suite := range []Suite{Coreutils, Binutils} {
+		for _, spec := range Generate(suite, Options{Scale: 0.1, Seed: 2, Programs: 20}) {
+			if spec.Lang != synth.LangC {
+				t.Errorf("%v/%s is %v, C suites must be pure C", suite, spec.Name, spec.Lang)
+			}
+		}
+	}
+	cpp := 0
+	specs := Generate(SPEC, Options{Scale: 0.1, Seed: 2})
+	for _, spec := range specs {
+		if spec.Lang == synth.LangCPP {
+			cpp++
+		}
+	}
+	frac := float64(cpp) / float64(len(specs))
+	if frac < 0.3 || frac > 0.8 {
+		t.Errorf("SPEC C++ fraction = %.2f, want ≈0.55", frac)
+	}
+}
+
+func TestFunctionMixCalibration(t *testing.T) {
+	// Aggregate the full-size corpus and check the headline Figure 3
+	// fractions the weights encode.
+	var total, endbr, static, dead, dataRef int
+	for _, suite := range AllSuites() {
+		for _, spec := range Generate(suite, Options{Scale: 1.0, Seed: 2022}) {
+			for i := range spec.Funcs {
+				f := &spec.Funcs[i]
+				total++
+				if f.Static {
+					static++
+				}
+				if f.Dead {
+					dead++
+				}
+				if f.AddressTakenData {
+					dataRef++
+				}
+				if !f.Static && !f.Intrinsic || f.AddressTaken || f.AddressTakenData {
+					endbr++
+				}
+			}
+		}
+	}
+	pct := func(n int) float64 { return 100 * float64(n) / float64(total) }
+	if got := pct(endbr); got < 86 || got > 93 {
+		t.Errorf("endbr-carrying fraction = %.2f%%, want ≈89%%", got)
+	}
+	if got := pct(static); got < 8 || got > 14 {
+		t.Errorf("static fraction = %.2f%%, want ≈11%%", got)
+	}
+	if got := pct(dead); got < 0.02 || got > 0.3 {
+		t.Errorf("dead fraction = %.3f%%, want ≈0.08%%", got)
+	}
+	if dataRef == 0 {
+		t.Error("no data-referenced functions generated")
+	}
+}
+
+func TestSuiteStrings(t *testing.T) {
+	if Coreutils.String() != "Coreutils" || SPEC.String() != "SPEC CPU 2017" {
+		t.Error("suite names changed")
+	}
+	if Suite(99).String() == "" {
+		t.Error("unknown suite must render")
+	}
+	if Generate(Suite(99), Options{}) != nil {
+		t.Error("unknown suite should generate nothing")
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	for _, spec := range Generate(Coreutils, Options{Scale: 0.01, Seed: 1, Programs: 3}) {
+		if len(spec.Funcs) < 8 {
+			t.Errorf("%s has %d funcs, floor is 8", spec.Name, len(spec.Funcs))
+		}
+	}
+	// Zero scale falls back to 1.0.
+	specs := Generate(Binutils, Options{Scale: 0, Seed: 1, Programs: 1})
+	if len(specs[0].Funcs) < 100 {
+		t.Errorf("zero scale should mean full size, got %d funcs", len(specs[0].Funcs))
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.Scale != 1.0 || opts.Seed == 0 {
+		t.Errorf("DefaultOptions = %+v", opts)
+	}
+}

@@ -1,0 +1,175 @@
+package ehframe
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/leb128"
+)
+
+// Builder constructs a .eh_frame section image. The section's virtual
+// address must be known up front because GCC/Clang-style FDEs use
+// pcrel|sdata4 pointers.
+type Builder struct {
+	sectionVA uint64
+	ptrSize   int
+	buf       []byte
+	cieOff    map[string]uint64 // augmentation -> CIE offset
+}
+
+// NewBuilder returns a Builder for a section that will be mapped at
+// sectionVA on an architecture with the given pointer size.
+func NewBuilder(sectionVA uint64, ptrSize int) *Builder {
+	return &Builder{
+		sectionVA: sectionVA,
+		ptrSize:   ptrSize,
+		cieOff:    make(map[string]uint64),
+	}
+}
+
+// cie returns the offset of the CIE with the given augmentation,
+// emitting it on first use. aug is "zR" for plain frames or "zPLR" for
+// frames with a personality routine and LSDA pointers.
+func (b *Builder) cie(aug string) uint64 {
+	if off, ok := b.cieOff[aug]; ok {
+		return off
+	}
+	off := uint64(len(b.buf))
+
+	var body []byte
+	body = append(body, 0, 0, 0, 0) // CIE id = 0
+	body = append(body, 1)          // version
+	body = append(body, aug...)
+	body = append(body, 0)
+	body = leb128.AppendUleb(body, 1)                     // code alignment
+	body = leb128.AppendSleb(body, -int64(b.ptrSize))     // data alignment
+	body = append(body, returnAddressRegister(b.ptrSize)) // RA register
+	var augData []byte
+	for _, c := range aug {
+		switch c {
+		case 'z':
+		case 'P':
+			// Personality: pcrel|sdata4 pointer; the synthetic runtime
+			// places the personality at a fixed fake offset of 0 from
+			// the field, which parsers skip anyway.
+			augData = append(augData, EncPCRel|EncSData4)
+			augData = append(augData, 0, 0, 0, 0)
+		case 'L':
+			augData = append(augData, EncPCRel|EncSData4)
+		case 'R':
+			augData = append(augData, EncPCRel|EncSData4)
+		}
+	}
+	body = leb128.AppendUleb(body, uint64(len(augData)))
+	body = append(body, augData...)
+	// Initial CFI: def_cfa sp, ptrSize; offset ra, 1.
+	body = append(body, cfaDefCFA)
+	body = leb128.AppendUleb(body, uint64(cfaSPRegister(b.ptrSize)))
+	body = leb128.AppendUleb(body, uint64(b.ptrSize))
+	body = append(body, opOffset|returnAddressRegister(b.ptrSize))
+	body = leb128.AppendUleb(body, 1)
+
+	b.appendEntry(body)
+	b.cieOff[aug] = off
+	return off
+}
+
+// returnAddressRegister is the DWARF register number of the return
+// address column: 16 (RA) on x86-64, 8 (EIP) on x86.
+func returnAddressRegister(ptrSize int) byte {
+	if ptrSize == 8 {
+		return 16
+	}
+	return 8
+}
+
+// cfaSPRegister is the DWARF number of the stack pointer: 7 on x86-64
+// (RSP), 4 on x86 (ESP).
+func cfaSPRegister(ptrSize int) byte {
+	if ptrSize == 8 {
+		return 7
+	}
+	return 4
+}
+
+// AddFDE appends an FDE covering [pcBegin, pcBegin+pcRange). When
+// hasLSDA is true the FDE references the LSDA at the given address and a
+// "zPLR" CIE is used, matching how compilers segregate EH-carrying
+// functions.
+func (b *Builder) AddFDE(pcBegin, pcRange uint64, hasLSDA bool, lsdaVA uint64) {
+	aug := "zR"
+	if hasLSDA {
+		aug = "zPLR"
+	}
+	cieOff := b.cie(aug)
+
+	entryOff := uint64(len(b.buf)) // offset of the length field
+	var body []byte
+	// CIE pointer: distance from this field back to the CIE.
+	ciePtr := uint32(entryOff + 4 - cieOff)
+	body = binary.LittleEndian.AppendUint32(body, ciePtr)
+
+	// pc begin: pcrel sdata4 relative to the field's VA. The field sits
+	// at entryOff + 4 (length) + 4 (cie pointer) within the section.
+	fieldVA := b.sectionVA + entryOff + 8
+	body = binary.LittleEndian.AppendUint32(body, uint32(int32(int64(pcBegin)-int64(fieldVA))))
+	body = binary.LittleEndian.AppendUint32(body, uint32(pcRange))
+
+	if hasLSDA {
+		// Augmentation data: 4-byte pcrel sdata4 LSDA pointer.
+		body = leb128.AppendUleb(body, 4)
+		lsdaFieldVA := b.sectionVA + entryOff + 4 + uint64(len(body))
+		body = binary.LittleEndian.AppendUint32(body, uint32(int32(int64(lsdaVA)-int64(lsdaFieldVA))))
+	} else {
+		body = leb128.AppendUleb(body, 0)
+	}
+	// A couple of CFI nops emulate the advance/offset stream compilers
+	// emit; parsers ignore them for function identification.
+	body = append(body, cfaNop, cfaNop, cfaNop)
+	b.appendEntry(body)
+}
+
+// appendEntry writes a length-prefixed entry, padding the body to the
+// pointer-size alignment as the DWARF EH format requires.
+func (b *Builder) appendEntry(body []byte) {
+	for (len(body)+4)%b.ptrSize != 0 {
+		body = append(body, cfaNop)
+	}
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, uint32(len(body)))
+	b.buf = append(b.buf, body...)
+}
+
+// Bytes finalizes the section with the 4-byte zero terminator.
+func (b *Builder) Bytes() []byte {
+	out := make([]byte, len(b.buf), len(b.buf)+4)
+	copy(out, b.buf)
+	return append(out, 0, 0, 0, 0)
+}
+
+// Size reports the final section size including the terminator.
+func (b *Builder) Size() int { return len(b.buf) + 4 }
+
+// EstimateFDESize returns the on-disk size of one FDE with or without an
+// LSDA pointer, enabling section-size precomputation during layout.
+func EstimateFDESize(ptrSize int, hasLSDA bool) int {
+	bodyLen := 4 + 4 + 4 + 1 + 3 // cie ptr + pcbegin + pcrange + auglen + nops
+	if hasLSDA {
+		bodyLen += 4
+	}
+	for (bodyLen+4)%ptrSize != 0 {
+		bodyLen++
+	}
+	return 4 + bodyLen
+}
+
+// Validate re-parses the built section, returning an error when the
+// builder produced something the parser rejects. Intended for tests and
+// the synthetic compiler's self-checks.
+func (b *Builder) Validate() error {
+	fdes, err := Parse(b.Bytes(), b.sectionVA, b.ptrSize)
+	if err != nil {
+		return fmt.Errorf("ehframe: self-validation failed: %w", err)
+	}
+	_ = fdes
+	return nil
+}

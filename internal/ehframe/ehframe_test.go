@@ -1,0 +1,236 @@
+package ehframe
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseRoundtrip64(t *testing.T) {
+	const sectionVA = 0x4a0000
+	b := NewBuilder(sectionVA, 8)
+	b.AddFDE(0x401000, 0x40, false, 0)
+	b.AddFDE(0x401040, 0x100, true, 0x480010)
+	b.AddFDE(0x401140, 0x8, false, 0)
+	data := b.Bytes()
+
+	fdes, err := Parse(data, sectionVA, 8)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(fdes) != 3 {
+		t.Fatalf("got %d FDEs, want 3", len(fdes))
+	}
+	want := []FDE{
+		{PCBegin: 0x401000, PCRange: 0x40},
+		{PCBegin: 0x401040, PCRange: 0x100, LSDA: 0x480010, HasLSDA: true},
+		{PCBegin: 0x401140, PCRange: 0x8},
+	}
+	for i, w := range want {
+		if fdes[i] != w {
+			t.Errorf("FDE %d = %+v, want %+v", i, fdes[i], w)
+		}
+	}
+}
+
+func TestBuildParseRoundtrip32(t *testing.T) {
+	const sectionVA = 0x804c000
+	b := NewBuilder(sectionVA, 4)
+	b.AddFDE(0x8049000, 0x30, false, 0)
+	b.AddFDE(0x8049030, 0x200, true, 0x804b100)
+	data := b.Bytes()
+	fdes, err := Parse(data, sectionVA, 4)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(fdes) != 2 {
+		t.Fatalf("got %d FDEs, want 2", len(fdes))
+	}
+	if fdes[0].PCBegin != 0x8049000 || fdes[0].PCRange != 0x30 {
+		t.Errorf("FDE 0 = %+v", fdes[0])
+	}
+	if !fdes[1].HasLSDA || fdes[1].LSDA != 0x804b100 {
+		t.Errorf("FDE 1 = %+v", fdes[1])
+	}
+}
+
+func TestCIESharing(t *testing.T) {
+	b := NewBuilder(0x1000, 8)
+	for i := 0; i < 10; i++ {
+		b.AddFDE(uint64(0x2000+i*0x100), 0x80, false, 0)
+	}
+	// All ten plain FDEs share one "zR" CIE. Count CIEs by walking
+	// entries: an entry whose ID field is zero is a CIE.
+	data := b.Bytes()
+	cies := 0
+	off := 0
+	for off+4 <= len(data) {
+		length := int(binary.LittleEndian.Uint32(data[off:]))
+		if length == 0 {
+			break
+		}
+		if binary.LittleEndian.Uint32(data[off+4:]) == 0 {
+			cies++
+		}
+		off += 4 + length
+	}
+	if cies != 1 {
+		t.Fatalf("got %d CIEs, want 1", cies)
+	}
+}
+
+func TestMixedCIEs(t *testing.T) {
+	b := NewBuilder(0x1000, 8)
+	b.AddFDE(0x2000, 0x10, false, 0)
+	b.AddFDE(0x2010, 0x10, true, 0x3000)
+	b.AddFDE(0x2020, 0x10, false, 0)
+	b.AddFDE(0x2030, 0x10, true, 0x3020)
+	fdes, err := Parse(b.Bytes(), 0x1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fdes) != 4 {
+		t.Fatalf("got %d FDEs", len(fdes))
+	}
+	if fdes[0].HasLSDA || !fdes[1].HasLSDA || fdes[2].HasLSDA || !fdes[3].HasLSDA {
+		t.Fatalf("LSDA flags wrong: %+v", fdes)
+	}
+	if fdes[3].LSDA != 0x3020 {
+		t.Fatalf("FDE 3 LSDA = %#x", fdes[3].LSDA)
+	}
+}
+
+func TestEmptySection(t *testing.T) {
+	b := NewBuilder(0, 8)
+	fdes, err := Parse(b.Bytes(), 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fdes) != 0 {
+		t.Fatalf("got %d FDEs from empty section", len(fdes))
+	}
+	// Entirely empty input is also fine: no terminator needed.
+	fdes, err = Parse(nil, 0, 8)
+	if err != nil || len(fdes) != 0 {
+		t.Fatalf("nil input: %v, %d", err, len(fdes))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	t.Run("overrun-length", func(t *testing.T) {
+		data := []byte{0xFF, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+		if _, err := Parse(data, 0, 8); err == nil {
+			t.Fatal("want error for overrunning entry")
+		}
+	})
+	t.Run("unknown-cie", func(t *testing.T) {
+		// A lone FDE pointing at a CIE that does not exist.
+		var data []byte
+		body := []byte{0x99, 0x00, 0x00, 0x00, 1, 2, 3, 4, 5, 6, 7, 8, 0}
+		data = binary.LittleEndian.AppendUint32(data, uint32(len(body)))
+		data = append(data, body...)
+		data = append(data, 0, 0, 0, 0)
+		if _, err := Parse(data, 0, 8); err == nil {
+			t.Fatal("want error for unknown CIE reference")
+		}
+	})
+	t.Run("bad-version", func(t *testing.T) {
+		body := []byte{0, 0, 0, 0, 99 /* version */, 'z', 'R', 0}
+		var data []byte
+		data = binary.LittleEndian.AppendUint32(data, uint32(len(body)))
+		data = append(data, body...)
+		data = append(data, 0, 0, 0, 0)
+		if _, err := Parse(data, 0, 8); err == nil {
+			t.Fatal("want error for CIE version 99")
+		}
+	})
+	t.Run("bad-ptr-size", func(t *testing.T) {
+		if _, err := Parse(nil, 0, 2); err == nil {
+			t.Fatal("want error for pointer size 2")
+		}
+	})
+	t.Run("dwarf64", func(t *testing.T) {
+		data := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}
+		if _, err := Parse(data, 0, 8); err == nil {
+			t.Fatal("want error for 64-bit DWARF")
+		}
+	})
+}
+
+func TestEstimateFDESize(t *testing.T) {
+	for _, ptrSize := range []int{4, 8} {
+		for _, hasLSDA := range []bool{false, true} {
+			b := NewBuilder(0x1000, ptrSize)
+			before := len(b.Bytes()) - 4 // exclude terminator
+			b.AddFDE(0x2000, 0x10, hasLSDA, 0x3000)
+			// Skip the CIE the first FDE created: measure a second FDE.
+			mid := len(b.Bytes()) - 4
+			b.AddFDE(0x2010, 0x10, hasLSDA, 0x3010)
+			after := len(b.Bytes()) - 4
+			got := after - mid
+			want := EstimateFDESize(ptrSize, hasLSDA)
+			if got != want {
+				t.Errorf("ptrSize=%d lsda=%v: FDE size %d, estimate %d", ptrSize, hasLSDA, got, want)
+			}
+			_ = before
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	b := NewBuilder(0x5000, 8)
+	b.AddFDE(0x401000, 0x40, true, 0x6000)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundtripQuick drives the builder/parser pair with randomized
+// function layouts.
+func TestRoundtripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sectionVA := uint64(0x400000 + rng.Intn(1<<20)&^7)
+		ptrSize := 8
+		if rng.Intn(2) == 0 {
+			ptrSize = 4
+		}
+		b := NewBuilder(sectionVA, ptrSize)
+		type rec struct {
+			begin, rng2, lsda uint64
+			has               bool
+		}
+		n := 1 + rng.Intn(20)
+		recs := make([]rec, 0, n)
+		pc := uint64(0x401000)
+		for i := 0; i < n; i++ {
+			size := uint64(16 + rng.Intn(4096))
+			has := rng.Intn(3) == 0
+			lsda := uint64(0)
+			if has {
+				lsda = sectionVA - uint64(0x1000+rng.Intn(0x800))
+			}
+			recs = append(recs, rec{begin: pc, rng2: size, lsda: lsda, has: has})
+			b.AddFDE(pc, size, has, lsda)
+			pc += size + uint64(rng.Intn(64))
+		}
+		fdes, err := Parse(b.Bytes(), sectionVA, ptrSize)
+		if err != nil || len(fdes) != n {
+			return false
+		}
+		for i, r := range recs {
+			f := fdes[i]
+			if f.PCBegin != r.begin || f.PCRange != r.rng2 || f.HasLSDA != r.has {
+				return false
+			}
+			if r.has && f.LSDA != r.lsda {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

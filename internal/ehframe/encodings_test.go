@@ -1,0 +1,200 @@
+package ehframe
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/leb128"
+)
+
+// buildCIE assembles a raw CIE with the given augmentation and encoding
+// bytes, for exercising parser paths the builder never emits.
+func buildCIE(aug string, augData []byte) []byte {
+	var body []byte
+	body = append(body, 0, 0, 0, 0) // CIE id
+	body = append(body, 1)          // version
+	body = append(body, aug...)
+	body = append(body, 0)
+	body = leb128.AppendUleb(body, 1)  // code align
+	body = leb128.AppendSleb(body, -8) // data align
+	body = append(body, 16)            // RA register
+	if len(aug) > 0 && aug[0] == 'z' {
+		body = leb128.AppendUleb(body, uint64(len(augData)))
+		body = append(body, augData...)
+	}
+	body = append(body, 0, 0, 0) // CFI nops
+	var out []byte
+	for (len(body)+4)%8 != 0 {
+		body = append(body, 0)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+// appendFDE appends a raw FDE whose pc-begin/range use the CIE's fdeEnc.
+func appendFDE(section []byte, cieOff int, fields []byte) []byte {
+	var body []byte
+	ciePtr := uint32(len(section) + 4 - cieOff)
+	body = binary.LittleEndian.AppendUint32(body, ciePtr)
+	body = append(body, fields...)
+	for (len(body)+4)%8 != 0 {
+		body = append(body, 0)
+	}
+	section = binary.LittleEndian.AppendUint32(section, uint32(len(body)))
+	return append(section, body...)
+}
+
+func terminate(section []byte) []byte {
+	return append(section, 0, 0, 0, 0)
+}
+
+func TestParseAbsPtrEncoding(t *testing.T) {
+	// CIE with R = absptr: pc-begin is a raw 8-byte address.
+	sec := buildCIE("zR", []byte{EncAbsPtr})
+	fields := make([]byte, 16)
+	binary.LittleEndian.PutUint64(fields[0:], 0x401000)
+	binary.LittleEndian.PutUint64(fields[8:], 0x40)
+	sec = appendFDE(sec, 0, append(fields, 0 /* no aug */))
+	sec = terminate(sec)
+	fdes, err := Parse(sec, 0x500000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fdes) != 1 || fdes[0].PCBegin != 0x401000 || fdes[0].PCRange != 0x40 {
+		t.Fatalf("fdes = %+v", fdes)
+	}
+}
+
+func TestParseUData4Encoding(t *testing.T) {
+	sec := buildCIE("zR", []byte{EncUData4})
+	var fields []byte
+	fields = binary.LittleEndian.AppendUint32(fields, 0x8049000)
+	fields = binary.LittleEndian.AppendUint32(fields, 0x30)
+	fields = append(fields, 0)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	fdes, err := Parse(sec, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fdes) != 1 || fdes[0].PCBegin != 0x8049000 {
+		t.Fatalf("fdes = %+v", fdes)
+	}
+}
+
+func TestParseULEBEncoding(t *testing.T) {
+	sec := buildCIE("zR", []byte{EncULEB128})
+	var fields []byte
+	fields = leb128.AppendUleb(fields, 0x1234)
+	fields = leb128.AppendUleb(fields, 0x10)
+	fields = append(fields, 0)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	fdes, err := Parse(sec, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fdes) != 1 || fdes[0].PCBegin != 0x1234 || fdes[0].PCRange != 0x10 {
+		t.Fatalf("fdes = %+v", fdes)
+	}
+}
+
+func TestParseNoAugmentationCIE(t *testing.T) {
+	// A CIE without the 'z' augmentation: FDEs fall back to absptr.
+	sec := buildCIE("", nil)
+	fields := make([]byte, 16)
+	binary.LittleEndian.PutUint64(fields[0:], 0x2000)
+	binary.LittleEndian.PutUint64(fields[8:], 0x8)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	fdes, err := Parse(sec, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fdes) != 1 || fdes[0].PCBegin != 0x2000 {
+		t.Fatalf("fdes = %+v", fdes)
+	}
+}
+
+func TestParseSignalFrameAugmentation(t *testing.T) {
+	// "zRS" (signal frame marker) must parse; 'S' carries no data.
+	sec := buildCIE("zRS", []byte{EncPCRel | EncSData4})
+	var fields []byte
+	fields = binary.LittleEndian.AppendUint32(fields, 0x100) // pcrel
+	fields = binary.LittleEndian.AppendUint32(fields, 0x10)
+	fields = append(fields, 0)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	if _, err := Parse(sec, 0x9000, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUnknownAugmentationFails(t *testing.T) {
+	sec := buildCIE("zQ", []byte{0x00})
+	sec = terminate(sec)
+	if _, err := Parse(sec, 0, 8); err == nil {
+		t.Fatal("want error for unknown augmentation")
+	}
+}
+
+func TestParseIndirectPointerFails(t *testing.T) {
+	sec := buildCIE("zR", []byte{EncIndirect | EncSData4})
+	var fields []byte
+	fields = binary.LittleEndian.AppendUint32(fields, 0x100)
+	fields = binary.LittleEndian.AppendUint32(fields, 0x10)
+	fields = append(fields, 0)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	if _, err := Parse(sec, 0, 8); err == nil {
+		t.Fatal("want error for indirect pointers")
+	}
+}
+
+func TestParseDataRelApplicationFails(t *testing.T) {
+	sec := buildCIE("zR", []byte{EncDataRel | EncUData4})
+	var fields []byte
+	fields = binary.LittleEndian.AppendUint32(fields, 0x100)
+	fields = binary.LittleEndian.AppendUint32(fields, 0x10)
+	fields = append(fields, 0)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	if _, err := Parse(sec, 0, 8); err == nil {
+		t.Fatal("want error for datarel application")
+	}
+}
+
+func TestParseUData2AndSData2(t *testing.T) {
+	for _, enc := range []byte{EncUData2, EncSData2} {
+		sec := buildCIE("zR", []byte{enc})
+		var fields []byte
+		fields = binary.LittleEndian.AppendUint16(fields, 0x123)
+		fields = binary.LittleEndian.AppendUint16(fields, 0x10)
+		fields = append(fields, 0)
+		sec = appendFDE(sec, 0, fields)
+		sec = terminate(sec)
+		fdes, err := Parse(sec, 0, 8)
+		if err != nil {
+			t.Fatalf("enc %#x: %v", enc, err)
+		}
+		if fdes[0].PCBegin != 0x123 {
+			t.Fatalf("enc %#x: %+v", enc, fdes[0])
+		}
+	}
+}
+
+func TestParseUData8Encoding(t *testing.T) {
+	sec := buildCIE("zR", []byte{EncUData8})
+	fields := make([]byte, 16)
+	binary.LittleEndian.PutUint64(fields[0:], 0xDEADBEEF)
+	binary.LittleEndian.PutUint64(fields[8:], 0x20)
+	sec = appendFDE(sec, 0, append(fields, 0))
+	sec = terminate(sec)
+	fdes, err := Parse(sec, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdes[0].PCBegin != 0xDEADBEEF {
+		t.Fatalf("%+v", fdes[0])
+	}
+}

@@ -1,0 +1,47 @@
+// Package ehinfo joins the .eh_frame FDE records with the
+// .gcc_except_table LSDAs of a binary to materialize exception-handling
+// facts shared by several identifiers: FunSeeker filters landing-pad end
+// branches with it, and the IDA model uses it to attribute catch blocks
+// to their parent functions instead of promoting them to functions.
+package ehinfo
+
+import (
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/ehframe"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/lsda"
+)
+
+// LandingPadSet computes the absolute addresses of every exception
+// landing pad: for each FDE carrying an LSDA pointer, the LSDA call-site
+// table is decoded with the FDE's pc-begin as the landing-pad base
+// (LPStart is omitted in compiler-emitted tables). A single undecodable
+// LSDA is skipped; a structurally broken .eh_frame is an error.
+func LandingPadSet(bin *elfx.Binary) (map[uint64]bool, error) {
+	pads := make(map[uint64]bool)
+	if len(bin.EHFrame) == 0 || len(bin.ExceptTable) == 0 {
+		return pads, nil
+	}
+	fdes, err := ehframe.Parse(bin.EHFrame, bin.EHFrameAddr, bin.PtrSize())
+	if err != nil {
+		return nil, fmt.Errorf("ehinfo: eh_frame: %w", err)
+	}
+	for _, fde := range fdes {
+		if !fde.HasLSDA || fde.LSDA < bin.ExceptTableAddr {
+			continue
+		}
+		off := fde.LSDA - bin.ExceptTableAddr
+		if off >= uint64(len(bin.ExceptTable)) {
+			continue
+		}
+		table, err := lsda.Parse(bin.ExceptTable[off:], fde.PCBegin)
+		if err != nil {
+			continue
+		}
+		for _, pad := range table.LandingPads() {
+			pads[pad] = true
+		}
+	}
+	return pads, nil
+}

@@ -1,0 +1,480 @@
+// Package elfw writes ELF32 / ELF64 executable images from scratch.
+//
+// It is the final stage of the synthetic CET-enabled toolchain: the code
+// and metadata produced by internal/asmx, internal/ehframe, and
+// internal/lsda are packaged into an ELF file that standard tooling
+// (including Go's debug/elf) parses cleanly. The writer supports
+// program headers, static and dynamic symbol tables, PLT relocation
+// sections, and the GNU property note that marks a binary as CET-enabled.
+package elfw
+
+import (
+	"bytes"
+	"debug/elf"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Section is one section to be emitted.
+type Section struct {
+	// Name is the section name, e.g. ".text".
+	Name string
+	// Type is the section type (elf.SHT_*).
+	Type elf.SectionType
+	// Flags is the section flag set (elf.SHF_*).
+	Flags elf.SectionFlag
+	// Addr is the virtual address of the section, zero for unallocated
+	// sections.
+	Addr uint64
+	// Data is the raw contents. Ignored for SHT_NOBITS.
+	Data []byte
+	// Size overrides len(Data) for SHT_NOBITS sections.
+	Size uint64
+	// Link and Info carry the type-specific sh_link / sh_info values.
+	Link uint32
+	Info uint32
+	// Addralign is the required alignment; 1 when zero.
+	Addralign uint64
+	// Entsize is the per-entry size for table sections.
+	Entsize uint64
+}
+
+// File models an ELF executable under construction.
+type File struct {
+	// Class selects ELF32 or ELF64.
+	Class elf.Class
+	// Type is the object type, typically ET_EXEC or ET_DYN.
+	Type elf.Type
+	// Machine is the architecture (EM_386 or EM_X86_64).
+	Machine elf.Machine
+	// Entry is the program entry point.
+	Entry uint64
+
+	sections []*Section
+}
+
+// New returns an empty File of the given class. The machine is implied by
+// the class: EM_386 for ELF32, EM_X86_64 for ELF64.
+func New(class elf.Class, typ elf.Type) *File {
+	machine := elf.EM_X86_64
+	if class == elf.ELFCLASS32 {
+		machine = elf.EM_386
+	}
+	return &File{Class: class, Type: typ, Machine: machine}
+}
+
+// AddSection appends a section. Sections are emitted in insertion order.
+func (f *File) AddSection(s *Section) {
+	f.sections = append(f.sections, s)
+}
+
+// Section returns the named section, or nil.
+func (f *File) Section(name string) *Section {
+	for _, s := range f.sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// RemoveSection deletes the named section; it reports whether the section
+// existed. Used to produce stripped binaries.
+func (f *File) RemoveSection(name string) bool {
+	for i, s := range f.sections {
+		if s.Name == name {
+			f.sections = append(f.sections[:i], f.sections[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (f *File) is64() bool { return f.Class == elf.ELFCLASS64 }
+
+// header geometry per class.
+func (f *File) ehsize() int {
+	if f.is64() {
+		return 64
+	}
+	return 52
+}
+
+func (f *File) phentsize() int {
+	if f.is64() {
+		return 56
+	}
+	return 32
+}
+
+func (f *File) shentsize() int {
+	if f.is64() {
+		return 64
+	}
+	return 40
+}
+
+// segment is an internal PT_LOAD descriptor derived from the sections.
+type segment struct {
+	flags  elf.ProgFlag
+	vaddr  uint64
+	offset uint64
+	filesz uint64
+	memsz  uint64
+}
+
+// Bytes lays out and serializes the file.
+func (f *File) Bytes() ([]byte, error) {
+	if f.Class != elf.ELFCLASS32 && f.Class != elf.ELFCLASS64 {
+		return nil, fmt.Errorf("elfw: unsupported class %v", f.Class)
+	}
+	// Build .shstrtab last so it covers every section name.
+	shstr := newStrtab()
+	for _, s := range f.sections {
+		shstr.add(s.Name)
+	}
+	shstr.add(".shstrtab")
+	shstrData := shstr.bytes()
+
+	// Loadable sections must appear in the file at offsets congruent to
+	// their virtual addresses modulo the page size; we keep a simple
+	// monotone layout and align each section to max(align, required).
+	const pageSize = 0x1000
+	placedSecs := make([]placed, 0, len(f.sections)+1)
+
+	// Reserve room for the ELF header and program header table at the
+	// front of the file.
+	phnum := f.countSegments()
+	off := uint64(f.ehsize() + phnum*f.phentsize())
+
+	for _, s := range f.sections {
+		align := s.Addralign
+		if align == 0 {
+			align = 1
+		}
+		size := uint64(len(s.Data))
+		if s.Type == elf.SHT_NOBITS {
+			size = s.Size
+			placedSecs = append(placedSecs, placed{sec: s, offset: off, size: size})
+			continue
+		}
+		if s.Addr != 0 {
+			// Keep offset ≡ vaddr (mod page) for loadability.
+			delta := (s.Addr - off) % pageSize
+			off += delta
+		} else {
+			off = alignUp(off, align)
+		}
+		placedSecs = append(placedSecs, placed{sec: s, offset: off, size: size})
+		off += size
+	}
+	// .shstrtab
+	off = alignUp(off, 1)
+	shstrOff := off
+	off += uint64(len(shstrData))
+	// Section header table, aligned to the natural word size.
+	off = alignUp(off, 8)
+	shoff := off
+
+	// Build program headers from the placed, allocated sections.
+	segs := f.buildSegments(placedSecs)
+
+	var buf bytes.Buffer
+	f.writeEhdr(&buf, shoff, phnum, len(placedSecs)+2 /* null + shstrtab */, len(placedSecs)+1)
+	f.writePhdrs(&buf, segs)
+
+	// Section contents.
+	for _, p := range placedSecs {
+		if p.sec.Type == elf.SHT_NOBITS {
+			continue
+		}
+		pad(&buf, p.offset)
+		buf.Write(p.sec.Data)
+	}
+	pad(&buf, shstrOff)
+	buf.Write(shstrData)
+	pad(&buf, shoff)
+
+	// Section header table: NULL, user sections, .shstrtab.
+	nameIndex := make(map[string]uint32, len(f.sections)+1)
+	for _, s := range f.sections {
+		nameIndex[s.Name] = shstr.index(s.Name)
+	}
+	f.writeShdr(&buf, shdrValues{}) // SHT_NULL
+	for _, p := range placedSecs {
+		s := p.sec
+		f.writeShdr(&buf, shdrValues{
+			name:      nameIndex[s.Name],
+			typ:       uint32(s.Type),
+			flags:     uint64(s.Flags),
+			addr:      s.Addr,
+			offset:    p.offset,
+			size:      p.size,
+			link:      s.Link,
+			info:      s.Info,
+			addralign: s.Addralign,
+			entsize:   s.Entsize,
+		})
+	}
+	f.writeShdr(&buf, shdrValues{
+		name:      shstr.index(".shstrtab"),
+		typ:       uint32(elf.SHT_STRTAB),
+		offset:    shstrOff,
+		size:      uint64(len(shstrData)),
+		addralign: 1,
+	})
+	return buf.Bytes(), nil
+}
+
+// countSegments counts PT_LOAD groups plus the PT_NOTE segment when a
+// note section is present.
+func (f *File) countSegments() int {
+	n := 0
+	seen := map[elf.ProgFlag]bool{}
+	hasNote := false
+	for _, s := range f.sections {
+		if s.Flags&elf.SHF_ALLOC == 0 || s.Addr == 0 {
+			continue
+		}
+		fl := progFlags(s.Flags)
+		if !seen[fl] {
+			seen[fl] = true
+			n++
+		}
+		if s.Type == elf.SHT_NOTE {
+			hasNote = true
+		}
+	}
+	if hasNote {
+		n++
+	}
+	return n
+}
+
+// placed pairs a section with its assigned file offset.
+type placed struct {
+	sec    *Section
+	offset uint64
+	size   uint64
+}
+
+// buildSegments groups allocated sections into PT_LOAD segments by their
+// access flags, plus a PT_NOTE for note sections.
+func (f *File) buildSegments(placedSecs []placed) []segWithType {
+	groups := map[elf.ProgFlag]*segment{}
+	var order []elf.ProgFlag
+	var note *segment
+	for _, p := range placedSecs {
+		s := p.sec
+		if s.Flags&elf.SHF_ALLOC == 0 || s.Addr == 0 {
+			continue
+		}
+		fl := progFlags(s.Flags)
+		g, ok := groups[fl]
+		if !ok {
+			g = &segment{flags: fl, vaddr: s.Addr, offset: p.offset}
+			groups[fl] = g
+			order = append(order, fl)
+		}
+		endV := s.Addr + p.size
+		endF := p.offset + p.size
+		if s.Addr < g.vaddr {
+			g.vaddr = s.Addr
+			g.offset = p.offset
+		}
+		if endV > g.vaddr+g.memsz {
+			g.memsz = endV - g.vaddr
+		}
+		if s.Type != elf.SHT_NOBITS && endF > g.offset+g.filesz {
+			g.filesz = endF - g.offset
+		}
+		if s.Type == elf.SHT_NOTE {
+			note = &segment{flags: elf.PF_R, vaddr: s.Addr, offset: p.offset, filesz: p.size, memsz: p.size}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return groups[order[i]].vaddr < groups[order[j]].vaddr
+	})
+	out := make([]segWithType, 0, len(order)+1)
+	for _, fl := range order {
+		out = append(out, segWithType{typ: elf.PT_LOAD, seg: *groups[fl]})
+	}
+	if note != nil {
+		out = append(out, segWithType{typ: elf.PT_NOTE, seg: *note})
+	}
+	return out
+}
+
+type segWithType struct {
+	typ elf.ProgType
+	seg segment
+}
+
+func progFlags(sf elf.SectionFlag) elf.ProgFlag {
+	fl := elf.PF_R
+	if sf&elf.SHF_WRITE != 0 {
+		fl |= elf.PF_W
+	}
+	if sf&elf.SHF_EXECINSTR != 0 {
+		fl |= elf.PF_X
+	}
+	return fl
+}
+
+func alignUp(v, align uint64) uint64 {
+	if align <= 1 {
+		return v
+	}
+	return (v + align - 1) / align * align
+}
+
+func pad(buf *bytes.Buffer, to uint64) {
+	for uint64(buf.Len()) < to {
+		buf.WriteByte(0)
+	}
+}
+
+func (f *File) writeEhdr(buf *bytes.Buffer, shoff uint64, phnum, shnum, shstrndx int) {
+	ident := [16]byte{0x7f, 'E', 'L', 'F'}
+	ident[4] = byte(f.Class)
+	ident[5] = byte(elf.ELFDATA2LSB)
+	ident[6] = byte(elf.EV_CURRENT)
+	ident[7] = byte(elf.ELFOSABI_NONE)
+	buf.Write(ident[:])
+	le := binary.LittleEndian
+	w16 := func(v uint16) { var b [2]byte; le.PutUint16(b[:], v); buf.Write(b[:]) }
+	w32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); buf.Write(b[:]) }
+	w64 := func(v uint64) { var b [8]byte; le.PutUint64(b[:], v); buf.Write(b[:]) }
+	w16(uint16(f.Type))
+	w16(uint16(f.Machine))
+	w32(uint32(elf.EV_CURRENT))
+	phoff := uint64(f.ehsize())
+	if phnum == 0 {
+		phoff = 0
+	}
+	if f.is64() {
+		w64(f.Entry)
+		w64(phoff)
+		w64(shoff)
+		w32(0) // flags
+		w16(uint16(f.ehsize()))
+		w16(uint16(f.phentsize()))
+		w16(uint16(phnum))
+		w16(uint16(f.shentsize()))
+		w16(uint16(shnum))
+		w16(uint16(shstrndx))
+	} else {
+		w32(uint32(f.Entry))
+		w32(uint32(phoff))
+		w32(uint32(shoff))
+		w32(0)
+		w16(uint16(f.ehsize()))
+		w16(uint16(f.phentsize()))
+		w16(uint16(phnum))
+		w16(uint16(f.shentsize()))
+		w16(uint16(shnum))
+		w16(uint16(shstrndx))
+	}
+}
+
+func (f *File) writePhdrs(buf *bytes.Buffer, segs []segWithType) {
+	le := binary.LittleEndian
+	w32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); buf.Write(b[:]) }
+	w64 := func(v uint64) { var b [8]byte; le.PutUint64(b[:], v); buf.Write(b[:]) }
+	for _, st := range segs {
+		s := st.seg
+		if f.is64() {
+			w32(uint32(st.typ))
+			w32(uint32(s.flags))
+			w64(s.offset)
+			w64(s.vaddr)
+			w64(s.vaddr) // paddr
+			w64(s.filesz)
+			w64(s.memsz)
+			w64(0x1000)
+		} else {
+			w32(uint32(st.typ))
+			w32(uint32(s.offset))
+			w32(uint32(s.vaddr))
+			w32(uint32(s.vaddr))
+			w32(uint32(s.filesz))
+			w32(uint32(s.memsz))
+			w32(uint32(s.flags))
+			w32(0x1000)
+		}
+	}
+}
+
+type shdrValues struct {
+	name      uint32
+	typ       uint32
+	flags     uint64
+	addr      uint64
+	offset    uint64
+	size      uint64
+	link      uint32
+	info      uint32
+	addralign uint64
+	entsize   uint64
+}
+
+func (f *File) writeShdr(buf *bytes.Buffer, v shdrValues) {
+	le := binary.LittleEndian
+	w32 := func(x uint32) { var b [4]byte; le.PutUint32(b[:], x); buf.Write(b[:]) }
+	w64 := func(x uint64) { var b [8]byte; le.PutUint64(b[:], x); buf.Write(b[:]) }
+	if f.is64() {
+		w32(v.name)
+		w32(v.typ)
+		w64(v.flags)
+		w64(v.addr)
+		w64(v.offset)
+		w64(v.size)
+		w32(v.link)
+		w32(v.info)
+		w64(v.addralign)
+		w64(v.entsize)
+	} else {
+		w32(v.name)
+		w32(v.typ)
+		w32(uint32(v.flags))
+		w32(uint32(v.addr))
+		w32(uint32(v.offset))
+		w32(uint32(v.size))
+		w32(v.link)
+		w32(v.info)
+		w32(uint32(v.addralign))
+		w32(uint32(v.entsize))
+	}
+}
+
+// strtab builds a classic NUL-separated string table.
+type strtab struct {
+	buf     []byte
+	offsets map[string]uint32
+}
+
+func newStrtab() *strtab {
+	return &strtab{buf: []byte{0}, offsets: map[string]uint32{"": 0}}
+}
+
+func (st *strtab) add(s string) uint32 {
+	if off, ok := st.offsets[s]; ok {
+		return off
+	}
+	off := uint32(len(st.buf))
+	st.buf = append(st.buf, s...)
+	st.buf = append(st.buf, 0)
+	st.offsets[s] = off
+	return off
+}
+
+func (st *strtab) index(s string) uint32 {
+	off, ok := st.offsets[s]
+	if !ok {
+		return 0
+	}
+	return off
+}
+
+func (st *strtab) bytes() []byte { return st.buf }

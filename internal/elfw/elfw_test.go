@@ -1,0 +1,275 @@
+package elfw
+
+import (
+	"bytes"
+	"debug/elf"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readBack parses the serialized image with the standard library reader.
+func readBack(t *testing.T, f *File) *elf.File {
+	t.Helper()
+	raw, err := f.Bytes()
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	ef, err := elf.NewFile(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("debug/elf rejected the image: %v", err)
+	}
+	return ef
+}
+
+// minimalFile builds a small two-section executable.
+func minimalFile(class elf.Class) *File {
+	f := New(class, elf.ET_EXEC)
+	textBase := uint64(0x401000)
+	if class == elf.ELFCLASS32 {
+		textBase = 0x8049000
+	}
+	f.Entry = textBase
+	f.AddSection(&Section{
+		Name:      ".text",
+		Type:      elf.SHT_PROGBITS,
+		Flags:     elf.SHF_ALLOC | elf.SHF_EXECINSTR,
+		Addr:      textBase,
+		Data:      []byte{0xF3, 0x0F, 0x1E, 0xFA, 0xC3},
+		Addralign: 16,
+	})
+	f.AddSection(&Section{
+		Name:      ".rodata",
+		Type:      elf.SHT_PROGBITS,
+		Flags:     elf.SHF_ALLOC,
+		Addr:      textBase + 0x1000,
+		Data:      []byte("hello\x00"),
+		Addralign: 8,
+	})
+	return f
+}
+
+func TestRoundtrip64(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	ef := readBack(t, f)
+	if ef.Class != elf.ELFCLASS64 || ef.Machine != elf.EM_X86_64 || ef.Type != elf.ET_EXEC {
+		t.Fatalf("header mismatch: %v %v %v", ef.Class, ef.Machine, ef.Type)
+	}
+	if ef.Entry != 0x401000 {
+		t.Fatalf("entry = %#x", ef.Entry)
+	}
+	text := ef.Section(".text")
+	if text == nil {
+		t.Fatal("no .text section")
+	}
+	data, err := text.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{0xF3, 0x0F, 0x1E, 0xFA, 0xC3}) {
+		t.Fatalf(".text = % x", data)
+	}
+	if text.Addr != 0x401000 {
+		t.Fatalf(".text addr = %#x", text.Addr)
+	}
+	ro := ef.Section(".rodata")
+	if ro == nil || ro.Addr != 0x402000 {
+		t.Fatal("bad .rodata")
+	}
+}
+
+func TestRoundtrip32(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS32)
+	ef := readBack(t, f)
+	if ef.Class != elf.ELFCLASS32 || ef.Machine != elf.EM_386 {
+		t.Fatalf("header mismatch: %v %v", ef.Class, ef.Machine)
+	}
+	text := ef.Section(".text")
+	if text == nil || text.Addr != 0x8049000 {
+		t.Fatal("bad .text")
+	}
+}
+
+func TestProgramHeaders(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	f.AddSection(&Section{
+		Name:      ".data",
+		Type:      elf.SHT_PROGBITS,
+		Flags:     elf.SHF_ALLOC | elf.SHF_WRITE,
+		Addr:      0x404000,
+		Data:      make([]byte, 32),
+		Addralign: 8,
+	})
+	ef := readBack(t, f)
+	var loads []elf.ProgFlag
+	for _, p := range ef.Progs {
+		if p.Type == elf.PT_LOAD {
+			loads = append(loads, p.Flags)
+			if p.Vaddr%0x1000 != p.Off%0x1000 {
+				t.Errorf("segment misaligned: vaddr %#x off %#x", p.Vaddr, p.Off)
+			}
+		}
+	}
+	// Expect R+X (text), R (rodata), R+W (data).
+	if len(loads) != 3 {
+		t.Fatalf("got %d PT_LOAD segments, want 3", len(loads))
+	}
+}
+
+func TestNoteSegment(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	note := GNUPropertyNote(elf.ELFCLASS64, FeatureIBT|FeatureSHSTK)
+	f.AddSection(&Section{
+		Name:      ".note.gnu.property",
+		Type:      elf.SHT_NOTE,
+		Flags:     elf.SHF_ALLOC,
+		Addr:      0x400300,
+		Data:      note,
+		Addralign: 8,
+	})
+	ef := readBack(t, f)
+	var foundNote bool
+	for _, p := range ef.Progs {
+		if p.Type == elf.PT_NOTE {
+			foundNote = true
+		}
+	}
+	if !foundNote {
+		t.Fatal("no PT_NOTE program header")
+	}
+	sec := ef.Section(".note.gnu.property")
+	if sec == nil {
+		t.Fatal("no .note.gnu.property section")
+	}
+	data, err := sec.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data[12:16], []byte("GNU\x00")) {
+		t.Fatalf("note name = % x", data[12:16])
+	}
+}
+
+func TestSymtabRoundtrip(t *testing.T) {
+	for _, class := range []elf.Class{elf.ELFCLASS32, elf.ELFCLASS64} {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			f := minimalFile(class)
+			sb := NewSymtab(class)
+			sb.Add(Symbol{Name: "local_helper", Value: 0x401000, Size: 5, Bind: elf.STB_LOCAL, Type: elf.STT_FUNC, Shndx: 1})
+			sb.Add(Symbol{Name: "main", Value: 0x401010, Size: 20, Bind: elf.STB_GLOBAL, Type: elf.STT_FUNC, Shndx: 1})
+			sb.Add(Symbol{Name: "g_data", Value: 0x402000, Size: 6, Bind: elf.STB_GLOBAL, Type: elf.STT_OBJECT, Shndx: 2})
+			symData, strData, firstGlobal, _ := sb.Emit()
+			// .symtab links to .strtab, which will be the section after it.
+			f.AddSection(&Section{
+				Name: ".symtab", Type: elf.SHT_SYMTAB,
+				Data: symData, Link: 4, Info: firstGlobal,
+				Addralign: 8, Entsize: uint64(sb.entsize()),
+			})
+			f.AddSection(&Section{Name: ".strtab", Type: elf.SHT_STRTAB, Data: strData, Addralign: 1})
+			ef := readBack(t, f)
+			syms, err := ef.Symbols()
+			if err != nil {
+				t.Fatalf("Symbols: %v", err)
+			}
+			byName := map[string]elf.Symbol{}
+			for _, s := range syms {
+				byName[s.Name] = s
+			}
+			m, ok := byName["main"]
+			if !ok {
+				t.Fatal("main symbol missing")
+			}
+			if m.Value != 0x401010 || m.Size != 20 {
+				t.Fatalf("main = %+v", m)
+			}
+			if elf.ST_TYPE(m.Info) != elf.STT_FUNC || elf.ST_BIND(m.Info) != elf.STB_GLOBAL {
+				t.Fatalf("main info = %#x", m.Info)
+			}
+			l, ok := byName["local_helper"]
+			if !ok || elf.ST_BIND(l.Info) != elf.STB_LOCAL {
+				t.Fatal("local_helper missing or not local")
+			}
+		})
+	}
+}
+
+func TestRelocEmission(t *testing.T) {
+	relocs := []Reloc{
+		{Offset: 0x404018, SymIndex: 1, Type: 7 /* R_X86_64_JUMP_SLOT */},
+		{Offset: 0x404020, SymIndex: 2, Type: 7},
+	}
+	data64 := EmitRelocs(elf.ELFCLASS64, relocs)
+	if len(data64) != 48 {
+		t.Fatalf("RELA64 size = %d, want 48", len(data64))
+	}
+	data32 := EmitRelocs(elf.ELFCLASS32, relocs)
+	if len(data32) != 16 {
+		t.Fatalf("REL32 size = %d, want 16", len(data32))
+	}
+}
+
+func TestRemoveSection(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	if !f.RemoveSection(".rodata") {
+		t.Fatal("RemoveSection returned false")
+	}
+	if f.RemoveSection(".rodata") {
+		t.Fatal("double remove returned true")
+	}
+	ef := readBack(t, f)
+	if ef.Section(".rodata") != nil {
+		t.Fatal(".rodata still present")
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	if f.Section(".text") == nil {
+		t.Fatal("Section(.text) = nil")
+	}
+	if f.Section(".nope") != nil {
+		t.Fatal("Section(.nope) != nil")
+	}
+}
+
+func TestWriteToDiskAndOpen(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	raw, err := f.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a.out")
+	if err := os.WriteFile(path, raw, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := elf.Open(path)
+	if err != nil {
+		t.Fatalf("elf.Open: %v", err)
+	}
+	defer ef.Close()
+	if ef.Section(".text") == nil {
+		t.Fatal("no .text after disk roundtrip")
+	}
+}
+
+func TestNobitsSection(t *testing.T) {
+	f := minimalFile(elf.ELFCLASS64)
+	f.AddSection(&Section{
+		Name: ".bss", Type: elf.SHT_NOBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_WRITE,
+		Addr:  0x405000, Size: 0x100, Addralign: 32,
+	})
+	ef := readBack(t, f)
+	bss := ef.Section(".bss")
+	if bss == nil || bss.Size != 0x100 {
+		t.Fatal("bad .bss")
+	}
+}
+
+func TestUnsupportedClass(t *testing.T) {
+	f := &File{Class: elf.ELFCLASSNONE}
+	if _, err := f.Bytes(); err == nil {
+		t.Fatal("want error for bad class")
+	}
+}

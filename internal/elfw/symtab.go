@@ -1,0 +1,198 @@
+package elfw
+
+import (
+	"debug/elf"
+	"encoding/binary"
+)
+
+// Symbol is one symbol-table entry under construction.
+type Symbol struct {
+	// Name is the symbol name; empty names are allowed.
+	Name string
+	// Value is the symbol address.
+	Value uint64
+	// Size is the symbol size in bytes.
+	Size uint64
+	// Bind is the symbol binding (STB_LOCAL, STB_GLOBAL, ...).
+	Bind elf.SymBind
+	// Type is the symbol type (STT_FUNC, STT_OBJECT, ...).
+	Type elf.SymType
+	// Shndx is the index of the section the symbol is defined in.
+	Shndx uint16
+}
+
+// SymtabBuilder accumulates symbols and serializes a symbol table plus its
+// string table. Local symbols are emitted before globals, as the ELF
+// specification requires.
+type SymtabBuilder struct {
+	class elf.Class
+	syms  []Symbol
+}
+
+// NewSymtab returns a builder for the given ELF class.
+func NewSymtab(class elf.Class) *SymtabBuilder {
+	return &SymtabBuilder{class: class}
+}
+
+// Add appends a symbol.
+func (sb *SymtabBuilder) Add(sym Symbol) {
+	sb.syms = append(sb.syms, sym)
+}
+
+// Len returns the number of symbols added (excluding the mandatory null
+// symbol).
+func (sb *SymtabBuilder) Len() int { return len(sb.syms) }
+
+// entsize is the per-symbol record size.
+func (sb *SymtabBuilder) entsize() int {
+	if sb.class == elf.ELFCLASS64 {
+		return 24
+	}
+	return 16
+}
+
+// Emit serializes the table. It returns the symtab bytes, the string table
+// bytes, the sh_info value (index of the first non-local symbol), and the
+// index each added symbol ended up at, keyed by name (last one wins for
+// duplicate names).
+func (sb *SymtabBuilder) Emit() (symtab, strtabBytes []byte, firstGlobal uint32, indexOf map[string]uint32) {
+	st := newStrtab()
+	// Stable partition: locals first.
+	ordered := make([]Symbol, 0, len(sb.syms))
+	for _, s := range sb.syms {
+		if s.Bind == elf.STB_LOCAL {
+			ordered = append(ordered, s)
+		}
+	}
+	firstGlobal = uint32(len(ordered)) + 1 // +1 for the null symbol
+	for _, s := range sb.syms {
+		if s.Bind != elf.STB_LOCAL {
+			ordered = append(ordered, s)
+		}
+	}
+
+	le := binary.LittleEndian
+	out := make([]byte, 0, (len(ordered)+1)*sb.entsize())
+	out = append(out, make([]byte, sb.entsize())...) // null symbol
+
+	indexOf = make(map[string]uint32, len(ordered))
+	for i, s := range ordered {
+		nameOff := st.add(s.Name)
+		info := byte(s.Bind)<<4 | byte(s.Type)&0xf
+		var rec []byte
+		if sb.class == elf.ELFCLASS64 {
+			rec = make([]byte, 24)
+			le.PutUint32(rec[0:], nameOff)
+			rec[4] = info
+			rec[5] = 0
+			le.PutUint16(rec[6:], s.Shndx)
+			le.PutUint64(rec[8:], s.Value)
+			le.PutUint64(rec[16:], s.Size)
+		} else {
+			rec = make([]byte, 16)
+			le.PutUint32(rec[0:], nameOff)
+			le.PutUint32(rec[4:], uint32(s.Value))
+			le.PutUint32(rec[8:], uint32(s.Size))
+			rec[12] = info
+			rec[13] = 0
+			le.PutUint16(rec[14:], s.Shndx)
+		}
+		out = append(out, rec...)
+		if s.Name != "" {
+			indexOf[s.Name] = uint32(i + 1)
+		}
+	}
+	return out, st.bytes(), firstGlobal, indexOf
+}
+
+// Reloc is a single relocation entry.
+type Reloc struct {
+	// Offset is the location to be relocated (for JUMP_SLOT, the GOT
+	// entry address).
+	Offset uint64
+	// SymIndex is the index into the associated symbol table.
+	SymIndex uint32
+	// Type is the relocation type (e.g. R_X86_64_JUMP_SLOT).
+	Type uint32
+	// Addend is the RELA addend (64-bit only).
+	Addend int64
+}
+
+// EmitRelocs serializes relocations: RELA records for ELF64, REL records
+// for ELF32, matching what linkers emit for each architecture.
+func EmitRelocs(class elf.Class, relocs []Reloc) []byte {
+	le := binary.LittleEndian
+	if class == elf.ELFCLASS64 {
+		out := make([]byte, 0, len(relocs)*24)
+		for _, r := range relocs {
+			rec := make([]byte, 24)
+			le.PutUint64(rec[0:], r.Offset)
+			le.PutUint64(rec[8:], uint64(r.SymIndex)<<32|uint64(r.Type))
+			le.PutUint64(rec[16:], uint64(r.Addend))
+			out = append(out, rec...)
+		}
+		return out
+	}
+	out := make([]byte, 0, len(relocs)*8)
+	for _, r := range relocs {
+		rec := make([]byte, 8)
+		le.PutUint32(rec[0:], uint32(r.Offset))
+		le.PutUint32(rec[4:], r.SymIndex<<8|r.Type&0xff)
+		out = append(out, rec...)
+	}
+	return out
+}
+
+// GNU property note constants for CET marking.
+const (
+	// noteTypeGNUProperty is NT_GNU_PROPERTY_TYPE_0.
+	noteTypeGNUProperty = 5
+	// propX86Feature1 is GNU_PROPERTY_X86_FEATURE_1_AND.
+	propX86Feature1 = 0xc0000002
+	// FeatureIBT marks Indirect Branch Tracking support.
+	FeatureIBT = 0x1
+	// FeatureSHSTK marks Shadow Stack support.
+	FeatureSHSTK = 0x2
+)
+
+// propAArch64Feature1 is GNU_PROPERTY_AARCH64_FEATURE_1_AND, the ARM
+// analog of the X86 feature word (bit 0 = BTI, bit 1 = PAC).
+const propAArch64Feature1 = 0xc0000000
+
+// GNUPropertyNote builds a .note.gnu.property section body declaring the
+// given X86 feature bits (FeatureIBT | FeatureSHSTK for a fully
+// CET-enabled binary).
+func GNUPropertyNote(class elf.Class, features uint32) []byte {
+	return gnuPropertyNote(class, propX86Feature1, features)
+}
+
+// GNUPropertyNoteAArch64 builds the ARM variant declaring BTI/PAC bits.
+func GNUPropertyNoteAArch64(class elf.Class, features uint32) []byte {
+	return gnuPropertyNote(class, propAArch64Feature1, features)
+}
+
+func gnuPropertyNote(class elf.Class, prType, features uint32) []byte {
+	le := binary.LittleEndian
+	align := 4
+	if class == elf.ELFCLASS64 {
+		align = 8
+	}
+	// Property: pr_type, pr_datasz, data, pad to alignment.
+	prop := make([]byte, 8, 8+align)
+	le.PutUint32(prop[0:], prType)
+	le.PutUint32(prop[4:], 4)
+	var data [4]byte
+	le.PutUint32(data[:], features)
+	prop = append(prop, data[:]...)
+	for len(prop)%align != 0 {
+		prop = append(prop, 0)
+	}
+	// Note header: namesz, descsz, type, name "GNU\0".
+	out := make([]byte, 12, 16+len(prop))
+	le.PutUint32(out[0:], 4)
+	le.PutUint32(out[4:], uint32(len(prop)))
+	le.PutUint32(out[8:], noteTypeGNUProperty)
+	out = append(out, 'G', 'N', 'U', 0)
+	out = append(out, prop...)
+	return out
+}

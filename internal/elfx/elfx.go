@@ -1,0 +1,340 @@
+// Package elfx loads ELF binaries for function-identification analysis.
+//
+// It layers on debug/elf and extracts exactly what the identification
+// tools need: the executable sections with their load addresses, the
+// exception-handling metadata (.eh_frame, .gcc_except_table), the PLT
+// entry → imported-symbol-name map recovered from the PLT relocations,
+// and the CET feature bits from the GNU property note.
+package elfx
+
+import (
+	"bytes"
+	"debug/elf"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Binary is a loaded ELF executable ready for analysis.
+type Binary struct {
+	// Path is the file path the binary was loaded from, empty for
+	// in-memory images.
+	Path string
+	// Mode is the decode mode implied by the ELF class.
+	Mode x86.Mode
+	// PIE reports whether the file is position independent (ET_DYN).
+	PIE bool
+	// Entry is the program entry point.
+	Entry uint64
+
+	// Text is the contents of .text and TextAddr its load address.
+	Text     []byte
+	TextAddr uint64
+
+	// EHFrame / EHFrameAddr carry .eh_frame when present.
+	EHFrame     []byte
+	EHFrameAddr uint64
+
+	// ExceptTable / ExceptTableAddr carry .gcc_except_table when present.
+	ExceptTable     []byte
+	ExceptTableAddr uint64
+
+	// PLT maps each PLT entry address to the imported symbol name it
+	// trampolines to. With the split-PLT layout modern CET toolchains
+	// emit (-z ibtplt), the map covers both .plt and .plt.sec entries;
+	// calls from program code target the .plt.sec stubs.
+	PLT map[uint64]string
+
+	// PLTStart / PLTEnd bound the .plt section (zero when absent).
+	PLTStart, PLTEnd uint64
+	// PLTSecStart / PLTSecEnd bound .plt.sec when present.
+	PLTSecStart, PLTSecEnd uint64
+
+	// FuncSymbols holds STT_FUNC symbols from .symtab when the binary is
+	// not stripped; used for ground-truth extraction, never by the
+	// identification algorithms.
+	FuncSymbols []elf.Symbol
+
+	// CETEnabled reports whether the GNU property note declares IBT
+	// support.
+	CETEnabled bool
+}
+
+// ErrNoText is returned for binaries without an executable .text section.
+var ErrNoText = errors.New("elfx: no .text section")
+
+// Open loads the ELF file at path.
+func Open(path string) (*Binary, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("elfx: %w", err)
+	}
+	b, err := Load(raw)
+	if err != nil {
+		return nil, fmt.Errorf("elfx: %s: %w", path, err)
+	}
+	b.Path = path
+	return b, nil
+}
+
+// Load parses an in-memory ELF image.
+func Load(raw []byte) (*Binary, error) {
+	f, err := elf.NewFile(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("elfx: parse: %w", err)
+	}
+	defer f.Close()
+
+	mode := x86.Mode64
+	if f.Class == elf.ELFCLASS32 {
+		mode = x86.Mode32
+	}
+	bin := &Binary{
+		Mode:  mode,
+		PIE:   f.Type == elf.ET_DYN,
+		Entry: f.Entry,
+		PLT:   make(map[uint64]string),
+	}
+
+	text := f.Section(".text")
+	if text == nil {
+		return nil, ErrNoText
+	}
+	if bin.Text, err = text.Data(); err != nil {
+		return nil, fmt.Errorf("elfx: read .text: %w", err)
+	}
+	bin.TextAddr = text.Addr
+
+	if s := f.Section(".eh_frame"); s != nil {
+		if bin.EHFrame, err = s.Data(); err != nil {
+			return nil, fmt.Errorf("elfx: read .eh_frame: %w", err)
+		}
+		bin.EHFrameAddr = s.Addr
+	}
+	if s := f.Section(".gcc_except_table"); s != nil {
+		if bin.ExceptTable, err = s.Data(); err != nil {
+			return nil, fmt.Errorf("elfx: read .gcc_except_table: %w", err)
+		}
+		bin.ExceptTableAddr = s.Addr
+	}
+
+	if syms, err := f.Symbols(); err == nil {
+		for _, s := range syms {
+			if elf.ST_TYPE(s.Info) == elf.STT_FUNC {
+				bin.FuncSymbols = append(bin.FuncSymbols, s)
+			}
+		}
+	}
+
+	bin.CETEnabled = hasIBTNote(f)
+
+	if err := bin.buildPLTMap(f); err != nil {
+		return nil, err
+	}
+	return bin, nil
+}
+
+// PtrSize returns the pointer width in bytes.
+func (b *Binary) PtrSize() int {
+	if b.Mode == x86.Mode64 {
+		return 8
+	}
+	return 4
+}
+
+// TextEnd returns the first address past the .text section.
+func (b *Binary) TextEnd() uint64 { return b.TextAddr + uint64(len(b.Text)) }
+
+// InText reports whether va falls inside .text.
+func (b *Binary) InText(va uint64) bool {
+	return va >= b.TextAddr && va < b.TextEnd()
+}
+
+// InPLT reports whether va falls inside .plt or .plt.sec.
+func (b *Binary) InPLT(va uint64) bool {
+	if b.PLTEnd > 0 && va >= b.PLTStart && va < b.PLTEnd {
+		return true
+	}
+	return b.PLTSecEnd > 0 && va >= b.PLTSecStart && va < b.PLTSecEnd
+}
+
+// PLTName returns the imported symbol a PLT-entry address trampolines to.
+func (b *Binary) PLTName(va uint64) (string, bool) {
+	name, ok := b.PLT[va]
+	return name, ok
+}
+
+// hasIBTNote scans .note.gnu.property for GNU_PROPERTY_X86_FEATURE_1_AND
+// with the IBT bit.
+func hasIBTNote(f *elf.File) bool {
+	sec := f.Section(".note.gnu.property")
+	if sec == nil {
+		return false
+	}
+	data, err := sec.Data()
+	if err != nil || len(data) < 16 {
+		return false
+	}
+	le := binary.LittleEndian
+	namesz := le.Uint32(data[0:])
+	descsz := le.Uint32(data[4:])
+	if namesz != 4 || !bytes.Equal(data[12:16], []byte("GNU\x00")) {
+		return false
+	}
+	desc := data[16:]
+	if uint32(len(desc)) < descsz {
+		return false
+	}
+	for off := uint32(0); off+8 <= descsz; {
+		prType := le.Uint32(desc[off:])
+		prSize := le.Uint32(desc[off+4:])
+		if prType == 0xc0000002 && prSize >= 4 && off+8+4 <= uint32(len(desc)) {
+			return le.Uint32(desc[off+8:])&0x1 != 0
+		}
+		// Properties are padded to the class alignment.
+		align := uint32(8)
+		if f.Class == elf.ELFCLASS32 {
+			align = 4
+		}
+		off += 8 + (prSize+align-1)/align*align
+	}
+	return false
+}
+
+// buildPLTMap resolves each PLT entry to the symbol it imports by reading
+// the indirect-jump GOT slot out of each stub and joining it against the
+// PLT relocation table. Both the classic single .plt layout and the
+// split .plt/.plt.sec layout of CET-enabled links are handled: every
+// executable stub section is scanned with the same GOT-slot join.
+func (b *Binary) buildPLTMap(f *elf.File) error {
+	gotToName, err := pltRelocations(f)
+	if err != nil {
+		return err
+	}
+	scan := func(sec *elf.Section) error {
+		if sec == nil {
+			return nil
+		}
+		data, err := sec.Data()
+		if err != nil {
+			return fmt.Errorf("elfx: read %s: %w", sec.Name, err)
+		}
+		switch sec.Name {
+		case ".plt":
+			b.PLTStart = sec.Addr
+			b.PLTEnd = sec.Addr + uint64(len(data))
+		case ".plt.sec":
+			b.PLTSecStart = sec.Addr
+			b.PLTSecEnd = sec.Addr + uint64(len(data))
+		}
+		if len(gotToName) == 0 {
+			return nil
+		}
+		// Walk the stubs: each one contains an indirect jmp through its
+		// GOT slot. Attribute the jump to the 16-byte-aligned stub start.
+		x86.LinearSweep(data, sec.Addr, b.Mode, func(inst x86.Inst) bool {
+			if inst.Class != x86.ClassJmpInd {
+				return true
+			}
+			var slot uint64
+			switch {
+			case inst.HasRIPRef:
+				slot = inst.RIPRef
+			case inst.HasMemDisp:
+				slot = inst.MemDisp
+			default:
+				return true
+			}
+			name, ok := gotToName[slot]
+			if !ok {
+				return true
+			}
+			entry := inst.Addr &^ 0xF // stubs are 16-byte aligned
+			if entry < sec.Addr {
+				entry = sec.Addr
+			}
+			b.PLT[entry] = name
+			return true
+		})
+		return nil
+	}
+	if err := scan(f.Section(".plt")); err != nil {
+		return err
+	}
+	return scan(f.Section(".plt.sec"))
+}
+
+// pltRelocations parses .rela.plt / .rel.plt into a GOT-slot → name map.
+func pltRelocations(f *elf.File) (map[uint64]string, error) {
+	var (
+		data []byte
+		rela bool
+		err  error
+	)
+	if s := f.Section(".rela.plt"); s != nil {
+		if data, err = s.Data(); err != nil {
+			return nil, fmt.Errorf("elfx: read .rela.plt: %w", err)
+		}
+		rela = true
+	} else if s := f.Section(".rel.plt"); s != nil {
+		if data, err = s.Data(); err != nil {
+			return nil, fmt.Errorf("elfx: read .rel.plt: %w", err)
+		}
+	} else {
+		return nil, nil
+	}
+	dynsyms, err := f.DynamicSymbols()
+	if err != nil {
+		return nil, nil // no dynamic symbols: nothing to resolve
+	}
+	nameOf := func(idx uint32) string {
+		// DynamicSymbols omits the null symbol: index 1 is element 0.
+		if idx == 0 || int(idx) > len(dynsyms) {
+			return ""
+		}
+		return dynsyms[idx-1].Name
+	}
+
+	out := make(map[uint64]string)
+	le := binary.LittleEndian
+	if f.Class == elf.ELFCLASS64 {
+		if !rela {
+			return nil, errors.New("elfx: ELF64 PLT relocations must be RELA")
+		}
+		for off := 0; off+24 <= len(data); off += 24 {
+			r := elf.Rela64{
+				Off:  le.Uint64(data[off:]),
+				Info: le.Uint64(data[off+8:]),
+			}
+			if name := nameOf(elf.R_SYM64(r.Info)); name != "" {
+				out[r.Off] = name
+			}
+		}
+		return out, nil
+	}
+	if rela {
+		for off := 0; off+12 <= len(data); off += 12 {
+			r := elf.Rela32{
+				Off:  le.Uint32(data[off:]),
+				Info: le.Uint32(data[off+4:]),
+			}
+			if name := nameOf(elf.R_SYM32(r.Info)); name != "" {
+				out[uint64(r.Off)] = name
+			}
+		}
+		return out, nil
+	}
+	for off := 0; off+8 <= len(data); off += 8 {
+		r := elf.Rel32{
+			Off:  le.Uint32(data[off:]),
+			Info: le.Uint32(data[off+4:]),
+		}
+		if name := nameOf(elf.R_SYM32(r.Info)); name != "" {
+			out[uint64(r.Off)] = name
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/funseeker/funseeker/internal/armsynth"
+	"github.com/funseeker/funseeker/internal/bticore"
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+// BTIResult aggregates the ARM BTI extension experiment: the ported
+// algorithm over the same program corpus, across optimization levels and
+// both branch-protection flavours.
+type BTIResult struct {
+	// PerConfig maps the ARM build configuration string to its metrics.
+	PerConfig map[string]*Metrics
+	// Total aggregates everything.
+	Total Metrics
+	// Binaries counts binaries evaluated.
+	Binaries int
+}
+
+// Render formats the experiment.
+func (r *BTIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ARM BTI extension (§VI) over %d binaries\n", r.Binaries)
+	keys := make([]string, 0, len(r.PerConfig))
+	for k := range r.PerConfig {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		m := r.PerConfig[k]
+		fmt.Fprintf(&b, "  %-22s P=%7.3f%%  R=%7.3f%%\n", k, m.Precision(), m.Recall())
+	}
+	fmt.Fprintf(&b, "  %-22s P=%7.3f%%  R=%7.3f%%\n", "Total", r.Total.Precision(), r.Total.Recall())
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// btiConfigs are the ARM build configurations evaluated.
+func btiConfigs() []armsynth.Config {
+	var out []armsynth.Config
+	for _, opt := range synth.AllOptLevels() {
+		out = append(out, armsynth.Config{Opt: opt})
+	}
+	out = append(out, armsynth.Config{Opt: synth.O2, PAC: true})
+	return out
+}
+
+// RunBTI compiles the suites for ARM and scores the BTI algorithm.
+func RunBTI(suites []corpus.Suite, opts corpus.Options, workers int) (*BTIResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type job struct {
+		spec *synth.ProgSpec
+		cfg  armsynth.Config
+	}
+	var jobs []job
+	for _, s := range suites {
+		for _, spec := range corpus.Generate(s, opts) {
+			for _, cfg := range btiConfigs() {
+				jobs = append(jobs, job{spec: spec, cfg: cfg})
+			}
+		}
+	}
+
+	res := &BTIResult{PerConfig: make(map[string]*Metrics)}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	work := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				compiled, err := armsynth.Compile(j.spec, j.cfg)
+				if err == nil {
+					var report *bticore.Report
+					report, err = bticore.IdentifyBytes(compiled.Image)
+					if err == nil {
+						m := Score(report.Entries, compiled.GT)
+						mu.Lock()
+						agg := res.PerConfig[j.cfg.String()]
+						if agg == nil {
+							agg = &Metrics{}
+							res.PerConfig[j.cfg.String()] = agg
+						}
+						agg.Add(m)
+						res.Total.Add(m)
+						res.Binaries++
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("eval: bti %s/%s: %w", j.spec.Name, j.cfg, err)
+					})
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+// ManualEndbrResult compares FunSeeker on default CET builds against
+// -mmanual-endbr builds of the same programs (paper §VI: the option can
+// only cost FunSeeker the direct tail-call targets and unreachable
+// functions, ≈1.24% of entries).
+type ManualEndbrResult struct {
+	// Default is FunSeeker on -fcf-protection=full builds.
+	Default Metrics
+	// Manual is FunSeeker on -mmanual-endbr builds.
+	Manual Metrics
+	// MissedUnreachable counts manual-build misses that no instruction
+	// references (the "unreachable functions" the paper's §VI argument
+	// sets aside — without an end branch and without references they are
+	// dead code to any syntactic tool).
+	MissedUnreachable int
+	// MissedReachable counts manual-build misses that are referenced by
+	// some direct branch (lone tail-call targets): the paper bounds this
+	// class at ≈1.24% of functions.
+	MissedReachable int
+	// Functions counts ground-truth functions across the manual builds.
+	Functions int
+	// Binaries counts binary pairs evaluated.
+	Binaries int
+}
+
+// RecallDrop is the recall delta (percentage points) the option costs.
+func (r ManualEndbrResult) RecallDrop() float64 {
+	return r.Default.Recall() - r.Manual.Recall()
+}
+
+// ReachableMissPct is the fraction of functions that are reachable yet
+// missed under -mmanual-endbr — the class the paper bounds at ≈1.24%.
+func (r ManualEndbrResult) ReachableMissPct() float64 {
+	if r.Functions == 0 {
+		return 0
+	}
+	return 100 * float64(r.MissedReachable) / float64(r.Functions)
+}
+
+// Render formats the comparison.
+func (r ManualEndbrResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Manual-endbr ablation (§VI) over %d binary pairs\n", r.Binaries)
+	fmt.Fprintf(&b, "  default build:       P=%7.3f%%  R=%7.3f%%\n", r.Default.Precision(), r.Default.Recall())
+	fmt.Fprintf(&b, "  -mmanual-endbr:      P=%7.3f%%  R=%7.3f%%\n", r.Manual.Precision(), r.Manual.Recall())
+	fmt.Fprintf(&b, "  recall drop:         %.3f points\n", r.RecallDrop())
+	fmt.Fprintf(&b, "  misses, unreachable: %d (no instruction references them — invisible to any syntactic tool)\n", r.MissedUnreachable)
+	fmt.Fprintf(&b, "  misses, reachable:   %d = %.3f%% of functions (paper bound: ≈1.24%%)\n",
+		r.MissedReachable, r.ReachableMissPct())
+	return b.String()
+}
+
+// RunManualEndbrAblation compiles every case twice — with and without
+// automatic end-branch insertion — and scores the full FunSeeker
+// algorithm on both.
+func RunManualEndbrAblation(cases []Case, workers int) (*ManualEndbrResult, error) {
+	res := &ManualEndbrResult{}
+	var mu sync.Mutex
+	err := ForEach(cases, workers, func(obs Observation) error {
+		entries, err := ToolFunSeeker.Run(obs.Bin)
+		if err != nil {
+			return err
+		}
+		defaultM := Score(entries, obs.Result.GT)
+
+		manualCfg := obs.Case.Config
+		manualCfg.ManualEndbr = true
+		manualRes, err := synth.Compile(obs.Case.Spec, manualCfg)
+		if err != nil {
+			return err
+		}
+		manualBin, err := elfx.Load(manualRes.Stripped)
+		if err != nil {
+			return err
+		}
+		manualReport, err := core.Identify(manualBin, core.Config4)
+		if err != nil {
+			return err
+		}
+		manualM := Score(manualReport.Entries, manualRes.GT)
+
+		// Decompose the misses: a miss with no direct branch reference
+		// anywhere in the binary is unreachable code.
+		referenced := make(map[uint64]bool, len(manualReport.CallTargets)+len(manualReport.JumpTargets))
+		for _, a := range manualReport.CallTargets {
+			referenced[a] = true
+		}
+		for _, a := range manualReport.JumpTargets {
+			referenced[a] = true
+		}
+		foundSet := make(map[uint64]bool, len(manualReport.Entries))
+		for _, a := range manualReport.Entries {
+			foundSet[a] = true
+		}
+		unreachable, reachable := 0, 0
+		for _, f := range manualRes.GT.Funcs {
+			if foundSet[f.Addr] {
+				continue
+			}
+			if referenced[f.Addr] {
+				reachable++
+			} else {
+				unreachable++
+			}
+		}
+
+		mu.Lock()
+		defer mu.Unlock()
+		res.Default.Add(defaultM)
+		res.Manual.Add(manualM)
+		res.MissedUnreachable += unreachable
+		res.MissedReachable += reachable
+		res.Functions += len(manualRes.GT.Funcs)
+		res.Binaries++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,163 @@
+// Package eval scores function-identification tools against ground truth
+// and regenerates the FunSeeker paper's tables and figures over the
+// synthetic corpus.
+package eval
+
+import (
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/groundtruth"
+)
+
+// Metrics is a confusion-count accumulator.
+type Metrics struct {
+	// TP counts identified addresses that are true entries.
+	TP int
+	// FP counts identified addresses that are not entries.
+	FP int
+	// FN counts true entries the tool missed.
+	FN int
+}
+
+// Add accumulates another metric set.
+func (m *Metrics) Add(o Metrics) {
+	m.TP += o.TP
+	m.FP += o.FP
+	m.FN += o.FN
+}
+
+// Precision returns TP/(TP+FP) as a percentage (100 when nothing was
+// reported).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 100
+	}
+	return 100 * float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN) as a percentage (100 when there was nothing
+// to find).
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 100
+	}
+	return 100 * float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall (percentage).
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders "P=99.41% R=99.83% (tp/fp/fn)".
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f%% R=%.3f%% (tp=%d fp=%d fn=%d)",
+		m.Precision(), m.Recall(), m.TP, m.FP, m.FN)
+}
+
+// Score compares a tool's identified entries with the ground truth.
+func Score(found []uint64, gt *groundtruth.GT) Metrics {
+	truth := gt.Entries()
+	var m Metrics
+	seen := make(map[uint64]bool, len(found))
+	for _, f := range found {
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		if truth[f] {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	for addr := range truth {
+		if !seen[addr] {
+			m.FN++
+		}
+	}
+	return m
+}
+
+// FailureKind classifies a miss or a spurious entry (§V-C analysis).
+type FailureKind int
+
+// Failure classes.
+const (
+	// FNDeadFunction: a missed function that nothing references.
+	FNDeadFunction FailureKind = iota + 1
+	// FNTailCall: a missed tail-call target.
+	FNTailCall
+	// FNOther: any other miss.
+	FNOther
+	// FPPartBlock: a reported .part/.cold fragment.
+	FPPartBlock
+	// FPOther: any other spurious report.
+	FPOther
+)
+
+// String names the failure class.
+func (k FailureKind) String() string {
+	switch k {
+	case FNDeadFunction:
+		return "FN:dead-function"
+	case FNTailCall:
+		return "FN:tail-call"
+	case FNOther:
+		return "FN:other"
+	case FPPartBlock:
+		return "FP:part-block"
+	case FPOther:
+		return "FP:other"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(k))
+	}
+}
+
+// Failures is a histogram over failure classes.
+type Failures map[FailureKind]int
+
+// Add accumulates another histogram.
+func (f Failures) Add(o Failures) {
+	for k, v := range o {
+		f[k] += v
+	}
+}
+
+// ClassifyFailures buckets every FP and FN of a run.
+func ClassifyFailures(found []uint64, gt *groundtruth.GT) Failures {
+	out := make(Failures)
+	truth := gt.Entries()
+	parts := make(map[uint64]bool, len(gt.PartBlocks))
+	for _, p := range gt.PartBlocks {
+		parts[p] = true
+	}
+	fset := make(map[uint64]bool, len(found))
+	for _, f := range found {
+		fset[f] = true
+		if truth[f] {
+			continue
+		}
+		if parts[f] {
+			out[FPPartBlock]++
+		} else {
+			out[FPOther]++
+		}
+	}
+	for _, fn := range gt.Funcs {
+		if fset[fn.Addr] {
+			continue
+		}
+		switch {
+		case fn.Dead:
+			out[FNDeadFunction]++
+		default:
+			out[FNTailCall]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package fetch
+
+import (
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// FETCH's published pipeline lifts machine code to an intermediate
+// representation and runs stack-height and calling-convention analyses
+// over each function's control-flow graph. This file reproduces that
+// architecture: instructions are decoded once, lifted to micro-ops,
+// partitioned into basic blocks, and a worklist dataflow propagates the
+// stack height to a fixpoint. The work done here — not the final answer
+// quality — is what makes FETCH measurably slower than FunSeeker's
+// single syntactic sweep.
+
+// opKind enumerates micro-op kinds in the mini-IR.
+type opKind uint8
+
+const (
+	opNop opKind = iota
+	// opStackAdj adjusts the stack pointer by imm bytes.
+	opStackAdj
+	// opStackReset models leave/ret epilogue resets.
+	opStackReset
+	// opRegRead reads a general-purpose register.
+	opRegRead
+	// opRegWrite writes a general-purpose register.
+	opRegWrite
+	// opMemRead / opMemWrite model memory accesses at [reg+imm].
+	opMemRead
+	opMemWrite
+	// opCall models a (balanced) call.
+	opCall
+	// opRet terminates with a return.
+	opRet
+	// opBranch terminates with a branch.
+	opBranch
+)
+
+// microOp is one lifted operation.
+type microOp struct {
+	kind opKind
+	reg  int
+	imm  int64
+}
+
+// lift expands a decoded instruction into micro-ops. The expansion covers
+// the instruction classes the length decoder distinguishes plus the
+// common integer forms via regEffects.
+func lift(inst x86.Inst, ptr int64, ops []microOp) []microOp {
+	switch {
+	case inst.OpcodeMap == 1 && inst.Opcode >= 0x50 && inst.Opcode <= 0x57:
+		ops = append(ops,
+			microOp{kind: opRegRead, reg: int(inst.Opcode - 0x50)},
+			microOp{kind: opStackAdj, imm: -ptr},
+			microOp{kind: opMemWrite, reg: 4})
+	case inst.OpcodeMap == 1 && inst.Opcode >= 0x58 && inst.Opcode <= 0x5F:
+		ops = append(ops,
+			microOp{kind: opMemRead, reg: 4},
+			microOp{kind: opStackAdj, imm: ptr},
+			microOp{kind: opRegWrite, reg: int(inst.Opcode - 0x58)})
+	case inst.Class == x86.ClassLeave:
+		ops = append(ops, microOp{kind: opStackReset}, microOp{kind: opRegWrite, reg: 5})
+	case isRspAdjust(inst):
+		imm := inst.Imm
+		if inst.Reg() == 5 {
+			imm = -imm
+		}
+		ops = append(ops, microOp{kind: opStackAdj, imm: imm})
+	case inst.Class == x86.ClassCallRel || inst.Class == x86.ClassCallInd:
+		ops = append(ops, microOp{kind: opCall})
+	case inst.Class == x86.ClassRet:
+		ops = append(ops, microOp{kind: opRet})
+	case inst.Class.IsBranch():
+		ops = append(ops, microOp{kind: opBranch})
+	default:
+		reads, writes := regEffects(inst, x86.Mode64)
+		for _, r := range reads {
+			if r >= 0 {
+				ops = append(ops, microOp{kind: opRegRead, reg: r})
+			} else {
+				ops = append(ops, microOp{kind: opMemRead, reg: 4, imm: inst.Imm})
+			}
+		}
+		for _, w := range writes {
+			ops = append(ops, microOp{kind: opRegWrite, reg: w})
+		}
+		if len(reads) == 0 && len(writes) == 0 {
+			ops = append(ops, microOp{kind: opNop})
+		}
+	}
+	return ops
+}
+
+// liftedInst pairs a decoded instruction with its micro-ops.
+type liftedInst struct {
+	inst x86.Inst
+	ops  []microOp
+}
+
+// basicBlock is one CFG node.
+type basicBlock struct {
+	insts []liftedInst
+	// succs are indices of successor blocks (-1 entries removed).
+	succs []int
+}
+
+// unknownHeight marks an unvisited or inconsistent block height.
+const unknownHeight = int64(-1 << 62)
+
+// buildCFG decodes [begin, end) once and partitions it into basic blocks.
+func buildCFG(code []byte, begin uint64, mode x86.Mode, ptr int64) ([]basicBlock, bool) {
+	type decoded struct {
+		li   liftedInst
+		addr uint64
+	}
+	var insts []decoded
+	addrIndex := make(map[uint64]int)
+	off := 0
+	decodeOK := true
+	for off < len(code) {
+		inst, err := x86.Decode(code[off:], begin+uint64(off), mode)
+		if err != nil {
+			decodeOK = false
+			break
+		}
+		addrIndex[inst.Addr] = len(insts)
+		insts = append(insts, decoded{
+			li:   liftedInst{inst: inst, ops: lift(inst, ptr, nil)},
+			addr: inst.Addr,
+		})
+		off += inst.Len
+	}
+	if len(insts) == 0 {
+		return nil, decodeOK
+	}
+	// Leaders: the entry, branch targets, and fallthroughs after
+	// control-flow instructions.
+	leaders := map[int]bool{0: true}
+	for i, d := range insts {
+		cl := d.li.inst.Class
+		if cl == x86.ClassJccRel || cl == x86.ClassJmpRel {
+			if d.li.inst.HasTarget {
+				if idx, ok := addrIndex[d.li.inst.Target]; ok {
+					leaders[idx] = true
+				}
+			}
+		}
+		if cl.IsBranch() && i+1 < len(insts) {
+			leaders[i+1] = true
+		}
+	}
+	starts := make([]int, 0, len(leaders))
+	for i := range leaders {
+		starts = append(starts, i)
+	}
+	sort.Ints(starts)
+	blockOf := make(map[int]int, len(starts))
+	for b, s := range starts {
+		blockOf[s] = b
+	}
+	blocks := make([]basicBlock, len(starts))
+	for b, s := range starts {
+		e := len(insts)
+		if b+1 < len(starts) {
+			e = starts[b+1]
+		}
+		bb := &blocks[b]
+		for i := s; i < e; i++ {
+			bb.insts = append(bb.insts, insts[i].li)
+		}
+		last := insts[e-1].li.inst
+		switch last.Class {
+		case x86.ClassRet, x86.ClassHlt, x86.ClassUD, x86.ClassJmpInd:
+			// no successors
+		case x86.ClassJmpRel:
+			if last.HasTarget {
+				if idx, ok := addrIndex[last.Target]; ok {
+					bb.succs = append(bb.succs, blockOf[idx])
+				}
+			}
+		case x86.ClassJccRel:
+			if last.HasTarget {
+				if idx, ok := addrIndex[last.Target]; ok {
+					bb.succs = append(bb.succs, blockOf[idx])
+				}
+			}
+			if e < len(insts) {
+				bb.succs = append(bb.succs, blockOf[e])
+			}
+		default:
+			if e < len(insts) {
+				bb.succs = append(bb.succs, blockOf[e])
+			}
+		}
+	}
+	return blocks, decodeOK
+}
+
+// analyzeCFG runs the stack-height fixpoint and argument-liveness scan
+// over the lifted CFG, producing the verifier's profile.
+func analyzeCFG(blocks []basicBlock, decodeOK bool, ptr int64) funcProfile {
+	var p funcProfile
+	p.decodeError = !decodeOK
+	if len(blocks) == 0 {
+		return p
+	}
+	if first := firstInst(blocks); first != nil {
+		if first.Class == x86.ClassNop || first.Class == x86.ClassInt3 {
+			p.startsWithPadding = true
+			return p
+		}
+	}
+	in := make([]int64, len(blocks))
+	for i := range in {
+		in[i] = unknownHeight
+	}
+	in[0] = 0
+	worklist := []int{0}
+	var written [16]bool
+	balancedAll := true
+	sawRet := false
+	entrySeen := false
+	for len(worklist) > 0 {
+		b := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		h := in[b]
+		if h == unknownHeight {
+			continue
+		}
+		for _, li := range blocks[b].insts {
+			p.insts++
+			for _, op := range li.ops {
+				switch op.kind {
+				case opStackAdj:
+					h += op.imm
+				case opStackReset:
+					h = 0 // rsp restored from the frame pointer
+				case opRet:
+					sawRet = true
+					if h != 0 {
+						balancedAll = false
+					}
+				case opRegRead:
+					if b == 0 && !entrySeen && !written[op.reg&15] && argRegs64[op.reg] {
+						p.argRegRead = true
+					}
+				case opMemRead:
+					if b == 0 && !entrySeen && op.imm > 0 {
+						p.argRegRead = true
+					}
+				case opRegWrite:
+					written[op.reg&15] = true
+				}
+			}
+			if h > 0 {
+				p.popsBelowEntry = true
+			}
+		}
+		entrySeen = true
+		for _, s := range blocks[b].succs {
+			if in[s] == unknownHeight {
+				in[s] = h
+				worklist = append(worklist, s)
+			} else if in[s] != h {
+				// Conflicting heights: re-propagate the lower bound once
+				// (bounded re-iteration keeps the fixpoint cheap yet
+				// real).
+				if h < in[s] {
+					in[s] = h
+					worklist = append(worklist, s)
+				}
+			}
+		}
+	}
+	p.sawRet = sawRet
+	p.balanced = sawRet && balancedAll
+	return p
+}
+
+func firstInst(blocks []basicBlock) *x86.Inst {
+	if len(blocks) == 0 || len(blocks[0].insts) == 0 {
+		return nil
+	}
+	return &blocks[0].insts[0].inst
+}
+
+// cfgProfile is the CFG-based replacement for the linear range profiler.
+func cfgProfile(code []byte, begin uint64, mode x86.Mode) funcProfile {
+	ptr := int64(8)
+	if mode == x86.Mode32 {
+		ptr = 4
+	}
+	blocks, ok := buildCFG(code, begin, mode, ptr)
+	return analyzeCFG(blocks, ok, ptr)
+}

@@ -1,0 +1,151 @@
+// Package groundtruth models the function-entry ground truth for a
+// synthesized binary, mirroring the rules the FunSeeker paper uses when
+// extracting ground truth from DWARF symbols (§V-A1):
+//
+//   - compiler-generated .cold / .part fragments carry a symbol but are
+//     NOT functions and are excluded;
+//   - the __x86.get_pc_thunk intrinsic sometimes lacks a symbol but IS a
+//     function and is included.
+//
+// The synthesizer emits this structure as a sidecar next to each binary;
+// the evaluation harness scores identification tools against it.
+package groundtruth
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// EndbrRole classifies where an end-branch instruction sits (Table I).
+type EndbrRole int
+
+// End-branch roles.
+const (
+	// RoleFuncEntry is an end branch at a function entry.
+	RoleFuncEntry EndbrRole = iota + 1
+	// RoleIndirectReturn is an end branch placed after a call to an
+	// indirect-return function (setjmp family).
+	RoleIndirectReturn
+	// RoleException is an end branch at an exception landing pad.
+	RoleException
+	// RoleJumpTarget is a marker at an indirect-jump-only target, e.g.
+	// an ARM `BTI j` switch-table case label. x86 has no equivalent
+	// because NOTRACK exempts switch dispatch from tracking.
+	RoleJumpTarget
+)
+
+// String names the role as in Table I's columns.
+func (r EndbrRole) String() string {
+	switch r {
+	case RoleFuncEntry:
+		return "func-entry"
+	case RoleIndirectReturn:
+		return "indirect-ret"
+	case RoleException:
+		return "exception"
+	case RoleJumpTarget:
+		return "jump-target"
+	default:
+		return fmt.Sprintf("EndbrRole(%d)", int(r))
+	}
+}
+
+// Func is one true function entry.
+type Func struct {
+	// Name is the source-level function name.
+	Name string `json:"name"`
+	// Addr is the entry virtual address.
+	Addr uint64 `json:"addr"`
+	// Size is the function size in bytes (including landing pads and the
+	// trailing alignment it owns, when any).
+	Size uint64 `json:"size"`
+	// Static marks internal-linkage functions.
+	Static bool `json:"static,omitempty"`
+	// HasEndbr records whether the entry starts with an end branch.
+	HasEndbr bool `json:"has_endbr,omitempty"`
+	// Dead marks functions never referenced by any instruction.
+	Dead bool `json:"dead,omitempty"`
+	// Intrinsic marks compiler-intrinsic helpers (get_pc_thunk family).
+	Intrinsic bool `json:"intrinsic,omitempty"`
+}
+
+// EndbrSite is one end-branch instruction with its role.
+type EndbrSite struct {
+	Addr uint64    `json:"addr"`
+	Role EndbrRole `json:"role"`
+}
+
+// GT is the complete ground truth for one binary.
+type GT struct {
+	// Program is the source program name.
+	Program string `json:"program"`
+	// Config is the human-readable build configuration string.
+	Config string `json:"config"`
+	// Lang is "c" or "c++".
+	Lang string `json:"lang"`
+	// Funcs are the true function entries (paper rules applied: no
+	// .part/.cold fragments, intrinsics included).
+	Funcs []Func `json:"funcs"`
+	// PartBlocks are the entry addresses of .cold/.part fragments;
+	// identifying one of these is a false positive.
+	PartBlocks []uint64 `json:"part_blocks,omitempty"`
+	// Endbrs records every end-branch instruction in .text with its role
+	// (Table I input).
+	Endbrs []EndbrSite `json:"endbrs,omitempty"`
+}
+
+// Entries returns the set of true entry addresses.
+func (g *GT) Entries() map[uint64]bool {
+	m := make(map[uint64]bool, len(g.Funcs))
+	for _, f := range g.Funcs {
+		m[f.Addr] = true
+	}
+	return m
+}
+
+// SortedEntries returns the entry addresses in ascending order.
+func (g *GT) SortedEntries() []uint64 {
+	out := make([]uint64, 0, len(g.Funcs))
+	for _, f := range g.Funcs {
+		out = append(out, f.Addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FuncAt returns the function whose entry is at addr.
+func (g *GT) FuncAt(addr uint64) (Func, bool) {
+	for _, f := range g.Funcs {
+		if f.Addr == addr {
+			return f, true
+		}
+	}
+	return Func{}, false
+}
+
+// Save writes the ground truth as JSON to path.
+func (g *GT) Save(path string) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("groundtruth: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("groundtruth: %w", err)
+	}
+	return nil
+}
+
+// Load reads a ground-truth sidecar from path.
+func Load(path string) (*GT, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("groundtruth: %w", err)
+	}
+	var g GT
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("groundtruth: parse %s: %w", path, err)
+	}
+	return &g, nil
+}

@@ -1,0 +1,98 @@
+package groundtruth
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleGT() *GT {
+	return &GT{
+		Program: "prog",
+		Config:  "gcc-x86-64-nopie-O2",
+		Lang:    "c++",
+		Funcs: []Func{
+			{Name: "main", Addr: 0x2000, Size: 0x80, HasEndbr: true},
+			{Name: "helper", Addr: 0x1000, Size: 0x40, Static: true},
+			{Name: "dead", Addr: 0x3000, Size: 0x10, Static: true, Dead: true},
+		},
+		PartBlocks: []uint64{0x4000},
+		Endbrs: []EndbrSite{
+			{Addr: 0x2000, Role: RoleFuncEntry},
+			{Addr: 0x2040, Role: RoleIndirectReturn},
+			{Addr: 0x2060, Role: RoleException},
+		},
+	}
+}
+
+func TestEntriesAndSorted(t *testing.T) {
+	gt := sampleGT()
+	e := gt.Entries()
+	if len(e) != 3 || !e[0x1000] || !e[0x2000] || !e[0x3000] {
+		t.Fatalf("Entries = %v", e)
+	}
+	sorted := gt.SortedEntries()
+	want := []uint64{0x1000, 0x2000, 0x3000}
+	if !reflect.DeepEqual(sorted, want) {
+		t.Fatalf("SortedEntries = %#x", sorted)
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	gt := sampleGT()
+	f, ok := gt.FuncAt(0x2000)
+	if !ok || f.Name != "main" {
+		t.Fatalf("FuncAt(0x2000) = (%+v, %v)", f, ok)
+	}
+	if _, ok := gt.FuncAt(0x9999); ok {
+		t.Fatal("FuncAt on unknown address succeeded")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	gt := sampleGT()
+	path := filepath.Join(t.TempDir(), "x.gt.json")
+	if err := gt.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, gt) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, gt)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("want error for malformed JSON")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	for role, want := range map[EndbrRole]string{
+		RoleFuncEntry:      "func-entry",
+		RoleIndirectReturn: "indirect-ret",
+		RoleException:      "exception",
+	} {
+		if role.String() != want {
+			t.Errorf("%d.String() = %q, want %q", role, role.String(), want)
+		}
+	}
+	if EndbrRole(99).String() == "" {
+		t.Error("unknown role must render")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

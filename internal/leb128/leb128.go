@@ -1,0 +1,187 @@
+// Package leb128 implements the Little-Endian Base 128 variable-length
+// integer encoding used throughout the DWARF exception-handling metadata
+// (.eh_frame CFI programs and .gcc_except_table LSDA records).
+//
+// Both the unsigned (ULEB128) and signed (SLEB128) variants are provided,
+// together with streaming readers that report how many bytes were consumed
+// so callers can walk densely packed tables.
+package leb128
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when the input ends in the middle of a
+// LEB128-encoded value.
+var ErrTruncated = errors.New("leb128: truncated value")
+
+// ErrOverflow is returned when a decoded value does not fit in 64 bits.
+var ErrOverflow = errors.New("leb128: value overflows 64 bits")
+
+// maxLen64 is the maximum number of bytes a 64-bit LEB128 value may occupy.
+const maxLen64 = 10
+
+// AppendUleb appends the ULEB128 encoding of v to dst and returns the
+// extended slice.
+func AppendUleb(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			dst = append(dst, b|0x80)
+			continue
+		}
+		return append(dst, b)
+	}
+}
+
+// AppendSleb appends the SLEB128 encoding of v to dst and returns the
+// extended slice.
+func AppendSleb(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7 // arithmetic shift keeps the sign
+		signBit := b&0x40 != 0
+		if (v == 0 && !signBit) || (v == -1 && signBit) {
+			return append(dst, b)
+		}
+		dst = append(dst, b|0x80)
+	}
+}
+
+// Uleb decodes a ULEB128 value from the front of buf. It returns the value
+// and the number of bytes consumed.
+func Uleb(buf []byte) (uint64, int, error) {
+	var (
+		result uint64
+		shift  uint
+	)
+	for i, b := range buf {
+		if i >= maxLen64 {
+			return 0, 0, ErrOverflow
+		}
+		if shift == 63 && b > 1 {
+			return 0, 0, ErrOverflow
+		}
+		result |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return result, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrTruncated
+}
+
+// Sleb decodes an SLEB128 value from the front of buf. It returns the value
+// and the number of bytes consumed.
+func Sleb(buf []byte) (int64, int, error) {
+	var (
+		result int64
+		shift  uint
+	)
+	for i, b := range buf {
+		if i >= maxLen64 {
+			return 0, 0, ErrOverflow
+		}
+		result |= int64(b&0x7f) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				result |= -1 << shift // sign extend
+			}
+			return result, i + 1, nil
+		}
+	}
+	return 0, 0, ErrTruncated
+}
+
+// UlebLen returns the number of bytes the ULEB128 encoding of v occupies.
+func UlebLen(v uint64) int {
+	n := 1
+	for v >>= 7; v != 0; v >>= 7 {
+		n++
+	}
+	return n
+}
+
+// SlebLen returns the number of bytes the SLEB128 encoding of v occupies.
+func SlebLen(v int64) int {
+	n := 0
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		n++
+		signBit := b&0x40 != 0
+		if (v == 0 && !signBit) || (v == -1 && signBit) {
+			return n
+		}
+	}
+}
+
+// Reader walks a byte slice decoding consecutive LEB128 values. The zero
+// value is not usable; construct with NewReader.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader decoding from buf starting at offset 0.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Offset reports the current decode position within the underlying buffer.
+func (r *Reader) Offset() int { return r.off }
+
+// Remaining reports how many undecoded bytes remain.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Uleb decodes the next ULEB128 value.
+func (r *Reader) Uleb() (uint64, error) {
+	v, n, err := Uleb(r.buf[r.off:])
+	if err != nil {
+		return 0, fmt.Errorf("at offset %d: %w", r.off, err)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Sleb decodes the next SLEB128 value.
+func (r *Reader) Sleb() (int64, error) {
+	v, n, err := Sleb(r.buf[r.off:])
+	if err != nil {
+		return 0, fmt.Errorf("at offset %d: %w", r.off, err)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("at offset %d: %w", r.off, ErrTruncated)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// Bytes reads n raw bytes.
+func (r *Reader) Bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("at offset %d: need %d bytes: %w", r.off, n, ErrTruncated)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// Skip advances the reader by n bytes.
+func (r *Reader) Skip(n int) error {
+	if n < 0 || r.off+n > len(r.buf) {
+		return fmt.Errorf("at offset %d: skip %d: %w", r.off, n, ErrTruncated)
+	}
+	r.off += n
+	return nil
+}

@@ -1,0 +1,172 @@
+package leb128
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUlebKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		v    uint64
+		enc  []byte
+	}{
+		{"zero", 0, []byte{0x00}},
+		{"one", 1, []byte{0x01}},
+		{"boundary127", 127, []byte{0x7f}},
+		{"boundary128", 128, []byte{0x80, 0x01}},
+		{"dwarf-example-624485", 624485, []byte{0xe5, 0x8e, 0x26}},
+		{"max64", math.MaxUint64, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := AppendUleb(nil, tt.v)
+			if !bytes.Equal(got, tt.enc) {
+				t.Fatalf("AppendUleb(%d) = % x, want % x", tt.v, got, tt.enc)
+			}
+			dec, n, err := Uleb(got)
+			if err != nil {
+				t.Fatalf("Uleb: %v", err)
+			}
+			if dec != tt.v || n != len(tt.enc) {
+				t.Fatalf("Uleb = (%d, %d), want (%d, %d)", dec, n, tt.v, len(tt.enc))
+			}
+			if l := UlebLen(tt.v); l != len(tt.enc) {
+				t.Fatalf("UlebLen(%d) = %d, want %d", tt.v, l, len(tt.enc))
+			}
+		})
+	}
+}
+
+func TestSlebKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		v    int64
+		enc  []byte
+	}{
+		{"zero", 0, []byte{0x00}},
+		{"two", 2, []byte{0x02}},
+		{"minus-two", -2, []byte{0x7e}},
+		{"sixty-three", 63, []byte{0x3f}},
+		{"sixty-four", 64, []byte{0xc0, 0x00}},
+		{"minus-sixty-four", -64, []byte{0x40}},
+		{"minus-sixty-five", -65, []byte{0xbf, 0x7f}},
+		{"dwarf-example-minus-123456", -123456, []byte{0xc0, 0xbb, 0x78}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := AppendSleb(nil, tt.v)
+			if !bytes.Equal(got, tt.enc) {
+				t.Fatalf("AppendSleb(%d) = % x, want % x", tt.v, got, tt.enc)
+			}
+			dec, n, err := Sleb(got)
+			if err != nil {
+				t.Fatalf("Sleb: %v", err)
+			}
+			if dec != tt.v || n != len(tt.enc) {
+				t.Fatalf("Sleb = (%d, %d), want (%d, %d)", dec, n, tt.v, len(tt.enc))
+			}
+			if l := SlebLen(tt.v); l != len(tt.enc) {
+				t.Fatalf("SlebLen(%d) = %d, want %d", tt.v, l, len(tt.enc))
+			}
+		})
+	}
+}
+
+func TestUlebRoundtripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		enc := AppendUleb(nil, v)
+		dec, n, err := Uleb(enc)
+		return err == nil && dec == v && n == len(enc) && n == UlebLen(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlebRoundtripQuick(t *testing.T) {
+	f := func(v int64) bool {
+		enc := AppendSleb(nil, v)
+		dec, n, err := Sleb(enc)
+		return err == nil && dec == v && n == len(enc) && n == SlebLen(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUlebTruncated(t *testing.T) {
+	if _, _, err := Uleb([]byte{0x80, 0x80}); err == nil {
+		t.Fatal("want error for truncated input")
+	}
+	if _, _, err := Uleb(nil); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}
+
+func TestSlebTruncated(t *testing.T) {
+	if _, _, err := Sleb([]byte{0xff}); err == nil {
+		t.Fatal("want error for truncated input")
+	}
+}
+
+func TestUlebOverflow(t *testing.T) {
+	in := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if _, _, err := Uleb(in); err == nil {
+		t.Fatal("want overflow error for 11-byte value")
+	}
+	in = []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7f}
+	if _, _, err := Uleb(in); err == nil {
+		t.Fatal("want overflow error for value exceeding 64 bits")
+	}
+}
+
+func TestReaderSequence(t *testing.T) {
+	var buf []byte
+	buf = AppendUleb(buf, 300)
+	buf = AppendSleb(buf, -300)
+	buf = append(buf, 0xab)
+	buf = AppendUleb(buf, 7)
+
+	r := NewReader(buf)
+	if v, err := r.Uleb(); err != nil || v != 300 {
+		t.Fatalf("Uleb = (%d, %v), want 300", v, err)
+	}
+	if v, err := r.Sleb(); err != nil || v != -300 {
+		t.Fatalf("Sleb = (%d, %v), want -300", v, err)
+	}
+	if b, err := r.Byte(); err != nil || b != 0xab {
+		t.Fatalf("Byte = (%#x, %v), want 0xab", b, err)
+	}
+	if v, err := r.Uleb(); err != nil || v != 7 {
+		t.Fatalf("Uleb = (%d, %v), want 7", v, err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+	if _, err := r.Byte(); err == nil {
+		t.Fatal("want error reading past end")
+	}
+}
+
+func TestReaderBytesAndSkip(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4, 5})
+	b, err := r.Bytes(2)
+	if err != nil || !bytes.Equal(b, []byte{1, 2}) {
+		t.Fatalf("Bytes(2) = (% x, %v)", b, err)
+	}
+	if err := r.Skip(2); err != nil {
+		t.Fatalf("Skip(2): %v", err)
+	}
+	if r.Offset() != 4 {
+		t.Fatalf("Offset = %d, want 4", r.Offset())
+	}
+	if err := r.Skip(2); err == nil {
+		t.Fatal("want error skipping past end")
+	}
+	if _, err := r.Bytes(-1); err == nil {
+		t.Fatal("want error for negative length")
+	}
+}

@@ -1,0 +1,312 @@
+// Package recdesc implements the recursive-descent code discovery shared
+// by the IDA- and Ghidra-style baseline identifiers: starting from seed
+// entry points, functions are explored block by block, direct call
+// targets become new functions, and jumps that escape their function's
+// explored extent are reported as tail-call candidates.
+package recdesc
+
+import (
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Func is one discovered function.
+type Func struct {
+	// Entry is the function entry address.
+	Entry uint64
+	// End is one past the highest explored address.
+	End uint64
+	// EscapingJumps lists direct unconditional jump targets that left
+	// the function's explored extent (tail-call candidates).
+	EscapingJumps []uint64
+}
+
+// Result is the outcome of a traversal.
+type Result struct {
+	// Functions maps entry address to discovery data.
+	Functions map[uint64]*Func
+	// Covered marks every byte of .text reached by the traversal
+	// (offset-indexed).
+	Covered []bool
+}
+
+// Entries returns the sorted function entry addresses.
+func (r *Result) Entries() []uint64 {
+	out := make([]uint64, 0, len(r.Functions))
+	for e := range r.Functions {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Traverse explores the binary from the seed entries.
+func Traverse(bin *elfx.Binary, seeds []uint64) *Result {
+	res := &Result{
+		Functions: make(map[uint64]*Func),
+		Covered:   make([]bool, len(bin.Text)),
+	}
+	queue := append([]uint64(nil), seeds...)
+	for len(queue) > 0 {
+		entry := queue[0]
+		queue = queue[1:]
+		if !bin.InText(entry) {
+			continue
+		}
+		if _, done := res.Functions[entry]; done {
+			continue
+		}
+		fn := &Func{Entry: entry}
+		res.Functions[entry] = fn
+		newCalls := exploreFunction(bin, fn, res)
+		queue = append(queue, newCalls...)
+	}
+	return res
+}
+
+// exploreFunction walks one function's control flow. It returns newly
+// discovered call targets.
+func exploreFunction(bin *elfx.Binary, fn *Func, res *Result) []uint64 {
+	var calls []uint64
+	visited := make(map[uint64]bool)
+	blocks := []uint64{fn.Entry}
+	maxEnd := fn.Entry
+
+	for len(blocks) > 0 {
+		pc := blocks[len(blocks)-1]
+		blocks = blocks[:len(blocks)-1]
+		if visited[pc] || !bin.InText(pc) {
+			continue
+		}
+	blockLoop:
+		for bin.InText(pc) && !visited[pc] {
+			visited[pc] = true
+			off := pc - bin.TextAddr
+			inst, err := x86.Decode(bin.Text[off:], pc, bin.Mode)
+			if err != nil {
+				break
+			}
+			for i := uint64(0); i < uint64(inst.Len) && off+i < uint64(len(res.Covered)); i++ {
+				res.Covered[off+i] = true
+			}
+			if next := inst.Next(); next > maxEnd {
+				maxEnd = next
+			}
+			switch inst.Class {
+			case x86.ClassRet, x86.ClassHlt, x86.ClassUD, x86.ClassJmpInd:
+				break blockLoop
+			case x86.ClassCallRel:
+				if inst.HasTarget && bin.InText(inst.Target) {
+					calls = append(calls, inst.Target)
+				}
+			case x86.ClassJccRel:
+				if inst.HasTarget && inTraversalExtent(fn.Entry, inst.Target, maxEnd) {
+					blocks = append(blocks, inst.Target)
+				}
+			case x86.ClassJmpRel:
+				if !inst.HasTarget {
+					break blockLoop
+				}
+				_, isKnownFunc := res.Functions[inst.Target]
+				if !isKnownFunc && inTraversalExtent(fn.Entry, inst.Target, maxEnd) {
+					blocks = append(blocks, inst.Target)
+				} else if bin.InText(inst.Target) && inst.Target != fn.Entry {
+					fn.EscapingJumps = append(fn.EscapingJumps, inst.Target)
+				}
+				break blockLoop
+			}
+			pc = inst.Next()
+		}
+	}
+	fn.End = maxEnd
+	return calls
+}
+
+// intraFunctionSpan bounds how far forward a jump may land and still be
+// considered part of the same function during discovery. Compiler-split
+// cold fragments live far past this span, which is how they surface as
+// escaping jumps.
+const intraFunctionSpan = 0x800
+
+// inTraversalExtent decides whether a branch target belongs to the
+// function being explored.
+func inTraversalExtent(entry, target, maxEnd uint64) bool {
+	if target < entry {
+		return false
+	}
+	return target < maxEnd+intraFunctionSpan
+}
+
+// GapChunk is a maximal uncovered region of .text after padding removal.
+type GapChunk struct {
+	// Addr is the first non-padding address of the chunk.
+	Addr uint64
+	// Size is the chunk length in bytes.
+	Size uint64
+}
+
+// Gaps returns the uncovered, non-padding chunks of .text in address
+// order. Padding (NOP forms and INT3) at the start of each gap is
+// skipped; a gap consisting only of padding is dropped.
+func Gaps(bin *elfx.Binary, covered []bool) []GapChunk {
+	var gaps []GapChunk
+	n := len(bin.Text)
+	for off := 0; off < n; {
+		if covered[off] {
+			off++
+			continue
+		}
+		start := off
+		for off < n && !covered[off] {
+			off++
+		}
+		// Skip leading padding instructions.
+		cur := start
+		for cur < off {
+			inst, err := x86.Decode(bin.Text[cur:], bin.TextAddr+uint64(cur), bin.Mode)
+			if err != nil || (inst.Class != x86.ClassNop && inst.Class != x86.ClassInt3) {
+				break
+			}
+			cur += inst.Len
+		}
+		if cur < off {
+			gaps = append(gaps, GapChunk{
+				Addr: bin.TextAddr + uint64(cur),
+				Size: uint64(off - cur),
+			})
+		}
+	}
+	return gaps
+}
+
+// WalkGaps scans the uncovered portions of .text, invoking visit at each
+// candidate start after skipping padding instructions. chunkStart is true
+// when the candidate begins a fresh uncovered chunk (it follows covered
+// code, padding, a control-flow break, or the section start) — the
+// positions where disassemblers apply their more speculative heuristics.
+// When visit returns true the caller is expected to have extended covered
+// (typically by traversing a newly accepted function); scanning then
+// resumes at the next uncovered byte. When visit returns false, the
+// instruction at the candidate is marked covered and skipped. This
+// per-instruction walk is what lets signature scans find back-to-back
+// functions in one large gap (unaligned -O0/-O1 layouts).
+func WalkGaps(bin *elfx.Binary, covered []bool, visit func(va uint64, chunkStart bool) bool) {
+	n := len(bin.Text)
+	chunkStart := true
+	for off := 0; off < n; {
+		if covered[off] {
+			off++
+			chunkStart = true
+			continue
+		}
+		inst, err := x86.Decode(bin.Text[off:], bin.TextAddr+uint64(off), bin.Mode)
+		if err != nil {
+			covered[off] = true
+			off++
+			chunkStart = true
+			continue
+		}
+		if inst.Class == x86.ClassNop || inst.Class == x86.ClassInt3 {
+			markRange(covered, off, inst.Len)
+			off += inst.Len
+			chunkStart = true
+			continue
+		}
+		if visit(bin.TextAddr+uint64(off), chunkStart) {
+			if !covered[off] {
+				// The visitor accepted but did not cover the entry;
+				// avoid livelock.
+				covered[off] = true
+			}
+			chunkStart = true
+			continue
+		}
+		markRange(covered, off, inst.Len)
+		off += inst.Len
+		// After a control-flow break the following instruction begins a
+		// new orphan chunk.
+		chunkStart = inst.Class.IsBranch() && inst.Class != x86.ClassCallRel &&
+			inst.Class != x86.ClassCallInd && inst.Class != x86.ClassJccRel ||
+			inst.Class == x86.ClassHlt || inst.Class == x86.ClassUD
+	}
+}
+
+func markRange(covered []bool, off, n int) {
+	for i := 0; i < n && off+i < len(covered); i++ {
+		covered[off+i] = true
+	}
+}
+
+// PrologueKind classifies what a gap chunk starts with.
+type PrologueKind int
+
+// Prologue classifications.
+const (
+	// PrologueNone: no recognized pattern.
+	PrologueNone PrologueKind = iota
+	// PrologueFramePointer: [endbr] push rbp; mov rbp, rsp.
+	PrologueFramePointer
+	// PrologueEndbrOnly: an end-branch marker with no classic prologue.
+	PrologueEndbrOnly
+)
+
+// ClassifyPrologue inspects the first instructions at va.
+func ClassifyPrologue(bin *elfx.Binary, va uint64) PrologueKind {
+	insts := decodeWindow(bin, va, 3)
+	if len(insts) == 0 {
+		return PrologueNone
+	}
+	i := 0
+	sawEndbr := false
+	if insts[i].IsEndbr() {
+		sawEndbr = true
+		i++
+	}
+	if i+1 < len(insts) && isPushRBP(insts[i]) && isMovRBPRSP(insts[i+1]) {
+		return PrologueFramePointer
+	}
+	if sawEndbr {
+		return PrologueEndbrOnly
+	}
+	return PrologueNone
+}
+
+// ContainsEarlyCall reports whether a direct call appears within the
+// first n instructions at va (the "orphan code rescue" heuristic).
+func ContainsEarlyCall(bin *elfx.Binary, va uint64, n int) bool {
+	for _, inst := range decodeWindow(bin, va, n) {
+		if inst.Class == x86.ClassCallRel || inst.Class == x86.ClassCallInd {
+			return true
+		}
+	}
+	return false
+}
+
+func decodeWindow(bin *elfx.Binary, va uint64, n int) []x86.Inst {
+	if !bin.InText(va) {
+		return nil
+	}
+	out := make([]x86.Inst, 0, n)
+	off := va - bin.TextAddr
+	for len(out) < n && off < uint64(len(bin.Text)) {
+		inst, err := x86.Decode(bin.Text[off:], bin.TextAddr+off, bin.Mode)
+		if err != nil {
+			break
+		}
+		out = append(out, inst)
+		off += uint64(inst.Len)
+	}
+	return out
+}
+
+func isPushRBP(inst x86.Inst) bool {
+	return inst.OpcodeMap == 1 && inst.Opcode == 0x55
+}
+
+func isMovRBPRSP(inst x86.Inst) bool {
+	// 48 89 E5 (x86-64) or 89 E5 (x86): mov rbp/ebp, rsp/esp.
+	return inst.OpcodeMap == 1 && inst.Opcode == 0x89 &&
+		inst.HasModRM && inst.ModRM == 0xE5
+}

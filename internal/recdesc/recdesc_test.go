@@ -1,0 +1,229 @@
+package recdesc
+
+import (
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// build compiles a small program and loads its stripped image.
+func build(t *testing.T, spec *synth.ProgSpec, cfg synth.Config) (*elfx.Binary, *groundtruth.GT) {
+	t.Helper()
+	res, err := synth.Compile(spec, cfg)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	bin, err := elfx.Load(res.Stripped)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return bin, res.GT
+}
+
+func chainSpec() *synth.ProgSpec {
+	return &synth.ProgSpec{
+		Name: "chain",
+		Lang: synth.LangC,
+		Seed: 5,
+		Funcs: []synth.FuncSpec{
+			{Name: "main", Calls: []int{1}},
+			{Name: "a", Calls: []int{2}},
+			{Name: "b", Calls: []int{3}},
+			{Name: "c", Static: true},
+			{Name: "island"}, // unreferenced: traversal must not find it
+		},
+	}
+}
+
+func TestTraverseFollowsCallChain(t *testing.T) {
+	bin, gt := build(t, chainSpec(), synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	// _start passes main by lea rather than calling it, so seed the
+	// traversal with both (real tools locate main the same way, via the
+	// __libc_start_main argument).
+	res := Traverse(bin, []uint64{bin.Entry, addrOf(t, gt, "main")})
+	found := map[uint64]bool{}
+	for e := range res.Functions {
+		found[e] = true
+	}
+	for _, f := range gt.Funcs {
+		wantFound := f.Name != "island"
+		if found[f.Addr] != wantFound {
+			t.Errorf("%s: found=%v, want %v", f.Name, found[f.Addr], wantFound)
+		}
+	}
+	// Coverage must include main's body but not the island's.
+	island, _ := gt.FuncAt(addrOf(t, gt, "island"))
+	off := island.Addr - bin.TextAddr
+	if res.Covered[off] {
+		t.Error("island body covered by traversal")
+	}
+}
+
+func addrOf(t *testing.T, gt *groundtruth.GT, name string) uint64 {
+	t.Helper()
+	for _, f := range gt.Funcs {
+		if f.Name == name {
+			return f.Addr
+		}
+	}
+	t.Fatalf("no function %s", name)
+	return 0
+}
+
+func TestTraverseSeedsOutsideText(t *testing.T) {
+	bin, _ := build(t, chainSpec(), synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	res := Traverse(bin, []uint64{0xdeadbeef, bin.Entry})
+	if _, ok := res.Functions[0xdeadbeef]; ok {
+		t.Error("out-of-text seed became a function")
+	}
+	if len(res.Entries()) == 0 {
+		t.Error("no functions discovered")
+	}
+	// Entries are sorted.
+	es := res.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1] >= es[i] {
+			t.Fatal("Entries not sorted")
+		}
+	}
+}
+
+func TestEscapingJumps(t *testing.T) {
+	// Two functions tail-jump to a third that is already a known
+	// function (direct-called elsewhere): the jumps must be recorded as
+	// escaping rather than absorbed.
+	spec := &synth.ProgSpec{
+		Name: "tails",
+		Lang: synth.LangC,
+		Seed: 6,
+		Funcs: []synth.FuncSpec{
+			{Name: "main", Calls: []int{1, 2, 3}},
+			{Name: "w1", TailCalls: []int{3}},
+			// A large function separates the tail jumps from their
+			// target so they land beyond the intra-function span.
+			{Name: "w2", TailCalls: []int{3}, BodySize: 600},
+			{Name: "impl"},
+		},
+	}
+	bin, gt := build(t, spec, synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	res := Traverse(bin, []uint64{bin.Entry, addrOf(t, gt, "main")})
+	impl := addrOf(t, gt, "impl")
+	escapes := 0
+	for _, fn := range res.Functions {
+		for _, tgt := range fn.EscapingJumps {
+			if tgt == impl {
+				escapes++
+			}
+		}
+	}
+	if escapes < 1 {
+		t.Errorf("no escaping jumps to impl recorded")
+	}
+}
+
+func TestGapsSkipPadding(t *testing.T) {
+	bin, _ := build(t, chainSpec(), synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	res := Traverse(bin, []uint64{bin.Entry})
+	gaps := Gaps(bin, res.Covered)
+	if len(gaps) == 0 {
+		t.Fatal("island must create a gap")
+	}
+	for _, g := range gaps {
+		inst, err := x86.Decode(bin.Text[g.Addr-bin.TextAddr:], g.Addr, bin.Mode)
+		if err != nil {
+			t.Fatalf("gap starts at undecodable bytes: %v", err)
+		}
+		if inst.Class == x86.ClassNop || inst.Class == x86.ClassInt3 {
+			t.Errorf("gap at %#x starts with padding", g.Addr)
+		}
+	}
+}
+
+func TestClassifyPrologue(t *testing.T) {
+	// O0 functions use the classic frame-pointer prologue after endbr.
+	bin, gt := build(t, chainSpec(), synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O0})
+	for _, f := range gt.Funcs {
+		if f.Name == "_start" {
+			continue
+		}
+		got := ClassifyPrologue(bin, f.Addr)
+		if got != PrologueFramePointer {
+			t.Errorf("%s at O0: prologue = %v, want frame pointer", f.Name, got)
+		}
+	}
+	// O2 drops the frame pointer: endbr-carrying entries classify as
+	// endbr-only.
+	bin2, gt2 := build(t, chainSpec(), synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	f := mustFunc(t, gt2, "island")
+	if got := ClassifyPrologue(bin2, f.Addr); got != PrologueEndbrOnly {
+		t.Errorf("island at O2: prologue = %v, want endbr-only", got)
+	}
+	st := mustFunc(t, gt2, "c")
+	if got := ClassifyPrologue(bin2, st.Addr); got != PrologueNone {
+		t.Errorf("static c at O2: prologue = %v, want none", got)
+	}
+	if got := ClassifyPrologue(bin2, 0xdeadbeef); got != PrologueNone {
+		t.Errorf("out of text: %v", got)
+	}
+}
+
+func mustFunc(t *testing.T, gt *groundtruth.GT, name string) groundtruth.Func {
+	t.Helper()
+	f, ok := gt.FuncAt(addrOf(t, gt, name))
+	if !ok {
+		t.Fatalf("no %s", name)
+	}
+	return f
+}
+
+func TestContainsEarlyCall(t *testing.T) {
+	bin, gt := build(t, chainSpec(), synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	main := addrOf(t, gt, "main")
+	// main calls a — somewhere; a generous window must see it.
+	if !ContainsEarlyCall(bin, main, 64) {
+		t.Error("main: no call found in a generous window")
+	}
+	if ContainsEarlyCall(bin, 0xdeadbeef, 8) {
+		t.Error("out-of-text address reported a call")
+	}
+}
+
+func TestWalkGapsVisitsAllIslands(t *testing.T) {
+	// Several unreferenced functions back to back at O1 (no alignment
+	// padding between them) must each be visited.
+	spec := &synth.ProgSpec{
+		Name: "islands",
+		Lang: synth.LangC,
+		Seed: 8,
+		Funcs: []synth.FuncSpec{
+			{Name: "main"},
+			{Name: "i1"},
+			{Name: "i2"},
+			{Name: "i3"},
+		},
+	}
+	bin, gt := build(t, spec, synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O1})
+	res := Traverse(bin, []uint64{bin.Entry})
+	visited := map[uint64]bool{}
+	WalkGaps(bin, res.Covered, func(va uint64, chunkStart bool) bool {
+		if ClassifyPrologue(bin, va) == PrologueFramePointer {
+			visited[va] = true
+			sub := Traverse(bin, []uint64{va})
+			for i, v := range sub.Covered {
+				if v {
+					res.Covered[i] = true
+				}
+			}
+			return true
+		}
+		return false
+	})
+	for _, name := range []string{"main", "i1", "i2", "i3"} {
+		if !visited[addrOf(t, gt, name)] {
+			t.Errorf("%s not visited by WalkGaps", name)
+		}
+	}
+}

@@ -1,0 +1,719 @@
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/asmx"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/lsda"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// endbrRec tracks an emitted end branch and its role, as a text offset.
+type endbrRec struct {
+	off  int
+	role groundtruth.EndbrRole
+}
+
+// partInfo is one emitted .cold/.part fragment.
+type partInfo struct {
+	name       string
+	start, end int
+}
+
+// fnInfo carries per-function codegen results.
+type fnInfo struct {
+	spec     *FuncSpec
+	idx      int
+	start    int // text offset of the entry
+	end      int // text offset one past the last byte owned
+	lsdaOff  int // offset in .gcc_except_table, -1 when none
+	hasFDE   bool
+	hasEndbr bool
+	parts    []partInfo
+	implicit bool // _start / thunks: synthesized, still ground truth
+}
+
+// gen is the state of one compilation.
+type gen struct {
+	spec *ProgSpec
+	cfg  Config
+
+	tb    *asmx.Builder // .text
+	pb    *asmx.Builder // .plt (PLT0 + lazy stubs)
+	psb   *asmx.Builder // .plt.sec (the stubs code calls)
+	lsdab *lsda.Builder
+
+	imports   []string
+	importIdx map[string]bool
+
+	fns       []*fnInfo
+	endbrs    []endbrRec
+	rodataLen int
+	jumpTabs  []jumpTab
+	fpSlots   []fpSlot
+
+	// atHosts maps an address-taken function index to the host function
+	// that materializes its address. dataHosts does the same for
+	// data-table-referenced functions.
+	atHosts   map[int]int
+	dataHosts map[int]int
+
+	labelSeq int
+}
+
+// jumpTab is one reserved jump table in .rodata.
+type jumpTab struct {
+	roOff  int      // offset within .rodata
+	labels []string // case labels, resolved after text finalize
+}
+
+// fpSlot is one reserved function-pointer entry in .rodata.
+type fpSlot struct {
+	roOff   int // offset within .rodata
+	funcIdx int // target function
+}
+
+// funcLabel is the text label of function i.
+func (g *gen) funcLabel(i int) string { return "f." + g.spec.Funcs[i].Name }
+
+// fresh returns a unique local label.
+func (g *gen) fresh(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf(".L%s%d", prefix, g.labelSeq)
+}
+
+// addImport registers a PLT import on first use.
+func (g *gen) addImport(name string) {
+	if g.importIdx[name] {
+		return
+	}
+	g.importIdx[name] = true
+	g.imports = append(g.imports, name)
+}
+
+// rng builds the deterministic per-function random stream.
+func (g *gen) rng(fnIdx int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", g.spec.Name, g.cfg, g.spec.Seed, fnIdx)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// collectImports walks the spec and registers every external reference in
+// a deterministic order.
+func (g *gen) collectImports() {
+	g.addImport("__libc_start_main")
+	for i := range g.spec.Funcs {
+		f := &g.spec.Funcs[i]
+		if f.IndirectReturnCall != "" {
+			g.addImport(f.IndirectReturnCall)
+		}
+		for _, p := range f.CallsPLT {
+			g.addImport(p)
+		}
+		if f.HasEH {
+			g.addImport("__cxa_begin_catch")
+			g.addImport("__cxa_end_catch")
+		}
+	}
+}
+
+// assignAddressTakenHosts picks, for every address-taken function, a live
+// function that will materialize its address and perform an indirect call.
+func (g *gen) assignAddressTakenHosts() {
+	g.atHosts = make(map[int]int)
+	g.dataHosts = make(map[int]int)
+	var hosts []int
+	for i := range g.spec.Funcs {
+		f := &g.spec.Funcs[i]
+		if !f.Dead && !f.Intrinsic {
+			hosts = append(hosts, i)
+		}
+	}
+	if len(hosts) == 0 {
+		return
+	}
+	h := 0
+	pick := func(i int) int {
+		host := hosts[h%len(hosts)]
+		if host == i && len(hosts) > 1 {
+			h++
+			host = hosts[h%len(hosts)]
+		}
+		h++
+		return host
+	}
+	for i := range g.spec.Funcs {
+		if g.spec.Funcs[i].AddressTaken {
+			g.atHosts[i] = pick(i)
+		}
+		if g.spec.Funcs[i].AddressTakenData {
+			g.dataHosts[i] = pick(i)
+			// Reserve the pointer slot in .rodata.
+			ptr := g.cfg.PtrSize()
+			for g.rodataLen%ptr != 0 {
+				g.rodataLen++
+			}
+			g.fpSlots = append(g.fpSlots, fpSlot{roOff: g.rodataLen, funcIdx: i})
+			g.rodataLen += ptr
+		}
+	}
+}
+
+// fpSlotLabel names the rodata pointer slot for function target.
+func fpSlotLabel(target int) string { return fmt.Sprintf("ro.fp%d", target) }
+
+// --- PLT generation ---------------------------------------------------
+
+const pltEntrySize = 16
+
+// genPLT builds the split PLT layout CET-enabled links use (-z ibtplt):
+//
+//   - .plt holds PLT0 plus one lazy-binding stub per import
+//     (endbr; push reloc-index; jmp plt0);
+//   - .plt.sec holds the stubs program code actually calls
+//     (endbr; jmp [GOT slot]).
+//
+// Text references resolve to the .plt.sec entries, matching real
+// binaries where FunSeeker's FILTERENDBR must name .plt.sec call targets.
+func (g *gen) genPLT() {
+	b := g.pb
+	s := g.psb
+	b.Label("plt0")
+	b.Endbr()
+	b.Nop(pltEntrySize - 4)
+	for i, name := range g.imports {
+		b.Align(pltEntrySize)
+		b.Label("pltlazy." + name)
+		b.Endbr()
+		b.PushImm32(uint32(i))
+		b.Jmp("plt0")
+		b.Align(pltEntrySize)
+
+		s.Align(pltEntrySize)
+		s.Label("plt." + name)
+		s.Endbr()
+		s.PltJmp("got." + name)
+		s.Nop(pltEntrySize - 4 - 6)
+	}
+}
+
+// --- text generation ---------------------------------------------------
+
+// genText emits _start, the PIC thunk where applicable, every function,
+// and finally the cold region.
+func (g *gen) genText() {
+	g.genStart()
+	if g.needsThunk() {
+		g.genThunk()
+	}
+	for i := range g.spec.Funcs {
+		g.genFunc(i)
+	}
+	g.genColdRegion()
+}
+
+// needsThunk reports whether the build uses the __x86.get_pc_thunk
+// intrinsic (32-bit position-independent code).
+func (g *gen) needsThunk() bool {
+	return g.cfg.Mode == x86.Mode32 && g.cfg.PIE
+}
+
+// entryFuncIdx is the function _start hands to __libc_start_main.
+func (g *gen) entryFuncIdx() int {
+	for i := range g.spec.Funcs {
+		if g.spec.Funcs[i].Name == "main" {
+			return i
+		}
+	}
+	return 0
+}
+
+// genStart synthesizes the _start runtime stub.
+func (g *gen) genStart() {
+	b := g.tb
+	fi := &fnInfo{spec: &FuncSpec{Name: "_start"}, idx: -1, implicit: true, lsdaOff: -1}
+	fi.start = b.Offset()
+	b.Label("f._start")
+	b.Endbr()
+	g.recordEndbr(fi.start, groundtruth.RoleFuncEntry)
+	b.XorRegReg(asmx.RBP, asmx.RBP)
+	if g.needsThunk() {
+		b.Call("f.__x86.get_pc_thunk.bx")
+		b.AddImm(asmx.RBX, 0x2f00) // GOT displacement flavour
+	}
+	main := g.funcLabel(g.entryFuncIdx())
+	if g.cfg.Mode == x86.Mode64 {
+		b.LeaRIPLabel(asmx.RDI, main)
+	} else {
+		b.MovRegImmLabel(asmx.RAX, main)
+		b.Push(asmx.RAX)
+	}
+	b.Call("plt.__libc_start_main")
+	b.Hlt()
+	fi.end = b.Offset()
+	fi.hasFDE = g.cfg.emitsFDEFor(false)
+	g.fns = append(g.fns, fi)
+}
+
+// genThunk synthesizes __x86.get_pc_thunk.bx: the canonical 32-bit PIC
+// helper. It is a true function without an end branch, reached only by
+// direct calls (the paper manually includes it in the ground truth).
+func (g *gen) genThunk() {
+	b := g.tb
+	fi := &fnInfo{
+		spec:     &FuncSpec{Name: "__x86.get_pc_thunk.bx", Intrinsic: true},
+		idx:      -1,
+		implicit: true,
+		lsdaOff:  -1,
+	}
+	fi.start = b.Offset()
+	b.Label("f.__x86.get_pc_thunk.bx")
+	b.MovRegMem(asmx.RBX, asmx.RSP, 0) // mov ebx, [esp]
+	b.Ret()
+	fi.end = b.Offset()
+	fi.hasFDE = g.cfg.emitsFDEFor(false)
+	g.fns = append(g.fns, fi)
+}
+
+// callerSaved are the scratch registers filler code cycles through.
+var callerSaved = []asmx.Reg{asmx.RAX, asmx.RCX, asmx.RDX, asmx.RSI, asmx.RDI}
+
+// recordEndbr notes an end branch for Table I accounting.
+func (g *gen) recordEndbr(off int, role groundtruth.EndbrRole) {
+	g.endbrs = append(g.endbrs, endbrRec{off: off, role: role})
+}
+
+// filler emits n pseudo-random ALU/memory instructions.
+func (g *gen) filler(rng *rand.Rand, n int, useFP bool) {
+	b := g.tb
+	base := asmx.RSP
+	if useFP {
+		base = asmx.RBP
+	}
+	reg := func() asmx.Reg { return callerSaved[rng.Intn(len(callerSaved))] }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			b.MovRegImm32(reg(), rng.Uint32()>>uint(rng.Intn(24)))
+		case 1:
+			b.AddRegReg(reg(), reg())
+		case 2:
+			b.SubImm(reg(), int32(rng.Intn(256)))
+		case 3:
+			b.XorRegReg(reg(), reg())
+		case 4:
+			if useFP {
+				b.MovRegMem(reg(), base, -int32(8*(1+rng.Intn(8))))
+			} else {
+				b.MovRegMem(reg(), base, int32(8*rng.Intn(8)))
+			}
+		case 5:
+			if useFP {
+				b.MovMemReg(base, -int32(8*(1+rng.Intn(8))), reg())
+			} else {
+				b.MovMemReg(base, int32(8*rng.Intn(8)), reg())
+			}
+		case 6:
+			b.ImulRegReg(reg(), reg())
+		case 7:
+			b.LeaMem(reg(), base, int32(rng.Intn(64)))
+		case 8:
+			b.AndImm(reg(), int32(rng.Intn(0xffff)))
+		case 9:
+			b.ShlImm(reg(), byte(1+rng.Intn(5)))
+		}
+	}
+}
+
+// diamond emits an if/else join whose merge point is an unconditional
+// direct-jump target (interior jump targets are what ruins precision in
+// FunSeeker's configuration ③).
+func (g *gen) diamond(rng *rand.Rand, useFP bool) {
+	b := g.tb
+	elseL := g.fresh("else")
+	endL := g.fresh("end")
+	b.TestRegReg(asmx.RAX, asmx.RAX)
+	b.Jcc(asmx.CondE, elseL)
+	g.filler(rng, 1+rng.Intn(3), useFP)
+	b.Jmp(endL)
+	b.Label(elseL)
+	g.filler(rng, 1+rng.Intn(3), useFP)
+	b.Label(endL)
+}
+
+// loop emits a counted loop (backward conditional jump).
+func (g *gen) loop(rng *rand.Rand, useFP bool) {
+	b := g.tb
+	top := g.fresh("loop")
+	b.MovRegImm32(asmx.RCX, uint32(1+rng.Intn(100)))
+	b.Label(top)
+	g.filler(rng, 1+rng.Intn(3), useFP)
+	b.SubImm(asmx.RCX, 1)
+	b.Jcc(asmx.CondNE, top)
+}
+
+// genSwitch emits a bounds-checked jump-table dispatch with a NOTRACK
+// indirect jump, plus the case blocks.
+func (g *gen) genSwitch(rng *rand.Rand, fi *fnInfo, useFP bool) {
+	b := g.tb
+	cases := fi.spec.SwitchCases
+	if cases < 2 {
+		cases = 4
+	}
+	tabLabel := fmt.Sprintf("ro.jt%d", len(g.jumpTabs))
+	endL := g.fresh("swend")
+	defL := g.fresh("swdef")
+
+	caseLabels := make([]string, cases)
+	for i := range caseLabels {
+		caseLabels[i] = g.fresh("case")
+	}
+	// Reserve the table: 4-byte entries in both modes (absolute addresses
+	// on x86, table-relative offsets on x86-64).
+	for g.rodataLen%4 != 0 {
+		g.rodataLen++
+	}
+	g.jumpTabs = append(g.jumpTabs, jumpTab{roOff: g.rodataLen, labels: caseLabels})
+	g.rodataLen += 4 * cases
+
+	b.CmpImm(asmx.RAX, int32(cases-1))
+	b.Jcc(asmx.CondA, defL)
+	if g.cfg.Mode == x86.Mode64 {
+		b.LeaRIPLabel(asmx.RDX, tabLabel)
+		b.MovsxdRegMemSIB(asmx.RCX, asmx.RDX, asmx.RAX)
+		b.AddRegReg(asmx.RCX, asmx.RDX)
+		b.JmpIndReg(asmx.RCX, true)
+	} else {
+		b.JmpIndMemScaled(asmx.RAX, tabLabel, true)
+	}
+	for _, cl := range caseLabels {
+		b.Label(cl)
+		g.filler(rng, 1+rng.Intn(2), useFP)
+		b.Jmp(endL)
+	}
+	b.Label(defL)
+	g.filler(rng, 1, useFP)
+	b.Label(endL)
+}
+
+// genFunc compiles one specified function.
+func (g *gen) genFunc(idx int) {
+	b := g.tb
+	spec := &g.spec.Funcs[idx]
+	rng := g.rng(idx)
+	if g.cfg.Opt.alignsFunctions() {
+		b.Align(16)
+	}
+	fi := &fnInfo{spec: spec, idx: idx, lsdaOff: -1}
+	fi.start = b.Offset()
+	b.Label(g.funcLabel(idx))
+
+	// The entry function's address is always taken by _start (it is
+	// passed to __libc_start_main), so it gets an end branch even when
+	// declared static. Under -mmanual-endbr only genuinely address-taken
+	// functions keep the marker — the program would trap at indirect
+	// calls otherwise.
+	if g.cfg.ManualEndbr {
+		fi.hasEndbr = spec.AddressTaken || spec.AddressTakenData || idx == g.entryFuncIdx()
+	} else {
+		fi.hasEndbr = spec.hasEndbr() || idx == g.entryFuncIdx()
+	}
+	if fi.hasEndbr {
+		g.recordEndbr(b.Offset(), groundtruth.RoleFuncEntry)
+		b.Endbr()
+	}
+	useFP := g.cfg.Opt.usesFramePointer()
+	frame := int32(16 * (1 + rng.Intn(6)))
+	if useFP {
+		b.Push(asmx.RBP)
+		b.MovRegReg(asmx.RBP, asmx.RSP)
+	}
+	b.SubImm(asmx.RSP, frame)
+
+	bodyUnits := spec.BodySize
+	if bodyUnits <= 0 {
+		bodyUnits = 4 + rng.Intn(8)
+	}
+	bodyUnits *= g.cfg.Opt.bodyScale()
+
+	// Interleave structure: spread calls and constructs across the body.
+	type emitStep func()
+	var steps []emitStep
+	var ehCallSites []lsda.CallSite // filled as throwing calls are placed
+
+	for _, callee := range spec.Calls {
+		callee := callee
+		steps = append(steps, func() {
+			b.MovRegImm32(asmx.RDI, uint32(rng.Intn(1000)))
+			b.Call(g.funcLabel(callee))
+		})
+	}
+	for _, ext := range spec.CallsPLT {
+		ext := ext
+		steps = append(steps, func() {
+			callOff := b.Offset()
+			b.Call("plt." + ext)
+			if spec.HasEH {
+				ehCallSites = append(ehCallSites, lsda.CallSite{
+					Start:  uint64(callOff - fi.start),
+					Length: uint64(b.Offset() - callOff),
+				})
+			}
+		})
+	}
+	if spec.IndirectReturnCall != "" {
+		irc := spec.IndirectReturnCall
+		steps = append(steps, func() {
+			if g.cfg.Mode == x86.Mode64 {
+				b.LeaMem(asmx.RDI, asmx.RSP, 0)
+			} else {
+				b.LeaMem(asmx.RAX, asmx.RSP, 0)
+				b.Push(asmx.RAX)
+			}
+			b.Call("plt." + irc)
+			g.recordEndbr(b.Offset(), groundtruth.RoleIndirectReturn)
+			b.Endbr()
+			b.TestRegReg(asmx.RAX, asmx.RAX)
+			skip := g.fresh("sj")
+			b.Jcc(asmx.CondNE, skip)
+			g.filler(rng, 2, useFP)
+			b.Label(skip)
+		})
+	}
+	// Address-taken materializations hosted here (sorted for
+	// deterministic output; map iteration order would vary).
+	var hostedTargets []int
+	for target, host := range g.atHosts {
+		if host == idx {
+			hostedTargets = append(hostedTargets, target)
+		}
+	}
+	sort.Ints(hostedTargets)
+	for _, target := range hostedTargets {
+		target := target
+		steps = append(steps, func() {
+			if g.cfg.Mode == x86.Mode64 {
+				b.LeaRIPLabel(asmx.RAX, g.funcLabel(target))
+				if useFP {
+					b.MovMemReg(asmx.RBP, -16, asmx.RAX)
+					b.CallIndMem(asmx.RBP, -16)
+				} else {
+					b.CallIndReg(asmx.RAX)
+				}
+			} else {
+				b.MovRegImmLabel(asmx.RAX, g.funcLabel(target))
+				b.CallIndReg(asmx.RAX)
+			}
+		})
+	}
+	// Data-table indirect calls: the callee's address is loaded from a
+	// read-only pointer table, so no instruction references the entry.
+	var dataTargets []int
+	for target, host := range g.dataHosts {
+		if host == idx {
+			dataTargets = append(dataTargets, target)
+		}
+	}
+	sort.Ints(dataTargets)
+	for _, target := range dataTargets {
+		target := target
+		steps = append(steps, func() {
+			if g.cfg.Mode == x86.Mode64 {
+				b.MovRegMemRIPLabel(asmx.RAX, fpSlotLabel(target))
+			} else {
+				b.MovRegMemAbsLabel(asmx.RAX, fpSlotLabel(target))
+			}
+			b.CallIndReg(asmx.RAX)
+		})
+	}
+	if spec.HasSwitch {
+		steps = append(steps, func() { g.genSwitch(rng, fi, useFP) })
+	}
+	if spec.ColdPart && g.cfg.splitsColdParts() {
+		steps = append(steps, func() { g.emitColdRef(idx, rng) })
+	}
+	// Shared cold references to other functions' fragments.
+	for fIdx := range g.spec.Funcs {
+		if !g.cfg.splitsColdParts() {
+			break
+		}
+		for _, sharer := range g.spec.Funcs[fIdx].SharedColdWith {
+			if sharer != idx {
+				continue
+			}
+			fIdx := fIdx
+			steps = append(steps, func() {
+				skip := g.fresh("nocold")
+				b.TestRegReg(asmx.RDX, asmx.RDX)
+				b.Jcc(asmx.CondE, skip)
+				b.Jmp(partLabel(g.spec.Funcs[fIdx].Name, 0))
+				b.Label(skip)
+			})
+		}
+	}
+
+	// Emit the body: filler interleaved with the structured steps.
+	perStep := bodyUnits / (len(steps) + 1)
+	if perStep < 1 {
+		perStep = 1
+	}
+	emitFill := func() {
+		g.filler(rng, perStep, useFP)
+		switch rng.Intn(4) {
+		case 0:
+			g.diamond(rng, useFP)
+		case 1:
+			g.loop(rng, useFP)
+		}
+	}
+	emitFill()
+	for _, step := range steps {
+		step()
+		emitFill()
+	}
+
+	// Epilogue.
+	b.MovRegImm32(asmx.RAX, uint32(rng.Intn(2)))
+	b.AddImm(asmx.RSP, frame)
+	if useFP {
+		b.Pop(asmx.RBP)
+	}
+	if len(spec.TailCalls) > 0 {
+		// A chain of conditional dispatches ending in direct tail jumps.
+		for i, target := range spec.TailCalls {
+			if i == len(spec.TailCalls)-1 {
+				b.Jmp(g.funcLabel(target))
+				break
+			}
+			next := g.fresh("tc")
+			b.CmpImm(asmx.RAX, int32(i))
+			b.Jcc(asmx.CondNE, next)
+			b.Jmp(g.funcLabel(target))
+			b.Label(next)
+		}
+	} else {
+		b.Ret()
+	}
+
+	// Landing pads: inside the function's FDE range, after the normal
+	// return path, each starting with an end branch.
+	if spec.HasEH && g.spec.Lang == LangCPP {
+		pads := spec.NumLandingPads
+		if pads <= 0 {
+			pads = 1
+		}
+		// Every landing pad must be referenced from the call-site table;
+		// synthesize additional covered regions if the body had fewer
+		// throwing calls than pads.
+		for p := len(ehCallSites); p < pads; p++ {
+			ehCallSites = append(ehCallSites, lsda.CallSite{
+				Start:  uint64(4 + 2*p),
+				Length: 2,
+			})
+		}
+		sort.Slice(ehCallSites, func(i, j int) bool {
+			return ehCallSites[i].Start < ehCallSites[j].Start
+		})
+		padOffsets := make([]uint64, 0, pads)
+		for p := 0; p < pads; p++ {
+			g.recordEndbr(b.Offset(), groundtruth.RoleException)
+			padOff := uint64(b.Offset() - fi.start)
+			b.Endbr()
+			b.MovRegReg(asmx.RDI, asmx.RAX)
+			b.Call("plt.__cxa_begin_catch")
+			g.filler(rng, 1+rng.Intn(3), false)
+			b.Call("plt.__cxa_end_catch")
+			b.MovRegImm32(asmx.RAX, 0)
+			b.Ret()
+			padOffsets = append(padOffsets, padOff)
+		}
+		for i := range ehCallSites {
+			ehCallSites[i].LandingPad = padOffsets[i%len(padOffsets)]
+			ehCallSites[i].Action = 1
+		}
+		fi.lsdaOff = g.lsdab.Add(ehCallSites)
+	}
+
+	fi.end = b.Offset()
+	fi.hasFDE = g.cfg.emitsFDEFor(spec.HasEH)
+	g.fns = append(g.fns, fi)
+
+	// Inline data after the function (hand-written-assembly modeling):
+	// raw bytes that are not instructions and may desynchronize a linear
+	// sweep into the next function.
+	if spec.TrailingData > 0 {
+		blob := make([]byte, spec.TrailingData)
+		for i := range blob {
+			blob[i] = byte(rng.Intn(256))
+		}
+		b.Raw(blob...)
+	}
+}
+
+// partLabel names function name's cold fragment n.
+func partLabel(name string, n int) string {
+	return fmt.Sprintf("f.%s.part.%d", name, n)
+}
+
+// emitColdRef emits the parent-side reference to its cold fragment: a
+// direct call for ColdCalled fragments, otherwise a conditional skip
+// around an unconditional jump into the cold region.
+func (g *gen) emitColdRef(idx int, rng *rand.Rand) {
+	b := g.tb
+	spec := &g.spec.Funcs[idx]
+	if spec.ColdCalled {
+		b.TestRegReg(asmx.RSI, asmx.RSI)
+		skip := g.fresh("nocall")
+		b.Jcc(asmx.CondE, skip)
+		b.Call(partLabel(spec.Name, 0))
+		b.Label(skip)
+		return
+	}
+	skip := g.fresh("hot")
+	b.TestRegReg(asmx.RSI, asmx.RSI)
+	b.Jcc(asmx.CondE, skip)
+	b.Jmp(partLabel(spec.Name, 0))
+	b.Label(skip)
+	_ = rng
+}
+
+// genColdRegion emits every .part/.cold fragment at the end of .text,
+// modeling the .text.unlikely placement GCC uses.
+func (g *gen) genColdRegion() {
+	if !g.cfg.splitsColdParts() {
+		return
+	}
+	b := g.tb
+	for _, fi := range g.fns {
+		if fi.idx < 0 || !fi.spec.ColdPart {
+			continue
+		}
+		rng := g.rng(fi.idx + 1_000_000)
+		if g.cfg.Opt.alignsFunctions() {
+			b.Align(16)
+		}
+		p := partInfo{name: partLabel(fi.spec.Name, 0), start: b.Offset()}
+		b.Label(p.name)
+		// Cold code: an error path. Called fragments return; jumped-to
+		// fragments end by calling a noreturn helper.
+		g.filler(rng, 3+rng.Intn(5), false)
+		if fi.spec.ColdCalled {
+			b.Ret()
+		} else {
+			g.addImportLate("abort")
+			b.Call("plt.abort")
+			b.Ud2()
+		}
+		p.end = b.Offset()
+		fi.parts = append(fi.parts, p)
+	}
+}
+
+// addImportLate registers an import discovered during text generation.
+// The PLT is generated after the text builder completes, so late imports
+// are safe as long as they happen before genPLT.
+func (g *gen) addImportLate(name string) { g.addImport(name) }

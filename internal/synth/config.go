@@ -1,0 +1,198 @@
+// Package synth is a synthetic CET-aware compiler back-end: it turns
+// abstract program specifications into complete CET-enabled ELF binaries
+// with precisely known ground truth.
+//
+// The generator models the code-shape behaviours of GCC 10 and Clang 13
+// that the FunSeeker paper (Kim et al., DSN 2022) builds on:
+//
+//   - an end-branch instruction at every non-static (or address-taken)
+//     function entry;
+//   - an end-branch after each call to an indirect-return function
+//     (setjmp family);
+//   - an end-branch at every C++ exception landing pad, described by an
+//     LSDA in .gcc_except_table referenced from a .eh_frame FDE;
+//   - NOTRACK-prefixed indirect jumps for bounds-checked switch tables;
+//   - .cold / .part fragments split out of their parent function;
+//   - FDE emission differences: GCC covers every function, Clang omits
+//     FDEs for non-EH functions in 32-bit binaries;
+//   - frame-pointer usage and function alignment varying by optimization
+//     level.
+//
+// A binary is produced for a Config — the cross product the paper uses:
+// {GCC, Clang} × {x86, x86-64} × {PIE, no-PIE} × {O0..Ofast}.
+package synth
+
+import (
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Compiler identifies the modeled toolchain.
+type Compiler int
+
+// Modeled compilers.
+const (
+	// GCC models GCC 10 code generation.
+	GCC Compiler = iota + 1
+	// Clang models Clang 13 code generation.
+	Clang
+)
+
+// String returns "gcc" or "clang".
+func (c Compiler) String() string {
+	switch c {
+	case GCC:
+		return "gcc"
+	case Clang:
+		return "clang"
+	default:
+		return fmt.Sprintf("Compiler(%d)", int(c))
+	}
+}
+
+// OptLevel is the modeled optimization level.
+type OptLevel int
+
+// Optimization levels, matching the paper's six configurations.
+const (
+	O0 OptLevel = iota + 1
+	O1
+	O2
+	O3
+	Os
+	Ofast
+)
+
+var optNames = map[OptLevel]string{
+	O0: "O0", O1: "O1", O2: "O2", O3: "O3", Os: "Os", Ofast: "Ofast",
+}
+
+// String returns the conventional flag spelling, e.g. "O2".
+func (o OptLevel) String() string {
+	if s, ok := optNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OptLevel(%d)", int(o))
+}
+
+// AllOptLevels lists every modeled level in the paper's order.
+func AllOptLevels() []OptLevel {
+	return []OptLevel{O0, O1, O2, O3, Os, Ofast}
+}
+
+// usesFramePointer reports whether the level keeps a frame pointer.
+func (o OptLevel) usesFramePointer() bool { return o == O0 || o == O1 }
+
+// alignsFunctions reports whether functions are aligned to 16 bytes.
+func (o OptLevel) alignsFunctions() bool {
+	return o == O2 || o == O3 || o == Ofast
+}
+
+// bodyScale scales filler-code size: unoptimized code is bulkier.
+func (o OptLevel) bodyScale() int {
+	switch o {
+	case O0:
+		return 3
+	case O1:
+		return 2
+	case Os:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Config is one build configuration.
+type Config struct {
+	// Compiler selects the modeled toolchain.
+	Compiler Compiler
+	// Mode selects x86 (Mode32) or x86-64 (Mode64).
+	Mode x86.Mode
+	// PIE selects a position-independent executable.
+	PIE bool
+	// Opt is the optimization level.
+	Opt OptLevel
+	// ManualEndbr models the -mmanual-endbr compiler option (paper §VI):
+	// automatic end-branch insertion is disabled and only functions whose
+	// address is actually taken (the targets an IBT-enforced program
+	// cannot run without) keep their marker. Not part of AllConfigs; used
+	// by the dedicated ablation experiment.
+	ManualEndbr bool
+}
+
+// String renders e.g. "gcc-x86-64-pie-O2".
+func (c Config) String() string {
+	pie := "nopie"
+	if c.PIE {
+		pie = "pie"
+	}
+	s := fmt.Sprintf("%s-%s-%s-%s", c.Compiler, c.Mode, pie, c.Opt)
+	if c.ManualEndbr {
+		s += "-manual-endbr"
+	}
+	return s
+}
+
+// PtrSize returns the pointer size in bytes.
+func (c Config) PtrSize() int {
+	if c.Mode == x86.Mode64 {
+		return 8
+	}
+	return 4
+}
+
+// Validate checks the configuration fields.
+func (c Config) Validate() error {
+	if c.Compiler != GCC && c.Compiler != Clang {
+		return fmt.Errorf("synth: bad compiler %d", int(c.Compiler))
+	}
+	if c.Mode != x86.Mode32 && c.Mode != x86.Mode64 {
+		return fmt.Errorf("synth: bad mode %d", int(c.Mode))
+	}
+	if _, ok := optNames[c.Opt]; !ok {
+		return fmt.Errorf("synth: bad optimization level %d", int(c.Opt))
+	}
+	return nil
+}
+
+// AllConfigs enumerates every build configuration: 2 compilers × 2
+// architectures × {PIE, no-PIE} × 6 optimization levels = 48 (the paper
+// counts 24 per compiler).
+func AllConfigs() []Config {
+	configs := make([]Config, 0, 48)
+	for _, comp := range []Compiler{GCC, Clang} {
+		for _, mode := range []x86.Mode{x86.Mode32, x86.Mode64} {
+			for _, pie := range []bool{false, true} {
+				for _, opt := range AllOptLevels() {
+					configs = append(configs, Config{
+						Compiler: comp, Mode: mode, PIE: pie, Opt: opt,
+					})
+				}
+			}
+		}
+	}
+	return configs
+}
+
+// emitsFDEFor reports whether this toolchain emits a .eh_frame FDE for a
+// function. GCC covers every function on both architectures. Clang does
+// the same on x86-64 but, for 32-bit targets, emits FDEs only for
+// functions that actually need exception handling — the behaviour
+// responsible for FETCH's and Ghidra's recall collapse on x86 Clang
+// binaries (paper §V-C).
+func (c Config) emitsFDEFor(hasEH bool) bool {
+	if c.Compiler == GCC {
+		return true
+	}
+	if c.Mode == x86.Mode64 {
+		return true
+	}
+	return hasEH
+}
+
+// splitsColdParts reports whether the toolchain splits .cold/.part
+// fragments at this level (GCC behaviour at -O2 and above).
+func (c Config) splitsColdParts() bool {
+	return c.Compiler == GCC && (c.Opt == O2 || c.Opt == O3 || c.Opt == Ofast || c.Opt == Os)
+}

@@ -1,0 +1,419 @@
+package synth
+
+import (
+	"debug/elf"
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/asmx"
+	"github.com/funseeker/funseeker/internal/ehframe"
+	"github.com/funseeker/funseeker/internal/elfw"
+	"github.com/funseeker/funseeker/internal/groundtruth"
+	"github.com/funseeker/funseeker/internal/lsda"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Result is one compiled binary with its ground truth.
+type Result struct {
+	// Image is the full (unstripped) ELF image.
+	Image []byte
+	// Stripped is the same binary without .symtab/.strtab — what the
+	// identification tools are evaluated on.
+	Stripped []byte
+	// GT is the ground truth.
+	GT *groundtruth.GT
+	// Config echoes the build configuration.
+	Config Config
+}
+
+// jumpSlotRelocType is R_X86_64_JUMP_SLOT / R_386_JMP_SLOT (both 7).
+const jumpSlotRelocType = 7
+
+const pageSize = 0x1000
+
+// bases returns the virtual-address plan for the configuration.
+func (c Config) bases() (noteVA, pltBase uint64) {
+	switch {
+	case c.Mode == x86.Mode64 && !c.PIE:
+		return 0x400200, 0x401000
+	case c.Mode == x86.Mode64 && c.PIE:
+		return 0x1200, 0x2000
+	case c.Mode == x86.Mode32 && !c.PIE:
+		return 0x8048200, 0x8049000
+	default: // 32-bit PIE
+		return 0x1200, 0x2000
+	}
+}
+
+// Compile turns a program specification into a CET-enabled ELF binary
+// under the given build configuration.
+func Compile(spec *ProgSpec, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		spec:      spec,
+		cfg:       cfg,
+		tb:        asmx.New(cfg.Mode),
+		lsdab:     lsda.NewBuilder(),
+		importIdx: make(map[string]bool),
+	}
+	g.collectImports()
+	g.assignAddressTakenHosts()
+	g.genText() // may register late imports (e.g. abort)
+	g.pb = asmx.New(cfg.Mode)
+	g.psb = asmx.New(cfg.Mode)
+	g.genPLT()
+	if err := g.tb.Err(); err != nil {
+		return nil, fmt.Errorf("synth: %s: text: %w", spec.Name, err)
+	}
+	if err := g.pb.Err(); err != nil {
+		return nil, fmt.Errorf("synth: %s: plt: %w", spec.Name, err)
+	}
+	if err := g.psb.Err(); err != nil {
+		return nil, fmt.Errorf("synth: %s: plt.sec: %w", spec.Name, err)
+	}
+	return g.assemble()
+}
+
+// assemble lays out the sections, resolves cross-references, and emits the
+// ELF images plus ground truth.
+func (g *gen) assemble() (*Result, error) {
+	cfg := g.cfg
+	ptr := uint64(cfg.PtrSize())
+	class := elf.ELFCLASS64
+	if cfg.Mode == x86.Mode32 {
+		class = elf.ELFCLASS32
+	}
+
+	// Dynamic symbol table: the imports, all undefined.
+	dsb := elfw.NewSymtab(class)
+	for _, name := range g.imports {
+		dsb.Add(elfw.Symbol{
+			Name: name, Bind: elf.STB_GLOBAL, Type: elf.STT_FUNC, Shndx: 0,
+		})
+	}
+	dynsymData, dynstrData, dynFirstGlobal, dynIndexOf := dsb.Emit()
+	relaSize := len(g.imports) * 24
+	if class == elf.ELFCLASS32 {
+		relaSize = len(g.imports) * 8
+	}
+
+	// Virtual address layout.
+	noteVA, pltVA := cfg.bases()
+	noteData := elfw.GNUPropertyNote(class, elfw.FeatureIBT|elfw.FeatureSHSTK)
+	dynsymVA := alignVA(noteVA+uint64(len(noteData)), 8)
+	dynstrVA := dynsymVA + uint64(len(dynsymData))
+	relaVA := alignVA(dynstrVA+uint64(len(dynstrData)), 8)
+	if relaVA+uint64(relaSize) > pltVA {
+		return nil, fmt.Errorf("synth: %s: dynamic tables overflow into .plt", g.spec.Name)
+	}
+	pltSecVA := alignVA(pltVA+uint64(g.pb.Size()), 16)
+	textVA := alignVA(pltSecVA+uint64(g.psb.Size()), pageSize)
+	rodataVA := alignVA(textVA+uint64(g.tb.Size()), pageSize)
+	exceptVA := alignVA(rodataVA+uint64(g.rodataLen), 16)
+	ehVA := alignVA(exceptVA+uint64(g.lsdab.Size()), 8)
+
+	// .eh_frame: FDEs for functions (per toolchain policy) and for cold
+	// fragments (GCC emits FDEs for .part/.cold symbols too).
+	ehb := ehframe.NewBuilder(ehVA, int(ptr))
+	for _, fi := range g.fns {
+		if fi.hasFDE {
+			hasLSDA := fi.lsdaOff >= 0
+			var lsdaVA uint64
+			if hasLSDA {
+				lsdaVA = exceptVA + uint64(fi.lsdaOff)
+			}
+			ehb.AddFDE(textVA+uint64(fi.start), uint64(fi.end-fi.start), hasLSDA, lsdaVA)
+		}
+		for _, p := range fi.parts {
+			if cfg.Compiler == GCC {
+				ehb.AddFDE(textVA+uint64(p.start), uint64(p.end-p.start), false, 0)
+			}
+		}
+	}
+	ehData := ehb.Bytes()
+
+	gotVA := alignVA(ehVA+uint64(len(ehData)), pageSize)
+	gotSlots := 3 + len(g.imports)
+	gotSize := uint64(gotSlots) * ptr
+	dataVA := alignVA(gotVA+gotSize, 16)
+
+	// Resolve cross-section references and finalize the builders.
+	for i, name := range g.imports {
+		slotVA := gotVA + uint64(3+i)*ptr
+		g.psb.SetExtern("got."+name, slotVA)
+	}
+	pltBytes, err := g.pb.Finalize(pltVA)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: plt finalize: %w", g.spec.Name, err)
+	}
+	pltSecBytes, err := g.psb.Finalize(pltSecVA)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: plt.sec finalize: %w", g.spec.Name, err)
+	}
+	// Program code calls the .plt.sec stubs.
+	for _, name := range g.imports {
+		off, ok := g.psb.LabelOffset("plt." + name)
+		if !ok {
+			return nil, fmt.Errorf("synth: %s: missing plt.sec stub for %s", g.spec.Name, name)
+		}
+		g.tb.SetExtern("plt."+name, pltSecVA+uint64(off))
+	}
+	for i, jt := range g.jumpTabs {
+		g.tb.SetExtern(fmt.Sprintf("ro.jt%d", i), rodataVA+uint64(jt.roOff))
+	}
+	for _, fp := range g.fpSlots {
+		g.tb.SetExtern(fpSlotLabel(fp.funcIdx), rodataVA+uint64(fp.roOff))
+	}
+	textBytes, err := g.tb.Finalize(textVA)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: text finalize: %w", g.spec.Name, err)
+	}
+
+	// Fill jump tables: absolute 4-byte entries on x86, table-relative
+	// 4-byte offsets on x86-64.
+	rodata := make([]byte, g.rodataLen)
+	for _, jt := range g.jumpTabs {
+		tabVA := rodataVA + uint64(jt.roOff)
+		for i, label := range jt.labels {
+			caseVA, err := g.tb.Addr(label)
+			if err != nil {
+				return nil, fmt.Errorf("synth: %s: jump table: %w", g.spec.Name, err)
+			}
+			var entry uint32
+			if cfg.Mode == x86.Mode64 {
+				entry = uint32(int32(int64(caseVA) - int64(tabVA)))
+			} else {
+				entry = uint32(caseVA)
+			}
+			off := jt.roOff + 4*i
+			rodata[off] = byte(entry)
+			rodata[off+1] = byte(entry >> 8)
+			rodata[off+2] = byte(entry >> 16)
+			rodata[off+3] = byte(entry >> 24)
+		}
+	}
+
+	// Function-pointer table entries: absolute addresses, pointer-sized.
+	for _, fp := range g.fpSlots {
+		funcVA, err := g.tb.Addr(g.funcLabel(fp.funcIdx))
+		if err != nil {
+			return nil, fmt.Errorf("synth: %s: fp table: %w", g.spec.Name, err)
+		}
+		for b := 0; b < int(ptr); b++ {
+			rodata[fp.roOff+b] = byte(funcVA >> (8 * b))
+		}
+	}
+
+	// GOT contents: lazy-binding slots initially point back at the PLT.
+	got := make([]byte, gotSize)
+	for i := range g.imports {
+		slotOff := (3 + i) * int(ptr)
+		val := pltVA // PLT0
+		for b := 0; b < int(ptr); b++ {
+			got[slotOff+b] = byte(val >> (8 * b))
+		}
+	}
+
+	// PLT relocations.
+	relocs := make([]elfw.Reloc, 0, len(g.imports))
+	for i, name := range g.imports {
+		relocs = append(relocs, elfw.Reloc{
+			Offset:   gotVA + uint64(3+i)*ptr,
+			SymIndex: dynIndexOf[name],
+			Type:     jumpSlotRelocType,
+		})
+	}
+	relaData := elfw.EmitRelocs(class, relocs)
+	if len(relaData) != relaSize {
+		return nil, fmt.Errorf("synth: %s: reloc size drift", g.spec.Name)
+	}
+
+	// Ground truth and static symbol table.
+	gt, ssb := g.buildGroundTruth(textVA, class)
+	symtabData, strtabData, firstGlobal, _ := ssb.Emit()
+
+	// Assemble the file. Section order fixes the header indices used in
+	// the Link fields below.
+	typ := elf.ET_EXEC
+	if cfg.PIE {
+		typ = elf.ET_DYN
+	}
+	f := elfw.New(class, typ)
+	startVA, err := g.tb.Addr("f._start")
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: no _start: %w", g.spec.Name, err)
+	}
+	f.Entry = startVA
+
+	symEntsize := uint64(24)
+	if class == elf.ELFCLASS32 {
+		symEntsize = 16
+	}
+	relaName, relaEntsize := ".rela.plt", uint64(24)
+	if class == elf.ELFCLASS32 {
+		relaName, relaEntsize = ".rel.plt", 8
+	}
+	// Section indices (post-null): 1 note, 2 dynsym, 3 dynstr, 4 rela,
+	// 5 plt, 6 plt.sec, 7 text, then rodata/except (conditional),
+	// eh_frame, got, data, symtab, strtab.
+	f.AddSection(&elfw.Section{Name: ".note.gnu.property", Type: elf.SHT_NOTE,
+		Flags: elf.SHF_ALLOC, Addr: noteVA, Data: noteData, Addralign: 8})
+	f.AddSection(&elfw.Section{Name: ".dynsym", Type: elf.SHT_DYNSYM,
+		Flags: elf.SHF_ALLOC, Addr: dynsymVA, Data: dynsymData,
+		Link: 3, Info: dynFirstGlobal, Addralign: 8, Entsize: symEntsize})
+	f.AddSection(&elfw.Section{Name: ".dynstr", Type: elf.SHT_STRTAB,
+		Flags: elf.SHF_ALLOC, Addr: dynstrVA, Data: dynstrData, Addralign: 1})
+	f.AddSection(&elfw.Section{Name: relaName, Type: relaSectionType(class),
+		Flags: elf.SHF_ALLOC, Addr: relaVA, Data: relaData,
+		Link: 2, Info: 5, Addralign: 8, Entsize: relaEntsize})
+	f.AddSection(&elfw.Section{Name: ".plt", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_EXECINSTR, Addr: pltVA, Data: pltBytes,
+		Addralign: 16})
+	f.AddSection(&elfw.Section{Name: ".plt.sec", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_EXECINSTR, Addr: pltSecVA, Data: pltSecBytes,
+		Addralign: 16})
+	f.AddSection(&elfw.Section{Name: ".text", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_EXECINSTR, Addr: textVA, Data: textBytes,
+		Addralign: 16})
+	if len(rodata) > 0 {
+		f.AddSection(&elfw.Section{Name: ".rodata", Type: elf.SHT_PROGBITS,
+			Flags: elf.SHF_ALLOC, Addr: rodataVA, Data: rodata, Addralign: 8})
+	}
+	if g.lsdab.Size() > 0 {
+		f.AddSection(&elfw.Section{Name: ".gcc_except_table", Type: elf.SHT_PROGBITS,
+			Flags: elf.SHF_ALLOC, Addr: exceptVA, Data: g.lsdab.Bytes(), Addralign: 4})
+	}
+	f.AddSection(&elfw.Section{Name: ".eh_frame", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC, Addr: ehVA, Data: ehData, Addralign: 8})
+	f.AddSection(&elfw.Section{Name: ".got.plt", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_WRITE, Addr: gotVA, Data: got, Addralign: ptr})
+	f.AddSection(&elfw.Section{Name: ".data", Type: elf.SHT_PROGBITS,
+		Flags: elf.SHF_ALLOC | elf.SHF_WRITE, Addr: dataVA,
+		Data: []byte{0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0}, Addralign: 8})
+
+	// The rodata/except sections are conditional, which would shift the
+	// rela Info/dynsym Link indices; keep them unconditional instead.
+	// (Handled above by always adding .eh_frame and using fixed indices
+	// for sections 1-5 only, which are unconditional.)
+
+	symtabLink := uint32(len(sectionNames(f)) + 2) // index of .strtab (next section after .symtab)
+	f.AddSection(&elfw.Section{Name: ".symtab", Type: elf.SHT_SYMTAB,
+		Data: symtabData, Link: symtabLink, Info: firstGlobal,
+		Addralign: 8, Entsize: symEntsize})
+	f.AddSection(&elfw.Section{Name: ".strtab", Type: elf.SHT_STRTAB,
+		Data: strtabData, Addralign: 1})
+
+	image, err := f.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: emit: %w", g.spec.Name, err)
+	}
+	f.RemoveSection(".symtab")
+	f.RemoveSection(".strtab")
+	stripped, err := f.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("synth: %s: emit stripped: %w", g.spec.Name, err)
+	}
+	return &Result{Image: image, Stripped: stripped, GT: gt, Config: g.cfg}, nil
+}
+
+// sectionNames lists the sections currently added (helper to compute the
+// strtab link index without hand-counting).
+func sectionNames(f *elfw.File) []string {
+	// The writer has no exported iterator; rely on lookup of the names we
+	// know are present. Order matters only for the count.
+	names := []string{
+		".note.gnu.property", ".dynsym", ".dynstr", ".rela.plt", ".rel.plt",
+		".plt", ".plt.sec", ".text", ".rodata", ".gcc_except_table", ".eh_frame",
+		".got.plt", ".data",
+	}
+	var present []string
+	for _, n := range names {
+		if f.Section(n) != nil {
+			present = append(present, n)
+		}
+	}
+	return present
+}
+
+func relaSectionType(class elf.Class) elf.SectionType {
+	if class == elf.ELFCLASS64 {
+		return elf.SHT_RELA
+	}
+	return elf.SHT_REL
+}
+
+func alignVA(v, align uint64) uint64 {
+	return (v + align - 1) / align * align
+}
+
+// buildGroundTruth converts codegen records into the GT sidecar plus the
+// static symbol table for the unstripped image.
+func (g *gen) buildGroundTruth(textVA uint64, class elf.Class) (*groundtruth.GT, *elfw.SymtabBuilder) {
+	gt := &groundtruth.GT{
+		Program: g.spec.Name,
+		Config:  g.cfg.String(),
+		Lang:    g.spec.Lang.String(),
+	}
+	if g.spec.Lang == 0 {
+		gt.Lang = LangC.String()
+	}
+	ssb := elfw.NewSymtab(class)
+	const textShndx = 7 // .text section index (see assemble)
+	for _, fi := range g.fns {
+		addr := textVA + uint64(fi.start)
+		size := uint64(fi.end - fi.start)
+		bind := elf.STB_GLOBAL
+		if fi.spec.Static {
+			bind = elf.STB_LOCAL
+		}
+		hasEndbr := fi.hasEndbr
+		if fi.implicit && fi.spec.Name == "_start" {
+			hasEndbr = true
+		}
+		if fi.spec.Intrinsic {
+			hasEndbr = false
+		}
+		gt.Funcs = append(gt.Funcs, groundtruth.Func{
+			Name:      fi.spec.Name,
+			Addr:      addr,
+			Size:      size,
+			Static:    fi.spec.Static,
+			HasEndbr:  hasEndbr,
+			Dead:      fi.spec.Dead,
+			Intrinsic: fi.spec.Intrinsic,
+		})
+		// The paper notes compilers sometimes omit the symbol for
+		// get_pc_thunk; we keep the symbol out of .symtab for the
+		// intrinsic thunk but keep it in the ground truth.
+		if !(fi.implicit && fi.spec.Intrinsic) {
+			ssb.Add(elfw.Symbol{
+				Name: fi.spec.Name, Value: addr, Size: size,
+				Bind: bind, Type: elf.STT_FUNC, Shndx: textShndx,
+			})
+		}
+		for _, p := range fi.parts {
+			partVA := textVA + uint64(p.start)
+			gt.PartBlocks = append(gt.PartBlocks, partVA)
+			suffix := ".cold"
+			if fi.spec.ColdCalled {
+				suffix = ".part.0"
+			}
+			ssb.Add(elfw.Symbol{
+				Name: fi.spec.Name + suffix, Value: partVA,
+				Size: uint64(p.end - p.start),
+				Bind: elf.STB_LOCAL, Type: elf.STT_FUNC, Shndx: textShndx,
+			})
+		}
+	}
+	for _, e := range g.endbrs {
+		gt.Endbrs = append(gt.Endbrs, groundtruth.EndbrSite{
+			Addr: textVA + uint64(e.off),
+			Role: e.role,
+		})
+	}
+	return gt, ssb
+}

@@ -1,0 +1,184 @@
+package synth
+
+import (
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/cet"
+)
+
+// Lang is the source language of a program.
+type Lang int
+
+// Source languages.
+const (
+	// LangC marks a C program (no exception handling).
+	LangC Lang = iota + 1
+	// LangCPP marks a C++ program (functions may carry landing pads).
+	LangCPP
+)
+
+// String returns "c" or "c++".
+func (l Lang) String() string {
+	switch l {
+	case LangC:
+		return "c"
+	case LangCPP:
+		return "c++"
+	default:
+		return fmt.Sprintf("Lang(%d)", int(l))
+	}
+}
+
+// FuncSpec describes one source-level function to synthesize.
+type FuncSpec struct {
+	// Name is the function's symbol name.
+	Name string
+	// Static marks internal linkage: no end branch unless AddressTaken.
+	Static bool
+	// AddressTaken marks functions referenced through a function
+	// pointer; such functions always get an end branch and an indirect
+	// call site is materialized somewhere in the program.
+	AddressTaken bool
+	// AddressTakenData marks functions whose address is stored in a
+	// read-only function-pointer table (vtable / callback-table style)
+	// and called through a memory-indirect call. These are the indirect
+	// branch targets classic tools fail to discover: no code instruction
+	// references the entry, only data does.
+	AddressTakenData bool
+	// Intrinsic marks compiler-helper functions that are non-static yet
+	// carry no end branch (the paper's 0.15% residue, e.g.
+	// __x86.get_pc_thunk); they are only ever reached by direct calls.
+	Intrinsic bool
+	// Dead marks functions that no instruction references.
+	Dead bool
+
+	// HasEH gives the function C++ landing pads (LangCPP programs only).
+	HasEH bool
+	// NumLandingPads is the number of catch/cleanup pads; 0 with HasEH
+	// set defaults to 1.
+	NumLandingPads int
+
+	// IndirectReturnCall names an indirect-return function (setjmp
+	// family) this function calls, empty for none. An end branch is
+	// placed after the call site.
+	IndirectReturnCall string
+
+	// HasSwitch adds a bounds-checked jump-table dispatch (NOTRACK
+	// indirect jump).
+	HasSwitch bool
+	// SwitchCases is the number of jump-table cases (≥2 when HasSwitch).
+	SwitchCases int
+
+	// Calls lists indices of functions this function direct-calls.
+	Calls []int
+	// TailCalls lists indices of functions this function tail-jumps to
+	// (the function ends with jmp instead of ret).
+	TailCalls []int
+	// CallsPLT lists external functions called through the PLT.
+	CallsPLT []string
+
+	// ColdPart splits an unlikely fragment into the .text.unlikely
+	// region (GCC .part/.cold behaviour). ColdCalled additionally makes
+	// the parent reach the fragment with a call instead of a jump.
+	ColdPart   bool
+	ColdCalled bool
+	// SharedColdWith holds indices of other functions that also jump to
+	// this function's cold fragment (modeling merged error paths, the
+	// source of FunSeeker's tail-call false positives on .part blocks).
+	SharedColdWith []int
+
+	// BodySize is the approximate number of filler instructions.
+	BodySize int
+
+	// TrailingData emits this many bytes of raw (non-code) data directly
+	// after the function, inside .text — modeling hand-written assembly
+	// with inline tables, the case the paper's §VI names as the limit of
+	// linear-sweep disassembly. The data can desynchronize the sweep
+	// across the following function's entry.
+	TrailingData int
+}
+
+// ProgSpec is one program (one output binary per build configuration).
+type ProgSpec struct {
+	// Name is the program name, e.g. "ls".
+	Name string
+	// Lang is the source language.
+	Lang Lang
+	// Seed drives all synthesized filler code deterministically.
+	Seed int64
+	// Funcs is the function list; index positions are referenced by
+	// Calls/TailCalls edges.
+	Funcs []FuncSpec
+}
+
+// Validate checks cross-references in the spec.
+func (p *ProgSpec) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("synth: program has no name")
+	}
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("synth: program %s has no functions", p.Name)
+	}
+	seen := make(map[string]bool, len(p.Funcs))
+	for i, f := range p.Funcs {
+		if f.Name == "" {
+			return fmt.Errorf("synth: %s: function %d has no name", p.Name, i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("synth: %s: duplicate function name %q", p.Name, f.Name)
+		}
+		seen[f.Name] = true
+		for _, c := range f.Calls {
+			if c < 0 || c >= len(p.Funcs) {
+				return fmt.Errorf("synth: %s: %s calls out-of-range index %d", p.Name, f.Name, c)
+			}
+			if c == i {
+				continue // direct recursion is fine
+			}
+		}
+		for _, c := range f.TailCalls {
+			if c < 0 || c >= len(p.Funcs) || c == i {
+				return fmt.Errorf("synth: %s: %s tail-calls bad index %d", p.Name, f.Name, c)
+			}
+		}
+		for _, c := range f.SharedColdWith {
+			if c < 0 || c >= len(p.Funcs) || c == i {
+				return fmt.Errorf("synth: %s: %s shares cold with bad index %d", p.Name, f.Name, c)
+			}
+			if !f.ColdPart {
+				return fmt.Errorf("synth: %s: %s has SharedColdWith without ColdPart", p.Name, f.Name)
+			}
+		}
+		if f.HasEH && p.Lang != LangCPP {
+			return fmt.Errorf("synth: %s: %s has EH in a C program", p.Name, f.Name)
+		}
+		if f.IndirectReturnCall != "" && !IsIndirectReturnFunc(f.IndirectReturnCall) {
+			return fmt.Errorf("synth: %s: %s calls unknown indirect-return func %q",
+				p.Name, f.Name, f.IndirectReturnCall)
+		}
+	}
+	return nil
+}
+
+// IndirectReturnFuncs re-exports the GCC-defined indirect-return list for
+// spec construction convenience.
+var IndirectReturnFuncs = cet.IndirectReturnFuncs
+
+// IsIndirectReturnFunc reports whether name is in the predefined
+// indirect-return list.
+func IsIndirectReturnFunc(name string) bool {
+	return cet.IsIndirectReturnFunc(name)
+}
+
+// hasEndbr decides whether a function entry gets an end-branch marker:
+// every non-static, non-intrinsic function (the linker cannot prove it is
+// never address-taken), plus static functions whose address is taken.
+func (f *FuncSpec) hasEndbr() bool {
+	if f.Intrinsic {
+		return false
+	}
+	if !f.Static {
+		return true
+	}
+	return f.AddressTaken || f.AddressTakenData
+}

@@ -1,0 +1,354 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Register name tables, indexed by register number.
+var (
+	regNames64 = [16]string{
+		"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+		"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+	}
+	regNames32 = [16]string{
+		"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+		"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+	}
+	regNames16 = [16]string{
+		"ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+		"r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+	}
+	regNames8 = [16]string{
+		"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+		"r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+	}
+)
+
+var ccNames = [16]string{
+	"o", "no", "b", "ae", "e", "ne", "be", "a",
+	"s", "ns", "p", "np", "l", "ge", "le", "g",
+}
+
+// Format decodes and renders the instruction at the front of code in an
+// Intel-flavoured syntax. It returns the text and the instruction length.
+// The rendering covers the instruction subset emitted by compilers for
+// integer code; unrecognized instructions render as ".byte"-style output
+// with a generic mnemonic.
+func Format(code []byte, addr uint64, mode Mode) (string, int, error) {
+	d := decodeState{code: code, addr: addr, mode: mode}
+	if err := d.run(); err != nil {
+		return "", 0, err
+	}
+	inst := d.finish()
+	return d.render(inst), inst.Len, nil
+}
+
+// regName renders a register of the given width, honouring REX.B-style
+// extension bit ext.
+func regName(width, num int, ext bool) string {
+	if ext {
+		num += 8
+	}
+	switch width {
+	case 8:
+		return regNames64[num&15]
+	case 2:
+		return regNames16[num&15]
+	case 1:
+		return regNames8[num&15]
+	default:
+		return regNames32[num&15]
+	}
+}
+
+// opWidth returns the operand width in bytes implied by the decode state
+// for a full-size operand.
+func (d *decodeState) opWidth() int {
+	if d.mode == Mode64 {
+		if d.hasRex && d.rex&0x08 != 0 {
+			return 8
+		}
+		if d.opSize {
+			return 2
+		}
+		return 4
+	}
+	if d.opSize {
+		return 2
+	}
+	return 4
+}
+
+// ptrWidth is the natural pointer width for the mode.
+func (d *decodeState) ptrWidth() int {
+	if d.mode == Mode64 {
+		return 8
+	}
+	return 4
+}
+
+// rmString renders the r/m operand of a ModRM instruction of the given
+// operand width.
+func (d *decodeState) rmString(width int) string {
+	mod := int(d.modRM>>6) & 3
+	rm := int(d.modRM) & 7
+	rexB := d.hasRex && d.rex&1 != 0
+	rexX := d.hasRex && d.rex&2 != 0
+	if mod == 3 {
+		return regName(width, rm, rexB)
+	}
+	if d.ripRel {
+		return fmt.Sprintf("[rip%+#x]", d.disp)
+	}
+	addrW := d.ptrWidth()
+	var base, index string
+	scale := 1
+	if rm == 4 {
+		sib := d.sib
+		scale = 1 << (sib >> 6)
+		idx := int(sib>>3) & 7
+		bs := int(sib) & 7
+		if !(idx == 4 && !rexX) {
+			index = regName(addrW, idx, rexX)
+		}
+		if !(bs == 5 && mod == 0) {
+			base = regName(addrW, bs, rexB)
+		}
+	} else if !(mod == 0 && rm == 5) {
+		base = regName(addrW, rm, rexB)
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	parts := make([]string, 0, 3)
+	if base != "" {
+		parts = append(parts, base)
+	}
+	if index != "" {
+		if scale > 1 {
+			parts = append(parts, fmt.Sprintf("%s*%d", index, scale))
+		} else {
+			parts = append(parts, index)
+		}
+	}
+	sb.WriteString(strings.Join(parts, "+"))
+	if d.hasDisp && (d.disp != 0 || len(parts) == 0) {
+		if len(parts) == 0 {
+			fmt.Fprintf(&sb, "%#x", uint64(uint32(d.disp)))
+		} else {
+			fmt.Fprintf(&sb, "%+#x", d.disp)
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// regOperand renders the ModRM.reg register operand.
+func (d *decodeState) regOperand(width int) string {
+	rexR := d.hasRex && d.rex&4 != 0
+	return regName(width, int(d.modRM>>3)&7, rexR)
+}
+
+// render produces the instruction text.
+func (d *decodeState) render(inst Inst) string {
+	switch inst.Class {
+	case ClassEndbr64:
+		return "endbr64"
+	case ClassEndbr32:
+		return "endbr32"
+	case ClassCallRel:
+		return fmt.Sprintf("call %#x", inst.Target)
+	case ClassJmpRel:
+		return fmt.Sprintf("jmp %#x", inst.Target)
+	case ClassJccRel:
+		return fmt.Sprintf("j%s %#x", d.ccName(), inst.Target)
+	case ClassRet:
+		if inst.HasImm {
+			return fmt.Sprintf("ret %#x", uint16(inst.Imm))
+		}
+		return "ret"
+	case ClassInt3:
+		return "int3"
+	case ClassNop:
+		return "nop"
+	case ClassHlt:
+		return "hlt"
+	case ClassUD:
+		return "ud2"
+	case ClassLeave:
+		return "leave"
+	case ClassCallInd, ClassJmpInd:
+		mn := "call"
+		if inst.Class == ClassJmpInd {
+			mn = "jmp"
+		}
+		if inst.Notrack {
+			mn = "notrack " + mn
+		}
+		return fmt.Sprintf("%s %s", mn, d.rmString(d.ptrWidth()))
+	}
+	return d.renderGeneric(inst)
+}
+
+func (d *decodeState) ccName() string {
+	if d.opcodeMap == 2 {
+		return ccNames[d.opcode&0x0F]
+	}
+	switch d.opcode {
+	case 0xE0:
+		return "loopne" // rendered with a j prefix; close enough for a debug aid
+	case 0xE1:
+		return "loope"
+	case 0xE2:
+		return "loop"
+	case 0xE3:
+		return "cxz"
+	}
+	return ccNames[d.opcode&0x0F]
+}
+
+// arithByOpcode names the classic ALU group selected by bits 5:3 of the
+// one-byte opcode.
+var arithNames = [8]string{"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"}
+
+// group1 is the 80/81/83 immediate group.
+var group1 = arithNames
+
+// renderGeneric covers the common non-branch instructions.
+func (d *decodeState) renderGeneric(inst Inst) string {
+	if d.opcodeMap == 1 {
+		if s := d.renderOneByte(inst); s != "" {
+			return s
+		}
+	}
+	if d.opcodeMap == 2 {
+		if s := d.renderTwoByte(inst); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("op%d_%02x", d.opcodeMap, d.opcode)
+}
+
+func (d *decodeState) renderOneByte(inst Inst) string {
+	op := d.opcode
+	w := d.opWidth()
+	rexB := d.hasRex && d.rex&1 != 0
+	switch {
+	case op < 0x40 && op&7 < 6: // classic ALU block
+		name := arithNames[op>>3]
+		byteOp := op&1 == 0
+		if byteOp {
+			w = 1
+		}
+		switch op & 7 {
+		case 0, 1:
+			return fmt.Sprintf("%s %s, %s", name, d.rmString(w), d.regOperand(w))
+		case 2, 3:
+			return fmt.Sprintf("%s %s, %s", name, d.regOperand(w), d.rmString(w))
+		case 4:
+			return fmt.Sprintf("%s al, %#x", name, uint8(d.imm))
+		case 5:
+			return fmt.Sprintf("%s %s, %#x", name, regName(w, 0, false), uint64(d.imm))
+		}
+	case op >= 0x50 && op <= 0x57:
+		return "push " + regName(d.ptrWidth(), int(op-0x50), rexB)
+	case op >= 0x58 && op <= 0x5F:
+		return "pop " + regName(d.ptrWidth(), int(op-0x58), rexB)
+	case op == 0x68:
+		return fmt.Sprintf("push %#x", uint64(d.imm))
+	case op == 0x6A:
+		return fmt.Sprintf("push %#x", uint64(uint8(d.imm)))
+	case op == 0x63 && d.mode == Mode64:
+		return fmt.Sprintf("movsxd %s, %s", d.regOperand(8), d.rmString(4))
+	case op >= 0x80 && op <= 0x83:
+		w := d.opWidth()
+		if op == 0x80 {
+			w = 1
+		}
+		return fmt.Sprintf("%s %s, %#x", group1[inst.Reg()], d.rmString(w), uint64(d.imm))
+	case op == 0x84 || op == 0x85:
+		if op == 0x84 {
+			w = 1
+		}
+		return fmt.Sprintf("test %s, %s", d.rmString(w), d.regOperand(w))
+	case op == 0x88 || op == 0x89:
+		if op == 0x88 {
+			w = 1
+		}
+		return fmt.Sprintf("mov %s, %s", d.rmString(w), d.regOperand(w))
+	case op == 0x8A || op == 0x8B:
+		if op == 0x8A {
+			w = 1
+		}
+		return fmt.Sprintf("mov %s, %s", d.regOperand(w), d.rmString(w))
+	case op == 0x8D:
+		return fmt.Sprintf("lea %s, %s", d.regOperand(w), d.rmString(w))
+	case op >= 0xB8 && op <= 0xBF:
+		return fmt.Sprintf("mov %s, %#x", regName(w, int(op-0xB8), rexB), uint64(d.imm))
+	case op >= 0xB0 && op <= 0xB7:
+		return fmt.Sprintf("mov %s, %#x", regName(1, int(op-0xB0), rexB), uint8(d.imm))
+	case op == 0xC6 || op == 0xC7:
+		if op == 0xC6 {
+			w = 1
+		}
+		return fmt.Sprintf("mov %s, %#x", d.rmString(w), uint64(d.imm))
+	case op == 0xC0 || op == 0xC1 || op == 0xD0 || op == 0xD1 || op == 0xD2 || op == 0xD3:
+		names := [8]string{"rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar"}
+		if op == 0xC0 || op == 0xC1 {
+			return fmt.Sprintf("%s %s, %#x", names[inst.Reg()], d.rmString(w), uint8(d.imm))
+		}
+		return fmt.Sprintf("%s %s", names[inst.Reg()], d.rmString(w))
+	case op == 0xF6 || op == 0xF7:
+		names := [8]string{"test", "test", "not", "neg", "mul", "imul", "div", "idiv"}
+		if op == 0xF6 {
+			w = 1
+		}
+		if inst.Reg() <= 1 {
+			return fmt.Sprintf("test %s, %#x", d.rmString(w), uint64(d.imm))
+		}
+		return fmt.Sprintf("%s %s", names[inst.Reg()], d.rmString(w))
+	case op == 0xFE || op == 0xFF:
+		names := [8]string{"inc", "dec", "call", "callf", "jmp", "jmpf", "push", "(bad)"}
+		if op == 0xFE {
+			w = 1
+		}
+		return fmt.Sprintf("%s %s", names[inst.Reg()], d.rmString(w))
+	case op == 0x98:
+		return "cdqe"
+	case op == 0x99:
+		return "cdq"
+	}
+	return ""
+}
+
+func (d *decodeState) renderTwoByte(inst Inst) string {
+	op := d.opcode
+	w := d.opWidth()
+	switch {
+	case op >= 0x40 && op <= 0x4F:
+		return fmt.Sprintf("cmov%s %s, %s", ccNames[op&0x0F], d.regOperand(w), d.rmString(w))
+	case op >= 0x90 && op <= 0x9F:
+		return fmt.Sprintf("set%s %s", ccNames[op&0x0F], d.rmString(1))
+	case op == 0xAF:
+		return fmt.Sprintf("imul %s, %s", d.regOperand(w), d.rmString(w))
+	case op == 0xB6 || op == 0xB7:
+		sw := 1
+		if op == 0xB7 {
+			sw = 2
+		}
+		return fmt.Sprintf("movzx %s, %s", d.regOperand(w), d.rmString(sw))
+	case op == 0xBE || op == 0xBF:
+		sw := 1
+		if op == 0xBF {
+			sw = 2
+		}
+		return fmt.Sprintf("movsx %s, %s", d.regOperand(w), d.rmString(sw))
+	case op == 0x05:
+		return "syscall"
+	case op == 0xA2:
+		return "cpuid"
+	case op == 0x31:
+		return "rdtsc"
+	}
+	return ""
+}

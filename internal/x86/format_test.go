@@ -1,0 +1,92 @@
+package x86
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatKnown(t *testing.T) {
+	tests := []struct {
+		name string
+		code []byte
+		mode Mode
+		addr uint64
+		want string
+	}{
+		{"endbr64", []byte{0xF3, 0x0F, 0x1E, 0xFA}, Mode64, 0, "endbr64"},
+		{"endbr32", []byte{0xF3, 0x0F, 0x1E, 0xFB}, Mode32, 0, "endbr32"},
+		{"push-rbp", []byte{0x55}, Mode64, 0, "push rbp"},
+		{"push-ebp-32", []byte{0x55}, Mode32, 0, "push ebp"},
+		{"pop-r12", []byte{0x41, 0x5C}, Mode64, 0, "pop r12"},
+		{"mov-rbp-rsp", []byte{0x48, 0x89, 0xE5}, Mode64, 0, "mov rbp, rsp"},
+		{"mov-ebp-esp", []byte{0x89, 0xE5}, Mode32, 0, "mov ebp, esp"},
+		{"ret", []byte{0xC3}, Mode64, 0, "ret"},
+		{"ret-imm", []byte{0xC2, 0x08, 0x00}, Mode64, 0, "ret 0x8"},
+		{"leave", []byte{0xC9}, Mode64, 0, "leave"},
+		{"nop", []byte{0x90}, Mode64, 0, "nop"},
+		{"int3", []byte{0xCC}, Mode64, 0, "int3"},
+		{"hlt", []byte{0xF4}, Mode64, 0, "hlt"},
+		{"ud2", []byte{0x0F, 0x0B}, Mode64, 0, "ud2"},
+		{"call", []byte{0xE8, 0x0B, 0x00, 0x00, 0x00}, Mode64, 0x1000, "call 0x1010"},
+		{"jmp", []byte{0xEB, 0x05}, Mode64, 0x2000, "jmp 0x2007"},
+		{"je", []byte{0x74, 0x02}, Mode64, 0x10, "je 0x14"},
+		{"jne-near", []byte{0x0F, 0x85, 0x00, 0x01, 0x00, 0x00}, Mode64, 0, "jne 0x106"},
+		{"sub-rsp", []byte{0x48, 0x83, 0xEC, 0x10}, Mode64, 0, "sub rsp, 0x10"},
+		{"xor", []byte{0x48, 0x31, 0xC0}, Mode64, 0, "xor rax, rax"},
+		{"mov-imm", []byte{0xB8, 0x2A, 0x00, 0x00, 0x00}, Mode64, 0, "mov eax, 0x2a"},
+		{"mov-mem", []byte{0x48, 0x89, 0x45, 0xF8}, Mode64, 0, "mov [rbp-0x8], rax"},
+		{"mov-load-rsp", []byte{0x48, 0x8B, 0x44, 0x24, 0x08}, Mode64, 0, "mov rax, [rsp+0x8]"},
+		{"lea-rip", []byte{0x48, 0x8D, 0x05, 0x10, 0x00, 0x00, 0x00}, Mode64, 0, "lea rax, [rip+0x10]"},
+		{"call-ind-mem", []byte{0xFF, 0x55, 0xF0}, Mode64, 0, "call [rbp-0x10]"},
+		{"notrack-jmp", []byte{0x3E, 0xFF, 0xE2}, Mode64, 0, "notrack jmp rdx"},
+		{"jmp-reg", []byte{0xFF, 0xE0}, Mode64, 0, "jmp rax"},
+		{"push-imm", []byte{0x68, 0x00, 0x10, 0x40, 0x00}, Mode32, 0, "push 0x401000"},
+		{"movsxd", []byte{0x48, 0x63, 0xC8}, Mode64, 0, "movsxd rcx, eax"},
+		{"test", []byte{0x48, 0x85, 0xC0}, Mode64, 0, "test rax, rax"},
+		{"imul", []byte{0x48, 0x0F, 0xAF, 0xC1}, Mode64, 0, "imul rax, rcx"},
+		{"movzx", []byte{0x0F, 0xB6, 0xC1}, Mode64, 0, "movzx eax, cl"},
+		{"cmova", []byte{0x48, 0x0F, 0x47, 0xC1}, Mode64, 0, "cmova rax, rcx"},
+		{"sete", []byte{0x0F, 0x94, 0xC0}, Mode64, 0, "sete al"},
+		{"shl", []byte{0x48, 0xC1, 0xE0, 0x04}, Mode64, 0, "shl rax, 0x4"},
+		{"syscall", []byte{0x0F, 0x05}, Mode64, 0, "syscall"},
+		{"lea-sib", []byte{0x48, 0x8D, 0x04, 0x88}, Mode64, 0, "lea rax, [rax+rcx*4]"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, n, err := Format(tt.code, tt.addr, tt.mode)
+			if err != nil {
+				t.Fatalf("Format: %v", err)
+			}
+			if n != len(tt.code) {
+				t.Errorf("consumed %d bytes, want %d", n, len(tt.code))
+			}
+			if got != tt.want {
+				t.Errorf("Format = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFormatFallback(t *testing.T) {
+	// An SSE instruction without a dedicated renderer falls back to a
+	// generic opcode spelling rather than failing.
+	got, n, err := Format([]byte{0x0F, 0x10, 0xC1}, 0, Mode64) // movups xmm0, xmm1
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("n = %d", n)
+	}
+	if !strings.HasPrefix(got, "op") {
+		t.Errorf("fallback = %q, want generic opcode form", got)
+	}
+}
+
+func TestFormatError(t *testing.T) {
+	if _, _, err := Format([]byte{0x06}, 0, Mode64); err == nil {
+		t.Error("want error for invalid instruction")
+	}
+	if _, _, err := Format(nil, 0, Mode64); err == nil {
+		t.Error("want error for empty input")
+	}
+}

@@ -1,0 +1,124 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnRandomBytes is the decoder's core robustness
+// property: arbitrary byte soup either decodes to an instruction of
+// architectural length (1..15 bytes) or returns an error — never panics,
+// never claims zero or oversized length.
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, 32)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		for _, mode := range []Mode{Mode32, Mode64} {
+			inst, err := Decode(buf, 0x1000, mode)
+			if err != nil {
+				continue
+			}
+			if inst.Len < 1 || inst.Len > 15 {
+				t.Logf("mode %v bytes % x: len %d", mode, buf[:16], inst.Len)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepTerminatesOnRandomBytes: a linear sweep over garbage always
+// terminates and accounts for every byte.
+func TestSweepTerminatesOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		buf := make([]byte, 256+rng.Intn(1024))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		for _, mode := range []Mode{Mode32, Mode64} {
+			consumed := 0
+			skipped := LinearSweep(buf, 0, mode, func(inst Inst) bool {
+				consumed += inst.Len
+				return true
+			})
+			if consumed+skipped != len(buf) {
+				t.Fatalf("trial %d mode %v: %d consumed + %d skipped != %d",
+					trial, mode, consumed, skipped, len(buf))
+			}
+		}
+	}
+}
+
+// TestOneByteOpcodeTableSanity drives every primary opcode with generous
+// operand bytes and checks decode outcomes are stable and bounded.
+func TestOneByteOpcodeTableSanity(t *testing.T) {
+	// A tail long enough to satisfy any operand form.
+	tail := []byte{
+		0x84, 0x24, 0x11, 0x22, 0x33, 0x44,
+		0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC,
+	}
+	for op := 0; op < 256; op++ {
+		buf := append([]byte{byte(op)}, tail...)
+		for _, mode := range []Mode{Mode32, Mode64} {
+			inst, err := Decode(buf, 0, mode)
+			if err != nil {
+				continue // invalid in this mode: acceptable
+			}
+			if inst.Len < 1 || inst.Len > 15 {
+				t.Errorf("opcode %#02x mode %v: len %d", op, mode, inst.Len)
+			}
+			// Determinism: decoding the same bytes twice agrees.
+			inst2, err2 := Decode(buf, 0, mode)
+			if err2 != nil || inst2.Len != inst.Len || inst2.Class != inst.Class {
+				t.Errorf("opcode %#02x mode %v: nondeterministic decode", op, mode)
+			}
+		}
+	}
+}
+
+// TestTwoByteOpcodeTableSanity does the same for the 0F map.
+func TestTwoByteOpcodeTableSanity(t *testing.T) {
+	tail := []byte{
+		0x84, 0x24, 0x11, 0x22, 0x33, 0x44,
+		0x55, 0x66, 0x77, 0x88, 0x99, 0xAA, 0xBB, 0xCC,
+	}
+	for op := 0; op < 256; op++ {
+		buf := append([]byte{0x0F, byte(op)}, tail...)
+		for _, mode := range []Mode{Mode32, Mode64} {
+			inst, err := Decode(buf, 0, mode)
+			if err != nil {
+				continue
+			}
+			if inst.Len < 2 || inst.Len > 15 {
+				t.Errorf("0F %#02x mode %v: len %d", op, mode, inst.Len)
+			}
+		}
+	}
+}
+
+// TestDecodePrefixSoup layers legitimate prefixes and checks the 15-byte
+// guard engages rather than looping.
+func TestDecodePrefixSoup(t *testing.T) {
+	prefixes := []byte{0x66, 0x67, 0xF2, 0xF3, 0x2E, 0x3E, 0x26, 0x36, 0x64, 0x65, 0xF0}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		buf := make([]byte, 0, n+4)
+		for i := 0; i < n; i++ {
+			buf = append(buf, prefixes[rng.Intn(len(prefixes))])
+		}
+		buf = append(buf, 0x90)
+		inst, err := Decode(buf, 0, Mode64)
+		if err == nil && inst.Len > 15 {
+			t.Fatalf("prefix soup length %d", inst.Len)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package x86
+
+// LinearSweep disassembles code linearly from base, invoking fn for every
+// decoded instruction. On a decode error the sweep re-synchronizes by
+// advancing one byte, mirroring the recovery strategy used by FunSeeker
+// (Kim et al., DSN 2022, §IV-B). fn may return false to stop the sweep.
+//
+// The returned count is the number of bytes that had to be skipped due to
+// decode errors, which is zero for well-formed compiler-generated text.
+func LinearSweep(code []byte, base uint64, mode Mode, fn func(Inst) bool) (skipped int) {
+	off := 0
+	for off < len(code) {
+		inst, err := Decode(code[off:], base+uint64(off), mode)
+		if err != nil {
+			off++
+			skipped++
+			continue
+		}
+		if !fn(inst) {
+			return skipped
+		}
+		off += inst.Len
+	}
+	return skipped
+}
+
+// SweepAll disassembles code linearly and returns every instruction. It is
+// a convenience wrapper over LinearSweep for tests and tools.
+func SweepAll(code []byte, base uint64, mode Mode) []Inst {
+	// Typical compiler-generated x86 averages close to 4 bytes per
+	// instruction; reserve accordingly.
+	insts := make([]Inst, 0, len(code)/4+1)
+	LinearSweep(code, base, mode, func(inst Inst) bool {
+		insts = append(insts, inst)
+		return true
+	})
+	return insts
+}

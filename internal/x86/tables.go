@@ -1,0 +1,304 @@
+package x86
+
+// Opcode attribute tables. Each opcode maps to an opinfo describing whether
+// a ModRM byte follows and what immediate-operand shape the instruction
+// carries. The tables mirror the opcode maps in the Intel SDM Volume 2
+// appendix A ("Opcode Map").
+
+// immKind enumerates immediate-operand shapes.
+type immKind uint8
+
+const (
+	immNone immKind = iota
+	// imm8 is a 1-byte immediate (ib).
+	imm8
+	// imm16 is a 2-byte immediate (iw).
+	imm16
+	// imm16x8 is ENTER's iw+ib pair.
+	imm16x8
+	// immZ is a 16- or 32-bit immediate selected by operand size (iz).
+	immZ
+	// immV is a full operand-sized immediate: 16, 32, or (with REX.W on
+	// B8-BF) 64 bits (iv).
+	immV
+	// immAddr is a moffs absolute address sized by the address size (A0-A3).
+	immAddr
+	// rel8 is a 1-byte relative branch displacement.
+	rel8
+	// relZ is a 16- or 32-bit relative branch displacement by operand size.
+	relZ
+	// farPtr is a ptr16:16 / ptr16:32 far-pointer immediate by operand size.
+	farPtr
+)
+
+// opflag is a bit set of opcode properties.
+type opflag uint16
+
+const (
+	// fModRM marks opcodes followed by a ModRM byte.
+	fModRM opflag = 1 << iota
+	// fInval64 marks opcodes that do not decode in 64-bit mode.
+	fInval64
+	// fInval32 marks opcodes that do not decode in 32-bit mode.
+	fInval32
+	// fPrefix marks legacy prefix bytes.
+	fPrefix
+	// fGroup3 marks F6/F7: the immediate is present only for /0 and /1.
+	fGroup3
+	// fUndef marks permanently undefined opcodes (decode error).
+	fUndef
+	// fDefault64 marks opcodes whose operand size defaults to 64 bits in
+	// long mode (near branches, push/pop); a 66 prefix is ignored for
+	// their relative displacement size by all shipping implementations.
+	fDefault64
+)
+
+// opinfo is a single opcode-map entry.
+type opinfo struct {
+	flags opflag
+	imm   immKind
+}
+
+func (o opinfo) has(f opflag) bool { return o.flags&f != 0 }
+
+// modrm is shorthand for a plain ModRM-carrying entry.
+var modrm = opinfo{flags: fModRM}
+
+// none is shorthand for a bare one-byte instruction.
+var none = opinfo{}
+
+// oneByte is the primary (one-byte) opcode map. Escape bytes (0F), prefix
+// bytes, and VEX/EVEX introducers are marked and handled by the decoder
+// before this table is consulted for attributes.
+var oneByte = [256]opinfo{
+	// 0x00-0x07: ADD, PUSH ES, POP ES
+	0x00: modrm, 0x01: modrm, 0x02: modrm, 0x03: modrm,
+	0x04: {imm: imm8}, 0x05: {imm: immZ},
+	0x06: {flags: fInval64}, 0x07: {flags: fInval64},
+	// 0x08-0x0F: OR, PUSH CS, 0F escape
+	0x08: modrm, 0x09: modrm, 0x0A: modrm, 0x0B: modrm,
+	0x0C: {imm: imm8}, 0x0D: {imm: immZ},
+	0x0E: {flags: fInval64},
+	0x0F: none, // two-byte escape, handled in the decoder
+	// 0x10-0x17: ADC, PUSH/POP SS
+	0x10: modrm, 0x11: modrm, 0x12: modrm, 0x13: modrm,
+	0x14: {imm: imm8}, 0x15: {imm: immZ},
+	0x16: {flags: fInval64}, 0x17: {flags: fInval64},
+	// 0x18-0x1F: SBB, PUSH/POP DS
+	0x18: modrm, 0x19: modrm, 0x1A: modrm, 0x1B: modrm,
+	0x1C: {imm: imm8}, 0x1D: {imm: immZ},
+	0x1E: {flags: fInval64}, 0x1F: {flags: fInval64},
+	// 0x20-0x27: AND, ES prefix, DAA
+	0x20: modrm, 0x21: modrm, 0x22: modrm, 0x23: modrm,
+	0x24: {imm: imm8}, 0x25: {imm: immZ},
+	0x26: {flags: fPrefix}, 0x27: {flags: fInval64},
+	// 0x28-0x2F: SUB, CS prefix, DAS
+	0x28: modrm, 0x29: modrm, 0x2A: modrm, 0x2B: modrm,
+	0x2C: {imm: imm8}, 0x2D: {imm: immZ},
+	0x2E: {flags: fPrefix}, 0x2F: {flags: fInval64},
+	// 0x30-0x37: XOR, SS prefix, AAA
+	0x30: modrm, 0x31: modrm, 0x32: modrm, 0x33: modrm,
+	0x34: {imm: imm8}, 0x35: {imm: immZ},
+	0x36: {flags: fPrefix}, 0x37: {flags: fInval64},
+	// 0x38-0x3F: CMP, DS prefix (doubles as NOTRACK), AAS
+	0x38: modrm, 0x39: modrm, 0x3A: modrm, 0x3B: modrm,
+	0x3C: {imm: imm8}, 0x3D: {imm: immZ},
+	0x3E: {flags: fPrefix}, 0x3F: {flags: fInval64},
+	// 0x40-0x4F: INC/DEC r32 (32-bit) — REX prefixes in 64-bit mode,
+	// handled by the decoder before table lookup.
+	0x40: none, 0x41: none, 0x42: none, 0x43: none,
+	0x44: none, 0x45: none, 0x46: none, 0x47: none,
+	0x48: none, 0x49: none, 0x4A: none, 0x4B: none,
+	0x4C: none, 0x4D: none, 0x4E: none, 0x4F: none,
+	// 0x50-0x5F: PUSH/POP reg
+	0x50: {flags: fDefault64}, 0x51: {flags: fDefault64},
+	0x52: {flags: fDefault64}, 0x53: {flags: fDefault64},
+	0x54: {flags: fDefault64}, 0x55: {flags: fDefault64},
+	0x56: {flags: fDefault64}, 0x57: {flags: fDefault64},
+	0x58: {flags: fDefault64}, 0x59: {flags: fDefault64},
+	0x5A: {flags: fDefault64}, 0x5B: {flags: fDefault64},
+	0x5C: {flags: fDefault64}, 0x5D: {flags: fDefault64},
+	0x5E: {flags: fDefault64}, 0x5F: {flags: fDefault64},
+	// 0x60-0x67: PUSHA/POPA, BOUND, ARPL/MOVSXD, seg + size prefixes
+	0x60: {flags: fInval64}, 0x61: {flags: fInval64},
+	0x62: {flags: fModRM | fInval64}, // BOUND (32-bit); EVEX handled by decoder
+	0x63: modrm,                      // ARPL (32) / MOVSXD (64)
+	0x64: {flags: fPrefix}, 0x65: {flags: fPrefix},
+	0x66: {flags: fPrefix}, 0x67: {flags: fPrefix},
+	// 0x68-0x6F: PUSH iz, IMUL, PUSH ib, INS/OUTS
+	0x68: {flags: fDefault64, imm: immZ},
+	0x69: {flags: fModRM, imm: immZ},
+	0x6A: {flags: fDefault64, imm: imm8},
+	0x6B: {flags: fModRM, imm: imm8},
+	0x6C: none, 0x6D: none, 0x6E: none, 0x6F: none,
+	// 0x70-0x7F: Jcc rel8
+	0x70: {flags: fDefault64, imm: rel8}, 0x71: {flags: fDefault64, imm: rel8},
+	0x72: {flags: fDefault64, imm: rel8}, 0x73: {flags: fDefault64, imm: rel8},
+	0x74: {flags: fDefault64, imm: rel8}, 0x75: {flags: fDefault64, imm: rel8},
+	0x76: {flags: fDefault64, imm: rel8}, 0x77: {flags: fDefault64, imm: rel8},
+	0x78: {flags: fDefault64, imm: rel8}, 0x79: {flags: fDefault64, imm: rel8},
+	0x7A: {flags: fDefault64, imm: rel8}, 0x7B: {flags: fDefault64, imm: rel8},
+	0x7C: {flags: fDefault64, imm: rel8}, 0x7D: {flags: fDefault64, imm: rel8},
+	0x7E: {flags: fDefault64, imm: rel8}, 0x7F: {flags: fDefault64, imm: rel8},
+	// 0x80-0x8F: immediate group 1, TEST/XCHG/MOV/LEA, POP r/m
+	0x80: {flags: fModRM, imm: imm8},
+	0x81: {flags: fModRM, imm: immZ},
+	0x82: {flags: fModRM | fInval64, imm: imm8}, // alias of 0x80
+	0x83: {flags: fModRM, imm: imm8},
+	0x84: modrm, 0x85: modrm, 0x86: modrm, 0x87: modrm,
+	0x88: modrm, 0x89: modrm, 0x8A: modrm, 0x8B: modrm,
+	0x8C: modrm, 0x8D: modrm, 0x8E: modrm,
+	0x8F: {flags: fModRM | fDefault64}, // POP r/m (group 1A)
+	// 0x90-0x9F: XCHG/NOP, CBW/CWD, CALLF, WAIT, PUSHF/POPF, SAHF/LAHF
+	0x90: none, 0x91: none, 0x92: none, 0x93: none,
+	0x94: none, 0x95: none, 0x96: none, 0x97: none,
+	0x98: none, 0x99: none,
+	0x9A: {flags: fInval64, imm: farPtr},
+	0x9B: none,
+	0x9C: {flags: fDefault64}, 0x9D: {flags: fDefault64},
+	0x9E: none, 0x9F: none,
+	// 0xA0-0xAF: MOV moffs, MOVS/CMPS, TEST, STOS/LODS/SCAS
+	0xA0: {imm: immAddr}, 0xA1: {imm: immAddr},
+	0xA2: {imm: immAddr}, 0xA3: {imm: immAddr},
+	0xA4: none, 0xA5: none, 0xA6: none, 0xA7: none,
+	0xA8: {imm: imm8}, 0xA9: {imm: immZ},
+	0xAA: none, 0xAB: none, 0xAC: none, 0xAD: none,
+	0xAE: none, 0xAF: none,
+	// 0xB0-0xBF: MOV reg, imm
+	0xB0: {imm: imm8}, 0xB1: {imm: imm8}, 0xB2: {imm: imm8}, 0xB3: {imm: imm8},
+	0xB4: {imm: imm8}, 0xB5: {imm: imm8}, 0xB6: {imm: imm8}, 0xB7: {imm: imm8},
+	0xB8: {imm: immV}, 0xB9: {imm: immV}, 0xBA: {imm: immV}, 0xBB: {imm: immV},
+	0xBC: {imm: immV}, 0xBD: {imm: immV}, 0xBE: {imm: immV}, 0xBF: {imm: immV},
+	// 0xC0-0xCF: shift groups, RET, LES/LDS (VEX), MOV imm, ENTER/LEAVE, INT
+	0xC0: {flags: fModRM, imm: imm8},
+	0xC1: {flags: fModRM, imm: imm8},
+	0xC2: {flags: fDefault64, imm: imm16},
+	0xC3: {flags: fDefault64},
+	0xC4: {flags: fModRM | fInval64}, // LES (32-bit); VEX handled by decoder
+	0xC5: {flags: fModRM | fInval64}, // LDS (32-bit); VEX handled by decoder
+	0xC6: {flags: fModRM, imm: imm8},
+	0xC7: {flags: fModRM, imm: immZ},
+	0xC8: {imm: imm16x8},
+	0xC9: {flags: fDefault64},
+	0xCA: {imm: imm16}, 0xCB: none,
+	0xCC: none,
+	0xCD: {imm: imm8},
+	0xCE: {flags: fInval64},
+	0xCF: none,
+	// 0xD0-0xDF: shift groups, AAM/AAD, XLAT, x87 escapes
+	0xD0: modrm, 0xD1: modrm, 0xD2: modrm, 0xD3: modrm,
+	0xD4: {flags: fInval64, imm: imm8},
+	0xD5: {flags: fInval64, imm: imm8},
+	0xD6: {flags: fInval64}, // SALC
+	0xD7: none,
+	0xD8: modrm, 0xD9: modrm, 0xDA: modrm, 0xDB: modrm,
+	0xDC: modrm, 0xDD: modrm, 0xDE: modrm, 0xDF: modrm,
+	// 0xE0-0xEF: LOOP/JCXZ, IN/OUT, CALL/JMP
+	0xE0: {flags: fDefault64, imm: rel8}, 0xE1: {flags: fDefault64, imm: rel8},
+	0xE2: {flags: fDefault64, imm: rel8}, 0xE3: {flags: fDefault64, imm: rel8},
+	0xE4: {imm: imm8}, 0xE5: {imm: imm8},
+	0xE6: {imm: imm8}, 0xE7: {imm: imm8},
+	0xE8: {flags: fDefault64, imm: relZ},
+	0xE9: {flags: fDefault64, imm: relZ},
+	0xEA: {flags: fInval64, imm: farPtr},
+	0xEB: {flags: fDefault64, imm: rel8},
+	0xEC: none, 0xED: none, 0xEE: none, 0xEF: none,
+	// 0xF0-0xFF: LOCK/REP prefixes, HLT, group 3, CLC..STD, groups 4/5
+	0xF0: {flags: fPrefix},
+	0xF1: none, // INT1/ICEBP
+	0xF2: {flags: fPrefix}, 0xF3: {flags: fPrefix},
+	0xF4: none, 0xF5: none,
+	0xF6: {flags: fModRM | fGroup3, imm: imm8},
+	0xF7: {flags: fModRM | fGroup3, imm: immZ},
+	0xF8: none, 0xF9: none, 0xFA: none, 0xFB: none,
+	0xFC: none, 0xFD: none,
+	0xFE: modrm,
+	0xFF: {flags: fModRM | fDefault64},
+}
+
+// twoByte is the 0F-escaped opcode map.
+var twoByte = buildTwoByte()
+
+func buildTwoByte() [256]opinfo {
+	var t [256]opinfo
+	// Default: the overwhelming majority of 0F opcodes carry a ModRM byte
+	// (SSE/MMX register-register and register-memory forms).
+	for i := range t {
+		t[i] = modrm
+	}
+	noModRM := []int{
+		0x05, // SYSCALL
+		0x06, // CLTS
+		0x07, // SYSRET
+		0x08, // INVD
+		0x09, // WBINVD
+		0x0B, // UD2
+		0x0E, // FEMMS (3DNow!)
+		0x30, // WRMSR
+		0x31, // RDTSC
+		0x32, // RDMSR
+		0x33, // RDPMC
+		0x34, // SYSENTER
+		0x35, // SYSEXIT
+		0x37, // GETSEC
+		0x77, // EMMS
+		0xA0, // PUSH FS
+		0xA1, // POP FS
+		0xA2, // CPUID
+		0xA8, // PUSH GS
+		0xA9, // POP GS
+		0xAA, // RSM
+	}
+	for _, op := range noModRM {
+		t[op] = none
+	}
+	// PUSH/POP FS/GS default to 64-bit operands in long mode.
+	t[0xA0].flags |= fDefault64
+	t[0xA1].flags |= fDefault64
+	t[0xA8].flags |= fDefault64
+	t[0xA9].flags |= fDefault64
+	// BSWAP reg
+	for op := 0xC8; op <= 0xCF; op++ {
+		t[op] = none
+	}
+	// Jcc relZ
+	for op := 0x80; op <= 0x8F; op++ {
+		t[op] = opinfo{flags: fDefault64, imm: relZ}
+	}
+	// ModRM + imm8 forms.
+	withImm8 := []int{
+		0x0F, // 3DNow! suffix byte (decoded as imm8)
+		0x70, // PSHUFW/PSHUFD family
+		0x71, // group 12
+		0x72, // group 13
+		0x73, // group 14
+		0xA4, // SHLD imm8
+		0xAC, // SHRD imm8
+		0xBA, // group 8 (BT/BTS/BTR/BTC imm8)
+		0xC2, // CMPPS/CMPSS imm8
+		0xC4, // PINSRW imm8
+		0xC5, // PEXTRW imm8
+		0xC6, // SHUFPS imm8
+	}
+	for _, op := range withImm8 {
+		t[op] = opinfo{flags: fModRM, imm: imm8}
+	}
+	// Undefined / reserved rows that must fail decoding.
+	undef := []int{0x04, 0x0A, 0x0C, 0x24, 0x25, 0x26, 0x27, 0x36, 0x39, 0x3B, 0x3C, 0x3D, 0x3E, 0x3F, 0x7A, 0x7B, 0xA6, 0xA7}
+	for _, op := range undef {
+		t[op] = opinfo{flags: fUndef}
+	}
+	// 0x38 / 0x3A escape to the three-byte maps; the decoder intercepts
+	// them before consulting attributes.
+	t[0x38] = none
+	t[0x3A] = none
+	return t
+}
+
+// threeByte38 attributes: every 0F 38 instruction carries ModRM and no
+// immediate.
+var threeByte38 = opinfo{flags: fModRM}
+
+// threeByte3A attributes: every 0F 3A instruction carries ModRM plus an
+// imm8 selector.
+var threeByte3A = opinfo{flags: fModRM, imm: imm8}

@@ -23,10 +23,30 @@ func RunIDA(bin *Binary) ([]uint64, error) {
 	return r.Entries, nil
 }
 
+// RunIDAWithContext is RunIDA over a shared analysis context, reusing the
+// memoized landing-pad set and instruction index.
+func RunIDAWithContext(ctx *AnalysisContext) ([]uint64, error) {
+	r, err := idapro.IdentifyWithContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
 // RunGhidra identifies function entries with the Ghidra model:
 // .eh_frame FDE starts, recursive descent, and prologue signatures.
 func RunGhidra(bin *Binary) ([]uint64, error) {
 	r, err := ghidra.Identify(bin)
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
+// RunGhidraWithContext is RunGhidra over a shared analysis context,
+// reusing the memoized .eh_frame parse.
+func RunGhidraWithContext(ctx *AnalysisContext) ([]uint64, error) {
+	r, err := ghidra.IdentifyWithContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -38,6 +58,17 @@ func RunGhidra(bin *Binary) ([]uint64, error) {
 // CFG-level stack-height and calling-convention analysis.
 func RunFETCH(bin *Binary) ([]uint64, error) {
 	r, err := fetch.Identify(bin)
+	if err != nil {
+		return nil, err
+	}
+	return r.Entries, nil
+}
+
+// RunFETCHWithContext is RunFETCH over a shared analysis context, reusing
+// the memoized .eh_frame parse and instruction index (the stack-height
+// verification — FETCH's real cost — still runs in full).
+func RunFETCHWithContext(ctx *AnalysisContext) ([]uint64, error) {
+	r, err := fetch.IdentifyWithContext(ctx)
 	if err != nil {
 		return nil, err
 	}

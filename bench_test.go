@@ -153,6 +153,90 @@ func BenchmarkTableIII_FETCH(b *testing.B) {
 	}
 }
 
+// evalMatrixOnce replicates the per-binary work of the evaluation matrix
+// (both studies, the four ablation configurations, and the three baseline
+// tools) the way eval.RunAll issues it, parameterized over how the
+// analyses obtain their inputs.
+func evalMatrixShared(b *testing.B, c benchCase) {
+	ctx := funseeker.NewContext(c.bin)
+	if _, err := funseeker.ClassifyEndbrsWithContext(ctx); err != nil {
+		b.Fatal(err)
+	}
+	funseeker.AnalyzePropertiesWithContext(ctx, c.gt.SortedEntries())
+	for _, opts := range []funseeker.Options{
+		funseeker.Config1, funseeker.Config2, funseeker.Config3, funseeker.Config4,
+	} {
+		if _, err := funseeker.IdentifyWithContext(ctx, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := funseeker.RunIDAWithContext(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := funseeker.RunGhidraWithContext(ctx); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := funseeker.RunFETCHWithContext(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func evalMatrixReload(b *testing.B, c benchCase) {
+	if _, err := funseeker.ClassifyEndbrs(c.bin); err != nil {
+		b.Fatal(err)
+	}
+	funseeker.AnalyzeProperties(c.bin, c.gt.SortedEntries())
+	for _, opts := range []funseeker.Options{
+		funseeker.Config1, funseeker.Config2, funseeker.Config3, funseeker.Config4,
+	} {
+		if _, err := funseeker.IdentifyBinary(c.bin, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := funseeker.RunIDA(c.bin); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := funseeker.RunGhidra(c.bin); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := funseeker.RunFETCH(c.bin); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEvalMatrix compares the full tool×config evaluation sweep with
+// and without the shared per-binary analysis context. "per-tool-reload"
+// is the old behaviour — every analysis re-sweeps .text and re-parses
+// .eh_frame; "shared-context" memoizes both per binary. One op = the
+// whole corpus through the whole matrix.
+func BenchmarkEvalMatrix(b *testing.B) {
+	set := benchCorpus(b)
+	b.Run("per-tool-reload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range set {
+				evalMatrixReload(b, c)
+			}
+		}
+	})
+	b.Run("shared-context", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, c := range set {
+				evalMatrixShared(b, c)
+			}
+		}
+	})
+	// Cold single-binary path: one Context used once, versus the direct
+	// call — the wrapper must not cost anything measurable.
+	b.Run("cold-single-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := set[i%len(set)]
+			if _, err := funseeker.IdentifyBinary(c.bin, funseeker.Config4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAblationNoFilterEndbr isolates the cost/benefit of
 // FILTERENDBR: configuration ④ minus the end-branch filter.
 func BenchmarkAblationNoFilterEndbr(b *testing.B) {

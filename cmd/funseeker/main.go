@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	funseeker [-config 4] [-gt truth.json] [-stats] <binary>
+//	funseeker [-config 4] [-gt truth.json] [-stats] [-v] <binary>
 //
 // By default the full algorithm (configuration ④) runs and the entry
 // addresses are printed one per line. With -gt the result is scored
@@ -37,6 +37,7 @@ func run() error {
 		quiet    = flag.Bool("quiet", false, "suppress the entry listing")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		superset = flag.Bool("superset", false, "additionally scan all byte offsets for end branches (data-in-text robustness)")
+		verbose  = flag.Bool("v", false, "report analysis degradations (e.g. unreadable exception metadata)")
 		dist     = flag.Bool("endbr-dist", false, "print the end-branch location distribution (Table I study)")
 	)
 	flag.Parse()
@@ -100,6 +101,11 @@ func run() error {
 	report, err := funseeker.IdentifyBinary(bin, opts)
 	if err != nil {
 		return err
+	}
+	if *verbose {
+		for _, w := range report.Warnings {
+			fmt.Fprintln(os.Stderr, "funseeker: warning:", w)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

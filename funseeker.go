@@ -31,6 +31,7 @@
 package funseeker
 
 import (
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/elfx"
 )
@@ -61,9 +62,35 @@ type Report = core.Report
 // Binary is a loaded ELF executable ready for analysis.
 type Binary = elfx.Binary
 
+// AnalysisContext is the shared per-binary analysis state: the linear
+// sweep, reference sets, .eh_frame parse, and landing-pad set are each
+// computed once per binary, on first demand, and shared by every analyzer
+// consuming the context — including analyzers on other goroutines. Build
+// one with NewContext when running several tools or configurations over
+// the same binary.
+type AnalysisContext = analysis.Context
+
+// AnalysisStats is a snapshot of per-stage costs and memoization hit/miss
+// counts for one context (or, via Add, an aggregate over many).
+type AnalysisStats = analysis.Stats
+
+// NewContext wraps a loaded binary in a fresh analysis context.
+func NewContext(bin *Binary) *AnalysisContext {
+	return analysis.NewContext(bin)
+}
+
 // Identify runs FunSeeker on the ELF binary at path.
 func Identify(path string, opts Options) (*Report, error) {
 	return core.IdentifyFile(path, opts)
+}
+
+// IdentifyWithContext runs FunSeeker using the shared per-binary analysis
+// artifacts memoized in ctx. Use this (rather than IdentifyBinary) when
+// the same binary is analyzed more than once — e.g. all four
+// configurations, or FunSeeker alongside the baseline tools — so the
+// sweep and exception-metadata parse are not repeated.
+func IdentifyWithContext(ctx *AnalysisContext, opts Options) (*Report, error) {
+	return core.IdentifyWithContext(ctx, opts)
 }
 
 // IdentifyBytes runs FunSeeker on an in-memory ELF image.

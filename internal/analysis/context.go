@@ -1,0 +1,243 @@
+// Package analysis provides the shared per-binary analysis context.
+//
+// Every identifier in this module — the four FunSeeker configurations and
+// the IDA, Ghidra, and FETCH baseline models — starts from the same
+// expensive artifacts: one linear-sweep disassembly of .text, the
+// end-branch set E with its indirect-return annotations, the direct
+// call/jump reference sets C and J, the parsed .eh_frame FDE records, and
+// the exception landing-pad set. Before this package existed each tool
+// recomputed them independently, so one evaluation cell did ~7× redundant
+// work per binary.
+//
+// Context memoizes each artifact under sync.Once: it is computed exactly
+// once per binary, on first demand, and every later consumer — including
+// consumers on other goroutines — gets the cached value. All artifacts
+// are immutable after construction, so a single Context is safe to share
+// across the evaluation runner's worker pool. Per-stage wall-clock costs
+// and hit/miss counts are recorded in Stats (see stats.go) so the runtime
+// tables can report where time actually goes.
+package analysis
+
+import (
+	"time"
+
+	"github.com/funseeker/funseeker/internal/cet"
+	"github.com/funseeker/funseeker/internal/ehframe"
+	"github.com/funseeker/funseeker/internal/ehinfo"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// JumpRef records one direct jump instruction and its target.
+type JumpRef struct {
+	// Src is the address of the jump instruction.
+	Src uint64
+	// Target is the absolute destination.
+	Target uint64
+	// Cond reports whether the jump is conditional (Jcc).
+	Cond bool
+}
+
+// Sweep carries everything one linear-sweep disassembly pass collects:
+// the materialized instruction index plus the derived reference sets the
+// identification algorithms consume. All fields are populated once and
+// must be treated as read-only.
+type Sweep struct {
+	// Index is the materialized linear-sweep disassembly of .text.
+	Index *x86.Index
+
+	// Endbrs is E: every end-branch address in .text, ascending.
+	Endbrs []uint64
+	// EndbrSet is Endbrs as a membership set.
+	EndbrSet map[uint64]bool
+	// AfterIRCall marks end-branch addresses immediately preceded by a
+	// call to a PLT entry of an indirect-return (setjmp-family) function.
+	AfterIRCall map[uint64]bool
+
+	// CallTargets is C: every direct-call target inside .text, ascending.
+	CallTargets []uint64
+	// CallTargetSet is CallTargets as a membership set.
+	CallTargetSet map[uint64]bool
+	// AllCallTargets additionally includes direct-call targets outside
+	// .text (PLT stubs and the like).
+	AllCallTargets map[uint64]bool
+
+	// JumpRefs is every direct jump (conditional and unconditional) with
+	// its source retained for SELECTTAILCALL.
+	JumpRefs []JumpRef
+	// JumpTargets is J restricted to .text, ascending, deduplicated
+	// (conditional and unconditional targets alike, matching the paper's
+	// configuration ③ candidate set).
+	JumpTargets []uint64
+	// JumpTargetSet is JumpTargets as a membership set.
+	JumpTargetSet map[uint64]bool
+	// UncondJumpTargets is the unconditional-only target set (any
+	// address), the DirJmpTarget property of the Figure 3 study.
+	UncondJumpTargets map[uint64]bool
+}
+
+// Context is the shared per-binary analysis state. Create one per binary
+// with NewContext, hand it to every analyzer interested in that binary,
+// and each shared artifact is computed exactly once no matter how many
+// tools, configurations, or goroutines consume it.
+type Context struct {
+	bin *elfx.Binary
+
+	sweepOnce onceStage
+	sweep     *Sweep
+
+	ehOnce onceStage
+	fdes   []ehframe.FDE
+	ehErr  error
+
+	padsOnce onceStage
+	pads     map[uint64]bool
+	padsErr  error
+
+	supersetOnce onceStage
+	superset     []uint64
+
+	stats statCounters
+}
+
+// NewContext wraps a loaded binary in a fresh analysis context. Nothing
+// is computed until first demand.
+func NewContext(bin *elfx.Binary) *Context {
+	return &Context{bin: bin}
+}
+
+// Binary returns the underlying loaded binary.
+func (c *Context) Binary() *elfx.Binary { return c.bin }
+
+// Sweep returns the memoized linear-sweep artifacts, computing them on
+// first call.
+func (c *Context) Sweep() *Sweep {
+	c.sweepOnce.do(&c.stats.sweep, func() {
+		c.sweep = buildSweep(c.bin)
+	})
+	return c.sweep
+}
+
+// Index returns the memoized instruction index (one linear sweep).
+func (c *Context) Index() *x86.Index { return c.Sweep().Index }
+
+// FDEs returns the memoized .eh_frame FDE records. Binaries without an
+// .eh_frame section yield an empty slice without a parse.
+func (c *Context) FDEs() ([]ehframe.FDE, error) {
+	if len(c.bin.EHFrame) == 0 {
+		return nil, nil
+	}
+	c.ehOnce.do(&c.stats.ehParse, func() {
+		c.fdes, c.ehErr = ehframe.Parse(c.bin.EHFrame, c.bin.EHFrameAddr, c.bin.PtrSize())
+	})
+	return c.fdes, c.ehErr
+}
+
+// LandingPads returns the memoized exception landing-pad set, derived
+// from the memoized FDE records (so the whole context performs at most
+// one .eh_frame parse). The returned map is read-only.
+func (c *Context) LandingPads() (map[uint64]bool, error) {
+	c.padsOnce.do(&c.stats.landingPad, func() {
+		fdes, err := c.FDEs()
+		if err != nil {
+			c.pads, c.padsErr = nil, err
+			return
+		}
+		c.pads = ehinfo.LandingPadsFromFDEs(c.bin, fdes)
+	})
+	return c.pads, c.padsErr
+}
+
+// SupersetEndbrs returns the memoized byte-level end-branch scan: every
+// address at which an ENDBR32/ENDBR64 encoding occurs, at any byte offset
+// of .text, ascending. This is the superset-disassembly pairing the
+// paper's §VI proposes; it is kept separate from Sweep because only the
+// SupersetEndbrScan option consumes it.
+func (c *Context) SupersetEndbrs() []uint64 {
+	c.supersetOnce.do(&c.stats.superset, func() {
+		c.superset = scanEndbrEncodings(c.bin.Text, c.bin.TextAddr)
+	})
+	return c.superset
+}
+
+// ObserveFilter records one FILTERENDBR stage execution of duration d.
+func (c *Context) ObserveFilter(d time.Duration) { c.stats.filter.observe(d) }
+
+// ObserveTailCall records one SELECTTAILCALL stage execution of
+// duration d.
+func (c *Context) ObserveTailCall(d time.Duration) { c.stats.tailCall.observe(d) }
+
+// buildSweep runs the single linear sweep and derives every reference
+// set from the materialized index.
+func buildSweep(bin *elfx.Binary) *Sweep {
+	sw := &Sweep{
+		Index:             x86.BuildIndex(bin.Text, bin.TextAddr, bin.Mode),
+		AfterIRCall:       make(map[uint64]bool),
+		AllCallTargets:    make(map[uint64]bool),
+		JumpTargetSet:     make(map[uint64]bool),
+		UncondJumpTargets: make(map[uint64]bool),
+	}
+	havePrev := false
+	var prev *x86.Inst
+	insts := sw.Index.Insts
+	for i := range insts {
+		inst := &insts[i]
+		switch inst.Class {
+		case x86.ClassEndbr64, x86.ClassEndbr32:
+			sw.Endbrs = append(sw.Endbrs, inst.Addr)
+			if havePrev && prev.Class == x86.ClassCallRel && prev.HasTarget {
+				if name, ok := bin.PLTName(prev.Target); ok && cet.IsIndirectReturnFunc(name) {
+					sw.AfterIRCall[inst.Addr] = true
+				}
+			}
+		case x86.ClassCallRel:
+			if inst.HasTarget {
+				sw.AllCallTargets[inst.Target] = true
+			}
+		case x86.ClassJmpRel, x86.ClassJccRel:
+			if inst.HasTarget {
+				cond := inst.Class == x86.ClassJccRel
+				sw.JumpRefs = append(sw.JumpRefs, JumpRef{Src: inst.Addr, Target: inst.Target, Cond: cond})
+				if bin.InText(inst.Target) {
+					sw.JumpTargetSet[inst.Target] = true
+				}
+				if !cond {
+					sw.UncondJumpTargets[inst.Target] = true
+				}
+			}
+		}
+		prev = inst
+		havePrev = true
+	}
+
+	sw.EndbrSet = make(map[uint64]bool, len(sw.Endbrs))
+	for _, e := range sw.Endbrs {
+		sw.EndbrSet[e] = true
+	}
+	sw.CallTargetSet = make(map[uint64]bool, len(sw.AllCallTargets))
+	for t := range sw.AllCallTargets {
+		if bin.InText(t) {
+			sw.CallTargetSet[t] = true
+		}
+	}
+	sw.CallTargets = sortedKeys(sw.CallTargetSet)
+	sw.JumpTargets = sortedKeys(sw.JumpTargetSet)
+	return sw
+}
+
+// scanEndbrEncodings finds the 4-byte ENDBR encodings (F3 0F 1E FA/FB)
+// at every byte offset of text. Encodings whose tail would straddle the
+// end of the section are not matches.
+func scanEndbrEncodings(text []byte, base uint64) []uint64 {
+	var out []uint64
+	for off := 0; off+4 <= len(text); off++ {
+		if text[off] != 0xF3 || text[off+1] != 0x0F || text[off+2] != 0x1E {
+			continue
+		}
+		if b := text[off+3]; b != 0xFA && b != 0xFB {
+			continue
+		}
+		out = append(out, base+uint64(off))
+	}
+	return out
+}

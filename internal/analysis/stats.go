@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageStat is the cost accounting of one analysis stage.
+type StageStat struct {
+	// Computes counts cold executions (cache misses for memoized stages,
+	// plain executions for per-run stages).
+	Computes uint64
+	// Hits counts memoized lookups served from cache.
+	Hits uint64
+	// Time is the total wall-clock time spent computing.
+	Time time.Duration
+}
+
+// Add accumulates another stage's numbers.
+func (s *StageStat) Add(o StageStat) {
+	s.Computes += o.Computes
+	s.Hits += o.Hits
+	s.Time += o.Time
+}
+
+// Mean is the average time per compute.
+func (s StageStat) Mean() time.Duration {
+	if s.Computes == 0 {
+		return 0
+	}
+	return s.Time / time.Duration(s.Computes)
+}
+
+// Stats is a point-in-time snapshot of a Context's per-stage accounting —
+// or, via Add, the aggregate over many contexts (one evaluation run).
+// The memoized stages (Sweep, EHParse, LandingPad, Superset) count cache
+// hits and misses; the per-run refinement stages (Filter, TailCall) count
+// executions only.
+type Stats struct {
+	// Sweep is the linear-sweep disassembly (index + reference sets).
+	Sweep StageStat
+	// EHParse is the .eh_frame FDE parse.
+	EHParse StageStat
+	// LandingPad is the FDE×LSDA landing-pad join.
+	LandingPad StageStat
+	// Superset is the byte-level end-branch scan.
+	Superset StageStat
+	// Filter is the FILTERENDBR refinement (per identification run).
+	Filter StageStat
+	// TailCall is the SELECTTAILCALL refinement (per identification run).
+	TailCall StageStat
+}
+
+// Add accumulates another snapshot.
+func (s *Stats) Add(o Stats) {
+	s.Sweep.Add(o.Sweep)
+	s.EHParse.Add(o.EHParse)
+	s.LandingPad.Add(o.LandingPad)
+	s.Superset.Add(o.Superset)
+	s.Filter.Add(o.Filter)
+	s.TailCall.Add(o.TailCall)
+}
+
+// Render formats the per-stage cost table (the Table-V-style runtime
+// breakdown).
+func (s Stats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-stage analysis cost (shared-context accounting)\n")
+	fmt.Fprintf(&b, "  %-12s %9s %9s %12s %12s\n", "stage", "computes", "hits", "total", "mean")
+	row := func(name string, st StageStat) {
+		if st.Computes == 0 && st.Hits == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-12s %9d %9d %12s %12s\n", name, st.Computes, st.Hits, st.Time, st.Mean())
+	}
+	row("sweep", s.Sweep)
+	row("eh-parse", s.EHParse)
+	row("landing-pad", s.LandingPad)
+	row("superset", s.Superset)
+	row("filter", s.Filter)
+	row("tail-call", s.TailCall)
+	return b.String()
+}
+
+// statCounters is the live, atomically-updated form of Stats inside a
+// Context.
+type statCounters struct {
+	sweep      stageCounter
+	ehParse    stageCounter
+	landingPad stageCounter
+	superset   stageCounter
+	filter     stageCounter
+	tailCall   stageCounter
+}
+
+// stageCounter accumulates one stage concurrently.
+type stageCounter struct {
+	computes atomic.Uint64
+	hits     atomic.Uint64
+	nanos    atomic.Int64
+}
+
+// observe records one cold execution of duration d.
+func (c *stageCounter) observe(d time.Duration) {
+	c.computes.Add(1)
+	c.nanos.Add(int64(d))
+}
+
+// snapshot reads the counter.
+func (c *stageCounter) snapshot() StageStat {
+	return StageStat{
+		Computes: c.computes.Load(),
+		Hits:     c.hits.Load(),
+		Time:     time.Duration(c.nanos.Load()),
+	}
+}
+
+// Stats returns a consistent-enough snapshot of the context's counters.
+func (c *Context) Stats() Stats {
+	return Stats{
+		Sweep:      c.stats.sweep.snapshot(),
+		EHParse:    c.stats.ehParse.snapshot(),
+		LandingPad: c.stats.landingPad.snapshot(),
+		Superset:   c.stats.superset.snapshot(),
+		Filter:     c.stats.filter.snapshot(),
+		TailCall:   c.stats.tailCall.snapshot(),
+	}
+}
+
+// onceStage is sync.Once plus hit/miss/time accounting: the first do
+// executes fn and charges its duration as a compute; later calls count as
+// cache hits.
+type onceStage struct {
+	once sync.Once
+}
+
+func (o *onceStage) do(c *stageCounter, fn func()) {
+	ran := false
+	o.once.Do(func() {
+		start := time.Now()
+		fn()
+		c.observe(time.Since(start))
+		ran = true
+	})
+	if !ran {
+		c.hits.Add(1)
+	}
+}
+
+// sortedKeys flattens an address set into an ascending slice.
+func sortedKeys(set map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	slices.Sort(out)
+	return out
+}

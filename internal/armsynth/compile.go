@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"github.com/funseeker/funseeker/internal/elfw"
 	"github.com/funseeker/funseeker/internal/groundtruth"
@@ -256,7 +256,7 @@ func (g *armGen) genFunc(idx int) {
 			hosted = append(hosted, target)
 		}
 	}
-	sort.Ints(hosted)
+	slices.Sort(hosted)
 	for _, target := range hosted {
 		t := &g.spec.Funcs[target]
 		if t.AddressTakenData {

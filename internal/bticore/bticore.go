@@ -15,6 +15,7 @@ import (
 	"debug/elf"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"github.com/funseeker/funseeker/internal/arm64"
@@ -103,7 +104,7 @@ func Identify(text []byte, textAddr uint64) *Report {
 		candidates[t] = true
 		report.CallTargets = append(report.CallTargets, t)
 	}
-	sort.Slice(report.CallTargets, func(i, j int) bool { return report.CallTargets[i] < report.CallTargets[j] })
+	slices.Sort(report.CallTargets)
 
 	jumpSet := make(map[uint64]bool, len(jumps))
 	for _, j := range jumps {
@@ -153,9 +154,7 @@ func Identify(text []byte, textAddr uint64) *Report {
 		candidates[target] = true
 		report.TailCallTargets = append(report.TailCallTargets, target)
 	}
-	sort.Slice(report.TailCallTargets, func(i, j int) bool {
-		return report.TailCallTargets[i] < report.TailCallTargets[j]
-	})
+	slices.Sort(report.TailCallTargets)
 
 	report.Entries = sortedKeys(candidates)
 	return report
@@ -166,6 +165,6 @@ func sortedKeys(set map[uint64]bool) []uint64 {
 	for a := range set {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

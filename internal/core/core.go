@@ -13,14 +13,21 @@
 //
 // Complexity is linear in the size of the binary; no data-flow analysis,
 // CFG recovery, or learned model is involved.
+//
+// The DISASSEMBLE step and the exception-metadata parse are shared
+// artifacts: they come from an analysis.Context, so when several
+// configurations (or several tools) analyze the same binary the sweep and
+// the .eh_frame parse happen once. Identify constructs a throwaway
+// context; batch callers should build one analysis.Context per binary and
+// use IdentifyWithContext.
 package core
 
 import (
-	"sort"
+	"slices"
+	"time"
 
-	"github.com/funseeker/funseeker/internal/cet"
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
-	"github.com/funseeker/funseeker/internal/x86"
 )
 
 // Options selects which refinements run, mirroring the paper's four
@@ -87,58 +94,58 @@ type Report struct {
 	// FilteredLandingPads counts end branches removed because they sit
 	// at an exception landing pad.
 	FilteredLandingPads int
+
+	// Warnings records non-fatal degradations of the run — today, corrupt
+	// exception metadata that forced FILTERENDBR to proceed without the
+	// landing-pad set. Callers that need to tell filtered-with-EH from
+	// fell-back-without-EH inspect this instead of guessing from counts.
+	Warnings []string
 }
 
-// jumpRef records one direct unconditional jump.
-type jumpRef struct {
-	src    uint64 // address of the jmp instruction
-	target uint64
-}
-
-// sweepResult carries everything one disassembly pass collects.
-type sweepResult struct {
-	endbrs      []uint64
-	callTargets map[uint64]bool
-	jumpRefs    []jumpRef
-	// afterIRCall marks end-branch addresses immediately preceded by a
-	// call to a PLT entry of an indirect-return function.
-	afterIRCall map[uint64]bool
-}
-
-// Identify runs FunSeeker over a loaded binary.
+// Identify runs FunSeeker over a loaded binary with a private analysis
+// context. Batch callers analyzing one binary several times (or with
+// several tools) should build one analysis.Context and use
+// IdentifyWithContext so the sweep and exception parse are shared.
 func Identify(bin *elfx.Binary, opts Options) (*Report, error) {
-	sw := disassemble(bin)
+	return IdentifyWithContext(analysis.NewContext(bin), opts)
+}
+
+// IdentifyWithContext runs FunSeeker using the shared per-binary analysis
+// artifacts memoized in ctx.
+func IdentifyWithContext(ctx *analysis.Context, opts Options) (*Report, error) {
+	bin := ctx.Binary()
+	sw := ctx.Sweep()
+	endbrs := sw.Endbrs
 	if opts.SupersetEndbrScan {
-		mergeSupersetEndbrs(bin, sw)
+		endbrs = mergeSupersetEndbrs(ctx.SupersetEndbrs(), endbrs)
 	}
 
 	report := &Report{
-		Endbrs:      append([]uint64(nil), sw.endbrs...),
-		CallTargets: setToSorted(sw.callTargets),
+		Endbrs:      append([]uint64(nil), endbrs...),
+		CallTargets: append([]uint64(nil), sw.CallTargets...),
+		JumpTargets: append([]uint64(nil), sw.JumpTargets...),
 	}
-	jumpTargetSet := make(map[uint64]bool, len(sw.jumpRefs))
-	for _, j := range sw.jumpRefs {
-		if bin.InText(j.target) {
-			jumpTargetSet[j.target] = true
-		}
-	}
-	report.JumpTargets = setToSorted(jumpTargetSet)
 
 	// FILTERENDBR.
-	candidates := make(map[uint64]bool, len(sw.endbrs)+len(sw.callTargets))
+	filterStart := time.Now()
+	candidates := make(map[uint64]bool, len(endbrs)+len(sw.CallTargets))
 	landingPads := map[uint64]bool{}
 	if opts.FilterEndbr {
-		var err error
-		landingPads, err = landingPadSet(bin)
+		pads, err := ctx.LandingPads()
 		if err != nil {
 			// Corrupt exception metadata must not abort identification;
-			// fall back to the unfiltered set for the EH part.
-			landingPads = map[uint64]bool{}
+			// fall back to the unfiltered set for the EH part — and say
+			// so, because the caller cannot otherwise distinguish a
+			// pad-free binary from an unreadable one.
+			report.Warnings = append(report.Warnings,
+				"exception metadata unreadable, landing-pad filter disabled: "+err.Error())
+		} else {
+			landingPads = pads
 		}
 	}
-	for _, e := range sw.endbrs {
+	for _, e := range endbrs {
 		if opts.FilterEndbr {
-			if sw.afterIRCall[e] {
+			if sw.AfterIRCall[e] {
 				report.FilteredIndirectReturn++
 				continue
 			}
@@ -149,22 +156,23 @@ func Identify(bin *elfx.Binary, opts Options) (*Report, error) {
 		}
 		candidates[e] = true
 	}
-	for t := range sw.callTargets {
-		if bin.InText(t) {
-			candidates[t] = true
-		}
+	for _, t := range sw.CallTargets {
+		candidates[t] = true
 	}
+	ctx.ObserveFilter(time.Since(filterStart))
 
 	// Jump-target handling.
 	switch {
 	case opts.UseJumpTargets && opts.SelectTailCall:
-		tails := selectTailCalls(bin, sw.jumpRefs, candidates, opts.TailBoundaryOnly)
+		tailStart := time.Now()
+		tails := selectTailCalls(bin, sw.JumpRefs, candidates, opts.TailBoundaryOnly)
+		ctx.ObserveTailCall(time.Since(tailStart))
 		report.TailCallTargets = setToSorted(tails)
 		for t := range tails {
 			candidates[t] = true
 		}
 	case opts.UseJumpTargets:
-		for t := range jumpTargetSet {
+		for _, t := range sw.JumpTargets {
 			candidates[t] = true
 		}
 	}
@@ -182,69 +190,24 @@ func IdentifyFile(path string, opts Options) (*Report, error) {
 	return Identify(bin, opts)
 }
 
-// disassemble is the paper's DISASSEMBLE step: one linear sweep that
-// gathers E, C, and J (with jump sources retained for SELECTTAILCALL) and
-// flags end branches that directly follow indirect-return call sites.
-func disassemble(bin *elfx.Binary) *sweepResult {
-	sw := &sweepResult{
-		callTargets: make(map[uint64]bool),
-		afterIRCall: make(map[uint64]bool),
-	}
-	var prev x86.Inst
-	havePrev := false
-	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
-		switch inst.Class {
-		case x86.ClassEndbr64, x86.ClassEndbr32:
-			sw.endbrs = append(sw.endbrs, inst.Addr)
-			if havePrev && prev.Class == x86.ClassCallRel && prev.HasTarget {
-				if name, ok := bin.PLTName(prev.Target); ok && cet.IsIndirectReturnFunc(name) {
-					sw.afterIRCall[inst.Addr] = true
-				}
-			}
-		case x86.ClassCallRel:
-			if inst.HasTarget && bin.InText(inst.Target) {
-				sw.callTargets[inst.Target] = true
-			}
-		case x86.ClassJmpRel, x86.ClassJccRel:
-			// J collects every direct jump target, conditional or not —
-			// this is what makes configuration ③ so imprecise (interior
-			// branch targets flood the candidate set) and what
-			// SELECTTAILCALL has to clean up. Conditional targets almost
-			// never satisfy the boundary-escape test, so ④ loses nothing.
-			if inst.HasTarget {
-				sw.jumpRefs = append(sw.jumpRefs, jumpRef{src: inst.Addr, target: inst.Target})
-			}
-		}
-		prev = inst
-		havePrev = true
-		return true
-	})
-	return sw
-}
-
-// mergeSupersetEndbrs adds end branches found by scanning every byte
-// offset for the 4-byte ENDBR encodings (F3 0F 1E FA / FB) that the
-// linear sweep may have stepped over after a desynchronization.
-func mergeSupersetEndbrs(bin *elfx.Binary, sw *sweepResult) {
-	have := make(map[uint64]bool, len(sw.endbrs))
-	for _, e := range sw.endbrs {
+// mergeSupersetEndbrs unions the byte-level end-branch scan into the
+// sweep-found set E, deduplicating addresses the linear sweep already
+// discovered. Both inputs are ascending; the result is ascending.
+func mergeSupersetEndbrs(scanned, endbrs []uint64) []uint64 {
+	have := make(map[uint64]bool, len(endbrs))
+	out := make([]uint64, 0, len(endbrs)+len(scanned))
+	for _, e := range endbrs {
 		have[e] = true
+		out = append(out, e)
 	}
-	text := bin.Text
-	for off := 0; off+4 <= len(text); off++ {
-		if text[off] != 0xF3 || text[off+1] != 0x0F || text[off+2] != 0x1E {
-			continue
-		}
-		if b := text[off+3]; b != 0xFA && b != 0xFB {
-			continue
-		}
-		va := bin.TextAddr + uint64(off)
+	for _, va := range scanned {
 		if !have[va] {
 			have[va] = true
-			sw.endbrs = append(sw.endbrs, va)
+			out = append(out, va)
 		}
 	}
-	sort.Slice(sw.endbrs, func(i, j int) bool { return sw.endbrs[i] < sw.endbrs[j] })
+	slices.Sort(out)
+	return out
 }
 
 // setToSorted converts an address set to a sorted slice.
@@ -253,6 +216,6 @@ func setToSorted(set map[uint64]bool) []uint64 {
 	for a := range set {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -1,27 +1,29 @@
 package core
 
 import (
-	"github.com/funseeker/funseeker/internal/ehinfo"
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
 )
 
-// landingPadSet computes the absolute addresses of every exception landing
-// pad in the binary by joining .eh_frame FDE records (function start +
-// LSDA pointer) against the LSDA call-site tables in .gcc_except_table.
-//
-// This is the exception half of FILTERENDBR: an end branch at a landing
-// pad is a catch-block entry, not a function entry. Note that function
-// identification itself never consumes the FDE pc-begin values — they are
-// used only to bind each LSDA to its landing-pad base, which is how the
-// C++ runtime itself interprets the table (LPStart is omitted in
-// practice, defaulting to the function start from the FDE).
-func landingPadSet(bin *elfx.Binary) (map[uint64]bool, error) {
-	return ehinfo.LandingPadSet(bin)
-}
+// The exception half of FILTERENDBR joins .eh_frame FDE records (function
+// start + LSDA pointer) against the LSDA call-site tables in
+// .gcc_except_table: an end branch at a landing pad is a catch-block
+// entry, not a function entry. Note that function identification itself
+// never consumes the FDE pc-begin values — they are used only to bind
+// each LSDA to its landing-pad base, which is how the C++ runtime itself
+// interprets the table (LPStart is omitted in practice, defaulting to the
+// function start from the FDE). The set is memoized per binary in
+// analysis.Context; see Context.LandingPads.
 
 // LandingPads exposes the landing-pad computation for tools and studies.
 func LandingPads(bin *elfx.Binary) ([]uint64, error) {
-	set, err := landingPadSet(bin)
+	return LandingPadsWithContext(analysis.NewContext(bin))
+}
+
+// LandingPadsWithContext returns the sorted landing-pad addresses from
+// the shared analysis context.
+func LandingPadsWithContext(ctx *analysis.Context) ([]uint64, error) {
+	set, err := ctx.LandingPads()
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -71,6 +73,10 @@ func TestMissingEHSections(t *testing.T) {
 	if len(report.Entries) == 0 {
 		t.Error("no entries found")
 	}
+	// Absent metadata is not corrupt metadata: no warning is recorded.
+	if len(report.Warnings) != 0 {
+		t.Errorf("unexpected warnings for stripped EH sections: %q", report.Warnings)
+	}
 }
 
 // TestCorruptEHFrameFallback corrupts .eh_frame and checks that
@@ -89,6 +95,13 @@ func TestCorruptEHFrameFallback(t *testing.T) {
 	// Recall must not degrade (only precision can, via unfiltered pads).
 	if fn > 3 {
 		t.Errorf("recall collapsed with corrupt eh_frame: %d FNs", fn)
+	}
+	// The fallback must no longer be silent.
+	if len(report.Warnings) == 0 {
+		t.Fatal("corrupt exception metadata produced no warning")
+	}
+	if !strings.Contains(report.Warnings[0], "exception metadata unreadable") {
+		t.Errorf("warning = %q, want the landing-pad fallback notice", report.Warnings[0])
 	}
 }
 
@@ -230,7 +243,7 @@ func TestSupersetEndbrScan(t *testing.T) {
 	for _, f := range gt.Funcs {
 		funcs = append(funcs, f)
 	}
-	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+	slices.SortFunc(funcs, func(a, b groundtruth.Func) int { return cmp.Compare(a.Addr, b.Addr) })
 	var victim groundtruth.Func
 	for i := 0; i+1 < len(funcs); i++ {
 		if funcs[i+1].HasEndbr && funcs[i].Size >= 8 {

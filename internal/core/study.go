@@ -1,9 +1,8 @@
 package core
 
 import (
-	"github.com/funseeker/funseeker/internal/cet"
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
-	"github.com/funseeker/funseeker/internal/x86"
 )
 
 // EndbrDistribution counts end-branch instructions per location class,
@@ -34,34 +33,29 @@ func (d *EndbrDistribution) Add(o EndbrDistribution) {
 // binary's own metadata (PLT names and exception tables) — the analysis
 // of paper §III-B.
 func ClassifyEndbrs(bin *elfx.Binary) (EndbrDistribution, error) {
+	return ClassifyEndbrsWithContext(analysis.NewContext(bin))
+}
+
+// ClassifyEndbrsWithContext classifies the end branches using the shared
+// sweep and landing-pad artifacts memoized in ctx.
+func ClassifyEndbrsWithContext(ctx *analysis.Context) (EndbrDistribution, error) {
 	var dist EndbrDistribution
-	pads, err := landingPadSet(bin)
+	pads, err := ctx.LandingPads()
 	if err != nil {
 		return dist, err
 	}
-	var prev x86.Inst
-	havePrev := false
-	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
-		if inst.IsEndbr() {
-			switch {
-			case havePrev && prev.Class == x86.ClassCallRel && prev.HasTarget && isIRCall(bin, prev.Target):
-				dist.IndirectReturn++
-			case pads[inst.Addr]:
-				dist.Exception++
-			default:
-				dist.FuncEntry++
-			}
+	sw := ctx.Sweep()
+	for _, e := range sw.Endbrs {
+		switch {
+		case sw.AfterIRCall[e]:
+			dist.IndirectReturn++
+		case pads[e]:
+			dist.Exception++
+		default:
+			dist.FuncEntry++
 		}
-		prev = inst
-		havePrev = true
-		return true
-	})
+	}
 	return dist, nil
-}
-
-func isIRCall(bin *elfx.Binary, target uint64) bool {
-	name, ok := bin.PLTName(target)
-	return ok && cet.IsIndirectReturnFunc(name)
 }
 
 // Property bit masks for the Figure 3 Venn analysis.
@@ -118,34 +112,23 @@ func (v VennCounts) PctWith(mask int) float64 {
 // AnalyzeProperties computes, for each true function entry, which of the
 // three syntactic properties hold, reproducing the study behind Figure 3.
 func AnalyzeProperties(bin *elfx.Binary, entries []uint64) VennCounts {
-	endbrs := make(map[uint64]bool)
-	calls := make(map[uint64]bool)
-	jumps := make(map[uint64]bool)
-	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
-		switch inst.Class {
-		case x86.ClassEndbr64, x86.ClassEndbr32:
-			endbrs[inst.Addr] = true
-		case x86.ClassCallRel:
-			if inst.HasTarget {
-				calls[inst.Target] = true
-			}
-		case x86.ClassJmpRel:
-			if inst.HasTarget {
-				jumps[inst.Target] = true
-			}
-		}
-		return true
-	})
+	return AnalyzePropertiesWithContext(analysis.NewContext(bin), entries)
+}
+
+// AnalyzePropertiesWithContext runs the property study over the shared
+// sweep artifacts memoized in ctx.
+func AnalyzePropertiesWithContext(ctx *analysis.Context, entries []uint64) VennCounts {
+	sw := ctx.Sweep()
 	var v VennCounts
 	for _, e := range entries {
 		mask := 0
-		if endbrs[e] {
+		if sw.EndbrSet[e] {
 			mask |= PropEndbr
 		}
-		if calls[e] {
+		if sw.AllCallTargets[e] {
 			mask |= PropDirCall
 		}
-		if jumps[e] {
+		if sw.UncondJumpTargets[e] {
 			mask |= PropDirJmp
 		}
 		v.Region[mask]++

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
 )
 
@@ -21,7 +22,7 @@ import (
 // boundaryOnly drops check (2), the ablation measured in the benchmark
 // harness: without the multi-reference requirement every interior jump
 // that happens to cross an approximated boundary becomes a function.
-func selectTailCalls(bin *elfx.Binary, jumps []jumpRef, known map[uint64]bool, boundaryOnly bool) map[uint64]bool {
+func selectTailCalls(bin *elfx.Binary, jumps []analysis.JumpRef, known map[uint64]bool, boundaryOnly bool) map[uint64]bool {
 	starts := setToSorted(known)
 	// funcOf returns the start of the known function containing addr,
 	// or 0 when addr precedes every known start.
@@ -50,17 +51,17 @@ func selectTailCalls(bin *elfx.Binary, jumps []jumpRef, known map[uint64]bool, b
 	}
 	infos := make(map[uint64]*targetInfo)
 	for _, j := range jumps {
-		if !bin.InText(j.target) {
+		if !bin.InText(j.Target) {
 			continue
 		}
-		info := infos[j.target]
+		info := infos[j.Target]
 		if info == nil {
 			info = &targetInfo{srcFuncs: make(map[uint64]bool)}
-			infos[j.target] = info
+			infos[j.Target] = info
 		}
-		src := funcOf(j.src)
+		src := funcOf(j.Src)
 		info.srcFuncs[src] = true
-		if j.target < src || j.target >= nextStartAfter(j.src) {
+		if j.Target < src || j.Target >= nextStartAfter(j.Src) {
 			info.escapes = true
 		}
 	}

@@ -19,13 +19,23 @@ import (
 // (LPStart is omitted in compiler-emitted tables). A single undecodable
 // LSDA is skipped; a structurally broken .eh_frame is an error.
 func LandingPadSet(bin *elfx.Binary) (map[uint64]bool, error) {
-	pads := make(map[uint64]bool)
 	if len(bin.EHFrame) == 0 || len(bin.ExceptTable) == 0 {
-		return pads, nil
+		return make(map[uint64]bool), nil
 	}
 	fdes, err := ehframe.Parse(bin.EHFrame, bin.EHFrameAddr, bin.PtrSize())
 	if err != nil {
 		return nil, fmt.Errorf("ehinfo: eh_frame: %w", err)
+	}
+	return LandingPadsFromFDEs(bin, fdes), nil
+}
+
+// LandingPadsFromFDEs computes the landing-pad set from already-parsed FDE
+// records, letting callers that have the .eh_frame parse memoized (the
+// analysis context) skip re-parsing the section.
+func LandingPadsFromFDEs(bin *elfx.Binary, fdes []ehframe.FDE) map[uint64]bool {
+	pads := make(map[uint64]bool)
+	if len(bin.ExceptTable) == 0 {
+		return pads
 	}
 	for _, fde := range fdes {
 		if !fde.HasLSDA || fde.LSDA < bin.ExceptTableAddr {
@@ -43,5 +53,5 @@ func LandingPadSet(bin *elfx.Binary) (map[uint64]bool, error) {
 			pads[pad] = true
 		}
 	}
-	return pads, nil
+	return pads
 }

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 
@@ -32,21 +33,13 @@ func (r *BTIResult) Render() string {
 	for k := range r.PerConfig {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	slices.Sort(keys)
 	for _, k := range keys {
 		m := r.PerConfig[k]
 		fmt.Fprintf(&b, "  %-22s P=%7.3f%%  R=%7.3f%%\n", k, m.Precision(), m.Recall())
 	}
 	fmt.Fprintf(&b, "  %-22s P=%7.3f%%  R=%7.3f%%\n", "Total", r.Total.Precision(), r.Total.Recall())
 	return b.String()
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // btiConfigs are the ARM build configurations evaluated.

@@ -68,7 +68,7 @@ func RunManualEndbrAblation(cases []Case, workers int) (*ManualEndbrResult, erro
 	res := &ManualEndbrResult{}
 	var mu sync.Mutex
 	err := ForEach(cases, workers, func(obs Observation) error {
-		entries, err := ToolFunSeeker.Run(obs.Bin)
+		entries, err := ToolFunSeeker.RunContext(obs.Ctx)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/corpus"
 	"github.com/funseeker/funseeker/internal/elfx"
@@ -56,9 +57,17 @@ func (t Tool) String() string {
 	}
 }
 
-// Run executes the tool on a loaded binary, returning the identified
-// entries.
+// Run executes the tool on a loaded binary with a private analysis
+// context, returning the identified entries. When several tools run over
+// the same binary, build one analysis.Context and use RunContext so the
+// linear sweep and .eh_frame parse are shared.
 func (t Tool) Run(bin *elfx.Binary) ([]uint64, error) {
+	return t.RunContext(analysis.NewContext(bin))
+}
+
+// RunContext executes the tool against the shared per-binary analysis
+// context.
+func (t Tool) RunContext(ctx *analysis.Context) ([]uint64, error) {
 	switch t {
 	case ToolFunSeeker, ToolFunSeeker1, ToolFunSeeker2, ToolFunSeeker3:
 		opts := map[Tool]core.Options{
@@ -67,25 +76,25 @@ func (t Tool) Run(bin *elfx.Binary) ([]uint64, error) {
 			ToolFunSeeker2: core.Config2,
 			ToolFunSeeker3: core.Config3,
 		}[t]
-		r, err := core.Identify(bin, opts)
+		r, err := core.IdentifyWithContext(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
 		return r.Entries, nil
 	case ToolIDA:
-		r, err := idapro.Identify(bin)
+		r, err := idapro.IdentifyWithContext(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return r.Entries, nil
 	case ToolGhidra:
-		r, err := ghidra.Identify(bin)
+		r, err := ghidra.IdentifyWithContext(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return r.Entries, nil
 	case ToolFETCH:
-		r, err := fetch.Identify(bin)
+		r, err := fetch.IdentifyWithContext(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -126,12 +135,19 @@ type Observation struct {
 	Result *synth.Result
 	// Bin is the stripped binary, loaded.
 	Bin *elfx.Binary
+	// Ctx is the shared analysis context over Bin. Every tool and study
+	// run against the same Observation should consume it, so the linear
+	// sweep and .eh_frame parse happen once per binary no matter how
+	// many cells of the tool×config matrix the binary feeds.
+	Ctx *analysis.Context
 }
 
 // ForEach compiles every case and invokes fn, using workers goroutines
-// (0 = GOMAXPROCS). fn is called concurrently and must synchronize its
-// own aggregation. Binaries are discarded after fn returns, so arbitrary
-// matrix sizes run in bounded memory.
+// (0 = GOMAXPROCS). Each binary is loaded once and wrapped in one shared
+// analysis.Context; fn fans the tool×config matrix out over that context
+// rather than reloading per tool. fn is called concurrently and must
+// synchronize its own aggregation. Binaries are discarded after fn
+// returns, so arbitrary matrix sizes run in bounded memory.
 func ForEach(cases []Case, workers int, fn func(Observation) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -152,7 +168,12 @@ func ForEach(cases []Case, workers int, fn func(Observation) error) error {
 					var bin *elfx.Binary
 					bin, err = elfx.Load(res.Stripped)
 					if err == nil {
-						err = fn(Observation{Case: c, Result: res, Bin: bin})
+						err = fn(Observation{
+							Case:   c,
+							Result: res,
+							Bin:    bin,
+							Ctx:    analysis.NewContext(bin),
+						})
 					}
 				}
 				if err != nil {
@@ -171,9 +192,20 @@ func ForEach(cases []Case, workers int, fn func(Observation) error) error {
 	return firstErr
 }
 
-// TimedRun measures one tool run.
+// TimedRun measures one tool run with a private context (cold path:
+// includes the sweep and parse costs).
 func TimedRun(t Tool, bin *elfx.Binary) ([]uint64, time.Duration, error) {
 	start := time.Now()
 	entries, err := t.Run(bin)
+	return entries, time.Since(start), err
+}
+
+// TimedRunContext measures one tool run against a shared context. Stage
+// costs already paid by earlier consumers of ctx are not re-incurred —
+// the measured time is the tool's marginal cost; consult analysis.Stats
+// for the shared-stage breakdown.
+func TimedRunContext(t Tool, ctx *analysis.Context) ([]uint64, time.Duration, error) {
+	start := time.Now()
+	entries, err := t.RunContext(ctx)
 	return entries, time.Since(start), err
 }

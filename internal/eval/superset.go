@@ -45,11 +45,11 @@ func RunSupersetAblation(cases []Case, workers int) (*SupersetResult, error) {
 	supersetOpts := core.Config4
 	supersetOpts.SupersetEndbrScan = true
 	err := ForEach(cases, workers, func(obs Observation) error {
-		plainReport, err := core.Identify(obs.Bin, core.Config4)
+		plainReport, err := core.IdentifyWithContext(obs.Ctx, core.Config4)
 		if err != nil {
 			return err
 		}
-		superReport, err := core.Identify(obs.Bin, supersetOpts)
+		superReport, err := core.IdentifyWithContext(obs.Ctx, supersetOpts)
 		if err != nil {
 			return err
 		}

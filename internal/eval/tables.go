@@ -2,11 +2,12 @@ package eval
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/corpus"
 	"github.com/funseeker/funseeker/internal/synth"
@@ -56,6 +57,10 @@ type Results struct {
 	// FunSeekerFailures is the §V-C failure histogram for the full
 	// algorithm.
 	FunSeekerFailures Failures
+	// Stages aggregates the shared-context per-stage cost accounting
+	// (sweep / EH parse / landing pad / filter / tail call) across every
+	// binary of the run — the Table-V-style runtime breakdown.
+	Stages analysis.Stats
 	// Binaries is the number of binaries evaluated.
 	Binaries int
 	// Functions is the number of ground-truth functions across the run.
@@ -85,11 +90,11 @@ func RunAll(cases []Case, workers int) (*Results, error) {
 		gk := GroupKey{Comp: obs.Case.Config.Compiler, Suite: obs.Case.Suite}
 		ak := ArchKey{Mode: obs.Case.Config.Mode, Suite: obs.Case.Suite}
 
-		dist, err := core.ClassifyEndbrs(obs.Bin)
+		dist, err := core.ClassifyEndbrsWithContext(obs.Ctx)
 		if err != nil {
 			return err
 		}
-		venn := core.AnalyzeProperties(obs.Bin, obs.Result.GT.SortedEntries())
+		venn := core.AnalyzePropertiesWithContext(obs.Ctx, obs.Result.GT.SortedEntries())
 
 		type toolRun struct {
 			tool    Tool
@@ -105,7 +110,7 @@ func RunAll(cases []Case, workers int) (*Results, error) {
 				continue
 			}
 			seen[t] = true
-			entries, elapsed, err := TimedRun(t, obs.Bin)
+			entries, elapsed, err := TimedRunContext(t, obs.Ctx)
 			if err != nil {
 				return fmt.Errorf("%s: %w", t, err)
 			}
@@ -157,6 +162,7 @@ func RunAll(cases []Case, workers int) (*Results, error) {
 				res.FunSeekerFailures.Add(r.fails)
 			}
 		}
+		res.Stages.Add(obs.Ctx.Stats())
 		return nil
 	})
 	if err != nil {
@@ -334,6 +340,14 @@ func (r *Results) RenderTableIII() string {
 	return b.String()
 }
 
+// RenderStages formats the shared-context per-stage cost accounting. The
+// per-tool times above are marginal costs (stages already memoized by an
+// earlier tool on the same binary are cache hits); this table shows where
+// the shared time actually went and how often the cache served.
+func (r *Results) RenderStages() string {
+	return r.Stages.Render()
+}
+
 // RenderFailures formats the §V-C failure anatomy.
 func (r *Results) RenderFailures() string {
 	var b strings.Builder
@@ -342,7 +356,7 @@ func (r *Results) RenderFailures() string {
 	for k := range r.FunSeekerFailures {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	fnTotal, fpTotal := 0, 0
 	for _, k := range keys {
 		switch k {
@@ -375,6 +389,7 @@ func (r *Results) RenderAll() string {
 		r.RenderFigure3(),
 		r.RenderTableII(),
 		r.RenderTableIII(),
+		r.RenderStages(),
 		r.RenderFailures(),
 	}, "\n")
 }

@@ -46,7 +46,7 @@ func (p funcProfile) looksLikeFunction() bool {
 // profileRange analyzes the instructions of [begin, end) by building the
 // function's CFG, lifting to micro-ops, and running the stack-height
 // dataflow to a fixpoint — the analysis architecture of the real FETCH.
-func profileRange(bin *elfx.Binary, begin, end uint64) funcProfile {
+func profileRange(bin *elfx.Binary, idx *x86.Index, begin, end uint64) funcProfile {
 	if begin < bin.TextAddr {
 		return funcProfile{decodeError: true}
 	}
@@ -58,16 +58,16 @@ func profileRange(bin *elfx.Binary, begin, end uint64) funcProfile {
 	if lo >= hi {
 		return funcProfile{decodeError: true}
 	}
-	return cfgProfile(bin.Text[lo:hi], begin, bin.Mode)
+	return cfgProfileSrc(csrc{code: bin.Text[lo:hi], base: begin, mode: bin.Mode, idx: idx})
 }
 
 // profileWindow analyzes up to maxInsts instructions starting at va.
-func profileWindow(bin *elfx.Binary, va uint64, maxInsts int) funcProfile {
+func profileWindow(bin *elfx.Binary, idx *x86.Index, va uint64, maxInsts int) funcProfile {
 	if !bin.InText(va) {
 		return funcProfile{decodeError: true}
 	}
 	lo := va - bin.TextAddr
-	return profile(bin.Text[lo:], va, bin.Mode, maxInsts, true)
+	return profileSrc(csrc{code: bin.Text[lo:], base: va, mode: bin.Mode, idx: idx}, maxInsts, true)
 }
 
 // profile is the core walk: linear disassembly with stack-height and
@@ -76,7 +76,14 @@ func profileWindow(bin *elfx.Binary, va uint64, maxInsts int) funcProfile {
 // verification); otherwise it walks the whole region, resetting the
 // height model at each return (full-function profiling).
 func profile(code []byte, base uint64, mode x86.Mode, maxInsts int, stopAtFlowEnd bool) funcProfile {
+	return profileSrc(csrc{code: code, base: base, mode: mode}, maxInsts, stopAtFlowEnd)
+}
+
+// profileSrc is profile over a decode source (optionally backed by the
+// shared linear-sweep index).
+func profileSrc(src csrc, maxInsts int, stopAtFlowEnd bool) funcProfile {
 	var p funcProfile
+	mode := src.mode
 	ptr := int64(8)
 	if mode == x86.Mode32 {
 		ptr = 4
@@ -86,10 +93,12 @@ func profile(code []byte, base uint64, mode x86.Mode, maxInsts int, stopAtFlowEn
 		written    [16]bool
 		checkedArg = false
 	)
-	off := 0
+	var scratch x86.Inst
+	pc := src.base
+	end := src.end()
 	first := true
-	for off < len(code) && p.insts < maxInsts {
-		inst, err := x86.Decode(code[off:], base+uint64(off), mode)
+	for pc < end && p.insts < maxInsts {
+		inst, err := src.decode(pc, &scratch)
 		if err != nil {
 			p.decodeError = true
 			return p
@@ -102,7 +111,7 @@ func profile(code []byte, base uint64, mode x86.Mode, maxInsts int, stopAtFlowEn
 			first = false
 		}
 		p.insts++
-		off += inst.Len
+		pc += uint64(inst.Len)
 
 		// Stack-height effects.
 		switch {
@@ -171,7 +180,7 @@ func profile(code []byte, base uint64, mode x86.Mode, maxInsts int, stopAtFlowEn
 var argRegs64 = map[int]bool{7: true, 6: true, 2: true, 1: true, 8: true, 9: true}
 
 // isRspAdjust recognizes add/sub rsp, imm (group-1 83/81 with rm=RSP).
-func isRspAdjust(inst x86.Inst) bool {
+func isRspAdjust(inst *x86.Inst) bool {
 	if inst.OpcodeMap != 1 || !inst.HasModRM || !inst.HasImm {
 		return false
 	}
@@ -187,7 +196,7 @@ func isRspAdjust(inst x86.Inst) bool {
 // regEffects extracts a conservative (reads, writes) register summary for
 // the common integer instructions. A read code of -1 denotes a read of an
 // incoming stack slot ([esp+pos] / [ebp+pos] with mod≠3).
-func regEffects(inst x86.Inst, mode x86.Mode) (reads, writes []int) {
+func regEffects(inst *x86.Inst, mode x86.Mode) (reads, writes []int) {
 	if inst.OpcodeMap != 1 {
 		return nil, nil
 	}

@@ -1,7 +1,7 @@
 package fetch
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/funseeker/funseeker/internal/x86"
 )
@@ -49,7 +49,7 @@ type microOp struct {
 // lift expands a decoded instruction into micro-ops. The expansion covers
 // the instruction classes the length decoder distinguishes plus the
 // common integer forms via regEffects.
-func lift(inst x86.Inst, ptr int64, ops []microOp) []microOp {
+func lift(inst *x86.Inst, ptr int64, ops []microOp) []microOp {
 	switch {
 	case inst.OpcodeMap == 1 && inst.Opcode >= 0x50 && inst.Opcode <= 0x57:
 		ops = append(ops,
@@ -94,13 +94,50 @@ func lift(inst x86.Inst, ptr int64, ops []microOp) []microOp {
 	return ops
 }
 
-// liftedInst pairs a decoded instruction with its micro-ops.
-type liftedInst struct {
-	inst x86.Inst
-	ops  []microOp
+// csrc serves decoded instructions for one contiguous code region.
+// When the shared linear-sweep index is present, instruction starts it
+// already decoded are returned by pointer (no re-decode, no copy);
+// anything else — desynchronized regions, or an index instruction that
+// would cross the region end — falls back to decoding the region's own
+// bytes, which reproduces the truncation behaviour of a plain decode
+// loop exactly.
+type csrc struct {
+	code []byte // the region's bytes
+	base uint64 // virtual address of code[0]
+	mode x86.Mode
+	idx  *x86.Index
 }
 
-// basicBlock is one CFG node.
+func (s csrc) end() uint64 { return s.base + uint64(len(s.code)) }
+
+func (s csrc) decode(pc uint64, scratch *x86.Inst) (*x86.Inst, error) {
+	if s.idx != nil {
+		if p := s.idx.AtPtr(pc); p != nil && pc+uint64(p.Len) <= s.end() {
+			return p, nil
+		}
+	}
+	inst, err := x86.Decode(s.code[pc-s.base:], pc, s.mode)
+	if err != nil {
+		return nil, err
+	}
+	*scratch = inst
+	return scratch, nil
+}
+
+// liftedInst is one instruction of the lifted stream: its class, its
+// direct-branch target, and the range of its micro-ops in the function's
+// shared arena. Keeping it small (instead of embedding the 128-byte
+// decoded form) is what keeps the block partitioning allocation-light.
+type liftedInst struct {
+	class    x86.Class
+	hasTgt   bool
+	target   uint64
+	opsStart int32
+	opsEnd   int32
+}
+
+// basicBlock is one CFG node. insts is a subslice of the function's
+// lifted stream (blocks partition it contiguously).
 type basicBlock struct {
 	insts []liftedInst
 	// succs are indices of successor blocks (-1 entries removed).
@@ -110,105 +147,116 @@ type basicBlock struct {
 // unknownHeight marks an unvisited or inconsistent block height.
 const unknownHeight = int64(-1 << 62)
 
-// buildCFG decodes [begin, end) once and partitions it into basic blocks.
-func buildCFG(code []byte, begin uint64, mode x86.Mode, ptr int64) ([]basicBlock, bool) {
-	type decoded struct {
-		li   liftedInst
-		addr uint64
-	}
-	var insts []decoded
-	addrIndex := make(map[uint64]int)
-	off := 0
+// buildCFG decodes the source region once and partitions it into basic
+// blocks. It returns the blocks and the shared micro-op arena their
+// liftedInsts index into.
+func buildCFG(src csrc, ptr int64) ([]basicBlock, []microOp, bool) {
+	est := len(src.code)/4 + 1
+	lifted := make([]liftedInst, 0, est)
+	addrs := make([]uint64, 0, est)
+	arena := make([]microOp, 0, 2*est)
+	var scratch x86.Inst
+	pc := src.base
+	end := src.end()
 	decodeOK := true
-	for off < len(code) {
-		inst, err := x86.Decode(code[off:], begin+uint64(off), mode)
+	for pc < end {
+		inst, err := src.decode(pc, &scratch)
 		if err != nil {
 			decodeOK = false
 			break
 		}
-		addrIndex[inst.Addr] = len(insts)
-		insts = append(insts, decoded{
-			li:   liftedInst{inst: inst, ops: lift(inst, ptr, nil)},
-			addr: inst.Addr,
+		opsStart := int32(len(arena))
+		arena = lift(inst, ptr, arena)
+		lifted = append(lifted, liftedInst{
+			class:    inst.Class,
+			hasTgt:   inst.HasTarget,
+			target:   inst.Target,
+			opsStart: opsStart,
+			opsEnd:   int32(len(arena)),
 		})
-		off += inst.Len
+		addrs = append(addrs, pc)
+		pc += uint64(inst.Len)
 	}
-	if len(insts) == 0 {
-		return nil, decodeOK
+	if len(lifted) == 0 {
+		return nil, nil, decodeOK
 	}
 	// Leaders: the entry, branch targets, and fallthroughs after
-	// control-flow instructions.
-	leaders := map[int]bool{0: true}
-	for i, d := range insts {
-		cl := d.li.inst.Class
-		if cl == x86.ClassJccRel || cl == x86.ClassJmpRel {
-			if d.li.inst.HasTarget {
-				if idx, ok := addrIndex[d.li.inst.Target]; ok {
-					leaders[idx] = true
-				}
+	// control-flow instructions. addrs is ascending, so branch targets
+	// resolve by binary search instead of a map.
+	isLeader := make([]bool, len(lifted))
+	isLeader[0] = true
+	for i := range lifted {
+		li := &lifted[i]
+		if (li.class == x86.ClassJccRel || li.class == x86.ClassJmpRel) && li.hasTgt {
+			if j, ok := slices.BinarySearch(addrs, li.target); ok {
+				isLeader[j] = true
 			}
 		}
-		if cl.IsBranch() && i+1 < len(insts) {
-			leaders[i+1] = true
+		if li.class.IsBranch() && i+1 < len(lifted) {
+			isLeader[i+1] = true
 		}
 	}
-	starts := make([]int, 0, len(leaders))
-	for i := range leaders {
-		starts = append(starts, i)
-	}
-	sort.Ints(starts)
-	blockOf := make(map[int]int, len(starts))
-	for b, s := range starts {
-		blockOf[s] = b
+	starts := make([]int, 0, 16)
+	blockIdx := make([]int32, len(lifted))
+	for i, l := range isLeader {
+		if l {
+			starts = append(starts, i)
+		}
+		blockIdx[i] = int32(len(starts) - 1)
 	}
 	blocks := make([]basicBlock, len(starts))
-	for b, s := range starts {
-		e := len(insts)
+	for b, st := range starts {
+		e := len(lifted)
 		if b+1 < len(starts) {
 			e = starts[b+1]
 		}
 		bb := &blocks[b]
-		for i := s; i < e; i++ {
-			bb.insts = append(bb.insts, insts[i].li)
+		bb.insts = lifted[st:e]
+		last := &lifted[e-1]
+		blockOf := func(va uint64) (int, bool) {
+			j, ok := slices.BinarySearch(addrs, va)
+			if !ok {
+				return 0, false
+			}
+			return int(blockIdx[j]), true
 		}
-		last := insts[e-1].li.inst
-		switch last.Class {
+		switch last.class {
 		case x86.ClassRet, x86.ClassHlt, x86.ClassUD, x86.ClassJmpInd:
 			// no successors
 		case x86.ClassJmpRel:
-			if last.HasTarget {
-				if idx, ok := addrIndex[last.Target]; ok {
-					bb.succs = append(bb.succs, blockOf[idx])
+			if last.hasTgt {
+				if t, ok := blockOf(last.target); ok {
+					bb.succs = append(bb.succs, t)
 				}
 			}
 		case x86.ClassJccRel:
-			if last.HasTarget {
-				if idx, ok := addrIndex[last.Target]; ok {
-					bb.succs = append(bb.succs, blockOf[idx])
+			if last.hasTgt {
+				if t, ok := blockOf(last.target); ok {
+					bb.succs = append(bb.succs, t)
 				}
 			}
-			if e < len(insts) {
-				bb.succs = append(bb.succs, blockOf[e])
+			if e < len(lifted) {
+				bb.succs = append(bb.succs, int(blockIdx[e]))
 			}
 		default:
-			if e < len(insts) {
-				bb.succs = append(bb.succs, blockOf[e])
+			if e < len(lifted) {
+				bb.succs = append(bb.succs, int(blockIdx[e]))
 			}
 		}
 	}
-	return blocks, decodeOK
+	return blocks, arena, decodeOK
 }
 
 // analyzeCFG runs the stack-height fixpoint and argument-liveness scan
 // over the lifted CFG, producing the verifier's profile.
-func analyzeCFG(blocks []basicBlock, decodeOK bool, ptr int64) funcProfile {
+func analyzeCFG(blocks []basicBlock, arena []microOp, decodeOK bool, ptr int64) funcProfile {
 	var p funcProfile
 	p.decodeError = !decodeOK
 	if len(blocks) == 0 {
 		return p
 	}
-	if first := firstInst(blocks); first != nil {
-		if first.Class == x86.ClassNop || first.Class == x86.ClassInt3 {
+	if len(blocks[0].insts) > 0 {
+		if cl := blocks[0].insts[0].class; cl == x86.ClassNop || cl == x86.ClassInt3 {
 			p.startsWithPadding = true
 			return p
 		}
@@ -230,9 +278,10 @@ func analyzeCFG(blocks []basicBlock, decodeOK bool, ptr int64) funcProfile {
 		if h == unknownHeight {
 			continue
 		}
-		for _, li := range blocks[b].insts {
+		for i := range blocks[b].insts {
+			li := &blocks[b].insts[i]
 			p.insts++
-			for _, op := range li.ops {
+			for _, op := range arena[li.opsStart:li.opsEnd] {
 				switch op.kind {
 				case opStackAdj:
 					h += op.imm
@@ -280,19 +329,18 @@ func analyzeCFG(blocks []basicBlock, decodeOK bool, ptr int64) funcProfile {
 	return p
 }
 
-func firstInst(blocks []basicBlock) *x86.Inst {
-	if len(blocks) == 0 || len(blocks[0].insts) == 0 {
-		return nil
-	}
-	return &blocks[0].insts[0].inst
-}
-
 // cfgProfile is the CFG-based replacement for the linear range profiler.
 func cfgProfile(code []byte, begin uint64, mode x86.Mode) funcProfile {
+	return cfgProfileSrc(csrc{code: code, base: begin, mode: mode})
+}
+
+// cfgProfileSrc is cfgProfile over a decode source (optionally backed by
+// the shared linear-sweep index).
+func cfgProfileSrc(src csrc) funcProfile {
 	ptr := int64(8)
-	if mode == x86.Mode32 {
+	if src.mode == x86.Mode32 {
 		ptr = 4
 	}
-	blocks, ok := buildCFG(code, begin, mode, ptr)
-	return analyzeCFG(blocks, ok, ptr)
+	blocks, arena, ok := buildCFG(src, ptr)
+	return analyzeCFG(blocks, arena, ok, ptr)
 }

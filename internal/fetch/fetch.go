@@ -19,13 +19,19 @@
 //   - the verification pass walks a bounded window of instructions per
 //     candidate and models the stack, which costs real time — FunSeeker's
 //     speed advantage in the paper comes from skipping exactly this work.
+//
+// The .eh_frame parse, the escaping-jump scan, and the raw instruction
+// decode all come from the shared analysis.Context (one parse / one
+// sweep per binary); the lift to micro-ops and the stack-height
+// dataflow remain FETCH's own per-run work, because their cost is
+// exactly what the paper's runtime comparison measures.
 package fetch
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
-	"github.com/funseeker/funseeker/internal/ehframe"
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
 	"github.com/funseeker/funseeker/internal/x86"
 )
@@ -49,10 +55,18 @@ type Report struct {
 // maxVerifyWindow bounds the per-candidate verification walk.
 const maxVerifyWindow = 256
 
-// Identify runs the FETCH algorithm on a loaded binary.
+// Identify runs the FETCH algorithm on a loaded binary with a private
+// analysis context.
 func Identify(bin *elfx.Binary) (*Report, error) {
+	return IdentifyWithContext(analysis.NewContext(bin))
+}
+
+// IdentifyWithContext runs FETCH using the shared per-binary artifacts
+// memoized in ctx.
+func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
+	bin := ctx.Binary()
 	report := &Report{}
-	fdes, err := ehframe.Parse(bin.EHFrame, bin.EHFrameAddr, bin.PtrSize())
+	fdes, err := ctx.FDEs()
 	if err != nil {
 		return nil, fmt.Errorf("fetch: eh_frame: %w", err)
 	}
@@ -68,31 +82,37 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 		ranges = append(ranges, frange{begin: f.PCBegin, end: f.PCBegin + f.PCRange})
 	}
 	report.FDEFunctions = len(entries)
-	sort.Slice(ranges, func(i, j int) bool { return ranges[i].begin < ranges[j].begin })
+	slices.SortFunc(ranges, func(a, b frange) int {
+		switch {
+		case a.begin < b.begin:
+			return -1
+		case a.begin > b.begin:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	// Profile every FDE-covered function: stack-height consistency and
 	// argument-register usage. FETCH uses these profiles both to sanity
 	// check its ranges and to verify tail-call candidates; the cost of
-	// this full pass is the dominant term in its runtime.
+	// this full pass is the dominant term in its runtime. The raw decode
+	// of each range is served from the shared instruction index; the
+	// lift and the stack-height dataflow — the paper's cost driver,
+	// counted in AnalyzedInsts — run per call.
+	idx := ctx.Index()
 	profiles := make(map[uint64]funcProfile, len(ranges))
 	for _, r := range ranges {
-		p := profileRange(bin, r.begin, r.end)
+		p := profileRange(bin, idx, r.begin, r.end)
 		profiles[r.begin] = p
 		report.AnalyzedInsts += p.insts
 	}
 
-	// Find direct jumps escaping their FDE range.
+	// Find direct jumps escaping their FDE range, reading the shared
+	// instruction index instead of re-sweeping each range.
 	candidates := make(map[uint64][]uint64) // target -> jump sources
 	for _, r := range ranges {
-		lo := r.begin - bin.TextAddr
-		hi := r.end - bin.TextAddr
-		if hi > uint64(len(bin.Text)) {
-			hi = uint64(len(bin.Text))
-		}
-		if lo >= hi {
-			continue
-		}
-		x86.LinearSweep(bin.Text[lo:hi], r.begin, bin.Mode, func(inst x86.Inst) bool {
+		for _, inst := range idx.Range(r.begin, r.end) {
 			if inst.Class == x86.ClassJmpRel && inst.HasTarget {
 				if inst.Target < r.begin || inst.Target >= r.end {
 					if bin.InText(inst.Target) && !entries[inst.Target] {
@@ -100,8 +120,7 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 					}
 				}
 			}
-			return true
-		})
+		}
 	}
 
 	// Verify each candidate with the expensive analysis.
@@ -109,9 +128,9 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	for t := range candidates {
 		targets = append(targets, t)
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	slices.Sort(targets)
 	for _, t := range targets {
-		prof := profileWindow(bin, t, maxVerifyWindow)
+		prof := profileWindow(bin, idx, t, maxVerifyWindow)
 		report.AnalyzedInsts += prof.insts
 		if prof.looksLikeFunction() {
 			entries[t] = true
@@ -125,6 +144,6 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	for e := range entries {
 		report.Entries = append(report.Entries, e)
 	}
-	sort.Slice(report.Entries, func(i, j int) bool { return report.Entries[i] < report.Entries[j] })
+	slices.Sort(report.Entries)
 	return report, nil
 }

@@ -11,9 +11,9 @@ package ghidra
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
-	"github.com/funseeker/funseeker/internal/ehframe"
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
 	"github.com/funseeker/funseeker/internal/recdesc"
 )
@@ -30,13 +30,22 @@ type Report struct {
 	FromPrologue int
 }
 
-// Identify runs the Ghidra-style algorithm.
+// Identify runs the Ghidra-style algorithm with a private analysis
+// context.
 func Identify(bin *elfx.Binary) (*Report, error) {
+	return IdentifyWithContext(analysis.NewContext(bin))
+}
+
+// IdentifyWithContext runs the Ghidra-style algorithm using the shared
+// per-binary artifacts memoized in ctx.
+func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
+	bin := ctx.Binary()
 	report := &Report{}
 	found := make(map[uint64]bool)
 
-	// Pass 1: .eh_frame FDE starts.
-	fdes, err := ehframe.Parse(bin.EHFrame, bin.EHFrameAddr, bin.PtrSize())
+	// Pass 1: .eh_frame FDE starts (parsed once per binary, shared with
+	// the other .eh_frame consumers).
+	fdes, err := ctx.FDEs()
 	if err != nil {
 		return nil, fmt.Errorf("ghidra: eh_frame: %w", err)
 	}
@@ -52,8 +61,11 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	}
 
 	// Pass 2: recursive descent from the entry point and every FDE
-	// function, expanding through direct calls.
-	res := recdesc.Traverse(bin, seeds)
+	// function, expanding through direct calls. Decoding is served from
+	// the shared linear-sweep index where possible.
+	idx := ctx.Index()
+	walker := recdesc.NewWalker(bin, idx)
+	res := walker.Traverse(seeds)
 	for e := range res.Functions {
 		if !found[e] {
 			found[e] = true
@@ -65,19 +77,15 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	// instruction. Ghidra's function start patterns recognize classic
 	// frame-pointer prologues; it does not key on end-branch markers
 	// (the paper's central observation).
-	recdesc.WalkGaps(bin, res.Covered, func(va uint64, _ bool) bool {
-		if recdesc.ClassifyPrologue(bin, va) != recdesc.PrologueFramePointer {
+	recdesc.WalkGapsIndexed(bin, idx, res.Covered, func(va uint64, _ bool) bool {
+		if recdesc.ClassifyPrologueIndexed(bin, idx, va) != recdesc.PrologueFramePointer {
 			return false
 		}
 		found[va] = true
 		report.FromPrologue++
-		// Newly found functions expand the call graph.
-		sub := recdesc.Traverse(bin, []uint64{va})
-		for i, v := range sub.Covered {
-			if v {
-				res.Covered[i] = true
-			}
-		}
+		// Newly found functions expand the call graph; their coverage is
+		// marked in place on the shared array.
+		sub := walker.TraverseInto([]uint64{va}, res.Covered)
 		for e := range sub.Functions {
 			if !found[e] {
 				found[e] = true
@@ -91,6 +99,6 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	for e := range found {
 		report.Entries = append(report.Entries, e)
 	}
-	sort.Slice(report.Entries, func(i, j int) bool { return report.Entries[i] < report.Entries[j] })
+	slices.Sort(report.Entries)
 	return report, nil
 }

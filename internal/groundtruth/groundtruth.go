@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 )
 
 // EndbrRole classifies where an end-branch instruction sits (Table I).
@@ -111,7 +111,7 @@ func (g *GT) SortedEntries() []uint64 {
 	for _, f := range g.Funcs {
 		out = append(out, f.Addr)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -14,9 +14,9 @@
 package idapro
 
 import (
-	"sort"
+	"slices"
 
-	"github.com/funseeker/funseeker/internal/ehinfo"
+	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
 	"github.com/funseeker/funseeker/internal/recdesc"
 	"github.com/funseeker/funseeker/internal/x86"
@@ -37,8 +37,15 @@ type Report struct {
 	FromOrphanRescue int
 }
 
-// Identify runs the IDA-style algorithm.
+// Identify runs the IDA-style algorithm with a private analysis context.
 func Identify(bin *elfx.Binary) (*Report, error) {
+	return IdentifyWithContext(analysis.NewContext(bin))
+}
+
+// IdentifyWithContext runs the IDA-style algorithm using the shared
+// per-binary artifacts memoized in ctx.
+func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
+	bin := ctx.Binary()
 	report := &Report{}
 	found := make(map[uint64]bool)
 
@@ -46,7 +53,7 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	// to their parent functions, so catch blocks are not promoted to
 	// functions by the orphan rescue. (It still does not use end-branch
 	// instructions or FDE starts for identification.)
-	pads, err := ehinfo.LandingPadSet(bin)
+	pads, err := ctx.LandingPads()
 	if err != nil {
 		pads = map[uint64]bool{}
 	}
@@ -55,10 +62,12 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	// (IDA's immediate/offset analysis finds lea rdi, [rip+func] and
 	// push $func references).
 	seeds := []uint64{bin.Entry}
-	codeRefs := collectCodeRefs(bin)
+	codeRefs := collectCodeRefs(ctx)
 	seeds = append(seeds, codeRefs...)
 
-	res := recdesc.Traverse(bin, seeds)
+	idx := ctx.Index()
+	walker := recdesc.NewWalker(bin, idx)
+	res := walker.Traverse(seeds)
 	for e := range res.Functions {
 		found[e] = true
 	}
@@ -84,16 +93,16 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 			found[t] = true
 		}
 	}
-	// Explore the newly split functions so their bodies count as covered.
-	res2 := recdesc.Traverse(bin, setToSlice(escapes))
-	mergeCoverage(res.Covered, res2.Covered)
+	// Explore the newly split functions so their bodies count as covered
+	// (marked in place on the shared coverage array).
+	walker.TraverseInto(setToSlice(escapes), res.Covered)
 
 	// Gap analysis: prologue signatures and orphan-code rescue, walking
 	// each gap instruction by instruction so back-to-back unaligned
 	// functions are all examined.
-	recdesc.WalkGaps(bin, res.Covered, func(va uint64, chunkStart bool) bool {
+	recdesc.WalkGapsIndexed(bin, idx, res.Covered, func(va uint64, chunkStart bool) bool {
 		accepted := false
-		switch recdesc.ClassifyPrologue(bin, va) {
+		switch recdesc.ClassifyPrologueIndexed(bin, idx, va) {
 		case recdesc.PrologueFramePointer:
 			accepted = true
 			report.FromPrologue++
@@ -105,7 +114,7 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 			// pads) are left as loose code, though large pads still slip
 			// through as spurious functions.
 			if chunkStart && !pads[va] && chunkLen(bin, res.Covered, va) >= minRescueChunk &&
-				recdesc.ContainsEarlyCall(bin, va, 8) {
+				recdesc.ContainsEarlyCallIndexed(bin, idx, va, 8) {
 				accepted = true
 				report.FromOrphanRescue++
 			}
@@ -114,8 +123,7 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 			return false
 		}
 		found[va] = true
-		sub := recdesc.Traverse(bin, []uint64{va})
-		mergeCoverage(res.Covered, sub.Covered)
+		sub := walker.TraverseInto([]uint64{va}, res.Covered)
 		for e := range sub.Functions {
 			if !found[e] {
 				found[e] = true
@@ -126,16 +134,20 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 	})
 
 	report.Entries = setToSlice(found)
-	sort.Slice(report.Entries, func(i, j int) bool { return report.Entries[i] < report.Entries[j] })
+	slices.Sort(report.Entries)
 	return report, nil
 }
 
 // collectCodeRefs finds .text addresses materialized by code: RIP-relative
-// lea and mov-immediate forms. Data-section function-pointer tables are
-// invisible to this analysis — exactly IDA's blind spot.
-func collectCodeRefs(bin *elfx.Binary) []uint64 {
+// lea and mov-immediate forms, read off the shared instruction index.
+// Data-section function-pointer tables are invisible to this analysis —
+// exactly IDA's blind spot.
+func collectCodeRefs(ctx *analysis.Context) []uint64 {
+	bin := ctx.Binary()
 	var refs []uint64
-	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
+	insts := ctx.Index().Insts
+	for i := range insts {
+		inst := &insts[i]
 		// lea reg, [rip+disp] referencing .text.
 		if inst.OpcodeMap == 1 && inst.Opcode == 0x8D && inst.HasRIPRef && bin.InText(inst.RIPRef) {
 			refs = append(refs, inst.RIPRef)
@@ -147,8 +159,7 @@ func collectCodeRefs(bin *elfx.Binary) []uint64 {
 				refs = append(refs, va)
 			}
 		}
-		return true
-	})
+	}
 	return refs
 }
 
@@ -172,12 +183,4 @@ func chunkLen(bin *elfx.Binary, covered []bool, va uint64) int {
 		n++
 	}
 	return n
-}
-
-func mergeCoverage(dst, src []bool) {
-	for i, v := range src {
-		if v {
-			dst[i] = true
-		}
-	}
 }

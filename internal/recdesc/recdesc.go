@@ -6,7 +6,7 @@
 package recdesc
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/funseeker/funseeker/internal/elfx"
 	"github.com/funseeker/funseeker/internal/x86"
@@ -38,15 +38,71 @@ func (r *Result) Entries() []uint64 {
 	for e := range r.Functions {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
-// Traverse explores the binary from the seed entries.
-func Traverse(bin *elfx.Binary, seeds []uint64) *Result {
+// source bundles a binary with an optional memoized linear-sweep index.
+// When the index is present, instruction starts it already decoded are
+// served from it instead of re-running the decoder; addresses the global
+// sweep never reached (desynchronized regions) fall back to a fresh
+// decode, so results are byte-identical either way — decoding the same
+// bytes at the same address is deterministic.
+type source struct {
+	bin *elfx.Binary
+	idx *x86.Index
+}
+
+// decode returns the instruction at va: a pointer into the shared index
+// on a hit (must not be modified), or scratch filled by a fresh decode.
+func (s source) decode(va uint64, scratch *x86.Inst) (*x86.Inst, error) {
+	if s.idx != nil {
+		if p := s.idx.AtPtr(va); p != nil {
+			return p, nil
+		}
+	}
+	inst, err := x86.Decode(s.bin.Text[va-s.bin.TextAddr:], va, s.bin.Mode)
+	if err != nil {
+		return nil, err
+	}
+	*scratch = inst
+	return scratch, nil
+}
+
+// Walker carries the reusable state for repeated traversals over one
+// binary: the optional decode index and an epoch-numbered visited set,
+// so per-function exploration allocates neither a map nor a fresh array.
+type Walker struct {
+	src     source
+	visited []uint32
+	gen     uint32
+}
+
+// NewWalker prepares traversal state for bin. idx may be nil; when
+// present it is the binary's memoized linear-sweep index and spares
+// re-decoding instructions the sweep already produced.
+func NewWalker(bin *elfx.Binary, idx *x86.Index) *Walker {
+	return &Walker{
+		src:     source{bin: bin, idx: idx},
+		visited: make([]uint32, len(bin.Text)),
+	}
+}
+
+// Traverse explores the binary from the seed entries into a fresh
+// coverage array.
+func (w *Walker) Traverse(seeds []uint64) *Result {
+	return w.TraverseInto(seeds, make([]bool, len(w.src.bin.Text)))
+}
+
+// TraverseInto explores the binary from the seed entries, marking
+// coverage directly into covered (length len(.text)), which the returned
+// Result shares. Bytes already marked stay marked — merge semantics
+// without the extra array and copy.
+func (w *Walker) TraverseInto(seeds []uint64, covered []bool) *Result {
+	bin := w.src.bin
 	res := &Result{
 		Functions: make(map[uint64]*Func),
-		Covered:   make([]bool, len(bin.Text)),
+		Covered:   covered,
 	}
 	queue := append([]uint64(nil), seeds...)
 	for len(queue) > 0 {
@@ -60,38 +116,53 @@ func Traverse(bin *elfx.Binary, seeds []uint64) *Result {
 		}
 		fn := &Func{Entry: entry}
 		res.Functions[entry] = fn
-		newCalls := exploreFunction(bin, fn, res)
-		queue = append(queue, newCalls...)
+		queue = append(queue, w.exploreFunction(fn, res)...)
 	}
 	return res
 }
 
+// Traverse explores the binary from the seed entries.
+func Traverse(bin *elfx.Binary, seeds []uint64) *Result {
+	return NewWalker(bin, nil).Traverse(seeds)
+}
+
+// TraverseIndexed is Traverse backed by a memoized linear-sweep index
+// (may be nil). Callers doing repeated traversals over one binary should
+// hold a Walker instead.
+func TraverseIndexed(bin *elfx.Binary, idx *x86.Index, seeds []uint64) *Result {
+	return NewWalker(bin, idx).Traverse(seeds)
+}
+
 // exploreFunction walks one function's control flow. It returns newly
 // discovered call targets.
-func exploreFunction(bin *elfx.Binary, fn *Func, res *Result) []uint64 {
+func (w *Walker) exploreFunction(fn *Func, res *Result) []uint64 {
+	bin := w.src.bin
+	w.gen++
+	gen := w.gen
 	var calls []uint64
-	visited := make(map[uint64]bool)
+	var scratch x86.Inst
 	blocks := []uint64{fn.Entry}
 	maxEnd := fn.Entry
 
 	for len(blocks) > 0 {
 		pc := blocks[len(blocks)-1]
 		blocks = blocks[:len(blocks)-1]
-		if visited[pc] || !bin.InText(pc) {
+		if !bin.InText(pc) || w.visited[pc-bin.TextAddr] == gen {
 			continue
 		}
 	blockLoop:
-		for bin.InText(pc) && !visited[pc] {
-			visited[pc] = true
+		for bin.InText(pc) && w.visited[pc-bin.TextAddr] != gen {
 			off := pc - bin.TextAddr
-			inst, err := x86.Decode(bin.Text[off:], pc, bin.Mode)
+			w.visited[off] = gen
+			inst, err := w.src.decode(pc, &scratch)
 			if err != nil {
 				break
 			}
 			for i := uint64(0); i < uint64(inst.Len) && off+i < uint64(len(res.Covered)); i++ {
 				res.Covered[off+i] = true
 			}
-			if next := inst.Next(); next > maxEnd {
+			next := pc + uint64(inst.Len)
+			if next > maxEnd {
 				maxEnd = next
 			}
 			switch inst.Class {
@@ -117,7 +188,7 @@ func exploreFunction(bin *elfx.Binary, fn *Func, res *Result) []uint64 {
 				}
 				break blockLoop
 			}
-			pc = inst.Next()
+			pc = next
 		}
 	}
 	fn.End = maxEnd
@@ -193,6 +264,14 @@ func Gaps(bin *elfx.Binary, covered []bool) []GapChunk {
 // per-instruction walk is what lets signature scans find back-to-back
 // functions in one large gap (unaligned -O0/-O1 layouts).
 func WalkGaps(bin *elfx.Binary, covered []bool, visit func(va uint64, chunkStart bool) bool) {
+	WalkGapsIndexed(bin, nil, covered, visit)
+}
+
+// WalkGapsIndexed is WalkGaps backed by a memoized linear-sweep index
+// (may be nil).
+func WalkGapsIndexed(bin *elfx.Binary, idx *x86.Index, covered []bool, visit func(va uint64, chunkStart bool) bool) {
+	src := source{bin: bin, idx: idx}
+	var scratch x86.Inst
 	n := len(bin.Text)
 	chunkStart := true
 	for off := 0; off < n; {
@@ -201,7 +280,7 @@ func WalkGaps(bin *elfx.Binary, covered []bool, visit func(va uint64, chunkStart
 			chunkStart = true
 			continue
 		}
-		inst, err := x86.Decode(bin.Text[off:], bin.TextAddr+uint64(off), bin.Mode)
+		inst, err := src.decode(bin.TextAddr+uint64(off), &scratch)
 		if err != nil {
 			covered[off] = true
 			off++
@@ -254,7 +333,14 @@ const (
 
 // ClassifyPrologue inspects the first instructions at va.
 func ClassifyPrologue(bin *elfx.Binary, va uint64) PrologueKind {
-	insts := decodeWindow(bin, va, 3)
+	return ClassifyPrologueIndexed(bin, nil, va)
+}
+
+// ClassifyPrologueIndexed is ClassifyPrologue backed by a memoized
+// linear-sweep index (may be nil).
+func ClassifyPrologueIndexed(bin *elfx.Binary, idx *x86.Index, va uint64) PrologueKind {
+	var buf [3]x86.Inst
+	insts := decodeWindow(source{bin: bin, idx: idx}, va, buf[:0])
 	if len(insts) == 0 {
 		return PrologueNone
 	}
@@ -276,7 +362,14 @@ func ClassifyPrologue(bin *elfx.Binary, va uint64) PrologueKind {
 // ContainsEarlyCall reports whether a direct call appears within the
 // first n instructions at va (the "orphan code rescue" heuristic).
 func ContainsEarlyCall(bin *elfx.Binary, va uint64, n int) bool {
-	for _, inst := range decodeWindow(bin, va, n) {
+	return ContainsEarlyCallIndexed(bin, nil, va, n)
+}
+
+// ContainsEarlyCallIndexed is ContainsEarlyCall backed by a memoized
+// linear-sweep index (may be nil).
+func ContainsEarlyCallIndexed(bin *elfx.Binary, idx *x86.Index, va uint64, n int) bool {
+	buf := make([]x86.Inst, 0, n)
+	for _, inst := range decodeWindow(source{bin: bin, idx: idx}, va, buf) {
 		if inst.Class == x86.ClassCallRel || inst.Class == x86.ClassCallInd {
 			return true
 		}
@@ -284,18 +377,21 @@ func ContainsEarlyCall(bin *elfx.Binary, va uint64, n int) bool {
 	return false
 }
 
-func decodeWindow(bin *elfx.Binary, va uint64, n int) []x86.Inst {
+// decodeWindow fills out (an empty slice whose capacity bounds the
+// window) with successive instructions starting at va.
+func decodeWindow(src source, va uint64, out []x86.Inst) []x86.Inst {
+	bin := src.bin
 	if !bin.InText(va) {
 		return nil
 	}
-	out := make([]x86.Inst, 0, n)
+	var scratch x86.Inst
 	off := va - bin.TextAddr
-	for len(out) < n && off < uint64(len(bin.Text)) {
-		inst, err := x86.Decode(bin.Text[off:], bin.TextAddr+off, bin.Mode)
+	for len(out) < cap(out) && off < uint64(len(bin.Text)) {
+		inst, err := src.decode(bin.TextAddr+off, &scratch)
 		if err != nil {
 			break
 		}
-		out = append(out, inst)
+		out = append(out, *inst)
 		off += uint64(inst.Len)
 	}
 	return out

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"github.com/funseeker/funseeker/internal/asmx"
@@ -492,7 +493,7 @@ func (g *gen) genFunc(idx int) {
 			hostedTargets = append(hostedTargets, target)
 		}
 	}
-	sort.Ints(hostedTargets)
+	slices.Sort(hostedTargets)
 	for _, target := range hostedTargets {
 		target := target
 		steps = append(steps, func() {
@@ -518,7 +519,7 @@ func (g *gen) genFunc(idx int) {
 			dataTargets = append(dataTargets, target)
 		}
 	}
-	sort.Ints(dataTargets)
+	slices.Sort(dataTargets)
 	for _, target := range dataTargets {
 		target := target
 		steps = append(steps, func() {

@@ -36,3 +36,92 @@ func SweepAll(code []byte, base uint64, mode Mode) []Inst {
 	})
 	return insts
 }
+
+// Index is the materialized form of one linear sweep: every decoded
+// instruction in address order plus enough bookkeeping to answer
+// address-range queries without re-decoding. Building the index costs one
+// sweep; afterwards any number of passes (entry identification, end-branch
+// classification, property studies, code-reference scans) can share it,
+// which is what makes the per-binary analysis context cheap. An Index is
+// immutable after construction and safe for concurrent readers.
+type Index struct {
+	// Insts holds every decoded instruction in ascending address order.
+	Insts []Inst
+	// Base is the virtual address decoding started at.
+	Base uint64
+	// Skipped is the number of bytes the sweep had to skip to
+	// re-synchronize after decode errors (zero for well-formed
+	// compiler-generated text).
+	Skipped int
+	// pos maps a byte offset from Base to the position in Insts of the
+	// instruction starting there, or -1 where no instruction boundary
+	// falls. It makes At an O(1) lookup, which matters because the
+	// recursive-descent consumers issue one lookup per walked
+	// instruction.
+	pos []int32
+}
+
+// BuildIndex runs one linear sweep over code and materializes it.
+func BuildIndex(code []byte, base uint64, mode Mode) *Index {
+	idx := &Index{
+		Insts: make([]Inst, 0, len(code)/4+1),
+		Base:  base,
+	}
+	idx.pos = make([]int32, len(code))
+	for i := range idx.pos {
+		idx.pos[i] = -1
+	}
+	idx.Skipped = LinearSweep(code, base, mode, func(inst Inst) bool {
+		idx.pos[inst.Addr-base] = int32(len(idx.Insts))
+		idx.Insts = append(idx.Insts, inst)
+		return true
+	})
+	return idx
+}
+
+// At returns the instruction decoded at exactly va, if the sweep placed an
+// instruction boundary there.
+func (ix *Index) At(va uint64) (Inst, bool) {
+	off := va - ix.Base
+	if off >= uint64(len(ix.pos)) || ix.pos[off] < 0 {
+		return Inst{}, false
+	}
+	return ix.Insts[ix.pos[off]], true
+}
+
+// AtPtr returns a pointer into the index for the instruction decoded at
+// exactly va, or nil if no instruction boundary falls there. The pointee
+// is shared with every other reader and must not be modified; the
+// pointer form exists because Inst is large enough that copying it
+// dominates hot per-instruction loops.
+func (ix *Index) AtPtr(va uint64) *Inst {
+	off := va - ix.Base
+	if off >= uint64(len(ix.pos)) || ix.pos[off] < 0 {
+		return nil
+	}
+	return &ix.Insts[ix.pos[off]]
+}
+
+// Range returns the instructions whose addresses fall in [lo, hi), as a
+// subslice of the index (callers must not mutate it).
+func (ix *Index) Range(lo, hi uint64) []Inst {
+	if hi <= lo {
+		return nil
+	}
+	return ix.Insts[ix.searchAddr(lo):ix.searchAddr(hi)]
+}
+
+// searchAddr returns the position of the first instruction with
+// Addr >= va.
+func (ix *Index) searchAddr(va uint64) int {
+	lo, hi := 0, len(ix.Insts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.Insts[mid].Addr < va {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -16,6 +16,12 @@ func ClassifyEndbrs(bin *Binary) (EndbrDistribution, error) {
 	return core.ClassifyEndbrs(bin)
 }
 
+// ClassifyEndbrsWithContext is ClassifyEndbrs over a shared analysis
+// context (the sweep and landing-pad set are reused, not recomputed).
+func ClassifyEndbrsWithContext(ctx *AnalysisContext) (EndbrDistribution, error) {
+	return core.ClassifyEndbrsWithContext(ctx)
+}
+
 // Function-property bit masks for the Figure 3 style analysis.
 const (
 	// PropEndbr marks EndBrAtHead: the entry starts with an end branch.
@@ -35,6 +41,12 @@ type VennCounts = core.VennCounts
 // three syntactic properties hold.
 func AnalyzeProperties(bin *Binary, entries []uint64) VennCounts {
 	return core.AnalyzeProperties(bin, entries)
+}
+
+// AnalyzePropertiesWithContext is AnalyzeProperties over a shared
+// analysis context.
+func AnalyzePropertiesWithContext(ctx *AnalysisContext, entries []uint64) VennCounts {
+	return core.AnalyzePropertiesWithContext(ctx, entries)
 }
 
 // LandingPads returns the absolute addresses of every C++ exception

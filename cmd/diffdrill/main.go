@@ -1,0 +1,134 @@
+// Command diffdrill drives the differential testing harness in
+// internal/diffcheck over a range of generator seeds: each seed becomes
+// a random program specification, is compiled to a CET ELF image with
+// known ground truth, and is checked against the full invariant oracle
+// (FunSeeker four configs, baseline models, recursive descent, shared
+// analysis-context bookkeeping).
+//
+// Usage:
+//
+//	diffdrill [-seeds N] [-start S] [-duration D] [-workers W]
+//	          [-keep-failures DIR] [-max-funcs N] [-v]
+//
+// With -duration set, diffdrill runs seeds from -start upward until the
+// deadline; otherwise it runs exactly -seeds seeds. Failing cases are
+// minimized and written as regression-spec JSON under -keep-failures
+// (default internal/diffcheck/testdata/failures; promote good ones to
+// internal/diffcheck/testdata/specs so the package test replays them).
+// Exit status is 1 if any seed produced a violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/diffcheck"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 1000, "number of seeds to check (ignored when -duration is set)")
+		start    = flag.Int64("start", 1, "first seed")
+		duration = flag.Duration("duration", 0, "run until this deadline instead of a fixed seed count")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+		keepDir  = flag.String("keep-failures", "internal/diffcheck/testdata/failures", "directory for minimized reproducers of failing seeds")
+		maxFail  = flag.Int("max-failures", 10, "stop after this many failing seeds")
+		maxFuncs = flag.Int("max-funcs", 0, "override generator max function count (0 = default)")
+		verbose  = flag.Bool("v", false, "log every violation as it is found")
+	)
+	flag.Parse()
+
+	opts := diffcheck.DefaultGenOptions()
+	if *maxFuncs > 0 {
+		opts.MaxFuncs = *maxFuncs
+	}
+
+	var (
+		next     atomic.Int64
+		checked  atomic.Int64
+		failed   atomic.Int64
+		deadline time.Time
+		mu       sync.Mutex // serializes failure reporting + minimization
+		wg       sync.WaitGroup
+	)
+	next.Store(*start)
+	end := *start + int64(*seeds)
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+		end = 1<<62 - 1
+	}
+
+	t0 := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed := next.Add(1) - 1
+				if seed >= end || failed.Load() >= int64(*maxFail) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				res := diffcheck.CheckSeed(seed, opts)
+				checked.Add(1)
+				if !res.Failed() {
+					continue
+				}
+				failed.Add(1)
+				mu.Lock()
+				reportFailure(res, *keepDir, *verbose)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	elapsed := time.Since(t0)
+	nc, nf := checked.Load(), failed.Load()
+	rate := float64(nc) / elapsed.Seconds()
+	fmt.Printf("diffdrill: %d seeds checked in %v (%.0f seeds/s), %d failing\n",
+		nc, elapsed.Round(time.Millisecond), rate, nf)
+	if nf > 0 {
+		os.Exit(1)
+	}
+}
+
+// reportFailure prints the violation set for a failing seed, shrinks it
+// to a minimal reproducer, and persists the result as a regression case.
+func reportFailure(res *diffcheck.CaseResult, keepDir string, verbose bool) {
+	fmt.Fprintf(os.Stderr, "FAIL seed %d (%d violations)\n", res.Seed, len(res.Violations))
+	if verbose {
+		fmt.Fprintf(os.Stderr, "%s\n", res)
+	}
+	spec, cfg := diffcheck.MinimizeResult(res)
+	kinds := make([]string, 0, len(res.Violations))
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		if !seen[v.Check] {
+			seen[v.Check] = true
+			kinds = append(kinds, v.Check)
+		}
+	}
+	rc := &diffcheck.RegressionCase{
+		Description: fmt.Sprintf("diffdrill seed %d: %s (minimized from %d funcs to %d)",
+			res.Seed, kinds[0], len(res.Spec.Funcs), len(spec.Funcs)),
+		Seed:       res.Seed,
+		Violations: kinds,
+		Config:     diffcheck.EncodeConfig(cfg),
+		Spec:       spec,
+	}
+	path := filepath.Join(keepDir, fmt.Sprintf("seed_%d.json", res.Seed))
+	if err := rc.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "diffdrill: save reproducer: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "  minimized reproducer: %s (%d funcs)\n", path, len(spec.Funcs))
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"github.com/funseeker/funseeker/internal/analysis"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// sortedAddrs turns raw fuzz values into the ascending, deduplicated
+// form mergeSupersetEndbrs is specified over.
+func sortedAddrs(raw []uint64) []uint64 {
+	out := slices.Clone(raw)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// TestMergeSupersetEndbrsProperties checks the algebra of the E-merge:
+// the result is the sorted union — ascending and duplicate-free, a
+// superset of both inputs, containing nothing else, and symmetric in its
+// arguments.
+func TestMergeSupersetEndbrsProperties(t *testing.T) {
+	f := func(rawScanned, rawEndbrs []uint64) bool {
+		scanned, endbrs := sortedAddrs(rawScanned), sortedAddrs(rawEndbrs)
+		got := mergeSupersetEndbrs(scanned, endbrs)
+
+		if !slices.IsSorted(got) {
+			t.Logf("not sorted: %v", got)
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Logf("duplicate %#x", got[i])
+				return false
+			}
+		}
+		member := func(v uint64) bool {
+			_, ok := slices.BinarySearch(got, v)
+			return ok
+		}
+		for _, v := range scanned {
+			if !member(v) {
+				t.Logf("scanned %#x missing", v)
+				return false
+			}
+		}
+		for _, v := range endbrs {
+			if !member(v) {
+				t.Logf("endbr %#x missing", v)
+				return false
+			}
+		}
+		inInputs := func(v uint64) bool {
+			_, a := slices.BinarySearch(scanned, v)
+			_, b := slices.BinarySearch(endbrs, v)
+			return a || b
+		}
+		for _, v := range got {
+			if !inInputs(v) {
+				t.Logf("phantom %#x", v)
+				return false
+			}
+		}
+		return slices.Equal(got, mergeSupersetEndbrs(endbrs, scanned))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMergeSupersetEndbrsIdempotent: merging the result with either
+// input is a fixpoint.
+func TestMergeSupersetEndbrsIdempotent(t *testing.T) {
+	f := func(rawScanned, rawEndbrs []uint64) bool {
+		scanned, endbrs := sortedAddrs(rawScanned), sortedAddrs(rawEndbrs)
+		got := mergeSupersetEndbrs(scanned, endbrs)
+		return slices.Equal(got, mergeSupersetEndbrs(scanned, got)) &&
+			slices.Equal(got, mergeSupersetEndbrs(got, endbrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tailCallCase is a randomly drawn SELECTTAILCALL input: a synthetic
+// .text extent, a set of known starts inside it, and a jump list.
+type tailCallCase struct {
+	bin   *elfx.Binary
+	known map[uint64]bool
+	jumps []analysis.JumpRef
+}
+
+func genTailCallCase(rng *rand.Rand) tailCallCase {
+	const base = 0x401000
+	size := uint64(0x100 + rng.Intn(0x1000))
+	bin := &elfx.Binary{Text: make([]byte, size), TextAddr: base, Mode: x86.Mode64}
+	known := make(map[uint64]bool)
+	for n := rng.Intn(12); n > 0; n-- {
+		known[base+uint64(rng.Intn(int(size)))] = true
+	}
+	var jumps []analysis.JumpRef
+	for n := rng.Intn(40); n > 0; n-- {
+		j := analysis.JumpRef{
+			Src:    base + uint64(rng.Intn(int(size))),
+			Target: base + uint64(rng.Intn(int(size))),
+			Cond:   rng.Intn(2) == 0,
+		}
+		if rng.Intn(8) == 0 { // occasionally out of .text
+			j.Target = base - 0x100 + uint64(rng.Intn(0x200))*16
+		}
+		jumps = append(jumps, j)
+	}
+	return tailCallCase{bin: bin, known: known, jumps: jumps}
+}
+
+// TestSelectTailCallsProperties: the selector's output is always a set
+// of in-text addresses disjoint from the known starts; results are
+// invariant under jump-list permutation; and the ablated boundary-only
+// mode is a superset of the full two-condition mode (dropping the
+// multi-reference requirement can only admit more targets).
+func TestSelectTailCallsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := genTailCallCase(rng)
+
+		full := selectTailCalls(c.bin, c.jumps, c.known, false)
+		boundary := selectTailCalls(c.bin, c.jumps, c.known, true)
+
+		for target := range full {
+			if !c.bin.InText(target) {
+				t.Logf("seed %d: out-of-text target %#x", seed, target)
+				return false
+			}
+			if c.known[target] {
+				t.Logf("seed %d: known start %#x reselected", seed, target)
+				return false
+			}
+			if !boundary[target] {
+				t.Logf("seed %d: full-mode target %#x missing from boundary-only mode", seed, target)
+				return false
+			}
+		}
+		for target := range boundary {
+			if !c.bin.InText(target) || c.known[target] {
+				t.Logf("seed %d: invalid boundary-only target %#x", seed, target)
+				return false
+			}
+		}
+
+		// Permutation invariance: the jump list is a set of evidence, so
+		// its order must not matter.
+		shuffled := slices.Clone(c.jumps)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		again := selectTailCalls(c.bin, shuffled, c.known, false)
+		if len(again) != len(full) {
+			t.Logf("seed %d: permutation changed result size", seed)
+			return false
+		}
+		for target := range full {
+			if !again[target] {
+				t.Logf("seed %d: permutation dropped %#x", seed, target)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectTailCallsDuplicateEvidence: duplicating every jump must not
+// change the result — the selector counts distinct source functions, not
+// raw jump occurrences.
+func TestSelectTailCallsDuplicateEvidence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := genTailCallCase(rng)
+		full := selectTailCalls(c.bin, c.jumps, c.known, false)
+		doubled := append(slices.Clone(c.jumps), c.jumps...)
+		again := selectTailCalls(c.bin, doubled, c.known, false)
+		if len(again) != len(full) {
+			return false
+		}
+		for target := range full {
+			if !again[target] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectTailCallsNoJumpsNoTargets: with no jump evidence the
+// selector returns nothing in either mode.
+func TestSelectTailCallsNoJumpsNoTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := genTailCallCase(rng)
+		if got := selectTailCalls(c.bin, nil, c.known, false); len(got) != 0 {
+			t.Fatalf("trial %d: %d targets from no evidence", trial, len(got))
+		}
+		if got := selectTailCalls(c.bin, nil, c.known, true); len(got) != 0 {
+			t.Fatalf("trial %d: boundary-only: %d targets from no evidence", trial, len(got))
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package diffcheck
+
+import "testing"
+
+// FuzzGeneratedCase lets the fuzzer explore the generator's seed space
+// directly: every seed must produce a case that checks clean against the
+// full invariant oracle. This subsumes TestRandomSeeds under coverage
+// guidance — the mutator hunts for seeds whose generated programs reach
+// novel oracle paths.
+func FuzzGeneratedCase(f *testing.F) {
+	for seed := int64(1); seed <= 16; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(0))
+	f.Add(int64(-1))
+	f.Add(int64(1) << 40)
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if res := CheckSeed(seed, DefaultGenOptions()); res.Failed() {
+			t.Fatalf("%s", res)
+		}
+	})
+}
+
+// FuzzSmallPrograms narrows the generator to tiny function counts, where
+// boundary interactions (tail-call chains, cold parts, trailing data)
+// are densest relative to program size.
+func FuzzSmallPrograms(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(99))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		opts := GenOptions{MinFuncs: 2, MaxFuncs: 6, DataInText: 0.10, ManualEndbrProb: 0.10}
+		if res := CheckSeed(seed, opts); res.Failed() {
+			t.Fatalf("%s", res)
+		}
+	})
+}

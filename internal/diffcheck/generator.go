@@ -1,0 +1,250 @@
+package diffcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// ProgSpec aliases the synthesizer's program specification.
+type ProgSpec = synth.ProgSpec
+
+// Config aliases the synthesizer's build configuration.
+type Config = synth.Config
+
+// GenOptions tunes the random case generator.
+type GenOptions struct {
+	// MinFuncs / MaxFuncs bound the function count (defaults 4 / 48).
+	MinFuncs int
+	MaxFuncs int
+	// DataInText is the probability that a function carries a raw data
+	// blob after its body. Trailing data legitimately desynchronizes the
+	// linear sweep, so the oracle relaxes the sweep-exactness invariants
+	// for such specs; the structural and differential invariants still
+	// apply in full.
+	DataInText float64
+	// ManualEndbrProb is the probability the build uses -mmanual-endbr.
+	ManualEndbrProb float64
+}
+
+// DefaultGenOptions is the mix used by tests and cmd/diffdrill.
+func DefaultGenOptions() GenOptions {
+	return GenOptions{MinFuncs: 4, MaxFuncs: 48, DataInText: 0.04, ManualEndbrProb: 0.06}
+}
+
+func (o *GenOptions) fill() {
+	if o.MinFuncs <= 0 {
+		o.MinFuncs = 4
+	}
+	if o.MaxFuncs < o.MinFuncs {
+		o.MaxFuncs = o.MinFuncs + 44
+	}
+}
+
+// externPool is the set of ordinary PLT imports random programs use.
+var externPool = []string{
+	"printf", "malloc", "free", "memcpy", "memset", "strlen", "exit",
+	"read", "write", "qsort",
+}
+
+// GenCase draws one random (program spec, build configuration) pair from
+// rng. The spec always passes synth Validate — by construction, not by
+// retry — so every generated case must compile; a compile error is itself
+// an invariant violation.
+func GenCase(rng *rand.Rand, opts GenOptions) (*ProgSpec, Config) {
+	opts.fill()
+	cfg := genConfig(rng, opts)
+	spec := genSpec(rng, opts)
+	return spec, cfg
+}
+
+// genConfig draws a random build configuration across the paper's full
+// cross product plus the §VI manual-endbr ablation knob.
+func genConfig(rng *rand.Rand, opts GenOptions) Config {
+	cfg := Config{
+		Compiler: synth.GCC,
+		Mode:     x86.Mode64,
+		PIE:      rng.Intn(2) == 0,
+		Opt:      synth.AllOptLevels()[rng.Intn(6)],
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Compiler = synth.Clang
+	}
+	if rng.Intn(2) == 0 {
+		cfg.Mode = x86.Mode32
+	}
+	if rng.Float64() < opts.ManualEndbrProb {
+		cfg.ManualEndbr = true
+	}
+	return cfg
+}
+
+// genSpec draws one random program specification.
+func genSpec(rng *rand.Rand, opts GenOptions) *ProgSpec {
+	nf := opts.MinFuncs + rng.Intn(opts.MaxFuncs-opts.MinFuncs+1)
+	lang := synth.LangC
+	if rng.Float64() < 0.40 {
+		lang = synth.LangCPP
+	}
+	spec := &ProgSpec{
+		Name: fmt.Sprintf("diff_%08x", rng.Uint32()),
+		Lang: lang,
+		Seed: rng.Int63(),
+	}
+	spec.Funcs = make([]synth.FuncSpec, nf)
+
+	// Function roles. main (index 0) stays a plain exported function so
+	// the program always has a live entry.
+	for i := range spec.Funcs {
+		f := &spec.Funcs[i]
+		if i == 0 {
+			f.Name = "main"
+		} else {
+			f.Name = fmt.Sprintf("fn_%03d", i)
+		}
+		f.BodySize = 1 + rng.Intn(14)
+		if i == 0 {
+			continue
+		}
+		switch r := rng.Float64(); {
+		case r < 0.04:
+			// Dead: nothing may reference it. Random linkage — a dead
+			// exported function still carries an end branch and is found;
+			// a dead static one is the paper's dominant miss class.
+			f.Dead = true
+			f.Static = rng.Intn(2) == 0
+		case r < 0.06:
+			f.Intrinsic = true
+			f.BodySize = 1 + rng.Intn(3)
+		case r < 0.30:
+			f.Static = true
+		case r < 0.38:
+			f.AddressTaken = true
+		case r < 0.44:
+			f.AddressTakenData = true
+			f.Static = rng.Intn(3) == 0
+		}
+	}
+
+	// Reference pools. Dead functions may still contain calls (their code
+	// is swept even though nothing reaches it); intrinsics keep minimal
+	// bodies and neither call nor get tail-called.
+	var callers, targets []int
+	for i := range spec.Funcs {
+		f := &spec.Funcs[i]
+		if !f.Intrinsic && (!f.Dead || rng.Intn(3) == 0) {
+			callers = append(callers, i)
+		}
+		if !f.Dead && !f.Intrinsic {
+			targets = append(targets, i)
+		}
+	}
+	pickCaller := func(not int) int {
+		for tries := 0; tries < 16; tries++ {
+			if c := callers[rng.Intn(len(callers))]; c != not {
+				return c
+			}
+		}
+		return -1
+	}
+
+	// Direct-call edges: every non-dead target gets 0-3 callers.
+	for _, i := range targets {
+		f := &spec.Funcs[i]
+		ncallers := rng.Intn(4)
+		if f.Intrinsic && ncallers == 0 {
+			ncallers = 1
+		}
+		for c := 0; c < ncallers; c++ {
+			caller := pickCaller(-1) // self-calls (recursion) are legal
+			if caller >= 0 {
+				spec.Funcs[caller].Calls = append(spec.Funcs[caller].Calls, i)
+			}
+		}
+	}
+
+	// Tail-call edges, including endbr-less tail-only targets with one or
+	// several distinct sources (the SELECTTAILCALL stress cases) and
+	// chains through already-tail-called functions.
+	for _, i := range targets {
+		if spec.Funcs[i].Intrinsic {
+			continue
+		}
+		if rng.Float64() >= 0.18 {
+			continue
+		}
+		nsrc := 1 + rng.Intn(3)
+		for c := 0; c < nsrc; c++ {
+			if tc := pickCaller(i); tc >= 0 {
+				spec.Funcs[tc].TailCalls = append(spec.Funcs[tc].TailCalls, i)
+			}
+		}
+	}
+
+	// Per-function features.
+	for _, i := range callers {
+		f := &spec.Funcs[i]
+		if rng.Float64() < 0.30 {
+			for n := 1 + rng.Intn(2); n > 0; n-- {
+				f.CallsPLT = append(f.CallsPLT, externPool[rng.Intn(len(externPool))])
+			}
+		}
+		if rng.Float64() < 0.10 {
+			f.HasSwitch = true
+			f.SwitchCases = 2 + rng.Intn(8)
+		}
+		if rng.Float64() < 0.07 {
+			f.ColdPart = true
+			switch {
+			case rng.Float64() < 0.35:
+				f.ColdCalled = true
+			case rng.Float64() < 0.45:
+				for n := 1 + rng.Intn(2); n > 0; n-- {
+					if s := pickCaller(i); s >= 0 && !contains(f.SharedColdWith, s) {
+						f.SharedColdWith = append(f.SharedColdWith, s)
+					}
+				}
+			}
+		}
+		if rng.Float64() < 0.05 {
+			f.IndirectReturnCall = synth.IndirectReturnFuncs[rng.Intn(len(synth.IndirectReturnFuncs))]
+		}
+		if lang == synth.LangCPP && !f.Intrinsic && rng.Float64() < 0.25 {
+			f.HasEH = true
+			f.NumLandingPads = 1 + rng.Intn(3)
+			f.CallsPLT = append(f.CallsPLT, "__cxa_throw")
+		}
+		if rng.Float64() < opts.DataInText {
+			f.TrailingData = 8 + rng.Intn(48)
+		}
+	}
+
+	if err := spec.Validate(); err != nil {
+		// A generator that emits invalid specs is itself a bug; fail loud
+		// so the fuzzer/minimizer surfaces it immediately.
+		panic(fmt.Sprintf("diffcheck: generated invalid spec: %v", err))
+	}
+	return spec
+}
+
+// specHasTrailingData reports whether any function embeds raw data in
+// .text, which legitimately desynchronizes linear-sweep disassembly.
+func specHasTrailingData(spec *ProgSpec) bool {
+	for i := range spec.Funcs {
+		if spec.Funcs[i].TrailingData > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,256 @@
+package diffcheck
+
+import (
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// Interesting decides whether a reduced candidate still reproduces the
+// failure being minimized.
+type Interesting func(spec *ProgSpec, cfg Config) bool
+
+// maxMinimizeTries bounds the total number of oracle evaluations one
+// minimization may spend.
+const maxMinimizeTries = 2000
+
+// Minimize shrinks a failing case to a (locally) minimal reproducer:
+// the returned spec/config still satisfy interesting, but no single
+// further reduction step — removing a function, clearing a feature,
+// dropping a call edge, or simplifying the build configuration — does.
+// interesting must hold for the input case.
+func Minimize(spec *ProgSpec, cfg Config, interesting Interesting) (*ProgSpec, Config) {
+	cur := cloneSpec(spec)
+	tries := 0
+	test := func(s *ProgSpec, c Config) bool {
+		if tries >= maxMinimizeTries {
+			return false
+		}
+		tries++
+		return s.Validate() == nil && interesting(s, c)
+	}
+
+	for changed := true; changed && tries < maxMinimizeTries; {
+		changed = false
+		if simplifyConfig(&cfg, cur, test) {
+			changed = true
+		}
+		// Function removal, largest chunks first, then singletons.
+		for chunk := len(cur.Funcs) / 2; chunk >= 1; chunk /= 2 {
+			for lo := len(cur.Funcs) - chunk; lo >= 0; lo -= chunk {
+				// cur shrinks as removals succeed; re-validate bounds.
+				if lo+chunk > len(cur.Funcs) || len(cur.Funcs)-chunk < 1 {
+					continue
+				}
+				cand := removeFuncs(cur, lo, lo+chunk)
+				if test(cand, cfg) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+		// Per-function feature clearing and edge dropping.
+		for i := 0; i < len(cur.Funcs); i++ {
+			for _, mutate := range featureMutators {
+				cand := cloneSpec(cur)
+				if !mutate(&cand.Funcs[i]) {
+					continue
+				}
+				if test(cand, cfg) {
+					cur = cand
+					changed = true
+				}
+			}
+			for e := len(cur.Funcs[i].Calls) - 1; e >= 0; e-- {
+				cand := cloneSpec(cur)
+				cand.Funcs[i].Calls = deleteAt(cand.Funcs[i].Calls, e)
+				if test(cand, cfg) {
+					cur = cand
+					changed = true
+				}
+			}
+			for e := len(cur.Funcs[i].TailCalls) - 1; e >= 0; e-- {
+				cand := cloneSpec(cur)
+				cand.Funcs[i].TailCalls = deleteAt(cand.Funcs[i].TailCalls, e)
+				if test(cand, cfg) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return cur, cfg
+}
+
+// MinimizeResult shrinks a failed CaseResult, preserving at least one of
+// the violation kinds observed in the original failure so the reproducer
+// does not drift onto a different bug mid-shrink.
+func MinimizeResult(r *CaseResult) (*ProgSpec, Config) {
+	kinds := make(map[string]bool, len(r.Violations))
+	for _, v := range r.Violations {
+		kinds[v.Check] = true
+	}
+	return Minimize(r.Spec, r.Config, func(spec *ProgSpec, cfg Config) bool {
+		for _, v := range CheckSpec(spec, cfg) {
+			if kinds[v.Check] {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// featureMutators are the single-step reductions tried per function.
+// Each returns false when the function does not carry the feature.
+var featureMutators = []func(f *synth.FuncSpec) bool{
+	func(f *synth.FuncSpec) bool {
+		if !f.HasEH {
+			return false
+		}
+		f.HasEH, f.NumLandingPads = false, 0
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if !f.HasSwitch {
+			return false
+		}
+		f.HasSwitch, f.SwitchCases = false, 0
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if !f.ColdPart {
+			return false
+		}
+		f.ColdPart, f.ColdCalled, f.SharedColdWith = false, false, nil
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if len(f.SharedColdWith) == 0 {
+			return false
+		}
+		f.SharedColdWith = f.SharedColdWith[:len(f.SharedColdWith)-1]
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if f.IndirectReturnCall == "" {
+			return false
+		}
+		f.IndirectReturnCall = ""
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if len(f.CallsPLT) == 0 {
+			return false
+		}
+		f.CallsPLT = nil
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if f.TrailingData == 0 {
+			return false
+		}
+		f.TrailingData = 0
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if !f.AddressTaken && !f.AddressTakenData {
+			return false
+		}
+		f.AddressTaken, f.AddressTakenData = false, false
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if !f.Dead {
+			return false
+		}
+		f.Dead = false
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if !f.Intrinsic {
+			return false
+		}
+		f.Intrinsic = false
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if !f.Static {
+			return false
+		}
+		f.Static = false
+		return true
+	},
+	func(f *synth.FuncSpec) bool {
+		if f.BodySize <= 1 {
+			return false
+		}
+		f.BodySize = f.BodySize / 2
+		return true
+	},
+}
+
+// simplifyConfig tries the canonical build configuration reductions.
+func simplifyConfig(cfg *Config, spec *ProgSpec, test func(*ProgSpec, Config) bool) bool {
+	changed := false
+	try := func(mut func(c *Config) bool) {
+		cand := *cfg
+		if !mut(&cand) || cand == *cfg {
+			return
+		}
+		if test(spec, cand) {
+			*cfg = cand
+			changed = true
+		}
+	}
+	try(func(c *Config) bool { c.ManualEndbr = false; return true })
+	try(func(c *Config) bool { c.PIE = false; return true })
+	try(func(c *Config) bool { c.Mode = x86.Mode64; return true })
+	try(func(c *Config) bool { c.Compiler = synth.GCC; return true })
+	try(func(c *Config) bool { c.Opt = synth.O0; return true })
+	return changed
+}
+
+// removeFuncs returns a copy of spec with functions [lo,hi) removed and
+// every cross-reference remapped; references into the removed range are
+// dropped.
+func removeFuncs(spec *ProgSpec, lo, hi int) *ProgSpec {
+	out := cloneSpec(spec)
+	out.Funcs = append(out.Funcs[:lo], out.Funcs[hi:]...)
+	remap := func(refs []int) []int {
+		kept := refs[:0]
+		for _, r := range refs {
+			switch {
+			case r < lo:
+				kept = append(kept, r)
+			case r >= hi:
+				kept = append(kept, r-(hi-lo))
+			}
+		}
+		return kept
+	}
+	for i := range out.Funcs {
+		f := &out.Funcs[i]
+		f.Calls = remap(f.Calls)
+		f.TailCalls = remap(f.TailCalls)
+		f.SharedColdWith = remap(f.SharedColdWith)
+	}
+	return out
+}
+
+// cloneSpec deep-copies a program specification.
+func cloneSpec(spec *ProgSpec) *ProgSpec {
+	out := *spec
+	out.Funcs = make([]synth.FuncSpec, len(spec.Funcs))
+	copy(out.Funcs, spec.Funcs)
+	for i := range out.Funcs {
+		f := &out.Funcs[i]
+		f.Calls = append([]int(nil), f.Calls...)
+		f.TailCalls = append([]int(nil), f.TailCalls...)
+		f.SharedColdWith = append([]int(nil), f.SharedColdWith...)
+		f.CallsPLT = append([]string(nil), f.CallsPLT...)
+	}
+	return &out
+}
+
+func deleteAt(xs []int, i int) []int {
+	return append(xs[:i:i], xs[i+1:]...)
+}

@@ -1,0 +1,134 @@
+package diffcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// RegressionCase is one persisted reproducer: a (usually minimized)
+// program specification plus build configuration and a note about the
+// violation it originally triggered. Checked-in cases under
+// testdata/specs/ are replayed by the package test on every run.
+type RegressionCase struct {
+	// Description says what the case reproduces and when it was captured.
+	Description string `json:"description"`
+	// Seed is the generator seed the failure came from (0 if hand-built).
+	Seed int64 `json:"seed,omitempty"`
+	// Violations lists the Check names observed at capture time.
+	Violations []string `json:"violations,omitempty"`
+	// Config is the build configuration.
+	Config ConfigJSON `json:"config"`
+	// Spec is the program specification.
+	Spec *ProgSpec `json:"spec"`
+}
+
+// ConfigJSON is the serialized form of a build configuration, using the
+// human-readable spellings ("gcc"/"clang", 32/64, "O2").
+type ConfigJSON struct {
+	Compiler    string `json:"compiler"`
+	Mode        int    `json:"mode"`
+	PIE         bool   `json:"pie"`
+	Opt         string `json:"opt"`
+	ManualEndbr bool   `json:"manual_endbr,omitempty"`
+}
+
+// EncodeConfig converts a synth configuration to its serialized form.
+func EncodeConfig(cfg Config) ConfigJSON {
+	return ConfigJSON{
+		Compiler:    cfg.Compiler.String(),
+		Mode:        int(cfg.Mode),
+		PIE:         cfg.PIE,
+		Opt:         cfg.Opt.String(),
+		ManualEndbr: cfg.ManualEndbr,
+	}
+}
+
+// Decode converts the serialized configuration back to synth's form.
+func (c ConfigJSON) Decode() (Config, error) {
+	out := Config{PIE: c.PIE, ManualEndbr: c.ManualEndbr, Mode: x86.Mode(c.Mode)}
+	switch c.Compiler {
+	case "gcc":
+		out.Compiler = synth.GCC
+	case "clang":
+		out.Compiler = synth.Clang
+	default:
+		return out, fmt.Errorf("diffcheck: unknown compiler %q", c.Compiler)
+	}
+	found := false
+	for _, o := range synth.AllOptLevels() {
+		if o.String() == c.Opt {
+			out.Opt = o
+			found = true
+		}
+	}
+	if !found {
+		return out, fmt.Errorf("diffcheck: unknown optimization level %q", c.Opt)
+	}
+	if err := out.Validate(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Save writes the case as indented JSON to path, creating parent
+// directories as needed.
+func (r *RegressionCase) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("diffcheck: marshal: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("diffcheck: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("diffcheck: %w", err)
+	}
+	return nil
+}
+
+// LoadCase reads one regression case from path and validates it.
+func LoadCase(path string) (*RegressionCase, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diffcheck: %w", err)
+	}
+	var r RegressionCase
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("diffcheck: parse %s: %w", path, err)
+	}
+	if r.Spec == nil {
+		return nil, fmt.Errorf("diffcheck: %s: missing spec", path)
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+	}
+	if _, err := r.Config.Decode(); err != nil {
+		return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// LoadDir reads every *.json regression case under dir, sorted by file
+// name. A missing directory yields an empty list.
+func LoadDir(dir string) ([]*RegressionCase, []string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("diffcheck: %w", err)
+	}
+	sort.Strings(paths)
+	var cases []*RegressionCase
+	for _, p := range paths {
+		r, err := LoadCase(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		cases = append(cases, r)
+	}
+	return cases, paths, nil
+}

@@ -242,6 +242,12 @@ func parseFDE(body []byte, info cieInfo, fieldVA uint64, ptrSize int) (FDE, erro
 	if err != nil {
 		return FDE{}, err
 	}
+	// Reject ranges that wrap the address space: every consumer computes
+	// the covered end as PCBegin+PCRange, and a wrapped interval would
+	// corrupt downstream function-extent logic.
+	if pcBegin+pcRange < pcBegin {
+		return FDE{}, fmt.Errorf("%w: pc range %#x at %#x wraps address space", ErrMalformed, pcRange, pcBegin)
+	}
 	fde := FDE{PCBegin: pcBegin, PCRange: pcRange}
 	if info.hasL {
 		augLen, err := r.Uleb()

@@ -1,0 +1,69 @@
+package ehframe
+
+import "testing"
+
+// fuzzSectionVA mirrors the .eh_frame placement the synthesizer uses.
+const fuzzSectionVA = 0x402000
+
+// buildSeed produces a well-formed .eh_frame section to anchor the fuzz
+// corpus on the valid-input region.
+func buildSeed(ptrSize int, withLSDA bool) []byte {
+	b := NewBuilder(fuzzSectionVA, ptrSize)
+	b.AddFDE(0x401000, 0x40, false, 0)
+	b.AddFDE(0x401040, 0x80, withLSDA, 0x403000)
+	b.AddFDE(0x4010c0, 0x10, false, 0)
+	return b.Bytes()
+}
+
+// FuzzParse feeds arbitrary bytes to the .eh_frame parser. Malformed
+// input must produce an error or a truncated FDE list — never a panic —
+// and any FDE that is returned must have a sane range.
+func FuzzParse(f *testing.F) {
+	f.Add(buildSeed(8, false), 8)
+	f.Add(buildSeed(8, true), 8)
+	f.Add(buildSeed(4, true), 4)
+	f.Add([]byte{}, 8)
+	f.Add([]byte{0, 0, 0, 0}, 8)                            // lone terminator
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5}, 8) // bogus length
+	f.Fuzz(func(t *testing.T, data []byte, ptrSize int) {
+		if ptrSize != 4 && ptrSize != 8 {
+			ptrSize = 8
+		}
+		fdes, err := Parse(data, fuzzSectionVA, ptrSize)
+		if err != nil {
+			return
+		}
+		for _, fde := range fdes {
+			if fde.PCBegin+fde.PCRange < fde.PCBegin {
+				t.Fatalf("FDE range overflows: begin %#x range %#x (input %x)", fde.PCBegin, fde.PCRange, data)
+			}
+			if !fde.HasLSDA && fde.LSDA != 0 {
+				t.Fatalf("LSDA address set without HasLSDA (input %x)", data)
+			}
+		}
+		// Parsing is deterministic.
+		again, err2 := Parse(data, fuzzSectionVA, ptrSize)
+		if err2 != nil || len(again) != len(fdes) {
+			t.Fatalf("re-parse diverged: %d FDEs/%v vs %d FDEs", len(again), err2, len(fdes))
+		}
+	})
+}
+
+// FuzzParseBuilderMutations starts from builder output and lets the
+// fuzzer corrupt it: the parser sees near-valid structures, the hardest
+// region for length-field and pointer-encoding handling.
+func FuzzParseBuilderMutations(f *testing.F) {
+	base := buildSeed(8, true)
+	f.Add(base, 0, byte(0))
+	f.Add(base, 4, byte(0xff))
+	f.Add(base, len(base)/2, byte(0x80))
+	f.Fuzz(func(t *testing.T, data []byte, pos int, val byte) {
+		mutated := append([]byte(nil), data...)
+		if len(mutated) > 0 {
+			mutated[((pos%len(mutated))+len(mutated))%len(mutated)] = val
+		}
+		// Must not panic; any error is acceptable.
+		_, _ = Parse(mutated, fuzzSectionVA, 8)
+		_, _ = Parse(mutated, fuzzSectionVA, 4)
+	})
+}

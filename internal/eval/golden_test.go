@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenConfigs is a small deterministic cross-section of the build
+// matrix: both compilers, both modes, PIE and non-PIE, spread across
+// optimization levels.
+func goldenConfigs() []synth.Config {
+	return []synth.Config{
+		{Compiler: synth.GCC, Mode: x86.Mode64, PIE: false, Opt: synth.O0},
+		{Compiler: synth.GCC, Mode: x86.Mode64, PIE: true, Opt: synth.O2},
+		{Compiler: synth.Clang, Mode: x86.Mode32, PIE: false, Opt: synth.O1},
+		{Compiler: synth.Clang, Mode: x86.Mode64, PIE: true, Opt: synth.O3},
+	}
+}
+
+// goldenResults runs the evaluation once for all golden tests. The
+// corpus is tiny but covers every suite and the config cross-section;
+// workers=1 keeps the run deterministic end to end.
+func goldenResults(t *testing.T) *Results {
+	t.Helper()
+	opts := corpus.Options{Scale: 0.10, Seed: 7, Programs: 2}
+	cases := Cases(corpus.AllSuites(), goldenConfigs(), opts)
+	res, err := RunAll(cases, 1)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	return res
+}
+
+var (
+	// durationRE matches Go duration strings (1.234ms, 17µs, 2.1s ...)
+	// plus any alignment padding before them — the padding width depends
+	// on the duration's magnitude, so it is timing noise too.
+	durationRE = regexp.MustCompile(` *\b\d+(\.\d+)?(ns|µs|us|ms|m|h|s)\b`)
+	// ratioRE matches the FETCH/FunSeeker speed ratio, which is derived
+	// from timings and equally nondeterministic.
+	ratioRE = regexp.MustCompile(`\b\d+(\.\d+)?x\b`)
+)
+
+// scrubTimings replaces every timing-derived token with a fixed
+// placeholder, leaving counts, rates, precision, and recall intact.
+func scrubTimings(s string) string {
+	s = durationRE.ReplaceAllString(s, "<DUR>")
+	return ratioRE.ReplaceAllString(s, "<RATIO>")
+}
+
+// checkGolden compares got (post-scrub) against the named golden file,
+// rewriting the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	got = scrubTimings(got)
+	path := filepath.Join("testdata", "golden", name+".golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nRe-run with -update if the change is intentional.",
+			name, got, want)
+	}
+}
+
+func TestGoldenTables(t *testing.T) {
+	res := goldenResults(t)
+	t.Run("table1", func(t *testing.T) { checkGolden(t, "table1", res.RenderTableI()) })
+	t.Run("figure3", func(t *testing.T) { checkGolden(t, "figure3", res.RenderFigure3()) })
+	t.Run("table2", func(t *testing.T) { checkGolden(t, "table2", res.RenderTableII()) })
+	t.Run("table3", func(t *testing.T) { checkGolden(t, "table3", res.RenderTableIII()) })
+	t.Run("stages", func(t *testing.T) { checkGolden(t, "stages", res.RenderStages()) })
+	t.Run("failures", func(t *testing.T) { checkGolden(t, "failures", res.RenderFailures()) })
+}
+
+// TestGoldenScrubIsStable guards the scrubber itself: a golden run
+// rendered twice from the same Results must be byte-identical after
+// scrubbing, proving no nondeterminism leaks past the regexes.
+func TestGoldenScrubIsStable(t *testing.T) {
+	res := goldenResults(t)
+	a := scrubTimings(res.RenderAll())
+	b := scrubTimings(res.RenderAll())
+	if a != b {
+		t.Fatal("RenderAll is not deterministic even after timing scrub")
+	}
+}

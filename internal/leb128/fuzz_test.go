@@ -1,0 +1,107 @@
+package leb128
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzUlebRoundTrip: encode→decode is the identity, the consumed byte
+// count matches both the appended length and UlebLen.
+func FuzzUlebRoundTrip(f *testing.F) {
+	for _, v := range []uint64{0, 1, 127, 128, 0x3FFF, 0x4000, 1 << 32, math.MaxUint64} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		buf := AppendUleb(nil, v)
+		got, n, err := Uleb(buf)
+		if err != nil {
+			t.Fatalf("Uleb(AppendUleb(%d)) failed: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip: %d -> %x -> %d", v, buf, got)
+		}
+		if n != len(buf) || n != UlebLen(v) {
+			t.Fatalf("length mismatch for %d: consumed %d, encoded %d, UlebLen %d", v, n, len(buf), UlebLen(v))
+		}
+	})
+}
+
+// FuzzSlebRoundTrip mirrors FuzzUlebRoundTrip for the signed form.
+func FuzzSlebRoundTrip(f *testing.F) {
+	for _, v := range []int64{0, 1, -1, 63, 64, -64, -65, math.MaxInt64, math.MinInt64} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v int64) {
+		buf := AppendSleb(nil, v)
+		got, n, err := Sleb(buf)
+		if err != nil {
+			t.Fatalf("Sleb(AppendSleb(%d)) failed: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round trip: %d -> %x -> %d", v, buf, got)
+		}
+		if n != len(buf) || n != SlebLen(v) {
+			t.Fatalf("length mismatch for %d: consumed %d, encoded %d, SlebLen %d", v, n, len(buf), SlebLen(v))
+		}
+	})
+}
+
+// FuzzDecodeArbitrary feeds raw bytes to both decoders: they must never
+// panic, never report consuming more bytes than supplied, and a
+// successful decode must be stable when re-run on the consumed prefix.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{0x80})                                                             // truncated continuation
+	f.Add([]byte{0xE5, 0x8E, 0x26})                                                 // canonical 624485
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) // overlong
+	f.Add([]byte{0x7f})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, n, err := Uleb(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("Uleb consumed %d of %d bytes", n, len(data))
+			}
+			v2, n2, err2 := Uleb(data[:n])
+			if err2 != nil || v2 != v || n2 != n {
+				t.Fatalf("Uleb unstable on prefix: (%d,%d,%v) vs (%d,%d)", v2, n2, err2, v, n)
+			}
+		}
+		if v, n, err := Sleb(data); err == nil {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("Sleb consumed %d of %d bytes", n, len(data))
+			}
+			v2, n2, err2 := Sleb(data[:n])
+			if err2 != nil || v2 != v || n2 != n {
+				t.Fatalf("Sleb unstable on prefix: (%d,%d,%v) vs (%d,%d)", v2, n2, err2, v, n)
+			}
+		}
+	})
+}
+
+// FuzzReader walks a Reader over arbitrary bytes mixing all read kinds;
+// the reader must never panic and Offset must stay within bounds.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04})
+	f.Add([]byte{0xff, 0xff, 0x7f, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for i := 0; i < len(data)+4; i++ {
+			var err error
+			switch i % 4 {
+			case 0:
+				_, err = r.Uleb()
+			case 1:
+				_, err = r.Sleb()
+			case 2:
+				_, err = r.Byte()
+			case 3:
+				_, err = r.Bytes(2)
+			}
+			if r.Offset() < 0 || r.Offset() > len(data) {
+				t.Fatalf("offset %d out of [0,%d]", r.Offset(), len(data))
+			}
+			if err != nil {
+				return
+			}
+		}
+	})
+}

@@ -38,7 +38,10 @@ type CallSite struct {
 
 // Table is one decoded LSDA.
 type Table struct {
-	// FuncStart is the landing-pad base address supplied at parse time.
+	// FuncStart is the landing-pad base address: the funcStart supplied
+	// at parse time, or the LSDA's explicit LPStart when one is encoded
+	// (GCC and Clang normally omit it, making the base the function
+	// entry).
 	FuncStart uint64
 	// CallSites are the decoded call-site records.
 	CallSites []CallSite

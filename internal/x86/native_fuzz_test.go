@@ -1,0 +1,99 @@
+package x86
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// instEqual compares two instructions field-for-field (Inst carries the
+// Prefixes slice, so == is unavailable).
+func instEqual(a, b Inst) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// FuzzDecode drives the decoder with arbitrary byte streams in both
+// operating modes. Invariants: the decoder never panics; a successful
+// decode consumes 1..15 bytes, no more than were supplied; decoding the
+// exact consumed prefix again reproduces the identical instruction
+// (determinism + no reliance on bytes past Len); and DecodeLen agrees
+// with Decode.
+func FuzzDecode(f *testing.F) {
+	seeds := [][]byte{
+		{0xf3, 0x0f, 0x1e, 0xfa},                   // endbr64
+		{0xf3, 0x0f, 0x1e, 0xfb},                   // endbr32
+		{0xe8, 0x00, 0x00, 0x00, 0x00},             // call rel32
+		{0xe9, 0xfb, 0xff, 0xff, 0xff},             // jmp rel32
+		{0xff, 0x25, 0x00, 0x10, 0x00, 0x00},       // jmp indirect
+		{0x0f, 0x84, 0x10, 0x00, 0x00, 0x00},       // jz rel32
+		{0x48, 0x8b, 0x04, 0xc5, 0, 0, 0, 0},       // mov rax,[rax*8+disp32]
+		{0x66, 0x0f, 0x38, 0x00, 0xc0},             // three-byte opcode map
+		{0xc4, 0xe2, 0x79, 0x00, 0xc0},             // vex3
+		{0xc5, 0xf8, 0x77},                         // vex2 vzeroupper
+		{0x62, 0xf1, 0x7c, 0x48, 0x28, 0xc0},       // evex
+		{0xf0, 0x48, 0x0f, 0xb1, 0x0d, 0, 0, 0, 0}, // lock cmpxchg
+		{0x66, 0x66, 0x66, 0x90},                   // redundant prefixes
+		{0xc3},                                     // ret
+		{0xcc},                                     // int3
+		{0x00},
+		{},
+	}
+	for _, s := range seeds {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, mode64 bool) {
+		mode := Mode32
+		if mode64 {
+			mode = Mode64
+		}
+		const addr = 0x401000
+		inst, err := Decode(data, addr, mode)
+		if err != nil {
+			return
+		}
+		if inst.Len <= 0 || inst.Len > 15 {
+			t.Fatalf("Len = %d, want 1..15 (input %x)", inst.Len, data)
+		}
+		if inst.Len > len(data) {
+			t.Fatalf("Len = %d > len(data) = %d (input %x)", inst.Len, len(data), data)
+		}
+		// Decoding only the consumed bytes must reproduce the instruction
+		// exactly: anything else means the decoder peeked past Len.
+		again, err := Decode(data[:inst.Len], addr, mode)
+		if err != nil {
+			t.Fatalf("re-decode of consumed prefix failed: %v (input %x)", err, data[:inst.Len])
+		}
+		if !instEqual(again, inst) {
+			t.Fatalf("re-decode mismatch:\n first %+v\nsecond %+v\ninput %x", inst, again, data[:inst.Len])
+		}
+		n, err := DecodeLen(data, mode)
+		if err != nil || n != inst.Len {
+			t.Fatalf("DecodeLen = (%d, %v), Decode.Len = %d (input %x)", n, err, inst.Len, data)
+		}
+	})
+}
+
+// FuzzDecodeSuffixStability: an instruction that decodes from a buffer
+// must decode identically when trailing bytes are appended — the decoder
+// must not let content past Len influence the result.
+func FuzzDecodeSuffixStability(f *testing.F) {
+	f.Add([]byte{0xe8, 0x00, 0x00, 0x00, 0x00, 0x90, 0x90}, true)
+	f.Add([]byte{0xf3, 0x0f, 0x1e, 0xfa, 0xc3}, false)
+	f.Add([]byte{0x66, 0x90}, true)
+	f.Fuzz(func(t *testing.T, data []byte, mode64 bool) {
+		mode := Mode32
+		if mode64 {
+			mode = Mode64
+		}
+		inst, err := Decode(data, 0, mode)
+		if err != nil {
+			return
+		}
+		padded := append(bytes.Clone(data), 0xcc, 0xcc)
+		again, err := Decode(padded, 0, mode)
+		if err != nil || !instEqual(again, inst) {
+			t.Fatalf("padding changed decode: (%+v, %v) vs %+v (input %x)", again, err, inst, data)
+		}
+	})
+}

@@ -70,10 +70,23 @@ func benchCorpus(tb testing.TB) []benchCase {
 	return benchSet
 }
 
+// benchSetBytes reports throughput in MB/s like the paper's Table III:
+// per-binary benchmarks process one (average-sized) binary per op,
+// whole-corpus benchmarks process benchBytes per op.
+func benchSetBytes(b *testing.B, wholeCorpus bool) {
+	b.Helper()
+	if wholeCorpus {
+		b.SetBytes(int64(benchBytes))
+	} else {
+		b.SetBytes(int64(benchBytes / len(benchSet)))
+	}
+}
+
 // BenchmarkTableI measures the Table I analysis: classifying every end
 // branch in a binary by location (entry / indirect-return / exception).
 func BenchmarkTableI(b *testing.B) {
 	set := benchCorpus(b)
+	benchSetBytes(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := set[i%len(set)]
@@ -101,6 +114,7 @@ func BenchmarkFigure3(b *testing.B) {
 func benchIdentify(b *testing.B, opts funseeker.Options) {
 	b.Helper()
 	set := benchCorpus(b)
+	benchSetBytes(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := funseeker.IdentifyBinary(set[i%len(set)].bin, opts); err != nil {
@@ -122,6 +136,7 @@ func BenchmarkTableIII_FunSeeker(b *testing.B) { benchIdentify(b, funseeker.Defa
 // BenchmarkTableIII_IDA measures the IDA Pro model.
 func BenchmarkTableIII_IDA(b *testing.B) {
 	set := benchCorpus(b)
+	benchSetBytes(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := funseeker.RunIDA(set[i%len(set)].bin); err != nil {
@@ -133,6 +148,7 @@ func BenchmarkTableIII_IDA(b *testing.B) {
 // BenchmarkTableIII_Ghidra measures the Ghidra model.
 func BenchmarkTableIII_Ghidra(b *testing.B) {
 	set := benchCorpus(b)
+	benchSetBytes(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := funseeker.RunGhidra(set[i%len(set)].bin); err != nil {
@@ -145,6 +161,7 @@ func BenchmarkTableIII_Ghidra(b *testing.B) {
 // III FETCH time column (≈5× FunSeeker).
 func BenchmarkTableIII_FETCH(b *testing.B) {
 	set := benchCorpus(b)
+	benchSetBytes(b, false)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := funseeker.RunFETCH(set[i%len(set)].bin); err != nil {
@@ -212,6 +229,7 @@ func evalMatrixReload(b *testing.B, c benchCase) {
 func BenchmarkEvalMatrix(b *testing.B) {
 	set := benchCorpus(b)
 	b.Run("per-tool-reload", func(b *testing.B) {
+		benchSetBytes(b, true)
 		for i := 0; i < b.N; i++ {
 			for _, c := range set {
 				evalMatrixReload(b, c)
@@ -219,6 +237,7 @@ func BenchmarkEvalMatrix(b *testing.B) {
 		}
 	})
 	b.Run("shared-context", func(b *testing.B) {
+		benchSetBytes(b, true)
 		for i := 0; i < b.N; i++ {
 			for _, c := range set {
 				evalMatrixShared(b, c)
@@ -228,6 +247,7 @@ func BenchmarkEvalMatrix(b *testing.B) {
 	// Cold single-binary path: one Context used once, versus the direct
 	// call — the wrapper must not cost anything measurable.
 	b.Run("cold-single-binary", func(b *testing.B) {
+		benchSetBytes(b, false)
 		for i := 0; i < b.N; i++ {
 			c := set[i%len(set)]
 			if _, err := funseeker.IdentifyBinary(c.bin, funseeker.Config4); err != nil {

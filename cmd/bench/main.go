@@ -1,0 +1,344 @@
+// Command bench runs the tracked performance series — the sweep
+// microbenchmarks plus the identify/eval-matrix pipeline — with
+// -benchmem semantics and writes BENCH_<date>.json so the numbers form
+// a release-to-release trajectory. When a previous BENCH_*.json exists
+// it prints a per-benchmark comparison and, with -check, fails if any
+// ns/op regressed beyond -threshold.
+//
+// Usage:
+//
+//	bench [-out .] [-date YYYY-MM-DD] [-smoke] [-check] [-threshold 1.25]
+//
+// -smoke runs every benchmark for a single iteration (harness
+// correctness, not timing) — this is what CI uses. The JSON schema per
+// result is {name, ns_op, b_op, allocs_op, mb_s}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/funseeker/funseeker"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_op"`
+	BPerOp      int64   `json:"b_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	MBPerS      float64 `json:"mb_s,omitempty"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	Goos       string   `json:"goos"`
+	Goarch     string   `json:"goarch"`
+	Gomaxprocs int      `json:"gomaxprocs"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	testing.Init()
+	var (
+		outDir    = flag.String("out", ".", "directory for BENCH_<date>.json")
+		date      = flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output file")
+		smoke     = flag.Bool("smoke", false, "single-iteration run (harness correctness, not timing)")
+		check     = flag.Bool("check", false, "exit non-zero if any ns/op regressed beyond -threshold vs the previous BENCH_*.json")
+		threshold = flag.Float64("threshold", 1.25, "regression threshold as a ratio (new/old ns_op)")
+		scale     = flag.Float64("scale", 0.5, "corpus function-count scale factor")
+		programs  = flag.Int("programs", 2, "programs per suite in the corpus")
+	)
+	flag.Parse()
+	benchtime := "1s"
+	if *smoke {
+		benchtime = "1x"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return err
+	}
+
+	rep := report{
+		Date:       *date,
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: corpus (scale=%g programs=%d)...\n", *scale, *programs)
+	set, corpusBytes, err := buildCorpus(*scale, *programs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d binaries, %d bytes; benchtime=%s\n", len(set), corpusBytes, benchtime)
+
+	for _, bm := range series(set, corpusBytes) {
+		r := testing.Benchmark(bm.fn)
+		res := result{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BPerOp:      r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			res.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-40s %14.0f ns/op %12d B/op %8d allocs/op", res.Name, res.NsPerOp, res.BPerOp, res.AllocsPerOp)
+		if res.MBPerS > 0 {
+			fmt.Printf("  %10.2f MB/s", res.MBPerS)
+		}
+		fmt.Println()
+	}
+
+	outPath := filepath.Join(*outDir, "BENCH_"+*date+".json")
+	prev, prevPath, err := latestPrevious(*outDir, outPath)
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", outPath)
+
+	if prev == nil {
+		fmt.Fprintln(os.Stderr, "bench: no previous BENCH_*.json to compare against")
+		return nil
+	}
+	return compare(prev, prevPath, &rep, *threshold, *check)
+}
+
+type benchmark struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+type benchCase struct {
+	bin *funseeker.Binary
+	gt  *funseeker.GroundTruth
+}
+
+// buildCorpus mirrors the mixed corpus of bench_test.go: a few programs
+// per suite across four representative build configurations.
+func buildCorpus(scale float64, programs int) ([]benchCase, int, error) {
+	opts := funseeker.CorpusOptions{Scale: scale, Seed: 424242, Programs: programs}
+	configs := []funseeker.BuildConfig{
+		{Compiler: funseeker.GCC, Mode: funseeker.ModeX64, Opt: funseeker.O2},
+		{Compiler: funseeker.GCC, Mode: funseeker.ModeX86, Opt: funseeker.O0},
+		{Compiler: funseeker.Clang, Mode: funseeker.ModeX64, PIE: true, Opt: funseeker.O3},
+		{Compiler: funseeker.Clang, Mode: funseeker.ModeX86, Opt: funseeker.Os},
+	}
+	var set []benchCase
+	bytes := 0
+	for _, suite := range []funseeker.Suite{funseeker.SuiteCoreutils, funseeker.SuiteBinutils} {
+		for _, spec := range funseeker.GenerateSuite(suite, opts) {
+			for _, cfg := range configs {
+				res, err := funseeker.Compile(spec, cfg)
+				if err != nil {
+					return nil, 0, fmt.Errorf("corpus: %w", err)
+				}
+				bin, err := funseeker.Load(res.Stripped)
+				if err != nil {
+					return nil, 0, fmt.Errorf("corpus: %w", err)
+				}
+				set = append(set, benchCase{bin: bin, gt: res.GT})
+				bytes += len(res.Stripped)
+			}
+		}
+	}
+	return set, bytes, nil
+}
+
+// series is the tracked benchmark list. Names are stable across releases
+// — the comparison joins on them.
+func series(set []benchCase, corpusBytes int) []benchmark {
+	const textLen = 1 << 20
+	rng := rand.New(rand.NewSource(424242))
+	text := x86.GenText(textLen, x86.Mode64, rng, 0)
+	perBin := int64(corpusBytes / len(set))
+
+	bms := []benchmark{
+		{"x86/Decode", func(b *testing.B) {
+			b.SetBytes(textLen)
+			b.ReportAllocs()
+			var inst x86.Inst
+			for i := 0; i < b.N; i++ {
+				off := 0
+				for off < len(text) {
+					if err := x86.DecodeInto(text[off:], uint64(off), x86.Mode64, &inst); err != nil {
+						off++
+						continue
+					}
+					off += inst.Len
+				}
+			}
+		}},
+		{"x86/Sweep", func(b *testing.B) {
+			b.SetBytes(textLen)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				x86.LinearSweep(text, 0x401000, x86.Mode64, func(inst *x86.Inst) bool {
+					n++
+					return true
+				})
+				if n == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		}},
+		{"x86/BuildIndex", func(b *testing.B) {
+			b.SetBytes(textLen)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if idx := x86.BuildIndex(text, 0x401000, x86.Mode64); len(idx.Insts) == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		}},
+	}
+	for _, workers := range []int{2, 4, 8} {
+		workers := workers
+		bms = append(bms, benchmark{fmt.Sprintf("x86/BuildIndexParallel/workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(textLen)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if idx := x86.BuildIndexParallel(text, 0x401000, x86.Mode64, workers); len(idx.Insts) == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		}})
+	}
+	bms = append(bms,
+		benchmark{"identify/Config4", func(b *testing.B) {
+			b.SetBytes(perBin)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := funseeker.IdentifyBinary(set[i%len(set)].bin, funseeker.Config4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchmark{"classify/Endbrs", func(b *testing.B) {
+			b.SetBytes(perBin)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := funseeker.ClassifyEndbrs(set[i%len(set)].bin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchmark{"tools/FETCH", func(b *testing.B) {
+			b.SetBytes(perBin)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := funseeker.RunFETCH(set[i%len(set)].bin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchmark{"evalmatrix/shared-context", func(b *testing.B) {
+			b.SetBytes(int64(corpusBytes))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, c := range set {
+					ctx := funseeker.NewContext(c.bin)
+					if _, err := funseeker.ClassifyEndbrsWithContext(ctx); err != nil {
+						b.Fatal(err)
+					}
+					for _, opts := range []funseeker.Options{
+						funseeker.Config1, funseeker.Config2, funseeker.Config3, funseeker.Config4,
+					} {
+						if _, err := funseeker.IdentifyWithContext(ctx, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := funseeker.RunFETCHWithContext(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+	)
+	return bms
+}
+
+// latestPrevious finds the lexicographically latest BENCH_*.json in dir,
+// excluding the file about to be written.
+func latestPrevious(dir, exclude string) (*report, string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if sameFile(matches[i], exclude) {
+			continue
+		}
+		data, err := os.ReadFile(matches[i])
+		if err != nil {
+			return nil, "", err
+		}
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", matches[i], err)
+		}
+		return &rep, matches[i], nil
+	}
+	return nil, "", nil
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+// compare prints a per-benchmark delta table vs prev and, in check mode,
+// returns an error if any ns/op regressed beyond threshold.
+func compare(prev *report, prevPath string, cur *report, threshold float64, check bool) error {
+	old := make(map[string]result, len(prev.Results))
+	for _, r := range prev.Results {
+		old[r.Name] = r
+	}
+	fmt.Fprintf(os.Stderr, "bench: comparing against %s (threshold %.2fx)\n", prevPath, threshold)
+	var regressed []string
+	for _, r := range cur.Results {
+		o, ok := old[r.Name]
+		if !ok || o.NsPerOp <= 0 {
+			fmt.Printf("%-40s (new)\n", r.Name)
+			continue
+		}
+		ratio := r.NsPerOp / o.NsPerOp
+		mark := ""
+		if ratio > threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Printf("%-40s %8.2fx ns/op vs %s%s\n", r.Name, ratio, prev.Date, mark)
+	}
+	if check && len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx: %v", len(regressed), threshold, regressed)
+	}
+	return nil
+}

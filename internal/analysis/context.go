@@ -114,6 +114,8 @@ func (c *Context) Binary() *elfx.Binary { return c.bin }
 func (c *Context) Sweep() *Sweep {
 	c.sweepOnce.do(&c.stats.sweep, func() {
 		c.sweep = buildSweep(c.bin)
+		c.stats.sweepShards.Add(uint64(c.sweep.Index.Shards))
+		c.stats.stitchRetries.Add(uint64(c.sweep.Index.StitchRetries))
 	})
 	return c.sweep
 }
@@ -167,11 +169,27 @@ func (c *Context) ObserveFilter(d time.Duration) { c.stats.filter.observe(d) }
 // duration d.
 func (c *Context) ObserveTailCall(d time.Duration) { c.stats.tailCall.observe(d) }
 
+// parallelSweepThreshold is the .text size above which the context
+// shards the sweep across cores. Below it the sequential build wins:
+// the goroutine fan-out plus the seam stitching cost more than the
+// decode of a small section.
+const parallelSweepThreshold = 256 << 10
+
+// buildIndex picks the sweep strategy by text size: the sharded parallel
+// build for large sections, the sequential build otherwise. Both produce
+// byte-identical indexes (internal/diffcheck asserts it per binary).
+func buildIndex(bin *elfx.Binary) *x86.Index {
+	if len(bin.Text) >= parallelSweepThreshold {
+		return x86.BuildIndexParallel(bin.Text, bin.TextAddr, bin.Mode, 0)
+	}
+	return x86.BuildIndex(bin.Text, bin.TextAddr, bin.Mode)
+}
+
 // buildSweep runs the single linear sweep and derives every reference
 // set from the materialized index.
 func buildSweep(bin *elfx.Binary) *Sweep {
 	sw := &Sweep{
-		Index:             x86.BuildIndex(bin.Text, bin.TextAddr, bin.Mode),
+		Index:             buildIndex(bin),
 		AfterIRCall:       make(map[uint64]bool),
 		AllCallTargets:    make(map[uint64]bool),
 		JumpTargetSet:     make(map[uint64]bool),

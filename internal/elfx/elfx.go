@@ -235,7 +235,7 @@ func (b *Binary) buildPLTMap(f *elf.File) error {
 		}
 		// Walk the stubs: each one contains an indirect jmp through its
 		// GOT slot. Attribute the jump to the 16-byte-aligned stub start.
-		x86.LinearSweep(data, sec.Addr, b.Mode, func(inst x86.Inst) bool {
+		x86.LinearSweep(data, sec.Addr, b.Mode, func(inst *x86.Inst) bool {
 			if inst.Class != x86.ClassJmpInd {
 				return true
 			}

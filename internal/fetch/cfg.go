@@ -116,11 +116,9 @@ func (s csrc) decode(pc uint64, scratch *x86.Inst) (*x86.Inst, error) {
 			return p, nil
 		}
 	}
-	inst, err := x86.Decode(s.code[pc-s.base:], pc, s.mode)
-	if err != nil {
+	if err := x86.DecodeInto(s.code[pc-s.base:], pc, s.mode, scratch); err != nil {
 		return nil, err
 	}
-	*scratch = inst
 	return scratch, nil
 }
 

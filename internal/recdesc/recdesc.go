@@ -61,11 +61,9 @@ func (s source) decode(va uint64, scratch *x86.Inst) (*x86.Inst, error) {
 			return p, nil
 		}
 	}
-	inst, err := x86.Decode(s.bin.Text[va-s.bin.TextAddr:], va, s.bin.Mode)
-	if err != nil {
+	if err := x86.DecodeInto(s.bin.Text[va-s.bin.TextAddr:], va, s.bin.Mode, scratch); err != nil {
 		return nil, err
 	}
-	*scratch = inst
 	return scratch, nil
 }
 

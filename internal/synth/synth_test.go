@@ -76,7 +76,7 @@ func TestCompileAllConfigs(t *testing.T) {
 				}
 
 				// The entire .text must decode with zero resync skips.
-				skipped := x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(x86.Inst) bool { return true })
+				skipped := x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(*x86.Inst) bool { return true })
 				if skipped != 0 {
 					t.Errorf("linear sweep skipped %d bytes", skipped)
 				}
@@ -94,7 +94,7 @@ func TestCompileAllConfigs(t *testing.T) {
 func verifyEndbrs(t *testing.T, res *Result, bin *elfx.Binary) {
 	t.Helper()
 	found := make(map[uint64]bool)
-	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
+	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst *x86.Inst) bool {
 		if inst.IsEndbr() {
 			found[inst.Addr] = true
 		}
@@ -397,7 +397,7 @@ func TestSplitPLTLayout(t *testing.T) {
 		t.Error("printf not resolved to a .plt.sec entry")
 	}
 	callsIntoSec := 0
-	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst x86.Inst) bool {
+	x86.LinearSweep(bin.Text, bin.TextAddr, bin.Mode, func(inst *x86.Inst) bool {
 		if inst.Class == x86.ClassCallRel && inst.HasTarget && bin.InPLT(inst.Target) {
 			if inst.Target < bin.PLTSecStart || inst.Target >= bin.PLTSecEnd {
 				t.Errorf("call at %#x targets lazy .plt stub %#x instead of .plt.sec", inst.Addr, inst.Target)

@@ -28,7 +28,8 @@ type decodeState struct {
 	mode Mode
 
 	pos      int
-	prefixes []byte
+	prefixes [4]byte // first legacy prefixes, in order
+	nprefix  int     // total legacy prefix count (may exceed len(prefixes))
 	rex      byte
 	hasRex   bool
 	opSize   bool // 0x66 seen
@@ -91,14 +92,45 @@ func (d *decodeState) take(n int) ([]byte, error) {
 // is located at virtual address addr and executes in the given mode. At
 // most the leading 15 bytes of code are examined.
 func Decode(code []byte, addr uint64, mode Mode) (Inst, error) {
-	if mode != Mode32 && mode != Mode64 {
-		return Inst{}, fmt.Errorf("x86: unsupported mode %d", int(mode))
-	}
-	d := decodeState{code: code, addr: addr, mode: mode}
-	if err := d.run(); err != nil {
+	var inst Inst
+	if err := DecodeInto(code, addr, mode, &inst); err != nil {
 		return Inst{}, err
 	}
-	return d.finish(), nil
+	return inst, nil
+}
+
+// DecodeInto decodes a single instruction from the front of code into
+// *inst, overwriting it completely. It is the allocation-free form of
+// Decode: hot loops reuse one Inst across calls instead of copying a
+// fresh ~80-byte value per instruction. On error *inst is zeroed.
+//
+// Common compiler-emitted encodings (push/pop, mov/lea, ret, nop, direct
+// call/jmp/jcc, the ALU register forms — see fastpath.go) take a
+// table-driven fast path that skips the full decodeState machinery; all
+// remaining encodings fall back to the complete Intel-SDM walk. The two
+// paths produce bit-identical Inst values (asserted by
+// TestFastPathMatchesFullDecode and FuzzDecode).
+func DecodeInto(code []byte, addr uint64, mode Mode, inst *Inst) error {
+	if mode != Mode32 && mode != Mode64 {
+		*inst = Inst{}
+		return fmt.Errorf("x86: unsupported mode %d", int(mode))
+	}
+	if decodeFast(code, addr, mode, inst) {
+		return nil
+	}
+	return decodeSlow(code, addr, mode, inst)
+}
+
+// decodeSlow is the full decode walk, used for every encoding the fast
+// path declines.
+func decodeSlow(code []byte, addr uint64, mode Mode, inst *Inst) error {
+	d := decodeState{code: code, addr: addr, mode: mode}
+	if err := d.run(); err != nil {
+		*inst = Inst{}
+		return err
+	}
+	d.finishInto(inst)
+	return nil
 }
 
 func (d *decodeState) run() error {
@@ -168,7 +200,10 @@ func (d *decodeState) parsePrefixes() error {
 			}
 			return nil
 		}
-		d.prefixes = append(d.prefixes, b)
+		if d.nprefix < len(d.prefixes) {
+			d.prefixes[d.nprefix] = b
+		}
+		d.nprefix++
 		d.hasRex = false
 		d.rex = 0
 		d.pos++
@@ -518,7 +553,14 @@ func signExtendLE(b []byte) int64 {
 // finish assembles the Inst from the decode state, classifying the
 // instruction and materializing branch targets.
 func (d *decodeState) finish() Inst {
-	inst := Inst{
+	var inst Inst
+	d.finishInto(&inst)
+	return inst
+}
+
+// finishInto assembles the decode state into *inst, overwriting it.
+func (d *decodeState) finishInto(inst *Inst) {
+	*inst = Inst{
 		Addr:      d.addr,
 		Len:       d.pos,
 		Class:     ClassOther,
@@ -528,9 +570,10 @@ func (d *decodeState) finish() Inst {
 		HasModRM:  d.hasModRM,
 		Imm:       d.imm,
 		HasImm:    d.hasImm,
-		Prefixes:  d.prefixes,
+		Prefix:    d.prefixes,
+		NPrefix:   uint8(min(d.nprefix, 255)),
 	}
-	d.classify(&inst)
+	d.classify(inst)
 	if d.hasDisp {
 		if d.ripRel {
 			inst.RIPRef = d.truncate(d.addr + uint64(d.pos) + uint64(d.disp))
@@ -540,7 +583,6 @@ func (d *decodeState) finish() Inst {
 			inst.HasMemDisp = true
 		}
 	}
-	return inst
 }
 
 // truncate wraps an address to the mode's pointer width.

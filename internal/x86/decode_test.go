@@ -303,7 +303,7 @@ func TestLinearSweepResync(t *testing.T) {
 		0xC3, // ret
 	}
 	var classes []Class
-	skipped := LinearSweep(code, 0x1000, Mode64, func(inst Inst) bool {
+	skipped := LinearSweep(code, 0x1000, Mode64, func(inst *Inst) bool {
 		classes = append(classes, inst.Class)
 		return true
 	})
@@ -318,7 +318,7 @@ func TestLinearSweepResync(t *testing.T) {
 func TestLinearSweepStop(t *testing.T) {
 	code := []byte{0x90, 0x90, 0x90}
 	n := 0
-	LinearSweep(code, 0, Mode64, func(Inst) bool {
+	LinearSweep(code, 0, Mode64, func(*Inst) bool {
 		n++
 		return n < 2
 	})

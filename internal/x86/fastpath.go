@@ -1,0 +1,319 @@
+package x86
+
+// Table-driven fast path for the opcode families that dominate
+// compiler-generated text: push/pop, mov/lea, the ALU register forms,
+// test/cmp, shifts, direct call/jmp/jcc, ret, nop, int3, and the FF
+// indirect-branch group. Profiling the linear sweep shows >90% of decoded
+// instructions start with one of these first bytes (optionally behind a
+// single REX prefix), so skipping the general decodeState walk for them
+// roughly halves the per-instruction cost.
+//
+// The contract is strict: for every byte sequence the fast path accepts,
+// it must produce an Inst bit-identical to the full decoder's. Anything
+// ambiguous — legacy prefixes, escapes, VEX/EVEX, mode-dependent
+// validity, truncated buffers — is declined (return false) and falls
+// back to decodeSlow. TestFastPathMatchesFullDecode and FuzzDecode
+// enforce the equivalence.
+
+// fastKind describes how a fast-path opcode's operands are shaped.
+type fastKind uint8
+
+const (
+	// fkNone marks bytes the fast path declines (prefixes, escapes,
+	// mode-dependent validity, immediates sized by prefix state).
+	fkNone fastKind = iota
+	// fkLen1 is a bare one-byte instruction.
+	fkLen1
+	// fkImm8 / fkImm16 / fkImmZ are opcode + fixed-size immediate. With
+	// no legacy prefixes in play, iz immediates are always 4 bytes.
+	fkImm8
+	fkImm16
+	fkImmZ
+	// fkImmV is MOV r, iv: 4 bytes, or 8 under REX.W.
+	fkImmV
+	// fkRel8 / fkRel32 are direct branches with a relative displacement.
+	fkRel8
+	fkRel32
+	// fkModRM is opcode + ModRM addressing form, no immediate.
+	fkModRM
+	// fkModRMImm8 / fkModRMImmZ add a trailing immediate.
+	fkModRMImm8
+	fkModRMImmZ
+	// fkModRMGroup5 is FF: ModRM with the class selected by /reg
+	// (2 = indirect call, 4 = indirect jump).
+	fkModRMGroup5
+)
+
+// fastOp is one fast-path opcode-table entry.
+type fastOp struct {
+	kind  fastKind
+	class Class
+}
+
+// fastOps maps a first opcode byte (after an optional REX in 64-bit
+// mode) to its fast-path handling. Entries are valid in both modes: any
+// byte whose length or validity differs between Mode32 and Mode64 —
+// other than 40-4F, which the caller intercepts as REX before the
+// lookup — stays fkNone.
+var fastOps = buildFastOps()
+
+func buildFastOps() [256]fastOp {
+	var t [256]fastOp
+	set := func(class Class, kind fastKind, ops ...int) {
+		for _, op := range ops {
+			t[op] = fastOp{kind: kind, class: class}
+		}
+	}
+	// ALU r/m forms: ADD/OR/ADC/SBB/AND/SUB/XOR/CMP.
+	for _, base := range []int{0x00, 0x08, 0x10, 0x18, 0x20, 0x28, 0x30, 0x38} {
+		set(ClassOther, fkModRM, base, base+1, base+2, base+3)
+		set(ClassOther, fkImm8, base+4)
+		set(ClassOther, fkImmZ, base+5)
+	}
+	// INC/DEC r32 (Mode32 only — Mode64 consumes 40-4F as REX first).
+	for op := 0x40; op <= 0x4F; op++ {
+		set(ClassOther, fkLen1, op)
+	}
+	// PUSH/POP reg.
+	for op := 0x50; op <= 0x5F; op++ {
+		set(ClassOther, fkLen1, op)
+	}
+	set(ClassOther, fkModRM, 0x63) // ARPL (32) / MOVSXD (64): ModRM in both
+	set(ClassOther, fkImmZ, 0x68)  // PUSH iz
+	set(ClassOther, fkModRMImmZ, 0x69)
+	set(ClassOther, fkImm8, 0x6A) // PUSH ib
+	set(ClassOther, fkModRMImm8, 0x6B)
+	set(ClassOther, fkLen1, 0x6C, 0x6D, 0x6E, 0x6F) // INS/OUTS
+	// Jcc rel8.
+	for op := 0x70; op <= 0x7F; op++ {
+		set(ClassJccRel, fkRel8, op)
+	}
+	// Immediate group 1 (0x82 is the 32-bit-only alias: declined).
+	set(ClassOther, fkModRMImm8, 0x80)
+	set(ClassOther, fkModRMImmZ, 0x81)
+	set(ClassOther, fkModRMImm8, 0x83)
+	// TEST/XCHG/MOV/LEA/MOV-seg/POP r/m.
+	set(ClassOther, fkModRM, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8A, 0x8B, 0x8C, 0x8D, 0x8E, 0x8F)
+	set(ClassNop, fkLen1, 0x90) // caller demotes REX.B 90 (XCHG R8) to Other
+	set(ClassOther, fkLen1, 0x91, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97)
+	set(ClassOther, fkLen1, 0x98, 0x99, 0x9B, 0x9C, 0x9D, 0x9E, 0x9F)
+	set(ClassOther, fkImm8, 0xA8) // TEST AL, ib
+	set(ClassOther, fkImmZ, 0xA9) // TEST eAX, iz
+	set(ClassOther, fkLen1, 0xA4, 0xA5, 0xA6, 0xA7, 0xAA, 0xAB, 0xAC, 0xAD, 0xAE, 0xAF)
+	// MOV reg, imm.
+	for op := 0xB0; op <= 0xB7; op++ {
+		set(ClassOther, fkImm8, op)
+	}
+	for op := 0xB8; op <= 0xBF; op++ {
+		set(ClassOther, fkImmV, op)
+	}
+	// Shift groups, RET, MOV r/m imm, LEAVE, INT3/INT, IRET.
+	set(ClassOther, fkModRMImm8, 0xC0, 0xC1)
+	set(ClassRet, fkImm16, 0xC2)
+	set(ClassRet, fkLen1, 0xC3)
+	set(ClassOther, fkModRMImm8, 0xC6)
+	set(ClassOther, fkModRMImmZ, 0xC7)
+	set(ClassLeave, fkLen1, 0xC9)
+	set(ClassRet, fkImm16, 0xCA)
+	set(ClassRet, fkLen1, 0xCB)
+	set(ClassInt3, fkLen1, 0xCC)
+	set(ClassOther, fkImm8, 0xCD)
+	set(ClassOther, fkLen1, 0xCF)
+	set(ClassOther, fkModRM, 0xD0, 0xD1, 0xD2, 0xD3) // shift by 1 / CL
+	set(ClassOther, fkLen1, 0xD7)
+	set(ClassOther, fkModRM, 0xD8, 0xD9, 0xDA, 0xDB, 0xDC, 0xDD, 0xDE, 0xDF) // x87
+	// LOOP/JCXZ, IN/OUT, CALL/JMP.
+	set(ClassJccRel, fkRel8, 0xE0, 0xE1, 0xE2, 0xE3)
+	set(ClassOther, fkImm8, 0xE4, 0xE5, 0xE6, 0xE7)
+	set(ClassCallRel, fkRel32, 0xE8)
+	set(ClassJmpRel, fkRel32, 0xE9)
+	set(ClassJmpRel, fkRel8, 0xEB)
+	set(ClassOther, fkLen1, 0xEC, 0xED, 0xEE, 0xEF)
+	set(ClassOther, fkLen1, 0xF1, 0xF5)
+	set(ClassHlt, fkLen1, 0xF4)
+	set(ClassOther, fkLen1, 0xF8, 0xF9, 0xFA, 0xFB, 0xFC, 0xFD)
+	set(ClassOther, fkModRM, 0xFE) // INC/DEC r/m8
+	set(ClassOther, fkModRMGroup5, 0xFF)
+	return t
+}
+
+// decodeFast attempts the fast path. It reports false — leaving *inst in
+// an unspecified state — when the encoding needs the full decoder.
+func decodeFast(code []byte, addr uint64, mode Mode, inst *Inst) bool {
+	if len(code) == 0 {
+		return false
+	}
+	pos := 0
+	b := code[0]
+	var rex byte
+	if mode == Mode64 && b >= 0x40 && b <= 0x4F {
+		if len(code) < 2 {
+			return false
+		}
+		nb := code[1]
+		if isLegacyPrefix(nb) || (nb >= 0x40 && nb <= 0x4F) {
+			return false // dead REX: leave prefix bookkeeping to the slow path
+		}
+		rex = b
+		pos = 1
+		b = nb
+	}
+	op := fastOps[b]
+	if op.kind == fkNone {
+		return false
+	}
+	pos++
+	*inst = Inst{Addr: addr, Class: op.class, Opcode: b, OpcodeMap: 1}
+
+	var disp int64
+	var ripRel, absDisp bool
+	switch op.kind {
+	case fkLen1:
+		if b == 0x90 && rex&1 != 0 {
+			inst.Class = ClassOther // REX.B 90 is XCHG R8, not NOP
+		}
+	case fkImm8:
+		if !fastImm(code, &pos, 1, inst) {
+			return false
+		}
+	case fkImm16:
+		if !fastImm(code, &pos, 2, inst) {
+			return false
+		}
+	case fkImmZ:
+		if !fastImm(code, &pos, 4, inst) {
+			return false
+		}
+	case fkImmV:
+		n := 4
+		if rex&0x08 != 0 {
+			n = 8
+		}
+		if !fastImm(code, &pos, n, inst) {
+			return false
+		}
+	case fkRel8:
+		if !fastImm(code, &pos, 1, inst) {
+			return false
+		}
+		inst.Target = truncAddr(mode, addr+uint64(pos)+uint64(inst.Imm))
+		inst.HasTarget = true
+	case fkRel32:
+		if !fastImm(code, &pos, 4, inst) {
+			return false
+		}
+		inst.Target = truncAddr(mode, addr+uint64(pos)+uint64(inst.Imm))
+		inst.HasTarget = true
+	case fkModRM, fkModRMImm8, fkModRMImmZ, fkModRMGroup5:
+		var ok bool
+		disp, ripRel, absDisp, ok = fastModRM(code, &pos, mode, inst)
+		if !ok {
+			return false
+		}
+		switch op.kind {
+		case fkModRMImm8:
+			if !fastImm(code, &pos, 1, inst) {
+				return false
+			}
+		case fkModRMImmZ:
+			if !fastImm(code, &pos, 4, inst) {
+				return false
+			}
+		case fkModRMGroup5:
+			switch inst.Reg() {
+			case 2:
+				inst.Class = ClassCallInd
+			case 4:
+				inst.Class = ClassJmpInd
+			}
+		}
+	}
+	inst.Len = pos
+	// Materialize the displacement-derived references now that the full
+	// length is known (RIP-relative addressing is next-instruction
+	// relative).
+	if ripRel {
+		inst.RIPRef = truncAddr(mode, addr+uint64(pos)+uint64(disp))
+		inst.HasRIPRef = true
+	} else if absDisp {
+		inst.MemDisp = uint64(uint32(disp))
+		inst.HasMemDisp = true
+	}
+	return true
+}
+
+// fastImm consumes an n-byte sign-extended immediate.
+func fastImm(code []byte, pos *int, n int, inst *Inst) bool {
+	p := *pos
+	if p+n > len(code) {
+		return false
+	}
+	inst.Imm = signExtendLE(code[p : p+n])
+	inst.HasImm = true
+	*pos = p + n
+	return true
+}
+
+// fastModRM consumes the ModRM byte and its addressing-form bytes (SIB,
+// displacement) in the 32/64-bit form — the fast path never runs under a
+// 67 prefix, so the 16-bit form cannot occur. It reports the raw
+// displacement and whether it is RIP-relative or an absolute address.
+func fastModRM(code []byte, pos *int, mode Mode, inst *Inst) (disp int64, ripRel, absDisp, ok bool) {
+	p := *pos
+	if p >= len(code) {
+		return 0, false, false, false
+	}
+	m := code[p]
+	p++
+	inst.ModRM = m
+	inst.HasModRM = true
+	mod := m >> 6
+	rm := m & 7
+	if mod == 3 {
+		*pos = p
+		return 0, false, false, true
+	}
+	hasSIB := rm == 4
+	sibBase := byte(0xFF)
+	if hasSIB {
+		if p >= len(code) {
+			return 0, false, false, false
+		}
+		sibBase = code[p] & 7
+		p++
+	}
+	dispN := 0
+	switch mod {
+	case 0:
+		switch {
+		case !hasSIB && rm == 5:
+			dispN = 4
+			ripRel = mode == Mode64
+			absDisp = mode == Mode32
+		case hasSIB && sibBase == 5:
+			dispN = 4
+			absDisp = true
+		}
+	case 1:
+		dispN = 1
+	case 2:
+		dispN = 4
+	}
+	if dispN > 0 {
+		if p+dispN > len(code) {
+			return 0, false, false, false
+		}
+		disp = signExtendLE(code[p : p+dispN])
+		p += dispN
+	}
+	*pos = p
+	return disp, ripRel, absDisp, true
+}
+
+// truncAddr wraps an address to the mode's pointer width.
+func truncAddr(mode Mode, v uint64) uint64 {
+	if mode == Mode32 {
+		return uint64(uint32(v))
+	}
+	return v
+}

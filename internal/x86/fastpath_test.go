@@ -1,0 +1,99 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastPathMatchesFullDecode is the fast path's defining invariant:
+// every byte sequence the fast path accepts must decode to an Inst
+// bit-identical to the full decoder's. Driven over random byte soup and
+// compiler-shaped text, in both modes, at every offset.
+func TestFastPathMatchesFullDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	buffers := make([][]byte, 0, 64)
+	for i := 0; i < 24; i++ {
+		buf := make([]byte, 64+rng.Intn(512))
+		rng.Read(buf)
+		buffers = append(buffers, buf)
+	}
+	for _, mode := range []Mode{Mode32, Mode64} {
+		buffers = append(buffers,
+			GenText(4096, mode, rng, 0),
+			GenText(4096, mode, rng, 0.2))
+	}
+	const addr = 0x401000
+	checked := 0
+	for _, mode := range []Mode{Mode32, Mode64} {
+		for _, buf := range buffers {
+			for off := 0; off < len(buf); off++ {
+				var fast, slow Inst
+				if !decodeFast(buf[off:], addr+uint64(off), mode, &fast) {
+					continue
+				}
+				if err := decodeSlow(buf[off:], addr+uint64(off), mode, &slow); err != nil {
+					t.Fatalf("mode %v bytes % x: fast path accepted what the full decoder rejects: %v",
+						mode, buf[off:off+min(len(buf)-off, 16)], err)
+				}
+				if fast != slow {
+					t.Fatalf("mode %v bytes % x:\nfast %+v\nslow %+v",
+						mode, buf[off:off+min(len(buf)-off, 16)], fast, slow)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("fast path never engaged")
+	}
+}
+
+// TestFastPathTruncation: the fast path must decline truncated buffers
+// rather than mis-size an instruction; Decode then reports ErrTruncated
+// through the slow path.
+func TestFastPathTruncation(t *testing.T) {
+	cases := []struct {
+		code  []byte
+		modes []Mode
+	}{
+		{[]byte{0xE8, 0x00, 0x00}, []Mode{Mode32, Mode64}},     // call rel32 cut short
+		{[]byte{0x48, 0x8B, 0x45}, []Mode{Mode64}},             // mov rax,[rbp-8] missing disp (0x48 is DEC EAX in 32-bit)
+		{[]byte{0x81}, []Mode{Mode32, Mode64}},                 // group-1 immZ missing everything
+		{[]byte{0xB8, 0x01}, []Mode{Mode32, Mode64}},           // mov eax, imm32 cut short
+		{[]byte{0x48, 0xB8, 0, 0, 0, 0, 0, 0}, []Mode{Mode64}}, // REX.W mov imm64 cut short
+		{[]byte{0xFF}, []Mode{Mode32, Mode64}},                 // group 5 without ModRM
+		{[]byte{0x48}, []Mode{Mode64}},                         // lone REX
+	}
+	for _, tc := range cases {
+		code := tc.code
+		for _, mode := range tc.modes {
+			var inst Inst
+			full := append(code, make([]byte, 16)...)
+			if _, fullErr := Decode(full, 0, mode); fullErr != nil {
+				continue // not decodable even complete in this mode
+			}
+			if err := DecodeInto(code, 0, mode, &inst); err != ErrTruncated {
+				t.Errorf("mode %v % x: err = %v, want ErrTruncated", mode, code, err)
+			}
+		}
+	}
+}
+
+// TestDecodeIntoReuse: DecodeInto must fully overwrite a dirty Inst so a
+// reused scratch value never leaks fields between instructions.
+func TestDecodeIntoReuse(t *testing.T) {
+	var inst Inst
+	if err := DecodeInto([]byte{0xE8, 1, 0, 0, 0}, 0x1000, Mode64, &inst); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.HasTarget || inst.Class != ClassCallRel {
+		t.Fatalf("call decoded as %+v", inst)
+	}
+	if err := DecodeInto([]byte{0x90}, 0x2000, Mode64, &inst); err != nil {
+		t.Fatal(err)
+	}
+	want := Inst{Addr: 0x2000, Len: 1, Class: ClassNop, Opcode: 0x90, OpcodeMap: 1}
+	if inst != want {
+		t.Fatalf("stale fields leaked into reused Inst:\ngot  %+v\nwant %+v", inst, want)
+	}
+}

@@ -45,7 +45,7 @@ func TestSweepTerminatesOnRandomBytes(t *testing.T) {
 		}
 		for _, mode := range []Mode{Mode32, Mode64} {
 			consumed := 0
-			skipped := LinearSweep(buf, 0, mode, func(inst Inst) bool {
+			skipped := LinearSweep(buf, 0, mode, func(inst *Inst) bool {
 				consumed += inst.Len
 				return true
 			})

@@ -1,0 +1,95 @@
+package x86
+
+import "math/rand"
+
+// GenText synthesizes n bytes of compiler-shaped text for sweep tests and
+// benchmarks: function bodies built from the encodings GCC/Clang actually
+// emit (endbr, prologue, ALU/mov/lea traffic, calls, conditional jumps,
+// epilogue, int3 padding), optionally interleaved with random data blocks
+// to model data-in-text (jump tables, literal pools). The byte mix is
+// deliberately a blend of fast-path and slow-path encodings.
+func GenText(n int, mode Mode, rng *rand.Rand, dataRatio float64) []byte {
+	imm8 := func() byte { return byte(rng.Intn(256)) }
+	imm32 := func() []byte {
+		return []byte{imm8(), imm8(), imm8(), imm8()}
+	}
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	var body [][]byte
+	if mode == Mode64 {
+		body = [][]byte{
+			{0x48, 0x83, 0xEC, 0x10},                       // sub rsp, 16
+			cat([]byte{0xB8}, imm32()),                     // mov eax, imm32
+			{0x48, 0x8B, 0x45, 0xF8},                       // mov rax, [rbp-8]
+			{0x48, 0x89, 0x45, 0xF0},                       // mov [rbp-16], rax
+			cat([]byte{0x48, 0x8D, 0x05}, imm32()),         // lea rax, [rip+disp32]
+			{0x85, 0xC0},                                   // test eax, eax
+			{0x48, 0x01, 0xD8},                             // add rax, rbx
+			{0x48, 0x39, 0xC3},                             // cmp rbx, rax
+			{0x31, 0xC0},                                   // xor eax, eax
+			cat([]byte{0xE8}, imm32()),                     // call rel32
+			{0x75, imm8()},                                 // jnz rel8
+			{0x0F, 0x84, imm8(), imm8(), 0x00, 0x00},       // jz rel32 (slow path)
+			{0x90},                                         // nop
+			{0x66, 0x90},                                   // 66 nop (slow path)
+			{0x0F, 0x1F, 0x40, 0x00},                       // 4-byte nop (slow path)
+			{0x41, 0x54},                                   // push r12
+			{0x44, 0x8B, 0x25, imm8(), imm8(), 0x00, 0x00}, // mov r12d,[rip+d]
+			{0xF3, 0x0F, 0x10, 0x45, 0xF8},                 // movss (slow path)
+			{0x50},                                         // push rax
+			{0x58},                                         // pop rax
+		}
+	} else {
+		body = [][]byte{
+			{0x83, 0xEC, 0x10},               // sub esp, 16
+			cat([]byte{0xB8}, imm32()),       // mov eax, imm32
+			{0x8B, 0x45, 0xF8},               // mov eax, [ebp-8]
+			{0x89, 0x45, 0xF0},               // mov [ebp-16], eax
+			cat([]byte{0x8D, 0x83}, imm32()), // lea eax, [ebx+disp32]
+			{0x85, 0xC0},                     // test eax, eax
+			{0x01, 0xD8},                     // add eax, ebx
+			{0x39, 0xC3},                     // cmp ebx, eax
+			{0x31, 0xC0},                     // xor eax, eax
+			cat([]byte{0xE8}, imm32()),       // call rel32
+			{0x75, imm8()},                   // jnz rel8
+			{0x90},                           // nop
+			{0x66, 0x90},                     // 66 nop (slow path)
+			{0x50},                           // push eax
+			{0x58},                           // pop eax
+		}
+	}
+	endbr := []byte{0xF3, 0x0F, 0x1E, 0xFA}
+	prologue := [][]byte{{0x55}, {0x48, 0x89, 0xE5}} // push rbp; mov rbp,rsp
+	if mode == Mode32 {
+		endbr = []byte{0xF3, 0x0F, 0x1E, 0xFB}
+		prologue = [][]byte{{0x55}, {0x89, 0xE5}}
+	}
+
+	out := make([]byte, 0, n+32)
+	for len(out) < n {
+		if dataRatio > 0 && rng.Float64() < dataRatio {
+			// A data-in-text block of raw bytes.
+			blob := make([]byte, 4+rng.Intn(48))
+			rng.Read(blob)
+			out = append(out, blob...)
+			continue
+		}
+		out = append(out, endbr...)
+		for _, p := range prologue {
+			out = append(out, p...)
+		}
+		for i, m := 0, 3+rng.Intn(24); i < m; i++ {
+			out = append(out, body[rng.Intn(len(body))]...)
+		}
+		out = append(out, 0xC9, 0xC3) // leave; ret
+		for i, m := 0, rng.Intn(4); i < m; i++ {
+			out = append(out, 0xCC) // int3 padding
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,156 @@
+package x86
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// minParallelBytes is the smallest text BuildIndexParallel will shard
+// when asked to pick a worker count itself: below this the goroutine
+// fan-out costs more than the decode.
+const minParallelBytes = 64 << 10
+
+// shard is one worker's speculative decode of a chunk of the text.
+//
+// A linear sweep carries no state between instructions beyond the cursor
+// offset — decoding is a pure function of the start offset. That is what
+// makes speculative sharding sound: a shard decoded from its chunk start
+// may begin misaligned with the true (sequential) instruction stream,
+// but x86's self-synchronization property means the two streams merge
+// after a handful of instructions, and from the first shared cursor
+// offset onward they are identical by determinism.
+type shard struct {
+	start int     // chunk start offset (relative to code[0])
+	end   int     // chunk end offset; the stream may overrun it
+	insts []Inst  // decoded instructions, absolute addresses
+	skips []int32 // offsets where decode failed and the cursor skipped a byte
+	final int     // cursor offset after the last decode step (>= end)
+}
+
+// BuildIndexParallel builds the same index as BuildIndex by decoding
+// workers chunks of code concurrently and stitching them at the first
+// agreeing instruction boundary past each chunk seam. workers <= 0
+// selects GOMAXPROCS and falls back to the sequential build for small
+// texts; an explicit workers >= 2 always shards (tests force odd seam
+// placements this way). The result is byte-identical to BuildIndex —
+// internal/diffcheck asserts this invariant on every generated binary.
+func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index {
+	auto := workers <= 0
+	if auto {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(code)/maxInstLen {
+		workers = len(code) / maxInstLen // every shard needs room to decode
+	}
+	if workers < 2 || (auto && len(code) < minParallelBytes) {
+		return BuildIndex(code, base, mode)
+	}
+
+	shards := make([]shard, workers)
+	chunk := len(code) / workers
+	var wg sync.WaitGroup
+	for i := range shards {
+		s, e := i*chunk, (i+1)*chunk
+		if i == workers-1 {
+			e = len(code)
+		}
+		shards[i] = shard{start: s, end: e}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.decode(code, base, mode)
+		}(&shards[i])
+	}
+	wg.Wait()
+
+	idx := &Index{
+		Insts:  make([]Inst, 0, len(code)/4+1),
+		Base:   base,
+		Shards: workers,
+	}
+	stitch(idx, shards, code, base, mode)
+	idx.finishPositions(len(code))
+	return idx
+}
+
+// decode runs the speculative sweep of one chunk: from start until the
+// cursor reaches the chunk end (the final instruction may overrun it).
+func (sh *shard) decode(code []byte, base uint64, mode Mode) {
+	sh.insts = make([]Inst, 0, (sh.end-sh.start)/4+1)
+	var inst Inst
+	off := sh.start
+	for off < sh.end {
+		if err := DecodeInto(code[off:], base+uint64(off), mode, &inst); err != nil {
+			sh.skips = append(sh.skips, int32(off))
+			off++
+			continue
+		}
+		sh.insts = append(sh.insts, inst)
+		off += inst.Len
+	}
+	sh.final = off
+}
+
+// visitedFrom locates the authoritative cursor offset cur in the shard's
+// visited-offset set (instruction starts ∪ skip positions). When found,
+// the shard's remaining stream from cur onward is exactly what a
+// sequential decode would produce, so the caller can splice it verbatim:
+// instIdx is the first instruction with offset >= cur and skipTail the
+// number of skips at offsets >= cur.
+func (sh *shard) visitedFrom(cur int, base uint64) (instIdx, skipTail int, found bool) {
+	va := base + uint64(cur)
+	instIdx = sort.Search(len(sh.insts), func(i int) bool { return sh.insts[i].Addr >= va })
+	skipIdx := sort.Search(len(sh.skips), func(i int) bool { return sh.skips[i] >= int32(cur) })
+	skipTail = len(sh.skips) - skipIdx
+	if instIdx < len(sh.insts) && sh.insts[instIdx].Addr == va {
+		return instIdx, skipTail, true
+	}
+	if skipIdx < len(sh.skips) && sh.skips[skipIdx] == int32(cur) {
+		return instIdx, skipTail, true
+	}
+	return 0, 0, false
+}
+
+// stitch merges the speculative shard streams into the authoritative
+// sequential stream. The cursor walks the shards in order; at each seam
+// it either lands on an offset the next shard visited — in which case
+// the shard's stream is spliced wholesale — or instructions are
+// re-decoded one at a time (counted in StitchRetries) until the streams
+// re-synchronize.
+func stitch(idx *Index, shards []shard, code []byte, base uint64, mode Mode) {
+	cur := 0
+	var inst Inst
+	for i := range shards {
+		sh := &shards[i]
+		for cur < sh.end {
+			if instIdx, skipTail, ok := sh.visitedFrom(cur, base); ok {
+				idx.Insts = append(idx.Insts, sh.insts[instIdx:]...)
+				idx.Skipped += skipTail
+				cur = sh.final
+				break
+			}
+			// The seam split an instruction: decode from the true
+			// boundary until the speculative stream agrees.
+			idx.StitchRetries++
+			if err := DecodeInto(code[cur:], base+uint64(cur), mode, &inst); err != nil {
+				idx.Skipped++
+				cur++
+				continue
+			}
+			idx.Insts = append(idx.Insts, inst)
+			cur += inst.Len
+		}
+	}
+	// The last shard decodes to len(code), so once it is spliced (or
+	// overrun by a straddling instruction) the stream is complete.
+	for cur < len(code) {
+		if err := DecodeInto(code[cur:], base+uint64(cur), mode, &inst); err != nil {
+			idx.Skipped++
+			cur++
+			continue
+		}
+		idx.Insts = append(idx.Insts, inst)
+		cur += inst.Len
+	}
+}

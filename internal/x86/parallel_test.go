@@ -1,0 +1,146 @@
+package x86
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// indexesEqual fails the test unless par is byte-identical to seq:
+// identical instruction streams (every Inst field), identical
+// skipped-byte accounting, and identical At/AtPtr behaviour at every
+// byte offset.
+func indexesEqual(t *testing.T, label string, seq, par *Index, n int) {
+	t.Helper()
+	if len(par.Insts) != len(seq.Insts) {
+		t.Fatalf("%s: %d instructions, sequential has %d", label, len(par.Insts), len(seq.Insts))
+	}
+	for i := range seq.Insts {
+		if par.Insts[i] != seq.Insts[i] {
+			t.Fatalf("%s: inst %d differs:\nparallel   %+v\nsequential %+v",
+				label, i, par.Insts[i], seq.Insts[i])
+		}
+	}
+	if par.Skipped != seq.Skipped {
+		t.Fatalf("%s: skipped %d bytes, sequential skipped %d", label, par.Skipped, seq.Skipped)
+	}
+	for off := 0; off < n; off++ {
+		va := seq.Base + uint64(off)
+		si, sok := seq.At(va)
+		pi, pok := par.At(va)
+		if sok != pok || si != pi {
+			t.Fatalf("%s: At(%#x) = (%+v, %v) parallel vs (%+v, %v) sequential",
+				label, va, pi, pok, si, sok)
+		}
+	}
+}
+
+// TestBuildIndexParallelMatchesSequential is the stitching soundness
+// property: across random compiler-shaped corpora — with and without
+// data-in-text — both modes, and worker counts chosen to land seams at
+// unaligned offsets, the parallel index is byte-identical to the
+// sequential one.
+func TestBuildIndexParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		n := 2048 + rng.Intn(8192)
+		dataRatio := 0.0
+		if trial%3 == 1 {
+			dataRatio = 0.15 // data-in-text: seams can land mid-garbage
+		}
+		if trial%3 == 2 {
+			dataRatio = 0.5 // pathological: half the bytes are data
+		}
+		for _, mode := range []Mode{Mode32, Mode64} {
+			code := GenText(n, mode, rng, dataRatio)
+			base := uint64(0x400000 + rng.Intn(1<<20))
+			seq := BuildIndex(code, base, mode)
+			for _, workers := range []int{0, 2, 3, 5, 8, 13} {
+				par := BuildIndexParallel(code, base, mode, workers)
+				label := mode.String()
+				indexesEqual(t, label, seq, par, len(code))
+				if workers >= 2 && par.Shards != workers {
+					t.Fatalf("%s workers=%d: index reports %d shards", label, workers, par.Shards)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildIndexParallelPureGarbage: every byte random, maximal skip
+// churn — the stitcher's skip accounting must still agree exactly.
+func TestBuildIndexParallelPureGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 8; trial++ {
+		code := make([]byte, 1024+rng.Intn(4096))
+		rng.Read(code)
+		for _, mode := range []Mode{Mode32, Mode64} {
+			seq := BuildIndex(code, 0x1000, mode)
+			for _, workers := range []int{2, 3, 7} {
+				par := BuildIndexParallel(code, 0x1000, mode, workers)
+				indexesEqual(t, mode.String(), seq, par, len(code))
+			}
+		}
+	}
+}
+
+// TestBuildIndexParallelSmallInputs: degenerate sizes must not panic or
+// diverge — empty text, a single byte, fewer bytes than workers×15.
+func TestBuildIndexParallelSmallInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 14, 15, 16, 29, 64} {
+		code := make([]byte, n)
+		for i := range code {
+			code[i] = 0x90
+		}
+		for _, workers := range []int{0, 2, 8} {
+			seq := BuildIndex(code, 0, Mode64)
+			par := BuildIndexParallel(code, 0, Mode64, workers)
+			indexesEqual(t, "small", seq, par, n)
+		}
+	}
+}
+
+// TestIndexConcurrentReaders hammers one index from many goroutines
+// (run with -race in CI): an Index is immutable after construction and
+// must serve At/AtPtr/Range concurrently without synchronization.
+func TestIndexConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	code := GenText(1<<16, Mode64, rng, 0.05)
+	idx := BuildIndexParallel(code, 0x401000, Mode64, 4)
+	want := BuildIndex(code, 0x401000, Mode64)
+	indexesEqual(t, "pre-hammer", want, idx, len(code))
+
+	const readers = 8
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20000; i++ {
+				va := idx.Base + uint64(rng.Intn(len(code)))
+				inst, ok := idx.At(va)
+				p := idx.AtPtr(va)
+				if ok != (p != nil) {
+					t.Errorf("At(%#x) ok=%v but AtPtr=%v", va, ok, p)
+					return
+				}
+				if ok && (*p != inst || inst.Addr != va) {
+					t.Errorf("At(%#x) inconsistent with AtPtr", va)
+					return
+				}
+				if i%64 == 0 {
+					lo := idx.Base + uint64(rng.Intn(len(code)))
+					sub := idx.Range(lo, lo+256)
+					for j := 1; j < len(sub); j++ {
+						if sub[j].Addr <= sub[j-1].Addr {
+							t.Errorf("Range not ascending at %#x", sub[j].Addr)
+							return
+						}
+					}
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+}

@@ -166,8 +166,26 @@ type Inst struct {
 	// HasImm reports whether Imm is meaningful.
 	HasImm bool
 
-	// Prefixes records the legacy prefixes seen, in order.
-	Prefixes []byte
+	// Prefix records the first legacy prefixes seen, in order. Real
+	// compiler output never exceeds the four architectural prefix groups;
+	// the fixed array keeps Inst free of heap pointers so decoding is
+	// allocation-free and Inst values are comparable with ==.
+	Prefix [4]byte
+	// NPrefix counts every legacy prefix seen. Degenerate hand-written
+	// encodings may carry more than len(Prefix) prefixes; the overflow is
+	// counted here but not recorded byte-for-byte.
+	NPrefix uint8
+}
+
+// Prefixes returns the recorded legacy prefixes, in order. At most the
+// first len(Prefix) prefixes of a degenerate over-prefixed encoding are
+// available; NPrefix holds the true count.
+func (i *Inst) Prefixes() []byte {
+	n := int(i.NPrefix)
+	if n > len(i.Prefix) {
+		n = len(i.Prefix)
+	}
+	return i.Prefix[:n]
 }
 
 // Reg returns the ModRM.reg field (the /digit selecting a group member).

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,10 +24,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/funseeker/funseeker"
+	"github.com/funseeker/funseeker/internal/engine"
 	"github.com/funseeker/funseeker/internal/x86"
 )
 
@@ -36,6 +40,9 @@ type result struct {
 	BPerOp      int64   `json:"b_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
 	MBPerS      float64 `json:"mb_s,omitempty"`
+	// BinPerS is binaries analyzed per second, reported by the engine/*
+	// series where one op processes the whole corpus.
+	BinPerS float64 `json:"bin_s,omitempty"`
 }
 
 type report struct {
@@ -98,10 +105,18 @@ func run() error {
 		if r.Bytes > 0 && r.T > 0 {
 			res.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
 		}
+		// The engine/* series process the whole corpus per op, so their
+		// ns/op converts directly to engine throughput in binaries/sec.
+		if strings.HasPrefix(bm.name, "engine/") && res.NsPerOp > 0 {
+			res.BinPerS = float64(len(set)) / (res.NsPerOp / 1e9)
+		}
 		rep.Results = append(rep.Results, res)
 		fmt.Printf("%-40s %14.0f ns/op %12d B/op %8d allocs/op", res.Name, res.NsPerOp, res.BPerOp, res.AllocsPerOp)
 		if res.MBPerS > 0 {
 			fmt.Printf("  %10.2f MB/s", res.MBPerS)
+		}
+		if res.BinPerS > 0 {
+			fmt.Printf("  %10.2f bin/s", res.BinPerS)
 		}
 		fmt.Println()
 	}
@@ -136,6 +151,7 @@ type benchmark struct {
 type benchCase struct {
 	bin *funseeker.Binary
 	gt  *funseeker.GroundTruth
+	raw []byte
 }
 
 // buildCorpus mirrors the mixed corpus of bench_test.go: a few programs
@@ -161,7 +177,7 @@ func buildCorpus(scale float64, programs int) ([]benchCase, int, error) {
 				if err != nil {
 					return nil, 0, fmt.Errorf("corpus: %w", err)
 				}
-				set = append(set, benchCase{bin: bin, gt: res.GT})
+				set = append(set, benchCase{bin: bin, gt: res.GT, raw: res.Stripped})
 				bytes += len(res.Stripped)
 			}
 		}
@@ -254,6 +270,56 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 			for i := 0; i < b.N; i++ {
 				if _, err := funseeker.RunFETCH(set[i%len(set)].bin); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		// engine/Throughput is cold corpus analysis: a fresh engine per op
+		// pushes every binary through the bounded worker pool, so ns/op is
+		// the end-to-end cost of one full corpus (load + sweep + identify).
+		benchmark{"engine/Throughput", func(b *testing.B) {
+			b.SetBytes(int64(corpusBytes))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Config{})
+				var wg sync.WaitGroup
+				errs := make(chan error, len(set))
+				for _, c := range set {
+					wg.Add(1)
+					go func(raw []byte) {
+						defer wg.Done()
+						if _, err := eng.Analyze(context.Background(), raw, funseeker.Config4); err != nil {
+							errs <- err
+						}
+					}(c.raw)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+		}},
+		// engine/CacheHit measures the content-hash fast path: every
+		// binary is pre-warmed, so each op is pure SHA-256 + LRU lookup.
+		benchmark{"engine/CacheHit", func(b *testing.B) {
+			eng := engine.New(engine.Config{})
+			for _, c := range set {
+				if _, err := eng.Analyze(context.Background(), c.raw, funseeker.Config4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(corpusBytes))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range set {
+					res, err := eng.Analyze(context.Background(), c.raw, funseeker.Config4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Cached {
+						b.Fatal("cache miss on a pre-warmed binary")
+					}
 				}
 			}
 		}},

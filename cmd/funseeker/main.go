@@ -1,25 +1,36 @@
-// Command funseeker identifies function entry points in a CET-enabled
-// ELF binary.
+// Command funseeker identifies function entry points in CET-enabled
+// ELF binaries.
 //
 // Usage:
 //
 //	funseeker [-config 4] [-gt truth.json] [-stats] [-v] <binary>
+//	funseeker [-config 4] [-jobs N] [-json] <binary|dir> ...
 //
 // By default the full algorithm (configuration ④) runs and the entry
 // addresses are printed one per line. With -gt the result is scored
 // against a ground-truth sidecar produced by synthgen. With -stats the
 // intermediate set sizes and filter counters are reported.
+//
+// Given several paths — or a directory, which is walked for ELF files —
+// funseeker switches to corpus mode: the binaries are analyzed on a
+// bounded worker pool (-jobs, default GOMAXPROCS) and one result per
+// binary is emitted in input order, as JSON lines with -json. Per-binary
+// failures are reported on stderr without stopping the batch.
 package main
 
 import (
 	"bytes"
+	"context"
 	"debug/elf"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/funseeker/funseeker"
+	"github.com/funseeker/funseeker/internal/engine"
 )
 
 func main() {
@@ -39,10 +50,11 @@ func run() error {
 		superset = flag.Bool("superset", false, "additionally scan all byte offsets for end branches (data-in-text robustness)")
 		verbose  = flag.Bool("v", false, "report analysis degradations (e.g. unreadable exception metadata)")
 		dist     = flag.Bool("endbr-dist", false, "print the end-branch location distribution (Table I study)")
+		jobs     = flag.Int("jobs", 0, "max concurrent analyses in corpus mode (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: funseeker [flags] <binary>")
+	if flag.NArg() < 1 {
+		return fmt.Errorf("usage: funseeker [flags] <binary|dir> ...")
 	}
 
 	var opts funseeker.Options
@@ -57,6 +69,15 @@ func run() error {
 		opts = funseeker.Config4
 	default:
 		return fmt.Errorf("-config must be 1-4, got %d", *configN)
+	}
+	opts.SupersetEndbrScan = *superset
+
+	// Several paths, or a directory, switch to engine-backed corpus mode.
+	if flag.NArg() > 1 || isDir(flag.Arg(0)) {
+		if *gtPath != "" || *dist {
+			return fmt.Errorf("-gt and -endbr-dist apply to a single binary")
+		}
+		return runCorpus(flag.Args(), opts, *configN, *jobs, *jsonOut, *quiet, *stats, *verbose)
 	}
 
 	// AArch64 binaries dispatch to the BTI port of the algorithm.
@@ -97,7 +118,6 @@ func run() error {
 		return nil
 	}
 
-	opts.SupersetEndbrScan = *superset
 	report, err := funseeker.IdentifyBinary(bin, opts)
 	if err != nil {
 		return err
@@ -150,6 +170,96 @@ func run() error {
 		m := funseeker.Score(report.Entries, gt)
 		fmt.Fprintf(os.Stderr, "precision %.3f%%  recall %.3f%%  (tp=%d fp=%d fn=%d)\n",
 			m.Precision(), m.Recall(), m.TP, m.FP, m.FN)
+	}
+	return nil
+}
+
+func isDir(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.IsDir()
+}
+
+// corpusLine is one JSONL record of corpus mode, mirroring the
+// single-binary -json shape plus engine metadata.
+type corpusLine struct {
+	Binary  string   `json:"binary"`
+	Config  int      `json:"config"`
+	SHA256  string   `json:"sha256"`
+	Cached  bool     `json:"cached"`
+	Entries []uint64 `json:"entries"`
+	Endbrs  int      `json:"endbrs"`
+	Calls   int      `json:"call_targets"`
+	Jumps   int      `json:"jump_targets"`
+	Tails   int      `json:"tail_call_targets"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// runCorpus analyzes every named binary (directories are walked for ELF
+// files) on the engine's worker pool, emitting results in input order.
+// Per-binary failures go to stderr — and into the JSONL stream with an
+// "error" field — without aborting the batch. Ctrl-C cancels cleanly:
+// in-flight sweeps stop at the next cancellation check.
+func runCorpus(args []string, opts funseeker.Options, configN, jobs int, jsonOut, quiet, stats, verbose bool) error {
+	paths, err := engine.Expand(args)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no ELF files found under %v", args)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := engine.New(engine.Config{Jobs: jobs})
+	enc := json.NewEncoder(os.Stdout)
+	var failures int
+	err = eng.Files(ctx, paths, opts, func(fr engine.FileResult) error {
+		if fr.Err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "funseeker: %s: %v\n", fr.Path, fr.Err)
+			if jsonOut {
+				return enc.Encode(corpusLine{Binary: fr.Path, Config: configN, Error: fr.Err.Error()})
+			}
+			return nil
+		}
+		rep := fr.Result.Report
+		if verbose {
+			for _, w := range rep.Warnings {
+				fmt.Fprintf(os.Stderr, "funseeker: %s: warning: %s\n", fr.Path, w)
+			}
+		}
+		if jsonOut {
+			return enc.Encode(corpusLine{
+				Binary:  fr.Path,
+				Config:  configN,
+				SHA256:  fr.Result.SHA256,
+				Cached:  fr.Result.Cached,
+				Entries: rep.Entries,
+				Endbrs:  len(rep.Endbrs),
+				Calls:   len(rep.CallTargets),
+				Jumps:   len(rep.JumpTargets),
+				Tails:   len(rep.TailCallTargets),
+			})
+		}
+		if !quiet {
+			for _, e := range rep.Entries {
+				fmt.Printf("%s %#x\n", fr.Path, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if stats {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "binaries analyzed: %d (%d failed, %d cache hits)\n",
+			st.Analyzed, st.Failures, st.CacheHits)
+		fmt.Fprintf(os.Stderr, "bytes analyzed:    %d\n", st.BytesAnalyzed)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d binaries failed", failures, len(paths))
 	}
 	return nil
 }

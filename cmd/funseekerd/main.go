@@ -1,0 +1,134 @@
+// Command funseekerd serves FunSeeker function identification over HTTP,
+// backed by the corpus-scale analysis engine: a bounded worker pool, a
+// content-hash (SHA-256) LRU result cache, and cooperative cancellation
+// threaded down into the linear sweep.
+//
+// Usage:
+//
+//	funseekerd [-addr :8745] [-jobs N] [-cache-bytes B]
+//	           [-max-body B] [-timeout 30s] [-shutdown-grace 10s]
+//	           [-require-cet] [-log text|json]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   analyze an ELF image. The image is the raw request
+//	                   body, or the "binary" file field of a multipart
+//	                   form. Query: config=1..4 (Table II configuration,
+//	                   default 4), superset=1 (byte-level end-branch
+//	                   scan), require_cet=1 (fail on endbr-free
+//	                   binaries). Returns the report as JSON.
+//	GET  /v1/healthz   liveness probe.
+//	GET  /v1/stats     cache hit/miss, in-flight, per-stage analysis cost
+//	                   aggregates. Also published through expvar under
+//	                   "funseeker" at /debug/vars.
+//
+// The server stops accepting work on SIGINT/SIGTERM and gives in-flight
+// requests -shutdown-grace to finish before hard-closing connections,
+// which cancels their contexts and (through the engine) stops their
+// sweeps.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/engine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "funseekerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8745", "listen address")
+		jobs       = flag.Int("jobs", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("cache-bytes", engine.DefaultCacheBytes, "result-cache budget in bytes (negative disables)")
+		maxBody    = flag.Int64("max-body", 64<<20, "max request body bytes")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request analysis timeout (0 disables)")
+		grace      = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window")
+		requireCET = flag.Bool("require-cet", false, "reject binaries without any end-branch instruction")
+		logFormat  = flag.String("log", "text", "log format: text or json")
+	)
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("-log must be text or json, got %q", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	eng := engine.New(engine.Config{
+		Jobs:       *jobs,
+		CacheBytes: *cacheBytes,
+		RequireCET: *requireCET,
+	})
+	srvHandler := newServer(eng, serverConfig{
+		maxBodyBytes: *maxBody,
+		reqTimeout:   *timeout,
+		logger:       logger,
+	})
+
+	// Publish the engine snapshot through expvar; /debug/vars comes with
+	// the expvar import's default mux registration, so wire the default
+	// mux in behind our own routes.
+	expvar.Publish("funseeker", expvar.Func(func() any { return eng.Stats() }))
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", srvHandler)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "jobs", eng.Jobs(), "cache_bytes", *cacheBytes)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // bind failure etc.
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down", "grace", grace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Grace expired: hard-close the remaining connections, which
+		// cancels their request contexts and stops their sweeps.
+		logger.Warn("graceful shutdown expired, closing", "err", err)
+		if cerr := srv.Close(); cerr != nil {
+			return cerr
+		}
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("stopped")
+	return nil
+}

@@ -1,0 +1,306 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/engine"
+)
+
+// serverConfig carries the per-request limits of one funseekerd
+// instance.
+type serverConfig struct {
+	// maxBodyBytes caps the request body (the uploaded ELF image).
+	maxBodyBytes int64
+	// reqTimeout bounds one analyze request end to end; zero disables.
+	reqTimeout time.Duration
+	// logger receives structured access logs; nil discards them.
+	logger *slog.Logger
+}
+
+// server is the HTTP surface over one shared analysis engine.
+type server struct {
+	eng   *engine.Engine
+	cfg   serverConfig
+	start time.Time
+}
+
+// newServer wires the funseekerd routes:
+//
+//	POST /v1/analyze  — analyze an ELF image (raw body or multipart
+//	                    field "binary"); ?config=1..4 selects the
+//	                    algorithm configuration, ?superset=1 adds the
+//	                    byte-level end-branch scan, ?require_cet=1
+//	                    rejects endbr-free binaries
+//	GET  /v1/healthz  — liveness
+//	GET  /v1/stats    — engine counters (cache, in-flight, per-stage
+//	                    analysis costs)
+func newServer(eng *engine.Engine, cfg serverConfig) http.Handler {
+	s := &server{eng: eng, cfg: cfg, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s.accessLog(mux)
+}
+
+// analyzeResponse is the JSON shape of one successful analysis: the
+// Report plus service metadata.
+type analyzeResponse struct {
+	SHA256    string  `json:"sha256"`
+	Config    int     `json:"config"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	Entries         []uint64 `json:"entries"`
+	Endbrs          int      `json:"endbrs"`
+	CallTargets     int      `json:"call_targets"`
+	JumpTargets     int      `json:"jump_targets"`
+	TailCallTargets int      `json:"tail_call_targets"`
+
+	FilteredIndirectReturn int      `json:"filtered_indirect_return"`
+	FilteredLandingPads    int      `json:"filtered_landing_pads"`
+	Warnings               []string `json:"warnings,omitempty"`
+}
+
+// errorResponse is the JSON error envelope; kind is the stable sentinel
+// name clients branch on.
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.cfg.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.reqTimeout)
+		defer cancel()
+	}
+
+	opts, configN, err := optionsFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	raw, err := s.readBinary(w, r)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	res, err := s.eng.Analyze(ctx, raw, opts)
+	if err != nil {
+		status, kind := classifyAnalyzeError(err)
+		writeErrorKind(w, status, err, kind)
+		return
+	}
+
+	rep := res.Report
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		SHA256:                 res.SHA256,
+		Config:                 configN,
+		Cached:                 res.Cached,
+		ElapsedMS:              float64(res.Elapsed) / float64(time.Millisecond),
+		Entries:                rep.Entries,
+		Endbrs:                 len(rep.Endbrs),
+		CallTargets:            len(rep.CallTargets),
+		JumpTargets:            len(rep.JumpTargets),
+		TailCallTargets:        len(rep.TailCallTargets),
+		FilteredIndirectReturn: rep.FilteredIndirectReturn,
+		FilteredLandingPads:    rep.FilteredLandingPads,
+		Warnings:               rep.Warnings,
+	})
+}
+
+// optionsFromQuery maps ?config / ?superset / ?require_cet to Options.
+func optionsFromQuery(r *http.Request) (core.Options, int, error) {
+	q := r.URL.Query()
+	configN := 4
+	if v := q.Get("config"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 4 {
+			return core.Options{}, 0, fmt.Errorf("config must be 1-4, got %q", v)
+		}
+		configN = n
+	}
+	var opts core.Options
+	switch configN {
+	case 1:
+		opts = core.Config1
+	case 2:
+		opts = core.Config2
+	case 3:
+		opts = core.Config3
+	case 4:
+		opts = core.Config4
+	}
+	if isQueryTrue(q.Get("superset")) {
+		opts.SupersetEndbrScan = true
+	}
+	if isQueryTrue(q.Get("require_cet")) {
+		opts.RequireCET = true
+	}
+	return opts, configN, nil
+}
+
+func isQueryTrue(v string) bool {
+	return v == "1" || v == "true" || v == "yes"
+}
+
+// readBinary extracts the ELF image from the request: the "binary" file
+// field of a multipart form, or the raw body otherwise. The configured
+// body limit applies to either path via MaxBytesReader.
+func (s *server) readBinary(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
+	mediaType, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mediaType == "multipart/form-data" {
+		boundary := params["boundary"]
+		if boundary == "" {
+			return nil, errors.New("multipart request without a boundary")
+		}
+		mr := multipart.NewReader(body, boundary)
+		for {
+			part, err := mr.NextPart()
+			if err == io.EOF {
+				return nil, errors.New(`multipart request without a "binary" part`)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if part.FormName() == "binary" {
+				return io.ReadAll(part)
+			}
+		}
+	}
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("empty request body")
+	}
+	return raw, nil
+}
+
+// classifyAnalyzeError maps the package error taxonomy onto HTTP status
+// codes: malformed inputs are the client's fault (422), cancellations
+// and timeouts are reported as such, anything else is a 500.
+func classifyAnalyzeError(err error) (status int, kind string) {
+	switch {
+	case errors.Is(err, elfx.ErrNotELF):
+		return http.StatusUnprocessableEntity, "not_elf"
+	case errors.Is(err, elfx.ErrNoText):
+		return http.StatusUnprocessableEntity, "no_text"
+	case errors.Is(err, core.ErrNotCET):
+		return http.StatusUnprocessableEntity, "not_cet"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	default:
+		return http.StatusInternalServerError, ""
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsResponse is /v1/stats: the engine snapshot plus process-level
+// context.
+type statsResponse struct {
+	engine.Stats
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+}
+
+// statsSnapshot builds the full stats payload; the expvar publication in
+// main reuses it so /v1/stats and /debug/vars never disagree.
+func (s *server) statsSnapshot() statsResponse {
+	return statsResponse{
+		Stats:         s.eng.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// accessLog wraps next with structured request logging.
+func (s *server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.logger == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rw, r)
+		s.cfg.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", rw.status,
+			"bytes_out", rw.bytes,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// statusWriter captures the status code and byte count for the access
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorKind(w, status, err, "")
+}
+
+func writeErrorKind(w http.ResponseWriter, status int, err error, kind string) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}

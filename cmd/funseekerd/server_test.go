@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// testELF compiles one small CET binary once per process.
+var testELFOnce = sync.OnceValues(func() ([]byte, error) {
+	specs := corpus.Generate(corpus.Coreutils, corpus.Options{Scale: 0.1, Seed: 99, Programs: 1})
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("corpus generated no specs")
+	}
+	res, err := synth.Compile(specs[0], synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	if err != nil {
+		return nil, err
+	}
+	return res.Stripped, nil
+})
+
+func testELF(t *testing.T) []byte {
+	t.Helper()
+	raw, err := testELFOnce()
+	if err != nil {
+		t.Fatalf("building test binary: %v", err)
+	}
+	return raw
+}
+
+// newTestServer spins up an httptest server over a fresh engine.
+func newTestServer(t *testing.T, cfg serverConfig) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	if cfg.maxBodyBytes == 0 {
+		cfg.maxBodyBytes = 64 << 20
+	}
+	eng := engine.New(engine.Config{Jobs: 2})
+	ts := httptest.NewServer(newServer(eng, cfg))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func postBinary(t *testing.T, url string, raw []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func decodeAnalyze(t *testing.T, body []byte) analyzeResponse {
+	t.Helper()
+	var ar analyzeResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	return ar
+}
+
+func TestAnalyzeRoundTrip(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	raw := testELF(t)
+
+	resp, body := postBinary(t, ts.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	ar := decodeAnalyze(t, body)
+	if len(ar.Entries) == 0 {
+		t.Fatal("no function entries identified")
+	}
+	if ar.Cached {
+		t.Fatal("first request claims to be cached")
+	}
+	if len(ar.SHA256) != 64 {
+		t.Fatalf("sha256 = %q", ar.SHA256)
+	}
+	if ar.Config != 4 {
+		t.Fatalf("default config = %d, want 4", ar.Config)
+	}
+
+	// Identical bytes again: served from the cache, and the stats say so.
+	resp, body = postBinary(t, ts.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d, body %s", resp.StatusCode, body)
+	}
+	ar2 := decodeAnalyze(t, body)
+	if !ar2.Cached {
+		t.Fatal("second identical request was not served from cache")
+	}
+	if len(ar2.Entries) != len(ar.Entries) {
+		t.Fatalf("cached entries %d != fresh entries %d", len(ar2.Entries), len(ar.Entries))
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if st.CacheHits < 1 || st.CacheMisses != 1 || st.Analyzed != 1 {
+		t.Fatalf("stats = hits %d misses %d analyzed %d, want ≥1/1/1", st.CacheHits, st.CacheMisses, st.Analyzed)
+	}
+	if st.Analysis.Sweep.Computes != 1 {
+		t.Fatalf("aggregate sweep computes = %d, want 1", st.Analysis.Sweep.Computes)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", st.UptimeSeconds)
+	}
+}
+
+func TestAnalyzeConfigSelection(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	raw := testELF(t)
+
+	// Config ① (no filtering, no tail calls) vs ④: both succeed and echo
+	// their configuration; ① never reports fewer entries than ④ filters to.
+	resp1, body1 := postBinary(t, ts.URL+"/v1/analyze?config=1", raw)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("config=1 status = %d, body %s", resp1.StatusCode, body1)
+	}
+	ar1 := decodeAnalyze(t, body1)
+	if ar1.Config != 1 {
+		t.Fatalf("echoed config = %d, want 1", ar1.Config)
+	}
+
+	resp4, body4 := postBinary(t, ts.URL+"/v1/analyze?config=4", raw)
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("config=4 status = %d, body %s", resp4.StatusCode, body4)
+	}
+	ar4 := decodeAnalyze(t, body4)
+	if ar4.Config != 4 {
+		t.Fatalf("echoed config = %d, want 4", ar4.Config)
+	}
+	if ar4.Cached {
+		t.Fatal("config=4 shared config=1's cache entry")
+	}
+
+	// Out-of-range configuration is a client error.
+	resp, body := postBinary(t, ts.URL+"/v1/analyze?config=9", raw)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("config=9 status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestAnalyzeRejectsOversizedBody(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{maxBodyBytes: 1024})
+	raw := testELF(t)
+	if len(raw) <= 1024 {
+		t.Fatalf("test binary only %d bytes, need >1024", len(raw))
+	}
+
+	resp, body := postBinary(t, ts.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, body %s, want 413", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if er.Error == "" {
+		t.Fatal("413 without an error message")
+	}
+}
+
+func TestAnalyzeNotELF(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	resp, body := postBinary(t, ts.URL+"/v1/analyze", []byte("#!/bin/sh\necho not an elf\n"))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, body %s, want 422", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "not_elf" {
+		t.Fatalf("kind = %q, want not_elf", er.Kind)
+	}
+}
+
+// TestAnalyzeTimeout proves the request deadline reaches the sweep: with
+// a (deliberately absurd) 1ns budget the analysis is canceled inside the
+// engine rather than running to completion.
+func TestAnalyzeTimeout(t *testing.T) {
+	ts, eng := newTestServer(t, serverConfig{reqTimeout: time.Nanosecond})
+	raw := testELF(t)
+
+	resp, body := postBinary(t, ts.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s, want 504", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "deadline" {
+		t.Fatalf("kind = %q, want deadline", er.Kind)
+	}
+	st := eng.Stats()
+	if st.Canceled == 0 {
+		t.Fatal("engine canceled counter not incremented")
+	}
+	if st.Analyzed != 0 {
+		t.Fatalf("timed-out request still analyzed %d binaries", st.Analyzed)
+	}
+}
+
+// TestAnalyzeClientCancel exercises mid-request cancellation: the client
+// abandons the request and the handler's context unwinds the engine call.
+func TestAnalyzeClientCancel(t *testing.T) {
+	ts, eng := newTestServer(t, serverConfig{})
+	raw := testELF(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("pre-canceled request succeeded")
+	}
+	if st := eng.Stats(); st.Analyzed != 0 {
+		t.Fatalf("canceled request analyzed %d binaries", st.Analyzed)
+	}
+}
+
+func TestAnalyzeMultipart(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	raw := testELF(t)
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("binary", "prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/analyze", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if ar := decodeAnalyze(t, body); len(ar.Entries) == 0 {
+		t.Fatal("no entries from multipart upload")
+	}
+
+	// A form without the "binary" field is a client error.
+	var bad bytes.Buffer
+	mw = multipart.NewWriter(&bad)
+	fw, _ = mw.CreateFormFile("wrong", "prog")
+	fw.Write(raw)
+	mw.Close()
+	resp, err = http.Post(ts.URL+"/v1/analyze", mw.FormDataContentType(), &bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf(`form without "binary": status = %d, want 400`, resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var st map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st["status"] != "ok" {
+		t.Fatalf("status = %q", st["status"])
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/analyze status = %d, want 405", resp.StatusCode)
+	}
+}

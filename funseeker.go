@@ -31,9 +31,39 @@
 package funseeker
 
 import (
+	"context"
+
 	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/elfx"
+)
+
+// The package's error taxonomy. Every failure returned from this
+// package's entry points matches exactly one of these sentinels under
+// errors.Is, so callers branch on error *kind* rather than on message
+// strings:
+//
+//	ErrNotELF   — the input bytes are not an ELF image
+//	ErrNoText   — the ELF has no executable .text section
+//	ErrNotCET   — Options.RequireCET was set and no end branch exists
+//	ErrCanceled — the context passed to a *Ctx entry point was canceled
+//
+// A deadline expiry surfaces as context.DeadlineExceeded, unwrapped, by
+// the usual context convention.
+var (
+	// ErrNoText is returned for binaries without an executable .text
+	// section.
+	ErrNoText = elfx.ErrNoText
+	// ErrNotELF is returned when the input does not parse as ELF at all.
+	ErrNotELF = elfx.ErrNotELF
+	// ErrNotCET is returned when Options.RequireCET is set and the sweep
+	// finds no end-branch instruction: the binary was not built for
+	// Intel CET / IBT, so the marker-based algorithm cannot apply.
+	ErrNotCET = core.ErrNotCET
+	// ErrCanceled is the error a canceled *Ctx entry point returns; it
+	// is context.Canceled itself, re-exported so callers can write
+	// errors.Is(err, funseeker.ErrCanceled) without importing context.
+	ErrCanceled = context.Canceled
 )
 
 // Options selects which refinement passes run, mirroring the paper's four
@@ -68,6 +98,11 @@ type Binary = elfx.Binary
 // consuming the context — including analyzers on other goroutines. Build
 // one with NewContext when running several tools or configurations over
 // the same binary.
+//
+// Naming convention: an *AnalysisContext parameter is always called
+// actx, a context.Context always ctx. The two compose: the *Ctx entry
+// points take both ("run this analysis over the shared artifacts in
+// actx, abandoning it if ctx is canceled").
 type AnalysisContext = analysis.Context
 
 // AnalysisStats is a snapshot of per-stage costs and memoization hit/miss
@@ -84,27 +119,55 @@ func Identify(path string, opts Options) (*Report, error) {
 	return core.IdentifyFile(path, opts)
 }
 
+// IdentifyCtx runs FunSeeker on the ELF binary at path under ctx.
+// Cancellation is cooperative and cheap: the linear sweep — the dominant
+// cost — checks ctx at parallel-shard and stride boundaries, so a
+// canceled or timed-out request stops burning CPU within tens of
+// microseconds and returns ErrCanceled (or context.DeadlineExceeded).
+func IdentifyCtx(ctx context.Context, path string, opts Options) (*Report, error) {
+	return core.IdentifyFileCtx(ctx, path, opts)
+}
+
 // IdentifyWithContext runs FunSeeker using the shared per-binary analysis
-// artifacts memoized in ctx. Use this (rather than IdentifyBinary) when
+// artifacts memoized in actx. Use this (rather than IdentifyBinary) when
 // the same binary is analyzed more than once — e.g. all four
 // configurations, or FunSeeker alongside the baseline tools — so the
 // sweep and exception-metadata parse are not repeated.
-func IdentifyWithContext(ctx *AnalysisContext, opts Options) (*Report, error) {
-	return core.IdentifyWithContext(ctx, opts)
+func IdentifyWithContext(actx *AnalysisContext, opts Options) (*Report, error) {
+	return core.IdentifyWithContext(actx, opts)
+}
+
+// IdentifyWithContextCtx is IdentifyWithContext under a cancelable ctx
+// (see IdentifyCtx for the cancellation semantics). A canceled first
+// sweep is not memoized into actx; a later call recomputes it.
+func IdentifyWithContextCtx(ctx context.Context, actx *AnalysisContext, opts Options) (*Report, error) {
+	return core.IdentifyCtx(ctx, actx, opts)
 }
 
 // IdentifyBytes runs FunSeeker on an in-memory ELF image.
 func IdentifyBytes(raw []byte, opts Options) (*Report, error) {
+	return IdentifyBytesCtx(context.Background(), raw, opts)
+}
+
+// IdentifyBytesCtx runs FunSeeker on an in-memory ELF image under ctx
+// (see IdentifyCtx for the cancellation semantics).
+func IdentifyBytesCtx(ctx context.Context, raw []byte, opts Options) (*Report, error) {
 	bin, err := elfx.Load(raw)
 	if err != nil {
 		return nil, err
 	}
-	return core.Identify(bin, opts)
+	return core.IdentifyCtx(ctx, analysis.NewContext(bin), opts)
 }
 
 // IdentifyBinary runs FunSeeker on an already-loaded binary.
 func IdentifyBinary(bin *Binary, opts Options) (*Report, error) {
 	return core.Identify(bin, opts)
+}
+
+// IdentifyBinaryCtx runs FunSeeker on an already-loaded binary under ctx
+// (see IdentifyCtx for the cancellation semantics).
+func IdentifyBinaryCtx(ctx context.Context, bin *Binary, opts Options) (*Report, error) {
+	return core.IdentifyCtx(ctx, analysis.NewContext(bin), opts)
 }
 
 // Open loads the ELF binary at path for analysis.

@@ -19,6 +19,8 @@
 package analysis
 
 import (
+	"context"
+	"sync"
 	"time"
 
 	"github.com/funseeker/funseeker/internal/cet"
@@ -83,8 +85,15 @@ type Sweep struct {
 type Context struct {
 	bin *elfx.Binary
 
-	sweepOnce onceStage
-	sweep     *Sweep
+	// The sweep memo is not a sync.Once: a canceled computation must
+	// leave the cache empty so the next caller recomputes under its own
+	// context, and a caller waiting behind an in-flight computation must
+	// still be able to honor its own cancellation. sweepMu guards both
+	// fields; sweepInflight is non-nil (and closed on completion) while
+	// some goroutine is computing.
+	sweepMu       sync.Mutex
+	sweepInflight chan struct{}
+	sweep         *Sweep
 
 	ehOnce onceStage
 	fdes   []ehframe.FDE
@@ -112,16 +121,73 @@ func (c *Context) Binary() *elfx.Binary { return c.bin }
 // Sweep returns the memoized linear-sweep artifacts, computing them on
 // first call.
 func (c *Context) Sweep() *Sweep {
-	c.sweepOnce.do(&c.stats.sweep, func() {
-		c.sweep = buildSweep(c.bin)
-		c.stats.sweepShards.Add(uint64(c.sweep.Index.Shards))
-		c.stats.stitchRetries.Add(uint64(c.sweep.Index.StitchRetries))
-	})
-	return c.sweep
+	sw, _ := c.SweepCtx(context.Background()) // background never cancels
+	return sw
+}
+
+// SweepCtx returns the memoized linear-sweep artifacts, computing them
+// under ctx on first call. Cancellation is cooperative: the sweep checks
+// ctx at parallel-shard and stride boundaries, so an aborted request
+// stops burning CPU within tens of microseconds. A canceled computation
+// is not memoized — the next caller recomputes under its own context —
+// and a caller waiting behind another goroutine's in-flight computation
+// returns ctx.Err() as soon as its own context is done.
+func (c *Context) SweepCtx(ctx context.Context) (*Sweep, error) {
+	for {
+		c.sweepMu.Lock()
+		if c.sweep != nil {
+			c.sweepMu.Unlock()
+			c.stats.sweep.hits.Add(1)
+			return c.sweep, nil
+		}
+		if c.sweepInflight == nil {
+			// We are the computing goroutine.
+			wait := make(chan struct{})
+			c.sweepInflight = wait
+			c.sweepMu.Unlock()
+
+			start := time.Now()
+			sw, err := buildSweep(ctx, c.bin)
+
+			c.sweepMu.Lock()
+			c.sweepInflight = nil
+			if err == nil {
+				c.sweep = sw
+				c.stats.sweep.observe(time.Since(start))
+				c.stats.sweepShards.Add(uint64(sw.Index.Shards))
+				c.stats.stitchRetries.Add(uint64(sw.Index.StitchRetries))
+			}
+			close(wait)
+			c.sweepMu.Unlock()
+			if err != nil {
+				return nil, err
+			}
+			return sw, nil
+		}
+		wait := c.sweepInflight
+		c.sweepMu.Unlock()
+		select {
+		case <-wait:
+			// Loop: either the sweep is memoized now, or the computing
+			// goroutine was canceled and we take over with our own ctx.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 }
 
 // Index returns the memoized instruction index (one linear sweep).
 func (c *Context) Index() *x86.Index { return c.Sweep().Index }
+
+// IndexCtx returns the memoized instruction index, computing the sweep
+// under ctx on first call (see SweepCtx for cancellation semantics).
+func (c *Context) IndexCtx(ctx context.Context) (*x86.Index, error) {
+	sw, err := c.SweepCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return sw.Index, nil
+}
 
 // FDEs returns the memoized .eh_frame FDE records. Binaries without an
 // .eh_frame section yield an empty slice without a parse.
@@ -177,19 +243,25 @@ const parallelSweepThreshold = 256 << 10
 
 // buildIndex picks the sweep strategy by text size: the sharded parallel
 // build for large sections, the sequential build otherwise. Both produce
-// byte-identical indexes (internal/diffcheck asserts it per binary).
-func buildIndex(bin *elfx.Binary) *x86.Index {
+// byte-identical indexes (internal/diffcheck asserts it per binary), and
+// both honor ctx cancellation at stride boundaries.
+func buildIndex(ctx context.Context, bin *elfx.Binary) (*x86.Index, error) {
 	if len(bin.Text) >= parallelSweepThreshold {
-		return x86.BuildIndexParallel(bin.Text, bin.TextAddr, bin.Mode, 0)
+		return x86.BuildIndexParallelCtx(ctx, bin.Text, bin.TextAddr, bin.Mode, 0)
 	}
-	return x86.BuildIndex(bin.Text, bin.TextAddr, bin.Mode)
+	return x86.BuildIndexCtx(ctx, bin.Text, bin.TextAddr, bin.Mode)
 }
 
 // buildSweep runs the single linear sweep and derives every reference
-// set from the materialized index.
-func buildSweep(bin *elfx.Binary) *Sweep {
+// set from the materialized index. On cancellation the partial work is
+// discarded and ctx.Err() returned.
+func buildSweep(ctx context.Context, bin *elfx.Binary) (*Sweep, error) {
+	idx, err := buildIndex(ctx, bin)
+	if err != nil {
+		return nil, err
+	}
 	sw := &Sweep{
-		Index:             buildIndex(bin),
+		Index:             idx,
 		AfterIRCall:       make(map[uint64]bool),
 		AllCallTargets:    make(map[uint64]bool),
 		JumpTargetSet:     make(map[uint64]bool),
@@ -240,7 +312,7 @@ func buildSweep(bin *elfx.Binary) *Sweep {
 	}
 	sw.CallTargets = sortedKeys(sw.CallTargetSet)
 	sw.JumpTargets = sortedKeys(sw.JumpTargetSet)
-	return sw
+	return sw, nil
 }
 
 // scanEndbrEncodings finds the 4-byte ENDBR encodings (F3 0F 1E FA/FB)

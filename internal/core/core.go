@@ -23,12 +23,21 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"slices"
 	"time"
 
 	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/elfx"
 )
+
+// ErrNotCET is returned when Options.RequireCET is set and the sweep
+// finds no end-branch instruction at all: the binary was not built with
+// Intel CET / IBT, so the marker-based algorithm has nothing to work
+// with. Match with errors.Is(err, ErrNotCET).
+var ErrNotCET = errors.New("core: no end branches found (binary not CET-enabled?)")
 
 // Options selects which refinements run, mirroring the paper's four
 // evaluation configurations (Table II).
@@ -46,6 +55,11 @@ type Options struct {
 	// an ablation knob (see DESIGN.md §4), not part of the paper's
 	// configurations.
 	TailBoundaryOnly bool
+	// RequireCET makes identification fail with ErrNotCET when the sweep
+	// finds no end-branch instruction at all. Corpus services use this to
+	// reject non-CET binaries loudly instead of returning the silently
+	// degraded E=∅ result.
+	RequireCET bool
 	// SupersetEndbrScan additionally scans for end-branch encodings at
 	// every byte offset rather than only at linear-sweep instruction
 	// boundaries. This realizes the paper's §VI suggestion of pairing
@@ -111,13 +125,32 @@ func Identify(bin *elfx.Binary, opts Options) (*Report, error) {
 }
 
 // IdentifyWithContext runs FunSeeker using the shared per-binary analysis
-// artifacts memoized in ctx.
-func IdentifyWithContext(ctx *analysis.Context, opts Options) (*Report, error) {
-	bin := ctx.Binary()
-	sw := ctx.Sweep()
+// artifacts memoized in actx.
+func IdentifyWithContext(actx *analysis.Context, opts Options) (*Report, error) {
+	return IdentifyCtx(context.Background(), actx, opts)
+}
+
+// IdentifyCtx is the cancellation-aware form of IdentifyWithContext: the
+// dominant cost — the linear sweep — checks ctx at parallel-shard and
+// stride boundaries, and the refinement stages check it at stage
+// boundaries, so a canceled request returns ctx.Err() quickly instead of
+// completing the analysis. (By convention throughout this module, ctx is
+// a context.Context and actx a *analysis.Context.)
+func IdentifyCtx(ctx context.Context, actx *analysis.Context, opts Options) (*Report, error) {
+	bin := actx.Binary()
+	sw, err := actx.SweepCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	endbrs := sw.Endbrs
+	if opts.RequireCET && len(endbrs) == 0 {
+		if bin.Path != "" {
+			return nil, fmt.Errorf("%s: %w", bin.Path, ErrNotCET)
+		}
+		return nil, ErrNotCET
+	}
 	if opts.SupersetEndbrScan {
-		endbrs = mergeSupersetEndbrs(ctx.SupersetEndbrs(), endbrs)
+		endbrs = mergeSupersetEndbrs(actx.SupersetEndbrs(), endbrs)
 	}
 
 	report := &Report{
@@ -131,7 +164,7 @@ func IdentifyWithContext(ctx *analysis.Context, opts Options) (*Report, error) {
 	candidates := make(map[uint64]bool, len(endbrs)+len(sw.CallTargets))
 	landingPads := map[uint64]bool{}
 	if opts.FilterEndbr {
-		pads, err := ctx.LandingPads()
+		pads, err := actx.LandingPads()
 		if err != nil {
 			// Corrupt exception metadata must not abort identification;
 			// fall back to the unfiltered set for the EH part — and say
@@ -159,14 +192,17 @@ func IdentifyWithContext(ctx *analysis.Context, opts Options) (*Report, error) {
 	for _, t := range sw.CallTargets {
 		candidates[t] = true
 	}
-	ctx.ObserveFilter(time.Since(filterStart))
+	actx.ObserveFilter(time.Since(filterStart))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Jump-target handling.
 	switch {
 	case opts.UseJumpTargets && opts.SelectTailCall:
 		tailStart := time.Now()
 		tails := selectTailCalls(bin, sw.JumpRefs, candidates, opts.TailBoundaryOnly)
-		ctx.ObserveTailCall(time.Since(tailStart))
+		actx.ObserveTailCall(time.Since(tailStart))
 		report.TailCallTargets = setToSorted(tails)
 		for t := range tails {
 			candidates[t] = true
@@ -183,11 +219,17 @@ func IdentifyWithContext(ctx *analysis.Context, opts Options) (*Report, error) {
 
 // IdentifyFile loads the ELF at path and runs the full algorithm.
 func IdentifyFile(path string, opts Options) (*Report, error) {
+	return IdentifyFileCtx(context.Background(), path, opts)
+}
+
+// IdentifyFileCtx loads the ELF at path and runs the full algorithm
+// under ctx (see IdentifyCtx for the cancellation semantics).
+func IdentifyFileCtx(ctx context.Context, path string, opts Options) (*Report, error) {
 	bin, err := elfx.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return Identify(bin, opts)
+	return IdentifyCtx(ctx, analysis.NewContext(bin), opts)
 }
 
 // mergeSupersetEndbrs unions the byte-level end-branch scan into the

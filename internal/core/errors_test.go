@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/analysis"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// TestRequireCET checks the ErrNotCET sentinel: a text with no end
+// branch fails identification when (and only when) RequireCET is set.
+func TestRequireCET(t *testing.T) {
+	// mov eax, 1; ret — valid code, zero end branches.
+	bin := &elfx.Binary{
+		Mode:     x86.Mode64,
+		Text:     []byte{0xB8, 0x01, 0x00, 0x00, 0x00, 0xC3},
+		TextAddr: 0x401000,
+	}
+
+	opts := Config4
+	opts.RequireCET = true
+	_, err := IdentifyCtx(context.Background(), analysis.NewContext(bin), opts)
+	if !errors.Is(err, ErrNotCET) {
+		t.Fatalf("err = %v, want ErrNotCET", err)
+	}
+
+	// Without the flag the same binary degrades gracefully (E = ∅).
+	rep, err := IdentifyCtx(context.Background(), analysis.NewContext(bin), Config4)
+	if err != nil {
+		t.Fatalf("non-required identify failed: %v", err)
+	}
+	if len(rep.Endbrs) != 0 {
+		t.Fatalf("found %d end branches in endbr-free text", len(rep.Endbrs))
+	}
+
+	// A path on the binary must appear in the wrapped message.
+	bin.Path = "corpus/some-binary"
+	_, err = IdentifyCtx(context.Background(), analysis.NewContext(bin), opts)
+	if !errors.Is(err, ErrNotCET) {
+		t.Fatalf("err = %v, want ErrNotCET", err)
+	}
+	if got := err.Error(); got == ErrNotCET.Error() {
+		t.Fatalf("error %q does not mention the binary path", got)
+	}
+}

@@ -22,8 +22,8 @@ func LandingPads(bin *elfx.Binary) ([]uint64, error) {
 
 // LandingPadsWithContext returns the sorted landing-pad addresses from
 // the shared analysis context.
-func LandingPadsWithContext(ctx *analysis.Context) ([]uint64, error) {
-	set, err := ctx.LandingPads()
+func LandingPadsWithContext(actx *analysis.Context) ([]uint64, error) {
+	set, err := actx.LandingPads()
 	if err != nil {
 		return nil, err
 	}

@@ -37,14 +37,14 @@ func ClassifyEndbrs(bin *elfx.Binary) (EndbrDistribution, error) {
 }
 
 // ClassifyEndbrsWithContext classifies the end branches using the shared
-// sweep and landing-pad artifacts memoized in ctx.
-func ClassifyEndbrsWithContext(ctx *analysis.Context) (EndbrDistribution, error) {
+// sweep and landing-pad artifacts memoized in actx.
+func ClassifyEndbrsWithContext(actx *analysis.Context) (EndbrDistribution, error) {
 	var dist EndbrDistribution
-	pads, err := ctx.LandingPads()
+	pads, err := actx.LandingPads()
 	if err != nil {
 		return dist, err
 	}
-	sw := ctx.Sweep()
+	sw := actx.Sweep()
 	for _, e := range sw.Endbrs {
 		switch {
 		case sw.AfterIRCall[e]:
@@ -116,9 +116,9 @@ func AnalyzeProperties(bin *elfx.Binary, entries []uint64) VennCounts {
 }
 
 // AnalyzePropertiesWithContext runs the property study over the shared
-// sweep artifacts memoized in ctx.
-func AnalyzePropertiesWithContext(ctx *analysis.Context, entries []uint64) VennCounts {
-	sw := ctx.Sweep()
+// sweep artifacts memoized in actx.
+func AnalyzePropertiesWithContext(actx *analysis.Context, entries []uint64) VennCounts {
+	sw := actx.Sweep()
 	var v VennCounts
 	for _, e := range entries {
 		mask := 0

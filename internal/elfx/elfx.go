@@ -66,6 +66,11 @@ type Binary struct {
 // ErrNoText is returned for binaries without an executable .text section.
 var ErrNoText = errors.New("elfx: no .text section")
 
+// ErrNotELF is returned when the input bytes do not parse as an ELF
+// image at all. The underlying debug/elf diagnostic is attached as text;
+// match with errors.Is(err, ErrNotELF).
+var ErrNotELF = errors.New("elfx: not an ELF image")
+
 // Open loads the ELF file at path.
 func Open(path string) (*Binary, error) {
 	raw, err := os.ReadFile(path)
@@ -84,7 +89,7 @@ func Open(path string) (*Binary, error) {
 func Load(raw []byte) (*Binary, error) {
 	f, err := elf.NewFile(bytes.NewReader(raw))
 	if err != nil {
-		return nil, fmt.Errorf("elfx: parse: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrNotELF, err)
 	}
 	defer f.Close()
 

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/funseeker/funseeker/internal/core"
+)
+
+// elfMagic is the 4-byte ELF identification prefix used to filter
+// directory walks.
+var elfMagic = []byte{0x7f, 'E', 'L', 'F'}
+
+// Expand resolves a mixed list of files and directories into the flat,
+// deterministic (lexically ordered within each directory) list of
+// candidate ELF files. Explicitly named files are always kept — the
+// caller asked for them, so they deserve a real error if unreadable —
+// while directory walks keep only regular files whose first bytes are
+// the ELF magic, skipping ground-truth sidecars and other corpus
+// clutter.
+func Expand(paths []string) ([]string, error) {
+	var out []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.Type().IsRegular() {
+				return nil
+			}
+			ok, err := hasELFMagic(path)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// hasELFMagic reports whether the file starts with \x7fELF.
+func hasELFMagic(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var head [4]byte
+	n, _ := f.Read(head[:])
+	return n == len(head) && bytes.Equal(head[:], elfMagic), nil
+}
+
+// FileResult is the outcome of analyzing one file of a batch.
+type FileResult struct {
+	// Path is the input file.
+	Path string
+	// Result is the analysis result, nil when Err is set.
+	Result *Result
+	// Err is the per-file failure (unreadable, not ELF, canceled, ...).
+	Err error
+}
+
+// Files analyzes every path on the engine's worker pool and delivers one
+// FileResult per input, in input order, to fn on the calling goroutine.
+// Per-file failures are reported through FileResult.Err and do not stop
+// the batch; fn returning a non-nil error cancels the remaining work and
+// becomes Files' return value. Cancellation of ctx surfaces as ctx.Err()
+// on every unfinished file and as the return value.
+func (e *Engine) Files(ctx context.Context, paths []string, opts core.Options, fn func(FileResult) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(paths)
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	results := make([]*FileResult, n)
+
+	workers := e.jobs
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fr := FileResult{Path: paths[i]}
+				raw, err := os.ReadFile(paths[i])
+				if err != nil {
+					fr.Err = err
+				} else {
+					fr.Result, fr.Err = e.Analyze(ctx, raw, opts)
+				}
+				mu.Lock()
+				results[i] = &fr
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Feeder: hand out indexes until done or canceled; on cancellation,
+	// pre-fill every undispatched slot so the emitter drains immediately.
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				mu.Lock()
+				for j := i; j < n; j++ {
+					if results[j] == nil {
+						results[j] = &FileResult{Path: paths[j], Err: ctx.Err()}
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+		}
+	}()
+
+	var fnErr error
+	for i := 0; i < n && fnErr == nil; i++ {
+		mu.Lock()
+		for results[i] == nil {
+			cond.Wait()
+		}
+		fr := *results[i]
+		mu.Unlock()
+		if err := fn(fr); err != nil {
+			fnErr = err
+			cancel()
+		}
+	}
+	wg.Wait()
+	if fnErr != nil {
+		return fnErr
+	}
+	return context.Cause(ctx)
+}

@@ -1,0 +1,333 @@
+// Package engine is the corpus-scale analysis engine: it wraps the
+// per-binary analysis.Context behind a bounded worker pool, a
+// content-addressed result cache, and full context.Context cancellation,
+// turning the one-binary-at-a-time core into a service substrate.
+//
+// The design follows the paper's workload shape — FunSeeker's headline
+// result is analyzing 8,136 binaries orders of magnitude faster than
+// IDA/Ghidra/FETCH (Table VIII), i.e. function identification is a
+// *batch* problem — and the repo's north star of serving heavy traffic:
+//
+//   - Concurrency is bounded by a semaphore of Config.Jobs slots
+//     (default GOMAXPROCS). Each analysis already parallelizes its own
+//     sweep for large texts, so admitting more analyses than cores only
+//     adds memory pressure.
+//   - Results are cached in an LRU keyed by (SHA-256 of the ELF image,
+//     option bits) with byte-size accounting, so re-analyzing an
+//     identical binary — the common case for corpus dedup and repeated
+//     service traffic — is a map lookup.
+//   - Identical in-flight requests coalesce: N concurrent uploads of the
+//     same bytes run one analysis, and the other N-1 wait on it (each
+//     still honoring its own context).
+//   - Cancellation reaches the linear sweep via core.IdentifyCtx, so an
+//     aborted request stops burning CPU at the next shard/stride
+//     boundary instead of completing a dead analysis.
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/analysis"
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
+)
+
+// DefaultCacheBytes is the result-cache budget when Config.CacheBytes is
+// zero.
+const DefaultCacheBytes = 256 << 20
+
+// Config tunes an Engine.
+type Config struct {
+	// Jobs bounds the number of concurrently running analyses. Zero or
+	// negative selects runtime.GOMAXPROCS(0).
+	Jobs int
+	// CacheBytes is the LRU result-cache budget in bytes. Zero selects
+	// DefaultCacheBytes; negative disables caching entirely.
+	CacheBytes int64
+	// RequireCET makes every analysis fail with core.ErrNotCET when the
+	// binary carries no end-branch instruction, regardless of the
+	// per-request options.
+	RequireCET bool
+}
+
+// Engine runs identification requests over a bounded worker pool with a
+// content-hash result cache. It is safe for concurrent use; create one
+// per process and share it.
+type Engine struct {
+	jobs       int
+	sem        chan struct{}
+	requireCET bool
+	cache      *lru
+
+	flightMu sync.Mutex
+	flight   map[cacheKey]*call
+
+	inFlight  atomic.Int64
+	analyzed  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	canceled  atomic.Uint64
+	failures  atomic.Uint64
+	bytesIn   atomic.Uint64
+
+	aggMu sync.Mutex
+	agg   analysis.Stats
+}
+
+// call is one in-flight analysis other requests for the same key can
+// wait on. done is closed when the computation finishes; err carries a
+// non-cancellation failure that waiters share (cancellation errors are
+// private to the canceled caller — a waiter retries under its own ctx).
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// cacheKey is the identity of one analysis: content hash × option bits.
+type cacheKey struct {
+	sum  [sha256.Size]byte
+	opts uint8
+}
+
+// optsBits packs the boolean option set into the cache key.
+func optsBits(o core.Options) uint8 {
+	var b uint8
+	if o.FilterEndbr {
+		b |= 1 << 0
+	}
+	if o.UseJumpTargets {
+		b |= 1 << 1
+	}
+	if o.SelectTailCall {
+		b |= 1 << 2
+	}
+	if o.TailBoundaryOnly {
+		b |= 1 << 3
+	}
+	if o.SupersetEndbrScan {
+		b |= 1 << 4
+	}
+	if o.RequireCET {
+		b |= 1 << 5
+	}
+	return b
+}
+
+// Result is one completed identification with its service metadata.
+type Result struct {
+	// Report is the identification result. Cached results share one
+	// Report value across callers; treat it as read-only.
+	Report *core.Report
+	// SHA256 is the lowercase hex content hash of the analyzed image.
+	SHA256 string
+	// Cached reports whether the result came from the LRU (or from
+	// coalescing onto another request's in-flight analysis) rather than
+	// a fresh analysis.
+	Cached bool
+	// Elapsed is the wall-clock cost of producing this result for this
+	// caller: ~zero for cache hits, the analysis time otherwise.
+	Elapsed time.Duration
+	// BinaryBytes is the size of the analyzed ELF image.
+	BinaryBytes int
+}
+
+// New builds an engine from cfg.
+func New(cfg Config) *Engine {
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	var cache *lru
+	if cacheBytes > 0 {
+		cache = newLRU(cacheBytes)
+	}
+	return &Engine{
+		jobs:       jobs,
+		sem:        make(chan struct{}, jobs),
+		requireCET: cfg.RequireCET,
+		cache:      cache,
+		flight:     make(map[cacheKey]*call),
+	}
+}
+
+// Jobs returns the configured worker-pool width.
+func (e *Engine) Jobs() int { return e.jobs }
+
+// Analyze identifies function entries in the ELF image raw under ctx.
+// The fast path — a byte-identical image analyzed before with the same
+// options — is a cache lookup; the slow path waits for a worker slot
+// (respecting ctx) and runs the cancellation-aware analysis.
+func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*Result, error) {
+	if e.requireCET {
+		opts.RequireCET = true
+	}
+	k := cacheKey{sum: sha256.Sum256(raw), opts: optsBits(opts)}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			e.canceled.Add(1)
+			return nil, err
+		}
+		if e.cache != nil {
+			if res, ok := e.cache.get(k); ok {
+				e.hits.Add(1)
+				return &Result{Report: res.Report, SHA256: res.SHA256, Cached: true, BinaryBytes: res.BinaryBytes}, nil
+			}
+		}
+
+		e.flightMu.Lock()
+		if c, ok := e.flight[k]; ok {
+			e.flightMu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					e.coalesced.Add(1)
+					return &Result{Report: c.res.Report, SHA256: c.res.SHA256, Cached: true, BinaryBytes: c.res.BinaryBytes}, nil
+				}
+				if isContextErr(c.err) {
+					continue // the computing request died; retry under our ctx
+				}
+				return nil, c.err
+			case <-ctx.Done():
+				e.canceled.Add(1)
+				return nil, ctx.Err()
+			}
+		}
+		c := &call{done: make(chan struct{})}
+		e.flight[k] = c
+		e.flightMu.Unlock()
+
+		c.res, c.err = e.analyzeCold(ctx, raw, opts, k)
+		e.flightMu.Lock()
+		delete(e.flight, k)
+		e.flightMu.Unlock()
+		close(c.done)
+		return c.res, c.err
+	}
+}
+
+// analyzeCold runs one uncached analysis: acquire a worker slot, load,
+// identify, account, cache.
+func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options, k cacheKey) (*Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.canceled.Add(1)
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	start := time.Now()
+
+	bin, err := elfx.Load(raw)
+	if err != nil {
+		e.failures.Add(1)
+		return nil, err
+	}
+	actx := analysis.NewContext(bin)
+	report, err := core.IdentifyCtx(ctx, actx, opts)
+
+	e.aggMu.Lock()
+	e.agg.Add(actx.Stats())
+	e.aggMu.Unlock()
+
+	if err != nil {
+		if isContextErr(err) {
+			e.canceled.Add(1)
+		} else {
+			e.failures.Add(1)
+		}
+		return nil, err
+	}
+
+	res := &Result{
+		Report:      report,
+		SHA256:      hex.EncodeToString(k.sum[:]),
+		Elapsed:     time.Since(start),
+		BinaryBytes: len(raw),
+	}
+	e.misses.Add(1)
+	e.analyzed.Add(1)
+	e.bytesIn.Add(uint64(len(raw)))
+	if e.cache != nil {
+		e.cache.add(k, res)
+	}
+	return res, nil
+}
+
+// isContextErr reports whether err is a cancellation or deadline error —
+// the class of failures that is private to one request and must not be
+// shared with coalesced waiters or cached.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Stats is a point-in-time snapshot of the engine's service counters.
+type Stats struct {
+	// Jobs is the worker-pool width.
+	Jobs int `json:"jobs"`
+	// InFlight is the number of analyses running right now.
+	InFlight int64 `json:"in_flight"`
+	// Analyzed counts completed cold analyses.
+	Analyzed uint64 `json:"analyzed"`
+	// CacheHits counts requests served from the LRU.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts requests that ran a fresh analysis.
+	CacheMisses uint64 `json:"cache_misses"`
+	// Coalesced counts requests served by waiting on an identical
+	// in-flight analysis.
+	Coalesced uint64 `json:"coalesced"`
+	// Canceled counts requests abandoned through their context.
+	Canceled uint64 `json:"canceled"`
+	// Failures counts analyses that failed for non-context reasons
+	// (not ELF, no .text, CET required but absent, ...).
+	Failures uint64 `json:"failures"`
+	// BytesAnalyzed is the total size of all cold-analyzed images.
+	BytesAnalyzed uint64 `json:"bytes_analyzed"`
+	// CacheEntries / CacheBytes / CacheCapacity / Evictions describe the
+	// result cache (all zero when caching is disabled).
+	CacheEntries  int    `json:"cache_entries"`
+	CacheBytes    int64  `json:"cache_bytes"`
+	CacheCapacity int64  `json:"cache_capacity"`
+	Evictions     uint64 `json:"evictions"`
+	// Analysis aggregates the per-stage analysis costs (sweep, eh-parse,
+	// landing-pad join, filter, tail-call) over every cold analysis.
+	Analysis analysis.Stats `json:"analysis"`
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Jobs:          e.jobs,
+		InFlight:      e.inFlight.Load(),
+		Analyzed:      e.analyzed.Load(),
+		CacheHits:     e.hits.Load(),
+		CacheMisses:   e.misses.Load(),
+		Coalesced:     e.coalesced.Load(),
+		Canceled:      e.canceled.Load(),
+		Failures:      e.failures.Load(),
+		BytesAnalyzed: e.bytesIn.Load(),
+	}
+	if e.cache != nil {
+		s.CacheEntries, s.CacheBytes, s.CacheCapacity, s.Evictions = e.cache.stats()
+	}
+	e.aggMu.Lock()
+	s.Analysis = e.agg
+	e.aggMu.Unlock()
+	return s
+}

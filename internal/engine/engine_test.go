@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// testBinaries compiles n small distinct CET binaries once per process.
+var testBinariesMu sync.Mutex
+var testBinariesCache = map[int][][]byte{}
+
+func testBinaries(tb testing.TB, n int) [][]byte {
+	tb.Helper()
+	testBinariesMu.Lock()
+	defer testBinariesMu.Unlock()
+	if got, ok := testBinariesCache[n]; ok {
+		return got
+	}
+	specs := corpus.Generate(corpus.Coreutils, corpus.Options{Scale: 0.1, Seed: 77, Programs: n})
+	if len(specs) < n {
+		tb.Fatalf("corpus generated %d specs, want %d", len(specs), n)
+	}
+	cfg := synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2}
+	out := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		res, err := synth.Compile(specs[i], cfg)
+		if err != nil {
+			tb.Fatalf("compile: %v", err)
+		}
+		out[i] = res.Stripped
+	}
+	testBinariesCache[n] = out
+	return out
+}
+
+func TestAnalyzeCacheHit(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	e := New(Config{Jobs: 2})
+
+	first, err := e.Analyze(context.Background(), raw, core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first analysis claims to be cached")
+	}
+	if len(first.Report.Entries) == 0 {
+		t.Fatal("no entries identified")
+	}
+
+	second, err := e.Analyze(context.Background(), raw, core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("identical bytes were re-analyzed instead of served from cache")
+	}
+	if second.Report != first.Report {
+		t.Fatal("cache returned a different report value")
+	}
+	if second.SHA256 != first.SHA256 || len(second.SHA256) != 64 {
+		t.Fatalf("hash mismatch: %q vs %q", second.SHA256, first.SHA256)
+	}
+
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 1 || st.Analyzed != 1 {
+		t.Fatalf("stats = misses %d hits %d analyzed %d, want 1/1/1", st.CacheMisses, st.CacheHits, st.Analyzed)
+	}
+	if st.Analysis.Sweep.Computes != 1 {
+		t.Fatalf("aggregate sweep computes = %d, want 1", st.Analysis.Sweep.Computes)
+	}
+}
+
+func TestAnalyzeOptionsKeyedSeparately(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	e := New(Config{Jobs: 2})
+	ctx := context.Background()
+
+	if _, err := e.Analyze(ctx, raw, core.Config1); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := e.Analyze(ctx, raw, core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Cached {
+		t.Fatal("different options must not share a cache entry")
+	}
+	if st := e.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("misses = %d, want 2", st.CacheMisses)
+	}
+}
+
+func TestAnalyzeNotELF(t *testing.T) {
+	e := New(Config{})
+	_, err := e.Analyze(context.Background(), []byte("definitely not an ELF image"), core.Config4)
+	if !errors.Is(err, elfx.ErrNotELF) {
+		t.Fatalf("err = %v, want ErrNotELF", err)
+	}
+	if st := e.Stats(); st.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestAnalyzePreCanceled(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	e := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Analyze(ctx, raw, core.Config4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := e.Stats()
+	if st.Canceled == 0 {
+		t.Fatal("canceled counter not incremented")
+	}
+	if st.Analyzed != 0 {
+		t.Fatalf("canceled request still analyzed %d binaries", st.Analyzed)
+	}
+}
+
+// TestConcurrentCacheHammer drives the LRU from many goroutines with a
+// budget small enough to force evictions; run with -race this exercises
+// every lock in the engine.
+func TestConcurrentCacheHammer(t *testing.T) {
+	bins := testBinaries(t, 4)
+
+	// Budget for roughly two of the four reports: constant churn.
+	probe := New(Config{Jobs: 2})
+	r, err := probe.Analyze(context.Background(), bins[0], core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Jobs: 4, CacheBytes: 2 * entrySize(r.Report)})
+
+	const goroutines = 16
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				raw := bins[rng.Intn(len(bins))]
+				res, err := e.Analyze(context.Background(), raw, core.Config4)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %w", g, i, err)
+					return
+				}
+				if len(res.Report.Entries) == 0 {
+					errs <- fmt.Errorf("goroutine %d iter %d: empty report", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	total := st.CacheHits + st.CacheMisses + st.Coalesced
+	if total != goroutines*iters {
+		t.Fatalf("hits %d + misses %d + coalesced %d = %d, want %d",
+			st.CacheHits, st.CacheMisses, st.Coalesced, total, goroutines*iters)
+	}
+	if st.CacheMisses < 4 {
+		t.Fatalf("misses = %d, want at least one per distinct binary", st.CacheMisses)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite an undersized budget")
+	}
+	if st.CacheBytes > st.CacheCapacity {
+		t.Fatalf("cache size %d exceeds capacity %d", st.CacheBytes, st.CacheCapacity)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiesce", st.InFlight)
+	}
+}
+
+func TestFilesBatch(t *testing.T) {
+	bins := testBinaries(t, 3)
+	dir := t.TempDir()
+
+	// A nested corpus layout with non-ELF clutter that the walk must skip.
+	sub := filepath.Join(dir, "corpus", "gcc-O2")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i, raw := range bins[:2] {
+		p := filepath.Join(sub, fmt.Sprintf("prog%d", i))
+		if err := os.WriteFile(p, raw, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "prog0.gt.json"), []byte(`{"entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// One explicitly-named file outside the directory.
+	solo := filepath.Join(dir, "solo")
+	if err := os.WriteFile(solo, bins[2], 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	paths, err := Expand([]string{filepath.Join(dir, "corpus"), solo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("Expand found %d files (%v), want 3", len(paths), paths)
+	}
+
+	e := New(Config{Jobs: 4})
+	var got []string
+	err = e.Files(context.Background(), paths, core.Config4, func(fr FileResult) error {
+		if fr.Err != nil {
+			return fr.Err
+		}
+		if len(fr.Result.Report.Entries) == 0 {
+			return fmt.Errorf("%s: empty report", fr.Path)
+		}
+		got = append(got, fr.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(paths) {
+		t.Fatalf("delivered %d results, want %d", len(got), len(paths))
+	}
+	for i := range got {
+		if got[i] != paths[i] {
+			t.Fatalf("out-of-order delivery: got[%d] = %s, want %s", i, got[i], paths[i])
+		}
+	}
+}
+
+func TestFilesPerFileErrorDoesNotAbort(t *testing.T) {
+	bins := testBinaries(t, 1)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good")
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(good, bins[0], 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Config{Jobs: 2})
+	var oks, fails int
+	err := e.Files(context.Background(), []string{bad, good}, core.Config4, func(fr FileResult) error {
+		if fr.Err != nil {
+			fails++
+		} else {
+			oks++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oks != 1 || fails != 1 {
+		t.Fatalf("oks %d fails %d, want 1/1", oks, fails)
+	}
+}
+
+func TestFilesCallbackStopsBatch(t *testing.T) {
+	bins := testBinaries(t, 3)
+	dir := t.TempDir()
+	var paths []string
+	for i, raw := range bins {
+		p := filepath.Join(dir, fmt.Sprintf("p%d", i))
+		if err := os.WriteFile(p, raw, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	e := New(Config{Jobs: 1})
+	stop := errors.New("stop after first")
+	calls := 0
+	err := e.Files(context.Background(), paths, core.Config4, func(fr FileResult) error {
+		calls++
+		return stop
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want the callback's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after requesting a stop", calls)
+	}
+}

@@ -67,7 +67,7 @@ func (t Tool) Run(bin *elfx.Binary) ([]uint64, error) {
 
 // RunContext executes the tool against the shared per-binary analysis
 // context.
-func (t Tool) RunContext(ctx *analysis.Context) ([]uint64, error) {
+func (t Tool) RunContext(actx *analysis.Context) ([]uint64, error) {
 	switch t {
 	case ToolFunSeeker, ToolFunSeeker1, ToolFunSeeker2, ToolFunSeeker3:
 		opts := map[Tool]core.Options{
@@ -76,25 +76,25 @@ func (t Tool) RunContext(ctx *analysis.Context) ([]uint64, error) {
 			ToolFunSeeker2: core.Config2,
 			ToolFunSeeker3: core.Config3,
 		}[t]
-		r, err := core.IdentifyWithContext(ctx, opts)
+		r, err := core.IdentifyWithContext(actx, opts)
 		if err != nil {
 			return nil, err
 		}
 		return r.Entries, nil
 	case ToolIDA:
-		r, err := idapro.IdentifyWithContext(ctx)
+		r, err := idapro.IdentifyWithContext(actx)
 		if err != nil {
 			return nil, err
 		}
 		return r.Entries, nil
 	case ToolGhidra:
-		r, err := ghidra.IdentifyWithContext(ctx)
+		r, err := ghidra.IdentifyWithContext(actx)
 		if err != nil {
 			return nil, err
 		}
 		return r.Entries, nil
 	case ToolFETCH:
-		r, err := fetch.IdentifyWithContext(ctx)
+		r, err := fetch.IdentifyWithContext(actx)
 		if err != nil {
 			return nil, err
 		}
@@ -201,11 +201,11 @@ func TimedRun(t Tool, bin *elfx.Binary) ([]uint64, time.Duration, error) {
 }
 
 // TimedRunContext measures one tool run against a shared context. Stage
-// costs already paid by earlier consumers of ctx are not re-incurred —
+// costs already paid by earlier consumers of actx are not re-incurred —
 // the measured time is the tool's marginal cost; consult analysis.Stats
 // for the shared-stage breakdown.
-func TimedRunContext(t Tool, ctx *analysis.Context) ([]uint64, time.Duration, error) {
+func TimedRunContext(t Tool, actx *analysis.Context) ([]uint64, time.Duration, error) {
 	start := time.Now()
-	entries, err := t.RunContext(ctx)
+	entries, err := t.RunContext(actx)
 	return entries, time.Since(start), err
 }

@@ -62,11 +62,11 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 }
 
 // IdentifyWithContext runs FETCH using the shared per-binary artifacts
-// memoized in ctx.
-func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
-	bin := ctx.Binary()
+// memoized in actx.
+func IdentifyWithContext(actx *analysis.Context) (*Report, error) {
+	bin := actx.Binary()
 	report := &Report{}
-	fdes, err := ctx.FDEs()
+	fdes, err := actx.FDEs()
 	if err != nil {
 		return nil, fmt.Errorf("fetch: eh_frame: %w", err)
 	}
@@ -100,7 +100,7 @@ func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
 	// of each range is served from the shared instruction index; the
 	// lift and the stack-height dataflow — the paper's cost driver,
 	// counted in AnalyzedInsts — run per call.
-	idx := ctx.Index()
+	idx := actx.Index()
 	profiles := make(map[uint64]funcProfile, len(ranges))
 	for _, r := range ranges {
 		p := profileRange(bin, idx, r.begin, r.end)

@@ -37,15 +37,15 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 }
 
 // IdentifyWithContext runs the Ghidra-style algorithm using the shared
-// per-binary artifacts memoized in ctx.
-func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
-	bin := ctx.Binary()
+// per-binary artifacts memoized in actx.
+func IdentifyWithContext(actx *analysis.Context) (*Report, error) {
+	bin := actx.Binary()
 	report := &Report{}
 	found := make(map[uint64]bool)
 
 	// Pass 1: .eh_frame FDE starts (parsed once per binary, shared with
 	// the other .eh_frame consumers).
-	fdes, err := ctx.FDEs()
+	fdes, err := actx.FDEs()
 	if err != nil {
 		return nil, fmt.Errorf("ghidra: eh_frame: %w", err)
 	}
@@ -63,7 +63,7 @@ func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
 	// Pass 2: recursive descent from the entry point and every FDE
 	// function, expanding through direct calls. Decoding is served from
 	// the shared linear-sweep index where possible.
-	idx := ctx.Index()
+	idx := actx.Index()
 	walker := recdesc.NewWalker(bin, idx)
 	res := walker.Traverse(seeds)
 	for e := range res.Functions {

@@ -43,9 +43,9 @@ func Identify(bin *elfx.Binary) (*Report, error) {
 }
 
 // IdentifyWithContext runs the IDA-style algorithm using the shared
-// per-binary artifacts memoized in ctx.
-func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
-	bin := ctx.Binary()
+// per-binary artifacts memoized in actx.
+func IdentifyWithContext(actx *analysis.Context) (*Report, error) {
+	bin := actx.Binary()
 	report := &Report{}
 	found := make(map[uint64]bool)
 
@@ -53,7 +53,7 @@ func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
 	// to their parent functions, so catch blocks are not promoted to
 	// functions by the orphan rescue. (It still does not use end-branch
 	// instructions or FDE starts for identification.)
-	pads, err := ctx.LandingPads()
+	pads, err := actx.LandingPads()
 	if err != nil {
 		pads = map[uint64]bool{}
 	}
@@ -62,10 +62,10 @@ func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
 	// (IDA's immediate/offset analysis finds lea rdi, [rip+func] and
 	// push $func references).
 	seeds := []uint64{bin.Entry}
-	codeRefs := collectCodeRefs(ctx)
+	codeRefs := collectCodeRefs(actx)
 	seeds = append(seeds, codeRefs...)
 
-	idx := ctx.Index()
+	idx := actx.Index()
 	walker := recdesc.NewWalker(bin, idx)
 	res := walker.Traverse(seeds)
 	for e := range res.Functions {
@@ -142,10 +142,10 @@ func IdentifyWithContext(ctx *analysis.Context) (*Report, error) {
 // lea and mov-immediate forms, read off the shared instruction index.
 // Data-section function-pointer tables are invisible to this analysis —
 // exactly IDA's blind spot.
-func collectCodeRefs(ctx *analysis.Context) []uint64 {
-	bin := ctx.Binary()
+func collectCodeRefs(actx *analysis.Context) []uint64 {
+	bin := actx.Binary()
 	var refs []uint64
-	insts := ctx.Index().Insts
+	insts := actx.Index().Insts
 	for i := range insts {
 		inst := &insts[i]
 		// lea reg, [rip+disp] referencing .text.

@@ -1,6 +1,7 @@
 package x86
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -36,6 +37,16 @@ type shard struct {
 // placements this way). The result is byte-identical to BuildIndex —
 // internal/diffcheck asserts this invariant on every generated binary.
 func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index {
+	idx, _ := buildIndexParallel(context.Background(), code, base, mode, workers)
+	return idx
+}
+
+// buildIndexParallel is the shared implementation behind
+// BuildIndexParallel (context.Background, never cancels) and
+// BuildIndexParallelCtx. Cancellation is checked at cancelStride
+// boundaries inside every shard and inside the stitcher; a background
+// context short-circuits all checks via the Done() == nil fast path.
+func buildIndexParallel(ctx context.Context, code []byte, base uint64, mode Mode, workers int) (*Index, error) {
 	auto := workers <= 0
 	if auto {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,7 +55,7 @@ func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index
 		workers = len(code) / maxInstLen // every shard needs room to decode
 	}
 	if workers < 2 || (auto && len(code) < minParallelBytes) {
-		return BuildIndex(code, base, mode)
+		return BuildIndexCtx(ctx, code, base, mode)
 	}
 
 	shards := make([]shard, workers)
@@ -59,28 +70,42 @@ func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
-			sh.decode(code, base, mode)
+			sh.decode(ctx, code, base, mode)
 		}(&shards[i])
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	idx := &Index{
 		Insts:  make([]Inst, 0, len(code)/4+1),
 		Base:   base,
 		Shards: workers,
 	}
-	stitch(idx, shards, code, base, mode)
+	if err := stitch(ctx, idx, shards, code, base, mode); err != nil {
+		return nil, err
+	}
 	idx.finishPositions(len(code))
-	return idx
+	return idx, nil
 }
 
 // decode runs the speculative sweep of one chunk: from start until the
 // cursor reaches the chunk end (the final instruction may overrun it).
-func (sh *shard) decode(code []byte, base uint64, mode Mode) {
+// A canceled ctx stops the shard at the next cancelStride boundary; the
+// caller discards every shard after noticing the cancellation.
+func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode) {
 	sh.insts = make([]Inst, 0, (sh.end-sh.start)/4+1)
+	done := ctx.Done()
 	var inst Inst
-	off := sh.start
+	off, next := sh.start, sh.start
 	for off < sh.end {
+		if done != nil && off >= next {
+			if ctx.Err() != nil {
+				return
+			}
+			next = off + cancelStride
+		}
 		if err := DecodeInto(code[off:], base+uint64(off), mode, &inst); err != nil {
 			sh.skips = append(sh.skips, int32(off))
 			off++
@@ -118,12 +143,19 @@ func (sh *shard) visitedFrom(cur int, base uint64) (instIdx, skipTail int, found
 // the shard's stream is spliced wholesale — or instructions are
 // re-decoded one at a time (counted in StitchRetries) until the streams
 // re-synchronize.
-func stitch(idx *Index, shards []shard, code []byte, base uint64, mode Mode) {
-	cur := 0
+func stitch(ctx context.Context, idx *Index, shards []shard, code []byte, base uint64, mode Mode) error {
+	done := ctx.Done()
+	cur, next := 0, 0
 	var inst Inst
 	for i := range shards {
 		sh := &shards[i]
 		for cur < sh.end {
+			if done != nil && cur >= next {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				next = cur + cancelStride
+			}
 			if instIdx, skipTail, ok := sh.visitedFrom(cur, base); ok {
 				idx.Insts = append(idx.Insts, sh.insts[instIdx:]...)
 				idx.Skipped += skipTail
@@ -153,4 +185,5 @@ func stitch(idx *Index, shards []shard, code []byte, base uint64, mode Mode) {
 		idx.Insts = append(idx.Insts, inst)
 		cur += inst.Len
 	}
+	return nil
 }

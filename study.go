@@ -18,8 +18,8 @@ func ClassifyEndbrs(bin *Binary) (EndbrDistribution, error) {
 
 // ClassifyEndbrsWithContext is ClassifyEndbrs over a shared analysis
 // context (the sweep and landing-pad set are reused, not recomputed).
-func ClassifyEndbrsWithContext(ctx *AnalysisContext) (EndbrDistribution, error) {
-	return core.ClassifyEndbrsWithContext(ctx)
+func ClassifyEndbrsWithContext(actx *AnalysisContext) (EndbrDistribution, error) {
+	return core.ClassifyEndbrsWithContext(actx)
 }
 
 // Function-property bit masks for the Figure 3 style analysis.
@@ -45,8 +45,8 @@ func AnalyzeProperties(bin *Binary, entries []uint64) VennCounts {
 
 // AnalyzePropertiesWithContext is AnalyzeProperties over a shared
 // analysis context.
-func AnalyzePropertiesWithContext(ctx *AnalysisContext, entries []uint64) VennCounts {
-	return core.AnalyzePropertiesWithContext(ctx, entries)
+func AnalyzePropertiesWithContext(actx *AnalysisContext, entries []uint64) VennCounts {
+	return core.AnalyzePropertiesWithContext(actx, entries)
 }
 
 // LandingPads returns the absolute addresses of every C++ exception

@@ -31,6 +31,7 @@ import (
 
 	"github.com/funseeker/funseeker"
 	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/obs"
 	"github.com/funseeker/funseeker/internal/x86"
 )
 
@@ -321,6 +322,23 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 						b.Fatal("cache miss on a pre-warmed binary")
 					}
 				}
+			}
+		}},
+		// obs/HistogramObserve is the observability tax: one Observe on
+		// the hot path of every analyze/stage measurement. It must stay
+		// lock-free and allocation-free or the metrics layer shows up in
+		// the sweep numbers it is supposed to measure.
+		benchmark{"obs/HistogramObserve", func(b *testing.B) {
+			h := obs.NewRegistry().NewHistogram("bench_observe_seconds", "bench", obs.LatencyBuckets)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				d := 127 * time.Microsecond
+				for pb.Next() {
+					h.ObserveDuration(d)
+				}
+			})
+			if n := h.Snapshot().Count; n == 0 {
+				b.Fatal("no observations recorded")
 			}
 		}},
 		benchmark{"evalmatrix/shared-context", func(b *testing.B) {

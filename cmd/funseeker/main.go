@@ -15,7 +15,10 @@
 // funseeker switches to corpus mode: the binaries are analyzed on a
 // bounded worker pool (-jobs, default GOMAXPROCS) and one result per
 // binary is emitted in input order, as JSON lines with -json. Per-binary
-// failures are reported on stderr without stopping the batch.
+// failures are reported on stderr without stopping the batch. In corpus
+// mode -stats additionally prints a per-stage latency summary table
+// (count, p50, p90, p99, total for sweep, eh-parse, filter, tail-call,
+// queue wait, and end-to-end analyze) on stderr at exit.
 package main
 
 import (
@@ -257,6 +260,7 @@ func runCorpus(args []string, opts funseeker.Options, configN, jobs int, jsonOut
 		fmt.Fprintf(os.Stderr, "binaries analyzed: %d (%d failed, %d cache hits)\n",
 			st.Analyzed, st.Failures, st.CacheHits)
 		fmt.Fprintf(os.Stderr, "bytes analyzed:    %d\n", st.BytesAnalyzed)
+		fmt.Fprint(os.Stderr, eng.StageLatencyTable())
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d binaries failed", failures, len(paths))

@@ -7,7 +7,8 @@
 //
 //	funseekerd [-addr :8745] [-jobs N] [-cache-bytes B]
 //	           [-max-body B] [-timeout 30s] [-shutdown-grace 10s]
-//	           [-require-cet] [-log text|json]
+//	           [-require-cet] [-log text|json] [-slow 1s]
+//	           [-debug-addr addr]
 //
 // Endpoints:
 //
@@ -21,6 +22,18 @@
 //	GET  /v1/stats     cache hit/miss, in-flight, per-stage analysis cost
 //	                   aggregates. Also published through expvar under
 //	                   "funseeker" at /debug/vars.
+//	GET  /metrics      Prometheus text-format exposition: request
+//	                   counters by status kind, analyze/stage latency
+//	                   histograms, cache hit/miss/coalesced counters.
+//
+// Every response carries an X-Funseeker-Request-Id header (generated at
+// the edge, or adopted from a well-formed client-supplied value); the
+// same ID appears on every access-log line and inside error envelopes.
+// Requests slower than -slow are additionally logged at WARN level.
+//
+// With -debug-addr set, a second listener serves net/http/pprof,
+// /debug/vars, and /metrics — keep it on localhost or a management
+// network; profiles are not for the public edge.
 //
 // The server stops accepting work on SIGINT/SIGTERM and gives in-flight
 // requests -shutdown-grace to finish before hard-closing connections,
@@ -42,6 +55,7 @@ import (
 	"time"
 
 	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/obs"
 )
 
 func main() {
@@ -61,6 +75,8 @@ func run() error {
 		grace      = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window")
 		requireCET = flag.Bool("require-cet", false, "reject binaries without any end-branch instruction")
 		logFormat  = flag.String("log", "text", "log format: text or json")
+		slow       = flag.Duration("slow", time.Second, "WARN-log requests slower than this (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address for pprof/expvar/metrics (e.g. 127.0.0.1:8746)")
 	)
 	flag.Parse()
 
@@ -73,18 +89,27 @@ func run() error {
 	default:
 		return fmt.Errorf("-log must be text or json, got %q", *logFormat)
 	}
-	logger := slog.New(handler)
+	// The obs wrapper stamps request_id onto every line logged with a
+	// request context — handlers and everything below them just log.
+	logger := slog.New(obs.NewLogHandler(handler))
 
+	// One registry spans both layers: the engine's stage/cache series
+	// and the server's HTTP series come out of the same /metrics scrape.
+	reg := obs.NewRegistry()
 	eng := engine.New(engine.Config{
 		Jobs:       *jobs,
 		CacheBytes: *cacheBytes,
 		RequireCET: *requireCET,
+		Registry:   reg,
 	})
-	srvHandler := newServer(eng, serverConfig{
-		maxBodyBytes: *maxBody,
-		reqTimeout:   *timeout,
-		logger:       logger,
+	srv2 := newServer(eng, serverConfig{
+		maxBodyBytes:  *maxBody,
+		reqTimeout:    *timeout,
+		slowThreshold: *slow,
+		logger:        logger,
+		registry:      reg,
 	})
+	srvHandler := srv2.handler()
 
 	// Publish the engine snapshot through expvar; /debug/vars comes with
 	// the expvar import's default mux registration, so wire the default
@@ -92,7 +117,26 @@ func run() error {
 	expvar.Publish("funseeker", expvar.Func(func() any { return eng.Stats() }))
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", srvHandler)
+	mux.Handle("/metrics", srvHandler)
 	mux.Handle("/debug/vars", expvar.Handler())
+
+	// The debug listener is opt-in and meant for localhost/management
+	// networks: pprof profiles and traces stream from here without
+	// exposing them on the public edge.
+	if *debugAddr != "" {
+		dsrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv2.debugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listening", "addr", *debugAddr)
+			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener failed", "err", err)
+			}
+		}()
+		defer dsrv.Close()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

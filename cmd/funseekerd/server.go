@@ -4,12 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"log/slog"
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/elfx"
 	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/obs"
 )
 
 // serverConfig carries the per-request limits of one funseekerd
@@ -26,8 +29,16 @@ type serverConfig struct {
 	maxBodyBytes int64
 	// reqTimeout bounds one analyze request end to end; zero disables.
 	reqTimeout time.Duration
+	// slowThreshold promotes requests slower than this to a WARN-level
+	// "slow request" log line; zero disables.
+	slowThreshold time.Duration
 	// logger receives structured access logs; nil discards them.
 	logger *slog.Logger
+	// registry receives the server's HTTP metrics and backs GET
+	// /metrics. Nil selects a private registry (useful in tests that
+	// don't scrape). Share it with the engine's Config.Registry so one
+	// scrape covers both layers.
+	registry *obs.Registry
 }
 
 // server is the HTTP surface over one shared analysis engine.
@@ -35,9 +46,30 @@ type server struct {
 	eng   *engine.Engine
 	cfg   serverConfig
 	start time.Time
+
+	// reqsByKind counts finished requests by outcome kind (the error
+	// taxonomy kind, or "ok"); reqSeconds is the edge-to-edge request
+	// latency including body read and JSON encode.
+	reqsByKind *obs.CounterVec
+	reqSeconds *obs.Histogram
 }
 
-// newServer wires the funseekerd routes:
+// newServer builds the funseekerd HTTP layer over eng. Call handler()
+// for the public routes and debugHandler() for the opt-in debug
+// listener.
+func newServer(eng *engine.Engine, cfg serverConfig) *server {
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	s := &server{eng: eng, cfg: cfg, start: time.Now()}
+	s.reqsByKind = cfg.registry.NewCounterVec("funseekerd_http_requests_total",
+		"Finished HTTP requests by outcome kind.", "kind")
+	s.reqSeconds = cfg.registry.NewHistogram("funseekerd_http_request_seconds",
+		"Edge-to-edge HTTP request latency.", nil)
+	return s
+}
+
+// handler wires the public funseekerd routes:
 //
 //	POST /v1/analyze  — analyze an ELF image (raw body or multipart
 //	                    field "binary"); ?config=1..4 selects the
@@ -47,21 +79,41 @@ type server struct {
 //	GET  /v1/healthz  — liveness
 //	GET  /v1/stats    — engine counters (cache, in-flight, per-stage
 //	                    analysis costs)
-func newServer(eng *engine.Engine, cfg serverConfig) http.Handler {
-	s := &server{eng: eng, cfg: cfg, start: time.Now()}
+//	GET  /metrics     — Prometheus text-format exposition (engine +
+//	                    HTTP series)
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return s.accessLog(mux)
+	mux.Handle("GET /metrics", s.cfg.registry.Handler())
+	return s.middleware(mux)
+}
+
+// debugHandler wires the opt-in debug listener: pprof, expvar, and a
+// second /metrics mount, all behind the same tracing middleware so even
+// profile fetches carry request IDs in the access log. The pprof
+// streaming endpoints are why statusWriter implements http.Flusher.
+func (s *server) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", s.cfg.registry.Handler())
+	return s.middleware(mux)
 }
 
 // analyzeResponse is the JSON shape of one successful analysis: the
 // Report plus service metadata.
 type analyzeResponse struct {
-	SHA256    string  `json:"sha256"`
-	Config    int     `json:"config"`
-	Cached    bool    `json:"cached"`
+	SHA256 string `json:"sha256"`
+	Config int    `json:"config"`
+	// Cached is false for a fresh analysis, or the string "lru" /
+	// "coalesced" naming the fast path that served the result.
+	Cached    any     `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 
 	Entries         []uint64 `json:"entries"`
@@ -76,10 +128,12 @@ type analyzeResponse struct {
 }
 
 // errorResponse is the JSON error envelope; kind is the stable sentinel
-// name clients branch on.
+// name clients branch on, request_id the trace ID to quote when
+// reporting the failure.
 type errorResponse struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"`
+	Error     string `json:"error"`
+	Kind      string `json:"kind,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -92,7 +146,7 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	opts, configN, err := optionsFromQuery(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 
@@ -100,26 +154,30 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("body exceeds the %d-byte limit", tooLarge.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 
 	res, err := s.eng.Analyze(ctx, raw, opts)
 	if err != nil {
 		status, kind := classifyAnalyzeError(err)
-		writeErrorKind(w, status, err, kind)
+		writeErrorKind(w, r, status, err, kind)
 		return
 	}
 
+	var cached any = false
+	if res.Cached {
+		cached = res.CacheSource
+	}
 	rep := res.Report
 	writeJSON(w, http.StatusOK, analyzeResponse{
 		SHA256:                 res.SHA256,
 		Config:                 configN,
-		Cached:                 res.Cached,
+		Cached:                 cached,
 		ElapsedMS:              float64(res.Elapsed) / float64(time.Millisecond),
 		Entries:                rep.Entries,
 		Endbrs:                 len(rep.Endbrs),
@@ -169,7 +227,9 @@ func isQueryTrue(v string) bool {
 
 // readBinary extracts the ELF image from the request: the "binary" file
 // field of a multipart form, or the raw body otherwise. The configured
-// body limit applies to either path via MaxBytesReader.
+// body limit applies to either path via MaxBytesReader, and an empty
+// image is rejected on either path — better a clear 400 here than a
+// baffling 422 not_elf from the engine.
 func (s *server) readBinary(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes)
 	mediaType, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
@@ -188,7 +248,14 @@ func (s *server) readBinary(w http.ResponseWriter, r *http.Request) ([]byte, err
 				return nil, err
 			}
 			if part.FormName() == "binary" {
-				return io.ReadAll(part)
+				raw, err := io.ReadAll(part)
+				if err != nil {
+					return nil, err
+				}
+				if len(raw) == 0 {
+					return nil, errors.New(`multipart "binary" part is empty`)
+				}
+				return raw, nil
 			}
 		}
 	}
@@ -222,6 +289,34 @@ func classifyAnalyzeError(err error) (status int, kind string) {
 	}
 }
 
+// statusKind maps a finished response's status code to the label value
+// of the request counter. Analyze failures keep their taxonomy kind via
+// classifyAnalyzeError's status mapping.
+func statusKind(status int) string {
+	switch {
+	case status < 300:
+		return "ok"
+	case status == http.StatusBadRequest:
+		return "bad_request"
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status == http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case status == http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case status == http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case status == http.StatusServiceUnavailable:
+		return "canceled"
+	case status == http.StatusGatewayTimeout:
+		return "deadline"
+	case status >= 500:
+		return "internal"
+	default:
+		return "other"
+	}
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -248,30 +343,59 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.statsSnapshot())
 }
 
-// accessLog wraps next with structured request logging.
-func (s *server) accessLog(next http.Handler) http.Handler {
+// middleware is the observability edge shared by every route: it mints
+// (or adopts) the per-request trace ID, returns it in the
+// X-Funseeker-Request-Id header, threads it through the request context
+// so every slog line below carries it, captures status/bytes for the
+// access log, feeds the HTTP metrics, and promotes requests slower than
+// the configured threshold to a WARN line.
+func (s *server) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.logger == nil {
-			next.ServeHTTP(w, r)
-			return
+		id := r.Header.Get(obs.RequestIDHeader)
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
 		}
+		ctx := obs.WithRequestID(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set(obs.RequestIDHeader, id)
+
 		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rw, r)
-		s.cfg.logger.Info("request",
+		elapsed := time.Since(start)
+
+		s.reqsByKind.With(statusKind(rw.status)).Inc()
+		s.reqSeconds.ObserveDuration(elapsed)
+
+		if s.cfg.logger == nil {
+			return
+		}
+		attrs := []any{
+			"request_id", id,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
 			"status", rw.status,
 			"bytes_out", rw.bytes,
-			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"duration_ms", float64(elapsed) / float64(time.Millisecond),
 			"remote", r.RemoteAddr,
-		)
+		}
+		// Context-free on purpose: these lines carry request_id as an
+		// explicit attr, so the context decorator must not stamp a second
+		// copy. Handler-level logging below the middleware uses the
+		// ...Context forms and gets the ID from the decorator instead.
+		s.cfg.logger.Info("request", attrs...)
+		if s.cfg.slowThreshold > 0 && elapsed > s.cfg.slowThreshold {
+			s.cfg.logger.Warn("slow request",
+				append(attrs, "threshold_ms", float64(s.cfg.slowThreshold)/float64(time.Millisecond))...)
+		}
 	})
 }
 
 // statusWriter captures the status code and byte count for the access
-// log.
+// log while passing the optional http.ResponseWriter extensions through:
+// Flush for streaming handlers (pprof's profile/trace endpoints write
+// incrementally) and Unwrap for http.ResponseController.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
@@ -289,6 +413,20 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer's Flusher, if any — without
+// this the wrapper would silently hide streaming support from handlers
+// that probe for http.Flusher.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -297,10 +435,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeErrorKind(w, status, err, "")
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeErrorKind(w, r, status, err, "")
 }
 
-func writeErrorKind(w http.ResponseWriter, status int, err error, kind string) {
-	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+func writeErrorKind(w http.ResponseWriter, r *http.Request, status int, err error, kind string) {
+	writeJSON(w, status, errorResponse{
+		Error:     err.Error(),
+		Kind:      kind,
+		RequestID: obs.RequestID(r.Context()),
+	})
 }

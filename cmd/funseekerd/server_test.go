@@ -6,15 +6,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/funseeker/funseeker/internal/corpus"
 	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/obs"
 	"github.com/funseeker/funseeker/internal/synth"
 	"github.com/funseeker/funseeker/internal/x86"
 )
@@ -41,14 +44,18 @@ func testELF(t *testing.T) []byte {
 	return raw
 }
 
-// newTestServer spins up an httptest server over a fresh engine.
+// newTestServer spins up an httptest server over a fresh engine, with
+// one shared metrics registry spanning both layers (as main wires it).
 func newTestServer(t *testing.T, cfg serverConfig) (*httptest.Server, *engine.Engine) {
 	t.Helper()
 	if cfg.maxBodyBytes == 0 {
 		cfg.maxBodyBytes = 64 << 20
 	}
-	eng := engine.New(engine.Config{Jobs: 2})
-	ts := httptest.NewServer(newServer(eng, cfg))
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	eng := engine.New(engine.Config{Jobs: 2, Registry: cfg.registry})
+	ts := httptest.NewServer(newServer(eng, cfg).handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
 }
@@ -88,8 +95,8 @@ func TestAnalyzeRoundTrip(t *testing.T) {
 	if len(ar.Entries) == 0 {
 		t.Fatal("no function entries identified")
 	}
-	if ar.Cached {
-		t.Fatal("first request claims to be cached")
+	if ar.Cached != false {
+		t.Fatalf("first request claims to be cached: %v", ar.Cached)
 	}
 	if len(ar.SHA256) != 64 {
 		t.Fatalf("sha256 = %q", ar.SHA256)
@@ -104,8 +111,11 @@ func TestAnalyzeRoundTrip(t *testing.T) {
 		t.Fatalf("second status = %d, body %s", resp.StatusCode, body)
 	}
 	ar2 := decodeAnalyze(t, body)
-	if !ar2.Cached {
-		t.Fatal("second identical request was not served from cache")
+	if ar2.Cached != "lru" {
+		t.Fatalf("second identical request cached = %v, want \"lru\"", ar2.Cached)
+	}
+	if ar2.ElapsedMS <= 0 {
+		t.Fatalf("cached elapsed_ms = %v, want the real (nonzero) wait", ar2.ElapsedMS)
 	}
 	if len(ar2.Entries) != len(ar.Entries) {
 		t.Fatalf("cached entries %d != fresh entries %d", len(ar2.Entries), len(ar.Entries))
@@ -154,7 +164,7 @@ func TestAnalyzeConfigSelection(t *testing.T) {
 	if ar4.Config != 4 {
 		t.Fatalf("echoed config = %d, want 4", ar4.Config)
 	}
-	if ar4.Cached {
+	if ar4.Cached != false {
 		t.Fatal("config=4 shared config=1's cache entry")
 	}
 
@@ -321,5 +331,248 @@ func TestMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/analyze status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestAnalyzeMultipartEmptyBinary is the regression test for the
+// upload-validation gap: an empty "binary" part must be a clear 400,
+// not a confusing 422 not_elf from the engine.
+func TestAnalyzeMultipartEmptyBinary(t *testing.T) {
+	ts, eng := newTestServer(t, serverConfig{})
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if _, err := mw.CreateFormFile("binary", "prog"); err != nil {
+		t.Fatal(err)
+	}
+	mw.Close() // zero bytes written to the part
+
+	resp, err := http.Post(ts.URL+"/v1/analyze", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, body %s, want 400", resp.StatusCode, body)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if !strings.Contains(er.Error, "empty") {
+		t.Fatalf("error = %q, want a clear empty-part message", er.Error)
+	}
+	if st := eng.Stats(); st.Requests != 0 {
+		t.Fatalf("empty upload reached the engine (%d requests)", st.Requests)
+	}
+}
+
+// TestMetricsEndpoint drives a few requests and asserts the Prometheus
+// exposition carries the acceptance-criteria series: request counters
+// by kind, analyze + per-stage histograms, cache counters.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+	raw := testELF(t)
+
+	postBinary(t, ts.URL+"/v1/analyze", raw)            // cold
+	postBinary(t, ts.URL+"/v1/analyze", raw)            // lru hit
+	postBinary(t, ts.URL+"/v1/analyze", []byte("junk")) // 422
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`funseekerd_http_requests_total{kind="ok"} 2`,
+		`funseekerd_http_requests_total{kind="unprocessable"} 1`,
+		"funseekerd_http_request_seconds_bucket",
+		"funseeker_engine_analyze_seconds_bucket",
+		`funseeker_engine_stage_seconds_bucket{stage="sweep"`,
+		`funseeker_engine_stage_seconds_bucket{stage="filter"`,
+		`funseeker_engine_stage_seconds_bucket{stage="tail-call"`,
+		"funseeker_engine_cache_hits_total 1",
+		"funseeker_engine_cache_misses_total 1",
+		"funseeker_engine_coalesced_total 0",
+		// Both cold analyses (the ELF and the junk, which fails only
+		// after taking a worker slot) record a queue wait.
+		"funseeker_engine_queue_wait_seconds_count 2",
+		"funseeker_engine_failures_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRequestIDContract pins the tracing contract: every response
+// carries X-Funseeker-Request-Id, error envelopes embed the same ID, a
+// well-formed client-supplied ID is adopted, and a hostile one is
+// replaced.
+func TestRequestIDContract(t *testing.T) {
+	ts, _ := newTestServer(t, serverConfig{})
+
+	// Generated ID on a success path.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get(obs.RequestIDHeader)
+	if !obs.ValidRequestID(id) {
+		t.Fatalf("healthz request ID %q invalid", id)
+	}
+
+	// Error envelope embeds the header's ID.
+	resp, body := postBinary(t, ts.URL+"/v1/analyze", []byte("junk"))
+	hdrID := resp.Header.Get(obs.RequestIDHeader)
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if er.RequestID == "" || er.RequestID != hdrID {
+		t.Fatalf("error envelope request_id = %q, header %q; want matching non-empty", er.RequestID, hdrID)
+	}
+
+	// A well-formed client ID round-trips.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "client-trace-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "client-trace-42" {
+		t.Fatalf("client-supplied ID not adopted: %q", got)
+	}
+
+	// A hostile client ID is replaced, not echoed.
+	req.Header.Set(obs.RequestIDHeader, "bad id\"with junk")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got == "" || strings.Contains(got, " ") {
+		t.Fatalf("hostile ID handling produced %q", got)
+	}
+}
+
+// TestAccessLogCarriesRequestID asserts the access-log line (and the
+// slow-request WARN line) carry the request ID.
+func TestAccessLogCarriesRequestID(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(syncWriter{&mu, &buf}, nil))
+	ts, _ := newTestServer(t, serverConfig{logger: logger, slowThreshold: time.Nanosecond})
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.RequestIDHeader, "log-trace-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "request_id=log-trace-1") {
+		t.Fatalf("access log missing request ID:\n%s", out)
+	}
+	if !strings.Contains(out, "slow request") {
+		t.Fatalf("1ns threshold did not trigger a slow-request line:\n%s", out)
+	}
+}
+
+// syncWriter serializes the test logger against concurrent handlers.
+type syncWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// TestStatusWriterFlushAndUnwrap: the access-log wrapper must not hide
+// the underlying Flusher (pprof streaming) or defeat
+// http.ResponseController.
+func TestStatusWriterFlushAndUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+
+	f, ok := any(sw).(http.Flusher)
+	if !ok {
+		t.Fatal("statusWriter does not implement http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+
+	rec2 := httptest.NewRecorder()
+	sw2 := &statusWriter{ResponseWriter: rec2, status: http.StatusOK}
+	if err := http.NewResponseController(sw2).Flush(); err != nil {
+		t.Fatalf("ResponseController.Flush through Unwrap: %v", err)
+	}
+	if !rec2.Flushed {
+		t.Fatal("ResponseController flush did not reach the underlying writer")
+	}
+
+	// A non-Flusher underlying writer must not panic.
+	(&statusWriter{ResponseWriter: plainWriter{}}).Flush()
+}
+
+// plainWriter is a ResponseWriter with no optional interfaces.
+type plainWriter struct{}
+
+func (plainWriter) Header() http.Header         { return http.Header{} }
+func (plainWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (plainWriter) WriteHeader(int)             {}
+
+// TestDebugHandlerPprof smoke-checks the opt-in debug surface: the
+// pprof index and /metrics respond through the tracing middleware.
+func TestDebugHandlerPprof(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := engine.New(engine.Config{Jobs: 1, Registry: reg})
+	s := newServer(eng, serverConfig{maxBodyBytes: 1 << 20, registry: reg})
+	ts := httptest.NewServer(s.debugHandler())
+	defer ts.Close()
+
+	for _, path := range []string{"/debug/pprof/", "/metrics", "/debug/vars"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get(obs.RequestIDHeader) == "" {
+			t.Fatalf("GET %s: no request ID header", path)
+		}
 	}
 }

@@ -75,24 +75,31 @@ func (s *Stats) Add(o Stats) {
 	s.StitchRetries += o.StitchRetries
 }
 
+// EachStage calls f once per pipeline stage, in canonical order, with
+// the stage's stable name. It is the single enumeration point shared by
+// the Render table, the engine's per-stage latency histograms, and the
+// CLI summary — adding a stage here adds it everywhere.
+func (s Stats) EachStage(f func(name string, st StageStat)) {
+	f("sweep", s.Sweep)
+	f("eh-parse", s.EHParse)
+	f("landing-pad", s.LandingPad)
+	f("superset", s.Superset)
+	f("filter", s.Filter)
+	f("tail-call", s.TailCall)
+}
+
 // Render formats the per-stage cost table (the Table-V-style runtime
 // breakdown).
 func (s Stats) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Per-stage analysis cost (shared-context accounting)\n")
 	fmt.Fprintf(&b, "  %-12s %9s %9s %12s %12s\n", "stage", "computes", "hits", "total", "mean")
-	row := func(name string, st StageStat) {
+	s.EachStage(func(name string, st StageStat) {
 		if st.Computes == 0 && st.Hits == 0 {
 			return
 		}
 		fmt.Fprintf(&b, "  %-12s %9d %9d %12s %12s\n", name, st.Computes, st.Hits, st.Time, st.Mean())
-	}
-	row("sweep", s.Sweep)
-	row("eh-parse", s.EHParse)
-	row("landing-pad", s.LandingPad)
-	row("superset", s.Superset)
-	row("filter", s.Filter)
-	row("tail-call", s.TailCall)
+	})
 	if s.SweepShards > s.Sweep.Computes {
 		fmt.Fprintf(&b, "  %-12s %9d shards, %d stitch retries\n",
 			"par-sweep", s.SweepShards, s.StitchRetries)

@@ -29,6 +29,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/obs"
 )
 
 // DefaultCacheBytes is the result-cache budget when Config.CacheBytes is
@@ -55,6 +57,12 @@ type Config struct {
 	// binary carries no end-branch instruction, regardless of the
 	// per-request options.
 	RequireCET bool
+	// Registry receives the engine's metrics (latency histograms,
+	// cache/coalescing counters, worker-pool gauges). Nil selects a
+	// private registry: the histograms still accumulate — so
+	// StageLatencyTable works for the CLI — they are just not exported
+	// anywhere. At most one engine may register on a given registry.
+	Registry *obs.Registry
 }
 
 // Engine runs identification requests over a bounded worker pool with a
@@ -70,6 +78,7 @@ type Engine struct {
 	flight   map[cacheKey]*call
 
 	inFlight  atomic.Int64
+	requests  atomic.Uint64
 	analyzed  atomic.Uint64
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -78,8 +87,15 @@ type Engine struct {
 	failures  atomic.Uint64
 	bytesIn   atomic.Uint64
 
+	met *engineMetrics
+
 	aggMu sync.Mutex
 	agg   analysis.Stats
+
+	// testHookCold, when non-nil, runs at the top of every cold analysis
+	// (inside the worker slot). Tests use it to inject panics and to
+	// hold an analysis open while coalesced waiters pile up.
+	testHookCold func(raw []byte)
 }
 
 // call is one in-flight analysis other requests for the same key can
@@ -133,8 +149,14 @@ type Result struct {
 	// coalescing onto another request's in-flight analysis) rather than
 	// a fresh analysis.
 	Cached bool
-	// Elapsed is the wall-clock cost of producing this result for this
-	// caller: ~zero for cache hits, the analysis time otherwise.
+	// CacheSource names the fast path that served a cached result:
+	// "lru" for an LRU hit, "coalesced" for a wait on an identical
+	// in-flight analysis, "" for a fresh analysis.
+	CacheSource string
+	// Elapsed is this caller's wall-clock wait for the result: the
+	// analysis time on the cold path, the lookup time on an LRU hit,
+	// and the full blocking wait for a coalesced request (which can be
+	// as long as the underlying analysis).
 	Elapsed time.Duration
 	// BinaryBytes is the size of the analyzed ELF image.
 	BinaryBytes int
@@ -154,13 +176,19 @@ func New(cfg Config) *Engine {
 	if cacheBytes > 0 {
 		cache = newLRU(cacheBytes)
 	}
-	return &Engine{
+	e := &Engine{
 		jobs:       jobs,
 		sem:        make(chan struct{}, jobs),
 		requireCET: cfg.RequireCET,
 		cache:      cache,
 		flight:     make(map[cacheKey]*call),
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e.met = registerEngineMetrics(reg, e)
+	return e
 }
 
 // Jobs returns the configured worker-pool width.
@@ -170,10 +198,18 @@ func (e *Engine) Jobs() int { return e.jobs }
 // The fast path — a byte-identical image analyzed before with the same
 // options — is a cache lookup; the slow path waits for a worker slot
 // (respecting ctx) and runs the cancellation-aware analysis.
+//
+// Counter contract (the invariant engine tests assert): every Analyze
+// call increments requests exactly once, and exactly one of hits,
+// misses, coalesced, canceled, or failures — including waiters that
+// share an in-flight failure, and callers whose analysis panicked.
 func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*Result, error) {
 	if e.requireCET {
 		opts.RequireCET = true
 	}
+	e.requests.Add(1)
+	start := time.Now()
+	defer func() { e.met.analyze.ObserveDuration(time.Since(start)) }()
 	k := cacheKey{sum: sha256.Sum256(raw), opts: optsBits(opts)}
 
 	for {
@@ -184,7 +220,10 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 		if e.cache != nil {
 			if res, ok := e.cache.get(k); ok {
 				e.hits.Add(1)
-				return &Result{Report: res.Report, SHA256: res.SHA256, Cached: true, BinaryBytes: res.BinaryBytes}, nil
+				return &Result{
+					Report: res.Report, SHA256: res.SHA256, BinaryBytes: res.BinaryBytes,
+					Cached: true, CacheSource: "lru", Elapsed: time.Since(start),
+				}, nil
 			}
 		}
 
@@ -195,11 +234,19 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 			case <-c.done:
 				if c.err == nil {
 					e.coalesced.Add(1)
-					return &Result{Report: c.res.Report, SHA256: c.res.SHA256, Cached: true, BinaryBytes: c.res.BinaryBytes}, nil
+					// Elapsed is this caller's real wait, which spans the
+					// underlying analysis — not the ~zero of a map lookup.
+					return &Result{
+						Report: c.res.Report, SHA256: c.res.SHA256, BinaryBytes: c.res.BinaryBytes,
+						Cached: true, CacheSource: "coalesced", Elapsed: time.Since(start),
+					}, nil
 				}
 				if isContextErr(c.err) {
 					continue // the computing request died; retry under our ctx
 				}
+				// This request failed too (with the shared error), so it
+				// counts toward failures like any other failed request.
+				e.failures.Add(1)
 				return nil, c.err
 			case <-ctx.Done():
 				e.canceled.Add(1)
@@ -210,29 +257,52 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 		e.flight[k] = c
 		e.flightMu.Unlock()
 
-		c.res, c.err = e.analyzeCold(ctx, raw, opts, k)
-		e.flightMu.Lock()
-		delete(e.flight, k)
-		e.flightMu.Unlock()
-		close(c.done)
+		// The flight-map cleanup is deferred so a panicking analysis (a
+		// malformed ELF tripping a slice bound, say) cannot strand the
+		// key: waiters unblock, and the next request for the same bytes
+		// starts a fresh analysis instead of hanging forever.
+		func() {
+			defer func() {
+				e.flightMu.Lock()
+				delete(e.flight, k)
+				e.flightMu.Unlock()
+				close(c.done)
+			}()
+			c.res, c.err = e.analyzeCold(ctx, raw, opts, k)
+		}()
 		return c.res, c.err
 	}
 }
 
 // analyzeCold runs one uncached analysis: acquire a worker slot, load,
-// identify, account, cache.
-func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options, k cacheKey) (*Result, error) {
+// identify, account, cache. A panic anywhere inside — worker-slot code,
+// ELF loading, the sweep — is recovered into an error and counted under
+// failures, so one malformed input cannot take the process down.
+func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options, k cacheKey) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.failures.Add(1)
+			res, err = nil, fmt.Errorf("analysis panicked: %v", r)
+		}
+	}()
+
+	queueStart := time.Now()
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
 		e.canceled.Add(1)
 		return nil, ctx.Err()
 	}
+	e.met.queue.ObserveDuration(time.Since(queueStart))
 	defer func() { <-e.sem }()
 
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 	start := time.Now()
+
+	if e.testHookCold != nil {
+		e.testHookCold(raw)
+	}
 
 	bin, err := elfx.Load(raw)
 	if err != nil {
@@ -242,8 +312,10 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 	actx := analysis.NewContext(bin)
 	report, err := core.IdentifyCtx(ctx, actx, opts)
 
+	st := actx.Stats()
+	e.met.observeStages(st)
 	e.aggMu.Lock()
-	e.agg.Add(actx.Stats())
+	e.agg.Add(st)
 	e.aggMu.Unlock()
 
 	if err != nil {
@@ -255,7 +327,7 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 		return nil, err
 	}
 
-	res := &Result{
+	res = &Result{
 		Report:      report,
 		SHA256:      hex.EncodeToString(k.sum[:]),
 		Elapsed:     time.Since(start),
@@ -283,7 +355,12 @@ type Stats struct {
 	Jobs int `json:"jobs"`
 	// InFlight is the number of analyses running right now.
 	InFlight int64 `json:"in_flight"`
-	// Analyzed counts completed cold analyses.
+	// Requests counts every Analyze call. Each request lands in exactly
+	// one of CacheHits, CacheMisses, Coalesced, Canceled, or Failures,
+	// so those five always sum to Requests.
+	Requests uint64 `json:"requests"`
+	// Analyzed counts completed cold analyses (always equal to
+	// CacheMisses).
 	Analyzed uint64 `json:"analyzed"`
 	// CacheHits counts requests served from the LRU.
 	CacheHits uint64 `json:"cache_hits"`
@@ -294,8 +371,10 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Canceled counts requests abandoned through their context.
 	Canceled uint64 `json:"canceled"`
-	// Failures counts analyses that failed for non-context reasons
-	// (not ELF, no .text, CET required but absent, ...).
+	// Failures counts requests that failed for non-context reasons (not
+	// ELF, no .text, CET required but absent, a recovered analysis
+	// panic, ...). A failure shared by coalesced waiters counts once per
+	// affected request.
 	Failures uint64 `json:"failures"`
 	// BytesAnalyzed is the total size of all cold-analyzed images.
 	BytesAnalyzed uint64 `json:"bytes_analyzed"`
@@ -315,6 +394,7 @@ func (e *Engine) Stats() Stats {
 	s := Stats{
 		Jobs:          e.jobs,
 		InFlight:      e.inFlight.Load(),
+		Requests:      e.requests.Load(),
 		Analyzed:      e.analyzed.Load(),
 		CacheHits:     e.hits.Load(),
 		CacheMisses:   e.misses.Load(),

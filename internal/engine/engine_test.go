@@ -1,18 +1,23 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/corpus"
 	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/obs"
 	"github.com/funseeker/funseeker/internal/synth"
 	"github.com/funseeker/funseeker/internal/x86"
 )
@@ -307,5 +312,277 @@ func TestFilesCallbackStopsBatch(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("callback ran %d times after requesting a stop", calls)
+	}
+}
+
+// TestAnalyzePanicUnblocksWaiters is the regression test for the
+// flight-map cleanup: a panic inside the cold analysis must (1) surface
+// as an error on the panicking request, not crash the process, (2)
+// unblock every coalesced waiter with that error, and (3) leave the key
+// reusable so the next request runs a fresh analysis.
+func TestAnalyzePanicUnblocksWaiters(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	e := New(Config{Jobs: 2})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var fired atomic.Bool
+	e.testHookCold = func([]byte) {
+		if fired.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+			panic("injected analysis panic")
+		}
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(context.Background(), raw, core.Config4)
+		leaderErr <- err
+	}()
+	<-entered // the leader holds the flight-map key and is mid-"analysis"
+
+	const waiters = 3
+	waiterErrs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, err := e.Analyze(context.Background(), raw, core.Config4)
+			waiterErrs <- err
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the waiters coalesce onto the flight entry
+	close(release)                    // boom
+
+	deadline := time.After(5 * time.Second)
+	collect := func(ch chan error, who string) error {
+		select {
+		case err := <-ch:
+			return err
+		case <-deadline:
+			t.Fatalf("%s still blocked after the panic — flight map not cleaned up", who)
+			return nil
+		}
+	}
+	if err := collect(leaderErr, "panicking request"); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("leader err = %v, want a recovered panic error", err)
+	}
+	for i := 0; i < waiters; i++ {
+		if err := collect(waiterErrs, fmt.Sprintf("waiter %d", i)); err == nil {
+			t.Fatalf("waiter %d got a nil error from a panicked analysis", i)
+		}
+	}
+
+	e.flightMu.Lock()
+	stranded := len(e.flight)
+	e.flightMu.Unlock()
+	if stranded != 0 {
+		t.Fatalf("%d flight entries stranded after the panic", stranded)
+	}
+
+	// The key is reusable: the hook only fires once, so this runs clean.
+	res, err := e.Analyze(context.Background(), raw, core.Config4)
+	if err != nil {
+		t.Fatalf("re-analysis after panic: %v", err)
+	}
+	if res.Cached || len(res.Report.Entries) == 0 {
+		t.Fatalf("re-analysis res = cached %v, %d entries; want a fresh full report", res.Cached, len(res.Report.Entries))
+	}
+
+	st := e.Stats()
+	if st.Failures != 1+waiters {
+		t.Fatalf("failures = %d, want %d (panicking request + every waiter)", st.Failures, 1+waiters)
+	}
+	if st.Analyzed != 1 || st.CacheMisses != 1 {
+		t.Fatalf("analyzed/misses = %d/%d, want 1/1", st.Analyzed, st.CacheMisses)
+	}
+	if sum := st.CacheHits + st.CacheMisses + st.Coalesced + st.Canceled + st.Failures; sum != st.Requests {
+		t.Fatalf("counter sum %d != requests %d", sum, st.Requests)
+	}
+}
+
+// TestCoalescedAndHitElapsed pins the Elapsed/CacheSource contract: a
+// coalesced waiter reports the wall clock it actually blocked for (not
+// zero), and an LRU hit reports the (small, nonzero) lookup cost.
+func TestCoalescedAndHitElapsed(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	e := New(Config{Jobs: 2})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var fired atomic.Bool
+	e.testHookCold = func([]byte) {
+		if fired.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.Analyze(context.Background(), raw, core.Config4)
+		leaderDone <- err
+	}()
+	<-entered
+
+	type out struct {
+		res *Result
+		err error
+	}
+	waiterDone := make(chan out, 1)
+	go func() {
+		res, err := e.Analyze(context.Background(), raw, core.Config4)
+		waiterDone <- out{res, err}
+	}()
+	const hold = 50 * time.Millisecond
+	time.Sleep(hold)
+	close(release)
+
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	w := <-waiterDone
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	if !w.res.Cached {
+		t.Fatal("second identical request was not served from cache/coalescing")
+	}
+	if w.res.CacheSource != "coalesced" && w.res.CacheSource != "lru" {
+		t.Fatalf("CacheSource = %q", w.res.CacheSource)
+	}
+	if w.res.Elapsed <= 0 {
+		t.Fatalf("waiter Elapsed = %v, want the real blocking wait", w.res.Elapsed)
+	}
+	// The common case — the waiter coalesced — blocked for most of the
+	// hold window.
+	if w.res.CacheSource == "coalesced" && w.res.Elapsed < hold/5 {
+		t.Fatalf("coalesced Elapsed = %v, want roughly the %v analysis hold", w.res.Elapsed, hold)
+	}
+
+	hit, err := e.Analyze(context.Background(), raw, core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.CacheSource != "lru" || !hit.Cached {
+		t.Fatalf("cache hit source = %q cached %v, want lru/true", hit.CacheSource, hit.Cached)
+	}
+	if hit.Elapsed <= 0 {
+		t.Fatalf("cache-hit Elapsed = %v, want the (nonzero) lookup cost", hit.Elapsed)
+	}
+}
+
+// TestCounterConsistency is the property-style invariant check over a
+// randomized concurrent workload mixing successes, cache hits,
+// coalesced duplicates, malformed inputs, and canceled contexts:
+//
+//	analyzed == cache_misses
+//	hits + misses + coalesced + canceled + failures == requests
+//
+// A double count anywhere in the retry/coalesce loop breaks one of the
+// sums.
+func TestCounterConsistency(t *testing.T) {
+	bins := testBinaries(t, 3)
+	junk := [][]byte{
+		[]byte("not an elf at all"),
+		{},
+		[]byte("\x7fELF but truncated"),
+	}
+	e := New(Config{Jobs: 3})
+
+	const goroutines = 12
+	const iters = 40
+	var issued atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < iters; i++ {
+				ctx := context.Background()
+				var raw []byte
+				switch rng.Intn(10) {
+				case 0, 1: // malformed input -> failure
+					raw = junk[rng.Intn(len(junk))]
+				case 2: // pre-canceled context -> canceled
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+					raw = bins[rng.Intn(len(bins))]
+				case 3: // already-expired deadline -> canceled
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithDeadline(ctx, time.Now().Add(-time.Second))
+					defer cancel()
+					raw = bins[rng.Intn(len(bins))]
+				default: // good binary -> hit, miss, or coalesced
+					raw = bins[rng.Intn(len(bins))]
+				}
+				issued.Add(1)
+				_, _ = e.Analyze(ctx, raw, core.Config4)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if st.Requests != issued.Load() {
+		t.Fatalf("requests = %d, issued %d", st.Requests, issued.Load())
+	}
+	if st.Analyzed != st.CacheMisses {
+		t.Fatalf("analyzed %d != cache_misses %d", st.Analyzed, st.CacheMisses)
+	}
+	sum := st.CacheHits + st.CacheMisses + st.Coalesced + st.Canceled + st.Failures
+	if sum != st.Requests {
+		t.Fatalf("hits %d + misses %d + coalesced %d + canceled %d + failures %d = %d, want requests %d",
+			st.CacheHits, st.CacheMisses, st.Coalesced, st.Canceled, st.Failures, sum, st.Requests)
+	}
+	// The workload genuinely exercised each class.
+	if st.CacheMisses == 0 || st.CacheHits == 0 || st.Canceled == 0 || st.Failures == 0 {
+		t.Fatalf("degenerate workload: misses %d hits %d canceled %d failures %d",
+			st.CacheMisses, st.CacheHits, st.Canceled, st.Failures)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiesce", st.InFlight)
+	}
+}
+
+// TestStageLatencyHistograms checks the engine feeds its per-stage
+// histograms: after one cold analysis the sweep stage has a sample and
+// the rendered table mentions it.
+func TestStageLatencyHistograms(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	reg := obs.NewRegistry()
+	e := New(Config{Jobs: 1, Registry: reg})
+	if _, err := e.Analyze(context.Background(), raw, core.Config4); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := e.StageLatencies()
+	if snaps["sweep"].Count != 1 {
+		t.Fatalf("sweep histogram count = %d, want 1", snaps["sweep"].Count)
+	}
+	if snaps["analyze"].Count != 1 || snaps["queue-wait"].Count != 1 {
+		t.Fatalf("analyze/queue counts = %d/%d, want 1/1", snaps["analyze"].Count, snaps["queue-wait"].Count)
+	}
+
+	table := e.StageLatencyTable()
+	for _, want := range []string{"sweep", "analyze", "p50", "p99"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("latency table missing %q:\n%s", want, table)
+		}
+	}
+
+	var b bytes.Buffer
+	reg.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`funseeker_engine_stage_seconds_bucket{stage="sweep"`,
+		"funseeker_engine_analyze_seconds_bucket",
+		"funseeker_engine_requests_total 1",
+		"funseeker_engine_cache_misses_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry exposition missing %q:\n%s", want, out)
+		}
 	}
 }

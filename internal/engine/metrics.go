@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/analysis"
+	"github.com/funseeker/funseeker/internal/obs"
+)
+
+// engineMetrics is the engine's observability surface: latency
+// histograms the engine must feed itself, plus sampled counters/gauges
+// that read the existing atomic service stats at scrape time so the same
+// number is never maintained twice.
+//
+// One engine registers one family set; sharing a registry between two
+// engines panics on the duplicate names, which is deliberate — create
+// one engine per process (see Engine's doc comment).
+type engineMetrics struct {
+	// analyze is the end-to-end Analyze latency, observed for every
+	// request whatever its outcome (hit, coalesced, cold, failed,
+	// canceled): the number a service SLO is written against.
+	analyze *obs.Histogram
+	// queue is the time a cold analysis waited for a worker slot —
+	// saturation of the bounded pool shows up here first.
+	queue *obs.Histogram
+	// stages is the per-binary cost of each analysis stage, labeled
+	// stage="sweep" | "eh-parse" | "landing-pad" | "superset" |
+	// "filter" | "tail-call" (the analysis.Stats canonical names).
+	stages *obs.HistogramVec
+}
+
+// registerEngineMetrics wires e's counters into reg and returns the
+// histogram set the hot path feeds.
+func registerEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
+	m := &engineMetrics{
+		analyze: reg.NewHistogram("funseeker_engine_analyze_seconds",
+			"End-to-end Analyze latency per request, all outcomes.", nil),
+		queue: reg.NewHistogram("funseeker_engine_queue_wait_seconds",
+			"Time a cold analysis waited for a worker-pool slot.", nil),
+		stages: reg.NewHistogramVec("funseeker_engine_stage_seconds",
+			"Per-binary analysis stage cost.", "stage", nil),
+	}
+	reg.NewCounterFunc("funseeker_engine_requests_total",
+		"Analyze requests accepted.", e.requests.Load)
+	reg.NewCounterFunc("funseeker_engine_analyzed_total",
+		"Completed cold analyses.", e.analyzed.Load)
+	reg.NewCounterFunc("funseeker_engine_cache_hits_total",
+		"Requests served from the LRU result cache.", e.hits.Load)
+	reg.NewCounterFunc("funseeker_engine_cache_misses_total",
+		"Requests that ran a fresh analysis.", e.misses.Load)
+	reg.NewCounterFunc("funseeker_engine_coalesced_total",
+		"Requests served by waiting on an identical in-flight analysis.", e.coalesced.Load)
+	reg.NewCounterFunc("funseeker_engine_canceled_total",
+		"Requests abandoned through their context.", e.canceled.Load)
+	reg.NewCounterFunc("funseeker_engine_failures_total",
+		"Requests that failed for non-context reasons.", e.failures.Load)
+	reg.NewCounterFunc("funseeker_engine_bytes_analyzed_total",
+		"Total size of all cold-analyzed ELF images.", e.bytesIn.Load)
+	reg.NewGaugeFunc("funseeker_engine_in_flight",
+		"Analyses running right now.", func() float64 { return float64(e.inFlight.Load()) })
+	reg.NewGaugeFunc("funseeker_engine_jobs",
+		"Worker-pool width.", func() float64 { return float64(e.jobs) })
+	reg.NewGaugeFunc("funseeker_engine_cache_entries",
+		"Result-cache entry count.", func() float64 { n, _, _, _ := e.cacheStats(); return float64(n) })
+	reg.NewGaugeFunc("funseeker_engine_cache_bytes",
+		"Result-cache retained bytes.", func() float64 { _, b, _, _ := e.cacheStats(); return float64(b) })
+	reg.NewCounterFunc("funseeker_engine_cache_evictions_total",
+		"Result-cache evictions.", func() uint64 { _, _, _, ev := e.cacheStats(); return ev })
+	return m
+}
+
+// cacheStats is the nil-safe cache snapshot behind the sampled metrics.
+func (e *Engine) cacheStats() (int, int64, int64, uint64) {
+	if e.cache == nil {
+		return 0, 0, 0, 0
+	}
+	return e.cache.stats()
+}
+
+// observeStages feeds one cold analysis' per-stage wall-clock costs into
+// the stage histograms. Stages the binary never exercised (no .eh_frame,
+// superset scan off, ...) record nothing rather than a flood of zeros.
+func (m *engineMetrics) observeStages(st analysis.Stats) {
+	st.EachStage(func(name string, s analysis.StageStat) {
+		if s.Computes == 0 {
+			return
+		}
+		m.stages.With(name).ObserveDuration(s.Time)
+	})
+}
+
+// StageLatencies returns the engine's latency distributions by name:
+// the analysis stages (per cold analysis), "queue-wait" (worker-slot
+// wait), and "analyze" (end-to-end request latency, all outcomes).
+func (e *Engine) StageLatencies() map[string]obs.HistSnapshot {
+	out := map[string]obs.HistSnapshot{
+		"queue-wait": e.met.queue.Snapshot(),
+		"analyze":    e.met.analyze.Snapshot(),
+	}
+	analysis.Stats{}.EachStage(func(name string, _ analysis.StageStat) {
+		out[name] = e.met.stages.With(name).Snapshot()
+	})
+	return out
+}
+
+// stageTableOrder fixes the row order of StageLatencyTable: pipeline
+// position first, service-level rows last.
+var stageTableOrder = []string{
+	"queue-wait", "sweep", "eh-parse", "landing-pad", "superset",
+	"filter", "tail-call", "analyze",
+}
+
+// StageLatencyTable renders the per-stage latency distribution summary
+// (count, p50/p90/p99, total) the corpus CLI prints at exit. Stages
+// with no samples are omitted.
+func (e *Engine) StageLatencyTable() string {
+	snaps := e.StageLatencies()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Per-stage latency distribution (cold analyses)\n")
+	fmt.Fprintf(&b, "  %-12s %9s %12s %12s %12s %12s\n", "stage", "count", "p50", "p90", "p99", "total")
+	for _, name := range stageTableOrder {
+		s, ok := snaps[name]
+		if !ok || s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s %9d %12s %12s %12s %12s\n", name, s.Count,
+			secsDur(s.Quantile(0.50)), secsDur(s.Quantile(0.90)),
+			secsDur(s.Quantile(0.99)), secsDur(s.Sum))
+	}
+	return b.String()
+}
+
+// secsDur renders a seconds float as a rounded time.Duration.
+func secsDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond)
+}

@@ -1,0 +1,527 @@
+// Package obs is the dependency-free observability layer shared by the
+// analysis engine, the funseekerd HTTP server, and the corpus CLI.
+//
+// It provides two things:
+//
+//   - A metrics registry (metrics.go): counters, gauges, and fixed-bucket
+//     latency histograms with Prometheus text-format exposition. The
+//     paper's headline claim is throughput — FunSeeker processes 8,136
+//     binaries orders of magnitude faster than interactive tools — and a
+//     service built on that claim needs latency *distributions* per
+//     pipeline stage, not just totals: a p99 regression in the sweep is
+//     invisible in an aggregate mean.
+//   - Request tracing (trace.go): a per-request ID generated at the edge,
+//     carried through context.Context, and attached to every slog line,
+//     so one slow or failing upload can be followed across the access
+//     log, the error envelope, and the engine.
+//
+// Everything here is stdlib-only and allocation-conscious: Observe on a
+// histogram is a bounded scan over ~a dozen buckets plus two atomic adds,
+// cheap enough to sit on the analysis hot path.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the default histogram bucket layout for stage and
+// request latencies, in seconds. It spans 5µs (a cache-hit lookup) to
+// 10s (a pathological corpus-scale analysis), roughly logarithmically.
+var LatencyBuckets = []float64{
+	5e-6, 25e-6, 100e-6, 250e-6,
+	1e-3, 2.5e-3, 10e-3, 25e-3,
+	100e-3, 250e-3, 1, 2.5, 10,
+}
+
+// metric is one registered family: it knows its name and how to write
+// its complete exposition block (# HELP, # TYPE, samples).
+type metric interface {
+	metricName() string
+	expose(b *bytes.Buffer)
+}
+
+// Registry holds a set of uniquely-named metric families and renders
+// them in the Prometheus text exposition format. The zero value is not
+// usable; call NewRegistry. All registration methods panic on a
+// duplicate or syntactically invalid name — metric names are program
+// constants, so a bad one is a bug, not an input error.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register adds m, enforcing name uniqueness and validity.
+func (r *Registry) register(m metric) {
+	name := m.metricName()
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("obs: duplicate metric name " + strconv.Quote(name))
+	}
+	r.names[name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// validName enforces the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*  (label names additionally may not contain
+// ':', which validLabel checks).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabel(s string) bool {
+	return validName(s) && !strings.Contains(s, ":")
+}
+
+// WriteTo renders every registered family, sorted by name, in the
+// Prometheus text format (version 0.0.4).
+func (r *Registry) WriteTo(b *bytes.Buffer) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
+	for _, m := range ms {
+		m.expose(b)
+	}
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b bytes.Buffer
+		r.WriteTo(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(b.Bytes())
+	})
+}
+
+// header writes the # HELP / # TYPE preamble of one family.
+func header(b *bytes.Buffer, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// escapeHelp escapes backslashes and newlines per the text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+
+func (c *Counter) expose(b *bytes.Buffer) {
+	header(b, c.name, c.help, "counter")
+	fmt.Fprintf(b, "%s %d\n", c.name, c.v.Load())
+}
+
+// CounterFunc is a counter whose value is sampled from a callback at
+// exposition time — the bridge for components that already keep their
+// own atomic counters (like the engine's service stats) and must not
+// maintain the same number twice.
+type CounterFunc struct {
+	name, help string
+	fn         func() uint64
+}
+
+// NewCounterFunc registers a sampled counter.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(&CounterFunc{name: name, help: help, fn: fn})
+}
+
+func (c *CounterFunc) metricName() string { return c.name }
+
+func (c *CounterFunc) expose(b *bytes.Buffer) {
+	header(b, c.name, c.help, "counter")
+	fmt.Fprintf(b, "%s %d\n", c.name, c.fn())
+}
+
+// CounterVec is a family of counters split by the values of one label
+// (e.g. requests by status kind). Children are created on first use and
+// live for the registry's lifetime, so label values must be low
+// cardinality.
+type CounterVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	if !validLabel(label) {
+		panic("obs: invalid label name " + strconv.Quote(label))
+	}
+	v := &CounterVec{name: name, help: help, label: label, children: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for one label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+func (v *CounterVec) metricName() string { return v.name }
+
+func (v *CounterVec) expose(b *bytes.Buffer) {
+	header(b, v.name, v.help, "counter")
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	counts := make([]uint64, len(values))
+	for i, val := range values {
+		counts[i] = v.children[val].Value()
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		fmt.Fprintf(b, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabel(val), counts[i])
+	}
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// NewGauge registers and returns a settable gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+
+func (g *Gauge) expose(b *bytes.Buffer) {
+	header(b, g.name, g.help, "gauge")
+	fmt.Fprintf(b, "%s %d\n", g.name, g.v.Load())
+}
+
+// GaugeFunc is a gauge sampled from a callback at exposition time.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// NewGaugeFunc registers a sampled gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&GaugeFunc{name: name, help: help, fn: fn})
+}
+
+func (g *GaugeFunc) metricName() string { return g.name }
+
+func (g *GaugeFunc) expose(b *bytes.Buffer) {
+	header(b, g.name, g.help, "gauge")
+	fmt.Fprintf(b, "%s %s\n", g.name, formatFloat(g.fn()))
+}
+
+// atomicFloat is a float64 accumulated with CAS — the histogram sum.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket latency/size distribution. Buckets are
+// chosen at construction and never change, so Observe is lock-free: one
+// bounded scan to find the bucket, then three atomic adds.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // ascending upper bounds; +Inf is implicit
+	counts     []atomic.Uint64
+	sum        atomicFloat
+	count      atomic.Uint64
+}
+
+// NewHistogram registers a histogram over the given ascending bucket
+// upper bounds (nil selects LatencyBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds)
+	r.register(h)
+	return h
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Snapshot returns a point-in-time copy of the distribution.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	// Count/Sum last: never less than the per-bucket totals read above.
+	s.Count = h.count.Load()
+	s.Sum = h.sum.load()
+	return s
+}
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) expose(b *bytes.Buffer) {
+	header(b, h.name, h.help, "histogram")
+	h.Snapshot().expose(b, h.name, "", "")
+}
+
+// HistSnapshot is a consistent-enough copy of one histogram, with
+// quantile estimation for human-facing summaries.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra slot for
+	// the implicit +Inf bucket. Counts are per-bucket, not cumulative.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket that contains it — the same estimate Prometheus's
+// histogram_quantile computes. Samples beyond the last finite bound clamp
+// to that bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		return lower + (upper-lower)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// expose writes the cumulative _bucket/_sum/_count series, optionally
+// carrying one label pair on every sample.
+func (s HistSnapshot) expose(b *bytes.Buffer, name, label, value string) {
+	cum := uint64(0)
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		if label == "" {
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			fmt.Fprintf(b, "%s_bucket{%s=\"%s\",le=%q} %d\n", name, label, escapeLabel(value), le, cum)
+		}
+	}
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=\"%s\"}", label, escapeLabel(value))
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// HistogramVec is a family of histograms split by one label (e.g.
+// per-stage latency with stage="sweep"). All children share the bucket
+// layout.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// NewHistogramVec registers a labeled histogram family (nil bounds
+// selects LatencyBuckets).
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if !validLabel(label) {
+		panic("obs: invalid label name " + strconv.Quote(label))
+	}
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	v := &HistogramVec{name: name, help: help, label: label, bounds: bounds, children: make(map[string]*Histogram)}
+	r.register(v)
+	return v
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[value]
+	if !ok {
+		h = newHistogram(v.name, v.help, v.bounds)
+		v.children[value] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) metricName() string { return v.name }
+
+func (v *HistogramVec) expose(b *bytes.Buffer) {
+	header(b, v.name, v.help, "histogram")
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	snaps := make([]HistSnapshot, len(values))
+	for i, val := range values {
+		snaps[i] = v.children[val].Snapshot()
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		snaps[i].expose(b, v.name, v.label, val)
+	}
+}

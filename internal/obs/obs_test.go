@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func exposition(r *Registry) string {
+	var b bytes.Buffer
+	r.WriteTo(&b)
+	return b.String()
+}
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+
+	v := r.NewCounterVec("test_requests_total", "requests by kind", "kind")
+	v.With("ok").Add(3)
+	v.With("error").Inc()
+	v.With("ok").Inc() // same child again
+
+	out := exposition(r)
+	for _, want := range []string{
+		"# TYPE test_ops_total counter",
+		"test_ops_total 5",
+		`test_requests_total{kind="error"} 1`,
+		`test_requests_total{kind="ok"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterFuncAndGauges(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.NewCounterFunc("test_sampled_total", "sampled", func() uint64 { return n })
+	g := r.NewGauge("test_in_flight", "in flight")
+	g.Set(3)
+	g.Add(-1)
+	r.NewGaugeFunc("test_bytes", "bytes", func() float64 { return 1.5e6 })
+
+	out := exposition(r)
+	for _, want := range []string{
+		"test_sampled_total 7",
+		"# TYPE test_in_flight gauge",
+		"test_in_flight 2",
+		"test_bytes 1.5e+06",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramObserveAndExpose(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)                         // first bucket
+	h.Observe(0.05)                          // second
+	h.Observe(0.5)                           // third
+	h.Observe(5)                             // +Inf
+	h.ObserveDuration(20 * time.Millisecond) // second
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if want := 0.005 + 0.05 + 0.5 + 5 + 0.02; math.Abs(s.Sum-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, want)
+	}
+
+	out := exposition(r)
+	for _, want := range []string{
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 3`,
+		`test_latency_seconds_bucket{le="1"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		"test_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("q", "", []float64{1, 2, 4, 8})
+	// 100 samples uniformly in (0,1]: every quantile lands inside the
+	// first bucket and interpolates linearly.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i+1) / 100)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 = %g, want 0.5", got)
+	}
+	if got := s.Quantile(0.99); math.Abs(got-0.99) > 1e-9 {
+		t.Fatalf("p99 = %g, want 0.99", got)
+	}
+
+	// Samples beyond the last finite bound clamp to it.
+	h2 := newHistogram("q2", "", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Snapshot().Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %g, want 2 (last bound)", got)
+	}
+
+	// Empty histogram quantiles are zero, not NaN.
+	if got := (HistSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}).Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("test_stage_seconds", "per-stage", "stage", []float64{0.001, 1})
+	v.With("sweep").Observe(0.0005)
+	v.With("sweep").Observe(0.5)
+	v.With("filter").Observe(0.0001)
+
+	out := exposition(r)
+	for _, want := range []string{
+		`test_stage_seconds_bucket{stage="sweep",le="0.001"} 1`,
+		`test_stage_seconds_bucket{stage="sweep",le="+Inf"} 2`,
+		`test_stage_seconds_count{stage="sweep"} 2`,
+		`test_stage_seconds_bucket{stage="filter",le="0.001"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram("c", "", LatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%13) * 1e-4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	var cum uint64
+	for _, c := range s.Counts {
+		cum += c
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count)
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	mustPanic(t, "duplicate name", func() { r.NewCounter("dup_total", "") })
+	mustPanic(t, "invalid name", func() { r.NewCounter("bad name", "") })
+	mustPanic(t, "invalid label", func() { r.NewCounterVec("ok_total", "", "bad:label") })
+	mustPanic(t, "unsorted bounds", func() { r.NewHistogram("h_total", "", []float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc_total", "", "kind")
+	v.With(`a"b\c` + "\n").Inc()
+	out := exposition(r)
+	if !strings.Contains(out, `esc_total{kind="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("handler_total", "").Inc()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if RequestID(ctx) != "" {
+		t.Fatal("empty context has a request ID")
+	}
+	id := NewRequestID()
+	if len(id) != 16 || !ValidRequestID(id) {
+		t.Fatalf("generated ID %q invalid", id)
+	}
+	id2 := NewRequestID()
+	if id == id2 {
+		t.Fatalf("two generated IDs collide: %q", id)
+	}
+	ctx = WithRequestID(ctx, id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("round-trip = %q, want %q", got, id)
+	}
+
+	for bad, want := range map[string]bool{
+		"":                      false,
+		"ok-id_1.2":             true,
+		"with space":            false,
+		"inject\"ion":           false,
+		strings.Repeat("a", 64): true,
+		strings.Repeat("a", 65): false,
+	} {
+		if ValidRequestID(bad) != want {
+			t.Fatalf("ValidRequestID(%q) = %v, want %v", bad, !want, want)
+		}
+	}
+}
+
+func TestLogHandlerInjectsRequestID(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(slog.NewTextHandler(&buf, nil)))
+
+	ctx := WithRequestID(context.Background(), "abc123")
+	logger.InfoContext(ctx, "traced line", "k", "v")
+	logger.Info("untraced line")
+
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "request_id=abc123") {
+		t.Fatalf("traced line missing request_id: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "request_id") {
+		t.Fatalf("untraced line has a request_id: %q", lines[1])
+	}
+
+	// WithAttrs/WithGroup preserve the injection.
+	buf.Reset()
+	logger.With("svc", "funseekerd").WithGroup("g").InfoContext(ctx, "grouped")
+	if out := buf.String(); !strings.Contains(out, "request_id=abc123") {
+		t.Fatalf("derived logger lost request_id injection: %q", out)
+	}
+}

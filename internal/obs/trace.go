@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"sync/atomic"
+)
+
+// RequestIDHeader is the HTTP header carrying the per-request trace ID:
+// funseekerd returns it on every response, and honors a well-formed
+// client-supplied value so callers can stitch their own traces through.
+const RequestIDHeader = "X-Funseeker-Request-Id"
+
+// requestIDKey is the private context key for the request ID.
+type requestIDKey struct{}
+
+// idFallback seeds request IDs when crypto/rand is unavailable (it
+// effectively never is, but a trace ID is not worth failing a request
+// over).
+var idFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-char request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		var c [8]byte
+		n := idFallback.Add(1)
+		for i := range c {
+			c[i] = byte(n >> (8 * i))
+		}
+		return hex.EncodeToString(c[:])
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a client-supplied ID is safe to adopt:
+// 1–64 characters drawn from the unambiguous token alphabet. Anything
+// else is replaced with a fresh ID rather than echoed into logs.
+func ValidRequestID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request ID from ctx ("" when absent).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// logHandler decorates an slog.Handler so every record logged with a
+// context that carries a request ID gains a request_id attribute. Code
+// below the HTTP edge just logs with its context — it never needs to
+// know the tracing contract exists.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner with request-ID injection.
+func NewLogHandler(inner slog.Handler) slog.Handler {
+	return &logHandler{inner: inner}
+}
+
+func (h *logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if id := RequestID(ctx); id != "" {
+		rec = rec.Clone()
+		rec.AddAttrs(slog.String("request_id", id))
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	return &logHandler{inner: h.inner.WithGroup(name)}
+}

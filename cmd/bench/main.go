@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"github.com/funseeker/funseeker"
+	"github.com/funseeker/funseeker/internal/arm64"
 	"github.com/funseeker/funseeker/internal/engine"
 	"github.com/funseeker/funseeker/internal/obs"
 	"github.com/funseeker/funseeker/internal/x86"
@@ -44,6 +46,10 @@ type result struct {
 	// BinPerS is binaries analyzed per second, reported by the engine/*
 	// series where one op processes the whole corpus.
 	BinPerS float64 `json:"bin_s,omitempty"`
+	// Gomaxprocs is set on rows that pin runtime.GOMAXPROCS for the
+	// duration of the measurement (the gomaxprocs=N series); zero means
+	// the process-wide value in the report header applied.
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
 }
 
 type report struct {
@@ -96,12 +102,19 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "bench: %d binaries, %d bytes; benchtime=%s\n", len(set), corpusBytes, benchtime)
 
 	for _, bm := range series(set, corpusBytes) {
+		if bm.gomaxprocs > 0 {
+			runtime.GOMAXPROCS(bm.gomaxprocs)
+		}
 		r := testing.Benchmark(bm.fn)
+		if bm.gomaxprocs > 0 {
+			runtime.GOMAXPROCS(rep.Gomaxprocs)
+		}
 		res := result{
 			Name:        bm.name,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BPerOp:      r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Gomaxprocs:  bm.gomaxprocs,
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			res.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
@@ -147,6 +160,10 @@ func run() error {
 type benchmark struct {
 	name string
 	fn   func(b *testing.B)
+	// gomaxprocs, when > 0, pins runtime.GOMAXPROCS around this row's
+	// measurement so the parallel series can be read as a scaling curve
+	// independent of the machine the numbers were recorded on.
+	gomaxprocs int
 }
 
 type benchCase struct {
@@ -195,7 +212,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 	perBin := int64(corpusBytes / len(set))
 
 	bms := []benchmark{
-		{"x86/Decode", func(b *testing.B) {
+		{name: "x86/Decode", fn: func(b *testing.B) {
 			b.SetBytes(textLen)
 			b.ReportAllocs()
 			var inst x86.Inst
@@ -210,7 +227,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				}
 			}
 		}},
-		{"x86/Sweep", func(b *testing.B) {
+		{name: "x86/Sweep", fn: func(b *testing.B) {
 			b.SetBytes(textLen)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -224,7 +241,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				}
 			}
 		}},
-		{"x86/BuildIndex", func(b *testing.B) {
+		{name: "x86/BuildIndex", fn: func(b *testing.B) {
 			b.SetBytes(textLen)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -236,7 +253,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 	}
 	for _, workers := range []int{2, 4, 8} {
 		workers := workers
-		bms = append(bms, benchmark{fmt.Sprintf("x86/BuildIndexParallel/workers=%d", workers), func(b *testing.B) {
+		bms = append(bms, benchmark{name: fmt.Sprintf("x86/BuildIndexParallel/workers=%d", workers), fn: func(b *testing.B) {
 			b.SetBytes(textLen)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -246,8 +263,55 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 			}
 		}})
 	}
+	// The gomaxprocs=N series re-runs the workers=4 parallel build with
+	// the scheduler pinned, separating algorithmic speedup (exact-size
+	// assembly vs append growth) from hardware parallelism.
+	for _, procs := range []int{1, 2, 4} {
+		procs := procs
+		bms = append(bms, benchmark{
+			name:       fmt.Sprintf("x86/BuildIndexParallel/workers=4/gomaxprocs=%d", procs),
+			gomaxprocs: procs,
+			fn: func(b *testing.B) {
+				b.SetBytes(textLen)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if idx := x86.BuildIndexParallel(text, 0x401000, x86.Mode64, 4); len(idx.Insts) == 0 {
+						b.Fatal("empty index")
+					}
+				}
+			},
+		})
+	}
+	atext := arm64.GenText(textLen, rand.New(rand.NewSource(424242)))
 	bms = append(bms,
-		benchmark{"identify/Config4", func(b *testing.B) {
+		benchmark{name: "arm64/Sweep", fn: func(b *testing.B) {
+			b.SetBytes(int64(len(atext)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for off := 0; off+4 <= len(atext); off += 4 {
+					w := binary.LittleEndian.Uint32(atext[off:])
+					if arm64.Decode(w, 0x401000+uint64(off)).Class == arm64.ClassBL {
+						n++
+					}
+				}
+				if n == 0 {
+					b.Fatal("no calls decoded")
+				}
+			}
+		}},
+		benchmark{name: "arm64/BuildIndex", fn: func(b *testing.B) {
+			b.SetBytes(int64(len(atext)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if idx := arm64.BuildIndex(atext, 0x401000); len(idx.Insts) == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		}},
+	)
+	bms = append(bms,
+		benchmark{name: "identify/Config4", fn: func(b *testing.B) {
 			b.SetBytes(perBin)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -256,7 +320,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				}
 			}
 		}},
-		benchmark{"classify/Endbrs", func(b *testing.B) {
+		benchmark{name: "classify/Endbrs", fn: func(b *testing.B) {
 			b.SetBytes(perBin)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -265,7 +329,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				}
 			}
 		}},
-		benchmark{"tools/FETCH", func(b *testing.B) {
+		benchmark{name: "tools/FETCH", fn: func(b *testing.B) {
 			b.SetBytes(perBin)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -277,7 +341,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 		// engine/Throughput is cold corpus analysis: a fresh engine per op
 		// pushes every binary through the bounded worker pool, so ns/op is
 		// the end-to-end cost of one full corpus (load + sweep + identify).
-		benchmark{"engine/Throughput", func(b *testing.B) {
+		benchmark{name: "engine/Throughput", fn: func(b *testing.B) {
 			b.SetBytes(int64(corpusBytes))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -302,7 +366,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 		}},
 		// engine/CacheHit measures the content-hash fast path: every
 		// binary is pre-warmed, so each op is pure SHA-256 + LRU lookup.
-		benchmark{"engine/CacheHit", func(b *testing.B) {
+		benchmark{name: "engine/CacheHit", fn: func(b *testing.B) {
 			eng := engine.New(engine.Config{})
 			for _, c := range set {
 				if _, err := eng.Analyze(context.Background(), c.raw, funseeker.Config4); err != nil {
@@ -328,7 +392,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 		// the hot path of every analyze/stage measurement. It must stay
 		// lock-free and allocation-free or the metrics layer shows up in
 		// the sweep numbers it is supposed to measure.
-		benchmark{"obs/HistogramObserve", func(b *testing.B) {
+		benchmark{name: "obs/HistogramObserve", fn: func(b *testing.B) {
 			h := obs.NewRegistry().NewHistogram("bench_observe_seconds", "bench", obs.LatencyBuckets)
 			b.ReportAllocs()
 			b.RunParallel(func(pb *testing.PB) {
@@ -341,7 +405,7 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				b.Fatal("no observations recorded")
 			}
 		}},
-		benchmark{"evalmatrix/shared-context", func(b *testing.B) {
+		benchmark{name: "evalmatrix/shared-context", fn: func(b *testing.B) {
 			b.SetBytes(int64(corpusBytes))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

@@ -8,12 +8,15 @@
 // Usage:
 //
 //	diffdrill [-seeds N] [-start S] [-duration D] [-workers W]
-//	          [-keep-failures DIR] [-max-funcs N] [-v]
+//	          [-keep-failures DIR] [-max-funcs N] [-bti F] [-v]
 //
 // With -duration set, diffdrill runs seeds from -start upward until the
-// deadline; otherwise it runs exactly -seeds seeds. Failing cases are
-// minimized and written as regression-spec JSON under -keep-failures
-// (default internal/diffcheck/testdata/failures; promote good ones to
+// deadline; otherwise it runs exactly -seeds seeds. With -bti F, the
+// given fraction of seeds (chosen deterministically per seed, so runs
+// replay) compile through the AArch64/BTI synthesizer and check the BTI
+// invariant battery instead. Failing cases are minimized and written as
+// regression-spec JSON under -keep-failures (default
+// internal/diffcheck/testdata/failures; promote good ones to
 // internal/diffcheck/testdata/specs so the package test replays them).
 // Exit status is 1 if any seed produced a violation.
 package main
@@ -40,6 +43,7 @@ func main() {
 		keepDir  = flag.String("keep-failures", "internal/diffcheck/testdata/failures", "directory for minimized reproducers of failing seeds")
 		maxFail  = flag.Int("max-failures", 10, "stop after this many failing seeds")
 		maxFuncs = flag.Int("max-funcs", 0, "override generator max function count (0 = default)")
+		btiFrac  = flag.Float64("bti", 0, "fraction of seeds checked through the AArch64/BTI backend (0-1)")
 		verbose  = flag.Bool("v", false, "log every violation as it is found")
 	)
 	flag.Parse()
@@ -76,6 +80,20 @@ func main() {
 				}
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
+				}
+				// Deterministic per-seed backend choice so any seed replays
+				// identically regardless of worker interleaving.
+				if *btiFrac > 0 && float64(uint64(seed)%997)/997 < *btiFrac {
+					res := diffcheck.CheckBTISeed(seed, opts)
+					checked.Add(1)
+					if !res.Failed() {
+						continue
+					}
+					failed.Add(1)
+					mu.Lock()
+					reportBTIFailure(res, *keepDir, *verbose)
+					mu.Unlock()
+					continue
 				}
 				res := diffcheck.CheckSeed(seed, opts)
 				checked.Add(1)
@@ -117,15 +135,50 @@ func reportFailure(res *diffcheck.CaseResult, keepDir string, verbose bool) {
 			kinds = append(kinds, v.Check)
 		}
 	}
+	cfgJSON := diffcheck.EncodeConfig(cfg)
 	rc := &diffcheck.RegressionCase{
 		Description: fmt.Sprintf("diffdrill seed %d: %s (minimized from %d funcs to %d)",
 			res.Seed, kinds[0], len(res.Spec.Funcs), len(spec.Funcs)),
 		Seed:       res.Seed,
 		Violations: kinds,
-		Config:     diffcheck.EncodeConfig(cfg),
+		Arch:       "x86",
+		Config:     &cfgJSON,
 		Spec:       spec,
 	}
 	path := filepath.Join(keepDir, fmt.Sprintf("seed_%d.json", res.Seed))
+	if err := rc.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "diffdrill: save reproducer: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "  minimized reproducer: %s (%d funcs)\n", path, len(spec.Funcs))
+}
+
+// reportBTIFailure is reportFailure for the AArch64 oracle.
+func reportBTIFailure(res *diffcheck.BTICaseResult, keepDir string, verbose bool) {
+	fmt.Fprintf(os.Stderr, "FAIL bti seed %d (%d violations)\n", res.Seed, len(res.Violations))
+	if verbose {
+		fmt.Fprintf(os.Stderr, "%s\n", res)
+	}
+	spec, cfg := diffcheck.MinimizeBTIResult(res)
+	kinds := make([]string, 0, len(res.Violations))
+	seen := map[string]bool{}
+	for _, v := range res.Violations {
+		if !seen[v.Check] {
+			seen[v.Check] = true
+			kinds = append(kinds, v.Check)
+		}
+	}
+	cfgJSON := diffcheck.EncodeBTIConfig(cfg)
+	rc := &diffcheck.RegressionCase{
+		Description: fmt.Sprintf("diffdrill bti seed %d: %s (minimized from %d funcs to %d)",
+			res.Seed, kinds[0], len(res.Spec.Funcs), len(spec.Funcs)),
+		Seed:       res.Seed,
+		Violations: kinds,
+		Arch:       "aarch64",
+		BTIConfig:  &cfgJSON,
+		Spec:       spec,
+	}
+	path := filepath.Join(keepDir, fmt.Sprintf("bti_seed_%d.json", res.Seed))
 	if err := rc.Save(path); err != nil {
 		fmt.Fprintf(os.Stderr, "diffdrill: save reproducer: %v\n", err)
 		return

@@ -1,5 +1,6 @@
 // Command funseeker identifies function entry points in CET-enabled
-// ELF binaries.
+// x86-64 and BTI-enabled AArch64 ELF binaries, dispatching on the ELF
+// header.
 //
 // Usage:
 //
@@ -22,9 +23,7 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"debug/elf"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -83,28 +82,26 @@ func run() error {
 		return runCorpus(flag.Args(), opts, *configN, *jobs, *jsonOut, *quiet, *stats, *verbose)
 	}
 
-	// AArch64 binaries dispatch to the BTI port of the algorithm.
 	raw, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return err
 	}
-	if ef, err := elf.NewFile(bytes.NewReader(raw)); err == nil {
-		machine := ef.Machine
-		ef.Close()
-		if machine == elf.EM_AARCH64 {
-			return runBTI(raw, *gtPath, *stats, *quiet)
-		}
-	}
-
 	bin, err := funseeker.Load(raw)
 	if err != nil {
 		return err
 	}
 	bin.Path = flag.Arg(0)
-	if !bin.CETEnabled {
-		fmt.Fprintln(os.Stderr, "funseeker: warning: binary is not marked CET-enabled (no IBT property note)")
+	if !bin.MarkersEnabled() {
+		if bin.Arch == funseeker.ArchAArch64 {
+			fmt.Fprintln(os.Stderr, "funseeker: warning: binary is not marked BTI-enabled (no BTI property note)")
+		} else {
+			fmt.Fprintln(os.Stderr, "funseeker: warning: binary is not marked CET-enabled (no IBT property note)")
+		}
 	}
 	if *dist {
+		if bin.Arch == funseeker.ArchAArch64 {
+			return fmt.Errorf("-endbr-dist is an x86 study (Table I); not supported for aarch64")
+		}
 		d, err := funseeker.ClassifyEndbrs(bin)
 		if err != nil {
 			return err
@@ -135,6 +132,7 @@ func run() error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(struct {
 			Binary  string   `json:"binary"`
+			Arch    string   `json:"arch"`
 			Config  int      `json:"config"`
 			Entries []uint64 `json:"entries"`
 			Endbrs  int      `json:"endbrs"`
@@ -143,6 +141,7 @@ func run() error {
 			Tails   int      `json:"tail_call_targets"`
 		}{
 			Binary:  flag.Arg(0),
+			Arch:    report.Arch,
 			Config:  *configN,
 			Entries: report.Entries,
 			Endbrs:  len(report.Endbrs),
@@ -157,6 +156,7 @@ func run() error {
 		}
 	}
 	if *stats {
+		fmt.Fprintf(os.Stderr, "arch:              %s\n", report.Arch)
 		fmt.Fprintf(os.Stderr, "endbrs:            %d\n", len(report.Endbrs))
 		fmt.Fprintf(os.Stderr, "call targets:      %d\n", len(report.CallTargets))
 		fmt.Fprintf(os.Stderr, "jump targets:      %d\n", len(report.JumpTargets))
@@ -186,6 +186,7 @@ func isDir(path string) bool {
 // single-binary -json shape plus engine metadata.
 type corpusLine struct {
 	Binary  string   `json:"binary"`
+	Arch    string   `json:"arch,omitempty"`
 	Config  int      `json:"config"`
 	SHA256  string   `json:"sha256"`
 	Cached  bool     `json:"cached"`
@@ -235,6 +236,7 @@ func runCorpus(args []string, opts funseeker.Options, configN, jobs int, jsonOut
 		if jsonOut {
 			return enc.Encode(corpusLine{
 				Binary:  fr.Path,
+				Arch:    rep.Arch,
 				Config:  configN,
 				SHA256:  fr.Result.SHA256,
 				Cached:  fr.Result.Cached,
@@ -264,37 +266,6 @@ func runCorpus(args []string, opts funseeker.Options, configN, jobs int, jsonOut
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d of %d binaries failed", failures, len(paths))
-	}
-	return nil
-}
-
-// runBTI handles AArch64 binaries with the BTI algorithm.
-func runBTI(raw []byte, gtPath string, stats, quiet bool) error {
-	report, err := funseeker.IdentifyBTI(raw)
-	if err != nil {
-		return err
-	}
-	if !quiet {
-		for _, e := range report.Entries {
-			fmt.Printf("%#x\n", e)
-		}
-	}
-	if stats {
-		fmt.Fprintf(os.Stderr, "call pads (BTI c / PACIASP): %d\n", report.CallPads)
-		fmt.Fprintf(os.Stderr, "jump pads (BTI j, excluded): %d\n", report.JumpPads)
-		fmt.Fprintf(os.Stderr, "call targets:      %d\n", len(report.CallTargets))
-		fmt.Fprintf(os.Stderr, "jump targets:      %d\n", len(report.JumpTargets))
-		fmt.Fprintf(os.Stderr, "tail-call targets: %d\n", len(report.TailCallTargets))
-		fmt.Fprintf(os.Stderr, "entries:           %d\n", len(report.Entries))
-	}
-	if gtPath != "" {
-		gt, err := funseeker.LoadGroundTruth(gtPath)
-		if err != nil {
-			return err
-		}
-		m := funseeker.Score(report.Entries, gt)
-		fmt.Fprintf(os.Stderr, "precision %.3f%%  recall %.3f%%  (tp=%d fp=%d fn=%d)\n",
-			m.Precision(), m.Recall(), m.TP, m.FP, m.FN)
 	}
 	return nil
 }

@@ -52,6 +52,10 @@ type server struct {
 	// latency including body read and JSON encode.
 	reqsByKind *obs.CounterVec
 	reqSeconds *obs.Histogram
+	// analyzeByArch counts successful analyses by the architecture the
+	// dispatched backend reported, so a mixed-ISA corpus shows its split
+	// at the scrape endpoint.
+	analyzeByArch *obs.CounterVec
 }
 
 // newServer builds the funseekerd HTTP layer over eng. Call handler()
@@ -66,16 +70,21 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 		"Finished HTTP requests by outcome kind.", "kind")
 	s.reqSeconds = cfg.registry.NewHistogram("funseekerd_http_request_seconds",
 		"Edge-to-edge HTTP request latency.", nil)
+	s.analyzeByArch = cfg.registry.NewCounterVec("funseekerd_analyze_arch_total",
+		"Successful analyses by binary architecture.", "arch")
 	return s
 }
 
 // handler wires the public funseekerd routes:
 //
 //	POST /v1/analyze  — analyze an ELF image (raw body or multipart
-//	                    field "binary"); ?config=1..4 selects the
-//	                    algorithm configuration, ?superset=1 adds the
-//	                    byte-level end-branch scan, ?require_cet=1
-//	                    rejects endbr-free binaries
+//	                    field "binary"); x86-64 and aarch64 images are
+//	                    dispatched to their backends by the ELF header.
+//	                    ?config=1..4 selects the algorithm
+//	                    configuration, ?superset=1 adds the byte-level
+//	                    landmark scan, ?require_cet=1 rejects
+//	                    landmark-free binaries, ?arch=x86-64|aarch64
+//	                    pins a backend instead of trusting the header
 //	GET  /v1/healthz  — liveness
 //	GET  /v1/stats    — engine counters (cache, in-flight, per-stage
 //	                    analysis costs)
@@ -110,6 +119,10 @@ func (s *server) debugHandler() http.Handler {
 // Report plus service metadata.
 type analyzeResponse struct {
 	SHA256 string `json:"sha256"`
+	// Arch is the backend that analyzed the image ("x86-64",
+	// "aarch64", ...), detected from the ELF header unless ?arch=
+	// pinned it.
+	Arch   string `json:"arch"`
 	Config int    `json:"config"`
 	// Cached is false for a fresh analysis, or the string "lru" /
 	// "coalesced" naming the fast path that served the result.
@@ -174,8 +187,10 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		cached = res.CacheSource
 	}
 	rep := res.Report
+	s.analyzeByArch.With(rep.Arch).Inc()
 	writeJSON(w, http.StatusOK, analyzeResponse{
 		SHA256:                 res.SHA256,
+		Arch:                   rep.Arch,
 		Config:                 configN,
 		Cached:                 cached,
 		ElapsedMS:              float64(res.Elapsed) / float64(time.Millisecond),
@@ -190,7 +205,8 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// optionsFromQuery maps ?config / ?superset / ?require_cet to Options.
+// optionsFromQuery maps ?config / ?superset / ?require_cet / ?arch to
+// Options.
 func optionsFromQuery(r *http.Request) (core.Options, int, error) {
 	q := r.URL.Query()
 	configN := 4
@@ -217,6 +233,13 @@ func optionsFromQuery(r *http.Request) (core.Options, int, error) {
 	}
 	if isQueryTrue(q.Get("require_cet")) {
 		opts.RequireCET = true
+	}
+	if v := q.Get("arch"); v != "" {
+		arch, ok := elfx.ParseArch(v)
+		if !ok {
+			return core.Options{}, 0, fmt.Errorf("unknown arch %q (want x86, x86-64, or aarch64)", v)
+		}
+		opts.Arch = arch
 	}
 	return opts, configN, nil
 }

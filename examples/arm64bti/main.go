@@ -1,11 +1,19 @@
 // Arm64bti: the paper's §VI future-work extension, running. Builds a
-// BTI-enabled AArch64 binary and identifies its functions with the BTI
-// port of the FunSeeker algorithm. Note how `BTI j` switch-case labels
-// are excluded from the entry set by their own operand — ARM bakes the
-// FILTERENDBR distinction into the ISA.
+// BTI-enabled AArch64 binary and identifies its functions through the
+// same public API an x86 binary takes — funseeker.IdentifyBytes
+// dispatches on the ELF header, so no ARM-specific entry point is
+// needed. Note how `BTI j` switch-case labels are excluded from the
+// landmark set by their own operand — ARM bakes the FILTERENDBR
+// distinction into the ISA, and the report shows it: every ground-truth
+// pad missing from Endbrs is a jump-only label.
+//
+// With -o, the stripped image of the first configuration is also
+// written to disk (CI uses this to feed an AArch64 binary to the
+// funseekerd smoke test).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,13 +21,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	out := flag.String("o", "", "also write the first configuration's ELF image to this path")
+	flag.Parse()
+	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "arm64bti:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(out string) error {
 	spec := &funseeker.ProgramSpec{
 		Name: "btidemo",
 		Lang: funseeker.LangC,
@@ -34,7 +44,7 @@ func run() error {
 			{Name: "slow_path", TailCalls: []int{4}},
 		},
 	}
-	for _, cfg := range []funseeker.BTIBuildConfig{
+	for i, cfg := range []funseeker.BTIBuildConfig{
 		{Opt: funseeker.O2},
 		{Opt: funseeker.O2, PAC: true},
 	} {
@@ -42,17 +52,38 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		report, err := funseeker.IdentifyBTI(res.Image)
+		if out != "" && i == 0 {
+			if err := os.WriteFile(out, res.Image, 0o755); err != nil {
+				return err
+			}
+		}
+
+		// The generic entry point: the AArch64 backend is picked from
+		// the ELF header, exactly as for an x86 upload.
+		report, err := funseeker.IdentifyBytes(res.Image, funseeker.Config4)
 		if err != nil {
 			return err
 		}
+		if report.Arch != "aarch64" {
+			return fmt.Errorf("dispatched to %q, want aarch64", report.Arch)
+		}
+
 		names := make(map[uint64]string, len(res.GT.Funcs))
 		for _, f := range res.GT.Funcs {
 			names[f.Addr] = f.Name
 		}
-		fmt.Printf("=== %s ===\n", cfg)
-		fmt.Printf("call pads (BTI c / PACIASP): %d   jump pads (BTI j, excluded): %d\n",
-			report.CallPads, report.JumpPads)
+		padSet := make(map[uint64]bool, len(report.Endbrs))
+		for _, p := range report.Endbrs {
+			padSet[p] = true
+		}
+
+		fmt.Printf("=== %s (backend %s) ===\n", cfg, report.Arch)
+		fmt.Printf("call-accepting pads (BTI c / PACIASP): %d\n", len(report.Endbrs))
+		for _, site := range res.GT.Endbrs {
+			if !padSet[site.Addr] {
+				fmt.Printf("  excluded by ISA: %#x (%s pad)\n", site.Addr, site.Role)
+			}
+		}
 		for _, e := range report.Entries {
 			name := names[e]
 			if name == "" {

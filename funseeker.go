@@ -92,6 +92,37 @@ type Report = core.Report
 // Binary is a loaded ELF executable ready for analysis.
 type Binary = elfx.Binary
 
+// Arch names an analysis backend. The zero value (ArchAuto) means
+// "dispatch on the ELF header", which is right for every normal caller.
+type Arch = elfx.Arch
+
+// Architecture constants, re-exported from the loader.
+const (
+	// ArchAuto dispatches on the binary's ELF header.
+	ArchAuto = elfx.ArchAuto
+	// ArchX86 is 32-bit x86 (CET/ENDBR32).
+	ArchX86 = elfx.ArchX86
+	// ArchX86_64 is x86-64 (CET/ENDBR64).
+	ArchX86_64 = elfx.ArchX86_64
+	// ArchAArch64 is 64-bit ARM (BTI/PACIASP).
+	ArchAArch64 = elfx.ArchAArch64
+	// ArchUnknown marks an ELF machine no backend handles.
+	ArchUnknown = elfx.ArchUnknown
+)
+
+// DetectArch peeks at an ELF header and reports the architecture Load
+// would assign, without parsing the image. Non-ELF input yields
+// ArchUnknown.
+func DetectArch(raw []byte) Arch {
+	return elfx.DetectArch(raw)
+}
+
+// ParseArch maps a human-facing architecture name ("x86-64", "amd64",
+// "aarch64", "arm64", "auto", ...) to its Arch value.
+func ParseArch(s string) (Arch, bool) {
+	return elfx.ParseArch(s)
+}
+
 // AnalysisContext is the shared per-binary analysis state: the linear
 // sweep, reference sets, .eh_frame parse, and landing-pad set are each
 // computed once per binary, on first demand, and shared by every analyzer

@@ -16,6 +16,12 @@
 // across the evaluation runner's worker pool. Per-stage wall-clock costs
 // and hit/miss counts are recorded in Stats (see stats.go) so the runtime
 // tables can report where time actually goes.
+//
+// The sweep itself is produced by an architecture Backend (see
+// backend.go): x86/CET and AArch64/BTI today, dispatched from the ELF
+// header. The memo is per-arch — forcing a foreign backend onto a binary
+// (a test, or a caller second-guessing a corrupt header) computes and
+// caches its own sweep without disturbing the native one.
 package analysis
 
 import (
@@ -23,7 +29,7 @@ import (
 	"sync"
 	"time"
 
-	"github.com/funseeker/funseeker/internal/cet"
+	"github.com/funseeker/funseeker/internal/arm64"
 	"github.com/funseeker/funseeker/internal/ehframe"
 	"github.com/funseeker/funseeker/internal/ehinfo"
 	"github.com/funseeker/funseeker/internal/elfx"
@@ -36,25 +42,45 @@ type JumpRef struct {
 	Src uint64
 	// Target is the absolute destination.
 	Target uint64
-	// Cond reports whether the jump is conditional (Jcc).
+	// Cond reports whether the jump is conditional (Jcc). The AArch64
+	// backend records unconditional jumps only, so it is always false
+	// there.
 	Cond bool
 }
 
 // Sweep carries everything one linear-sweep disassembly pass collects:
 // the materialized instruction index plus the derived reference sets the
-// identification algorithms consume. All fields are populated once and
-// must be treated as read-only.
+// identification algorithms consume. The reference-set vocabulary is
+// backend-neutral — "end branch" means whatever landmark the ISA places
+// at indirect-call targets (ENDBR on x86, call-accepting BTI/PACIASP
+// pads on AArch64). All fields are populated once and must be treated as
+// read-only.
 type Sweep struct {
-	// Index is the materialized linear-sweep disassembly of .text.
-	Index *x86.Index
+	// Arch is the backend that produced the sweep.
+	Arch elfx.Arch
 
-	// Endbrs is E: every end-branch address in .text, ascending.
+	// Index is the materialized x86 linear-sweep disassembly, nil when
+	// another backend produced the sweep.
+	Index *x86.Index
+	// ARM64 is the materialized AArch64 sweep, nil for x86 backends.
+	ARM64 *arm64.Index
+	// Shards / StitchRetries are the backend-neutral parallel-decode
+	// accounting (1 / 0 for a sequential sweep).
+	Shards        int
+	StitchRetries int
+
+	// Endbrs is E: every landmark address in .text, ascending.
 	Endbrs []uint64
 	// EndbrSet is Endbrs as a membership set.
 	EndbrSet map[uint64]bool
 	// AfterIRCall marks end-branch addresses immediately preceded by a
 	// call to a PLT entry of an indirect-return (setjmp-family) function.
+	// Always empty on AArch64, where no analog is needed (see JumpPads).
 	AfterIRCall map[uint64]bool
+	// JumpPads is the indirect-jump-only landmark set (BTI j switch
+	// labels), excluded from E by the ISA itself. Empty on x86, where the
+	// single ENDBR encoding accepts calls and jumps alike.
+	JumpPads []uint64
 
 	// CallTargets is C: every direct-call target inside .text, ascending.
 	CallTargets []uint64
@@ -64,18 +90,37 @@ type Sweep struct {
 	// .text (PLT stubs and the like).
 	AllCallTargets map[uint64]bool
 
-	// JumpRefs is every direct jump (conditional and unconditional) with
-	// its source retained for SELECTTAILCALL.
+	// JumpRefs is every direct jump with its source retained for
+	// SELECTTAILCALL: conditional and unconditional on x86, unconditional
+	// only on AArch64 (matching the BTI algorithm's J).
 	JumpRefs []JumpRef
-	// JumpTargets is J restricted to .text, ascending, deduplicated
-	// (conditional and unconditional targets alike, matching the paper's
-	// configuration ③ candidate set).
+	// JumpTargets is J restricted to .text, ascending, deduplicated.
 	JumpTargets []uint64
 	// JumpTargetSet is JumpTargets as a membership set.
 	JumpTargetSet map[uint64]bool
 	// UncondJumpTargets is the unconditional-only target set (any
 	// address), the DirJmpTarget property of the Figure 3 study.
 	UncondJumpTargets map[uint64]bool
+}
+
+// sweepMemo is one architecture's slot of the per-arch sweep cache.
+//
+// It is not a sync.Once: a canceled computation must leave the cache
+// empty so the next caller recomputes under its own context, and a
+// caller waiting behind an in-flight computation must still be able to
+// honor its own cancellation. mu guards both fields; inflight is
+// non-nil (and closed on completion) while some goroutine is computing.
+type sweepMemo struct {
+	mu       sync.Mutex
+	inflight chan struct{}
+	sweep    *Sweep
+}
+
+// supersetMemo is one architecture's slot of the byte-level marker-scan
+// cache.
+type supersetMemo struct {
+	once onceStage
+	vas  []uint64
 }
 
 // Context is the shared per-binary analysis state. Create one per binary
@@ -85,15 +130,12 @@ type Sweep struct {
 type Context struct {
 	bin *elfx.Binary
 
-	// The sweep memo is not a sync.Once: a canceled computation must
-	// leave the cache empty so the next caller recomputes under its own
-	// context, and a caller waiting behind an in-flight computation must
-	// still be able to honor its own cancellation. sweepMu guards both
-	// fields; sweepInflight is non-nil (and closed on completion) while
-	// some goroutine is computing.
-	sweepMu       sync.Mutex
-	sweepInflight chan struct{}
-	sweep         *Sweep
+	// sweeps and supersets are indexed by elfx.Arch: one memo slot per
+	// backend, so sweeps of different architectures over the same bytes
+	// never collide. In the overwhelmingly common case only the binary's
+	// native slot is ever touched.
+	sweeps    [elfx.NArch]sweepMemo
+	supersets [elfx.NArch]supersetMemo
 
 	ehOnce onceStage
 	fdes   []ehframe.FDE
@@ -102,9 +144,6 @@ type Context struct {
 	padsOnce onceStage
 	pads     map[uint64]bool
 	padsErr  error
-
-	supersetOnce onceStage
-	superset     []uint64
 
 	stats statCounters
 }
@@ -118,54 +157,66 @@ func NewContext(bin *elfx.Binary) *Context {
 // Binary returns the underlying loaded binary.
 func (c *Context) Binary() *elfx.Binary { return c.bin }
 
-// Sweep returns the memoized linear-sweep artifacts, computing them on
-// first call.
+// Sweep returns the memoized linear-sweep artifacts of the binary's
+// native architecture, computing them on first call.
 func (c *Context) Sweep() *Sweep {
 	sw, _ := c.SweepCtx(context.Background()) // background never cancels
 	return sw
 }
 
-// SweepCtx returns the memoized linear-sweep artifacts, computing them
+// SweepCtx returns the memoized linear-sweep artifacts of the binary's
+// native architecture, computing them under ctx on first call.
+func (c *Context) SweepCtx(ctx context.Context) (*Sweep, error) {
+	return c.SweepArchCtx(ctx, elfx.ArchAuto)
+}
+
+// SweepArchCtx returns the memoized linear-sweep artifacts for arch
+// (ArchAuto selects the binary's native architecture), computing them
 // under ctx on first call. Cancellation is cooperative: the sweep checks
 // ctx at parallel-shard and stride boundaries, so an aborted request
 // stops burning CPU within tens of microseconds. A canceled computation
 // is not memoized — the next caller recomputes under its own context —
 // and a caller waiting behind another goroutine's in-flight computation
 // returns ctx.Err() as soon as its own context is done.
-func (c *Context) SweepCtx(ctx context.Context) (*Sweep, error) {
+func (c *Context) SweepArchCtx(ctx context.Context, arch elfx.Arch) (*Sweep, error) {
+	be, err := BackendFor(resolveArch(c.bin, arch))
+	if err != nil {
+		return nil, err
+	}
+	m := &c.sweeps[be.Arch()]
 	for {
-		c.sweepMu.Lock()
-		if c.sweep != nil {
-			c.sweepMu.Unlock()
+		m.mu.Lock()
+		if m.sweep != nil {
+			m.mu.Unlock()
 			c.stats.sweep.hits.Add(1)
-			return c.sweep, nil
+			return m.sweep, nil
 		}
-		if c.sweepInflight == nil {
+		if m.inflight == nil {
 			// We are the computing goroutine.
 			wait := make(chan struct{})
-			c.sweepInflight = wait
-			c.sweepMu.Unlock()
+			m.inflight = wait
+			m.mu.Unlock()
 
 			start := time.Now()
-			sw, err := buildSweep(ctx, c.bin)
+			sw, err := be.BuildSweep(ctx, c.bin)
 
-			c.sweepMu.Lock()
-			c.sweepInflight = nil
+			m.mu.Lock()
+			m.inflight = nil
 			if err == nil {
-				c.sweep = sw
+				m.sweep = sw
 				c.stats.sweep.observe(time.Since(start))
-				c.stats.sweepShards.Add(uint64(sw.Index.Shards))
-				c.stats.stitchRetries.Add(uint64(sw.Index.StitchRetries))
+				c.stats.sweepShards.Add(uint64(sw.Shards))
+				c.stats.stitchRetries.Add(uint64(sw.StitchRetries))
 			}
 			close(wait)
-			c.sweepMu.Unlock()
+			m.mu.Unlock()
 			if err != nil {
 				return nil, err
 			}
 			return sw, nil
 		}
-		wait := c.sweepInflight
-		c.sweepMu.Unlock()
+		wait := m.inflight
+		m.mu.Unlock()
 		select {
 		case <-wait:
 			// Loop: either the sweep is memoized now, or the computing
@@ -176,11 +227,14 @@ func (c *Context) SweepCtx(ctx context.Context) (*Sweep, error) {
 	}
 }
 
-// Index returns the memoized instruction index (one linear sweep).
+// Index returns the memoized x86 instruction index (one linear sweep).
+// It is nil for binaries whose native backend is not x86; the x86-only
+// baseline models are the only consumers.
 func (c *Context) Index() *x86.Index { return c.Sweep().Index }
 
-// IndexCtx returns the memoized instruction index, computing the sweep
-// under ctx on first call (see SweepCtx for cancellation semantics).
+// IndexCtx returns the memoized x86 instruction index, computing the
+// sweep under ctx on first call (see SweepCtx for cancellation
+// semantics).
 func (c *Context) IndexCtx(ctx context.Context) (*x86.Index, error) {
 	sw, err := c.SweepCtx(ctx)
 	if err != nil {
@@ -216,16 +270,29 @@ func (c *Context) LandingPads() (map[uint64]bool, error) {
 	return c.pads, c.padsErr
 }
 
-// SupersetEndbrs returns the memoized byte-level end-branch scan: every
-// address at which an ENDBR32/ENDBR64 encoding occurs, at any byte offset
-// of .text, ascending. This is the superset-disassembly pairing the
-// paper's §VI proposes; it is kept separate from Sweep because only the
-// SupersetEndbrScan option consumes it.
+// SupersetEndbrs returns the memoized byte-level landmark scan of the
+// binary's native architecture (see SupersetMarkers).
 func (c *Context) SupersetEndbrs() []uint64 {
-	c.supersetOnce.do(&c.stats.superset, func() {
-		c.superset = scanEndbrEncodings(c.bin.Text, c.bin.TextAddr)
+	return c.SupersetMarkers(elfx.ArchAuto)
+}
+
+// SupersetMarkers returns the memoized byte-level landmark scan for arch
+// (ArchAuto selects the binary's native architecture): every address at
+// which a call-accepting landmark encoding occurs, at any byte offset of
+// .text, ascending. This is the superset-disassembly pairing the paper's
+// §VI proposes; it is kept separate from Sweep because only the
+// SupersetEndbrScan option consumes it. Architectures without a backend
+// yield nil.
+func (c *Context) SupersetMarkers(arch elfx.Arch) []uint64 {
+	be, err := BackendFor(resolveArch(c.bin, arch))
+	if err != nil {
+		return nil
+	}
+	m := &c.supersets[be.Arch()]
+	m.once.do(&c.stats.superset, func() {
+		m.vas = be.ScanMarkers(c.bin.Text, c.bin.TextAddr)
 	})
-	return c.superset
+	return m.vas
 }
 
 // ObserveFilter records one FILTERENDBR stage execution of duration d.
@@ -234,100 +301,3 @@ func (c *Context) ObserveFilter(d time.Duration) { c.stats.filter.observe(d) }
 // ObserveTailCall records one SELECTTAILCALL stage execution of
 // duration d.
 func (c *Context) ObserveTailCall(d time.Duration) { c.stats.tailCall.observe(d) }
-
-// parallelSweepThreshold is the .text size above which the context
-// shards the sweep across cores. Below it the sequential build wins:
-// the goroutine fan-out plus the seam stitching cost more than the
-// decode of a small section.
-const parallelSweepThreshold = 256 << 10
-
-// buildIndex picks the sweep strategy by text size: the sharded parallel
-// build for large sections, the sequential build otherwise. Both produce
-// byte-identical indexes (internal/diffcheck asserts it per binary), and
-// both honor ctx cancellation at stride boundaries.
-func buildIndex(ctx context.Context, bin *elfx.Binary) (*x86.Index, error) {
-	if len(bin.Text) >= parallelSweepThreshold {
-		return x86.BuildIndexParallelCtx(ctx, bin.Text, bin.TextAddr, bin.Mode, 0)
-	}
-	return x86.BuildIndexCtx(ctx, bin.Text, bin.TextAddr, bin.Mode)
-}
-
-// buildSweep runs the single linear sweep and derives every reference
-// set from the materialized index. On cancellation the partial work is
-// discarded and ctx.Err() returned.
-func buildSweep(ctx context.Context, bin *elfx.Binary) (*Sweep, error) {
-	idx, err := buildIndex(ctx, bin)
-	if err != nil {
-		return nil, err
-	}
-	sw := &Sweep{
-		Index:             idx,
-		AfterIRCall:       make(map[uint64]bool),
-		AllCallTargets:    make(map[uint64]bool),
-		JumpTargetSet:     make(map[uint64]bool),
-		UncondJumpTargets: make(map[uint64]bool),
-	}
-	havePrev := false
-	var prev *x86.Inst
-	insts := sw.Index.Insts
-	for i := range insts {
-		inst := &insts[i]
-		switch inst.Class {
-		case x86.ClassEndbr64, x86.ClassEndbr32:
-			sw.Endbrs = append(sw.Endbrs, inst.Addr)
-			if havePrev && prev.Class == x86.ClassCallRel && prev.HasTarget {
-				if name, ok := bin.PLTName(prev.Target); ok && cet.IsIndirectReturnFunc(name) {
-					sw.AfterIRCall[inst.Addr] = true
-				}
-			}
-		case x86.ClassCallRel:
-			if inst.HasTarget {
-				sw.AllCallTargets[inst.Target] = true
-			}
-		case x86.ClassJmpRel, x86.ClassJccRel:
-			if inst.HasTarget {
-				cond := inst.Class == x86.ClassJccRel
-				sw.JumpRefs = append(sw.JumpRefs, JumpRef{Src: inst.Addr, Target: inst.Target, Cond: cond})
-				if bin.InText(inst.Target) {
-					sw.JumpTargetSet[inst.Target] = true
-				}
-				if !cond {
-					sw.UncondJumpTargets[inst.Target] = true
-				}
-			}
-		}
-		prev = inst
-		havePrev = true
-	}
-
-	sw.EndbrSet = make(map[uint64]bool, len(sw.Endbrs))
-	for _, e := range sw.Endbrs {
-		sw.EndbrSet[e] = true
-	}
-	sw.CallTargetSet = make(map[uint64]bool, len(sw.AllCallTargets))
-	for t := range sw.AllCallTargets {
-		if bin.InText(t) {
-			sw.CallTargetSet[t] = true
-		}
-	}
-	sw.CallTargets = sortedKeys(sw.CallTargetSet)
-	sw.JumpTargets = sortedKeys(sw.JumpTargetSet)
-	return sw, nil
-}
-
-// scanEndbrEncodings finds the 4-byte ENDBR encodings (F3 0F 1E FA/FB)
-// at every byte offset of text. Encodings whose tail would straddle the
-// end of the section are not matches.
-func scanEndbrEncodings(text []byte, base uint64) []uint64 {
-	var out []uint64
-	for off := 0; off+4 <= len(text); off++ {
-		if text[off] != 0xF3 || text[off+1] != 0x0F || text[off+2] != 0x1E {
-			continue
-		}
-		if b := text[off+3]; b != 0xFA && b != 0xFB {
-			continue
-		}
-		out = append(out, base+uint64(off))
-	}
-	return out
-}

@@ -1,0 +1,67 @@
+package arm64
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// GenText synthesizes n bytes of compiler-shaped AArch64 text for sweep
+// tests and benchmarks: function-entry landmarks (BTI c / PACIASP),
+// prologue/epilogue pairs, ALU and move traffic, direct calls and
+// branches, conditional branches, and returns, in roughly the mix real
+// GCC/Clang output shows. Every emitted word is a valid instruction —
+// the ISA is fixed-width, so unlike the x86 generator there is no
+// data-in-text desynchronization to model.
+func GenText(n int, rng *rand.Rand) []byte {
+	words := n / 4
+	out := make([]byte, 0, words*4)
+	emit := func(word uint32) {
+		out = binary.LittleEndian.AppendUint32(out, word)
+	}
+	reg := func() uint32 { return uint32(rng.Intn(11)) } // x0..x10
+	branchOff := func(window int) uint32 {
+		// Signed word offset within ±window instructions, encoded into
+		// the low 26 bits of a B/BL word.
+		off := rng.Intn(2*window+1) - window
+		return uint32(off) & 0x03FFFFFF
+	}
+	for len(out)/4 < words {
+		switch r := rng.Intn(100); {
+		case r < 3:
+			emit(0xD503245F) // bti c
+		case r < 4:
+			emit(0xD50324DF) // bti jc
+		case r < 6:
+			emit(0xD503233F) // paciasp
+		case r < 14:
+			emit(0x94000000 | branchOff(1<<12)) // bl
+		case r < 19:
+			emit(0x14000000 | branchOff(1<<12)) // b
+		case r < 26:
+			// b.cond with a ±1 KiB imm19 displacement.
+			imm := uint32(rng.Intn(512)-256) & 0x7FFFF
+			emit(0x54000000 | imm<<5 | uint32(rng.Intn(14)))
+		case r < 30:
+			emit(0xD65F03C0) // ret
+		case r < 33:
+			emit(0xA9BF7BFD) // stp x29, x30, [sp, #-16]!
+		case r < 36:
+			emit(0xA8C17BFD) // ldp x29, x30, [sp], #16
+		case r < 40:
+			emit(0xD2800000 | uint32(rng.Intn(1<<16))<<5 | reg()) // movz
+		case r < 55:
+			emit(0x91000000 | uint32(rng.Intn(1<<12))<<10 | reg()<<5 | reg()) // add imm
+		case r < 65:
+			emit(0xD1000000 | uint32(rng.Intn(1<<12))<<10 | reg()<<5 | reg()) // sub imm
+		case r < 75:
+			emit(0x8B000000 | reg()<<16 | reg()<<5 | reg()) // add reg
+		case r < 85:
+			emit(0xF9400000 | uint32(rng.Intn(64))<<10 | reg()<<5 | reg()) // ldr
+		case r < 95:
+			emit(0xF9000000 | uint32(rng.Intn(64))<<10 | reg()<<5 | reg()) // str
+		default:
+			emit(0xD503201F) // nop
+		}
+	}
+	return out
+}

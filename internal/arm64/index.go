@@ -1,0 +1,117 @@
+package arm64
+
+import (
+	"context"
+	"encoding/binary"
+)
+
+// cancelStride is how many bytes BuildIndexCtx decodes between
+// cancellation checks, mirroring the x86 sweep's stride: frequent enough
+// that an aborted request stops burning CPU within tens of microseconds,
+// rare enough that the check never shows up in profiles.
+const cancelStride = 64 << 10
+
+// Index is the materialized form of one AArch64 linear sweep: every
+// decoded instruction in address order. Because the ISA is fixed-width,
+// the index needs no boundary bitmap — the instruction at va is
+// Insts[(va-Base)/4] — and sharded parallel decoding would buy nothing:
+// every decode start is already synchronized. An Index is immutable
+// after construction and safe for concurrent readers.
+type Index struct {
+	// Insts holds one decoded instruction per 4-byte word of the swept
+	// code, in ascending address order.
+	Insts []Inst
+	// Base is the virtual address decoding started at.
+	Base uint64
+}
+
+// BuildIndex decodes code from base and materializes the sweep. Trailing
+// bytes that do not fill a word are ignored, matching LinearSweep.
+func BuildIndex(code []byte, base uint64) *Index {
+	ix, _ := BuildIndexCtx(context.Background(), code, base)
+	return ix
+}
+
+// BuildIndexCtx is BuildIndex with cooperative cancellation at
+// cancelStride boundaries. A background context short-circuits every
+// check via the Done() == nil fast path.
+func BuildIndexCtx(ctx context.Context, code []byte, base uint64) (*Index, error) {
+	ix := &Index{
+		Insts: make([]Inst, 0, len(code)/4),
+		Base:  base,
+	}
+	done := ctx.Done()
+	next := 0
+	for off := 0; off+4 <= len(code); off += 4 {
+		if done != nil && off >= next {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			next = off + cancelStride
+		}
+		word := binary.LittleEndian.Uint32(code[off:])
+		ix.Insts = append(ix.Insts, Decode(word, base+uint64(off)))
+	}
+	return ix, nil
+}
+
+// At returns the instruction decoded at exactly va. Misaligned and
+// out-of-range addresses report false.
+func (ix *Index) At(va uint64) (Inst, bool) {
+	p := ix.lookup(va)
+	if p < 0 {
+		return Inst{}, false
+	}
+	return ix.Insts[p], true
+}
+
+// AtPtr returns a pointer into the index for the instruction at exactly
+// va, or nil. The pointee is shared with every other reader and must not
+// be modified.
+func (ix *Index) AtPtr(va uint64) *Inst {
+	p := ix.lookup(va)
+	if p < 0 {
+		return nil
+	}
+	return &ix.Insts[p]
+}
+
+// lookup maps va to a position in Insts, or -1.
+func (ix *Index) lookup(va uint64) int {
+	off := va - ix.Base
+	if off%4 != 0 || off/4 >= uint64(len(ix.Insts)) {
+		return -1
+	}
+	return int(off / 4)
+}
+
+// ScanCallPads returns every address in code holding a call-accepting
+// landmark encoding (BTI c, BTI jc, PACIASP/PACIBSP), ascending. Because
+// AArch64 instructions are fixed-width and word-aligned, this equals the
+// pad set the linear sweep discovers — superset disassembly degenerates
+// to the sweep on this ISA, there are no misaligned encodings to
+// recover. It exists so the byte-level-scan option has a uniform meaning
+// across backends.
+func ScanCallPads(code []byte, base uint64) []uint64 {
+	var out []uint64
+	for off := 0; off+4 <= len(code); off += 4 {
+		word := binary.LittleEndian.Uint32(code[off:])
+		inst := Decode(word, base+uint64(off))
+		if isCallPad(&inst) {
+			out = append(out, inst.Addr)
+		}
+	}
+	return out
+}
+
+// isCallPad reports whether inst is a landmark an indirect call may land
+// on: the AArch64 analog of ENDBR for entry identification.
+func isCallPad(inst *Inst) bool {
+	switch inst.Class {
+	case ClassBTI:
+		return inst.BTI.AcceptsCall()
+	case ClassPACIASP:
+		return true
+	}
+	return false
+}

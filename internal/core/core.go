@@ -34,9 +34,10 @@ import (
 )
 
 // ErrNotCET is returned when Options.RequireCET is set and the sweep
-// finds no end-branch instruction at all: the binary was not built with
-// Intel CET / IBT, so the marker-based algorithm has nothing to work
-// with. Match with errors.Is(err, ErrNotCET).
+// finds no landmark instruction at all: the binary was not built with
+// Intel CET / IBT (or, on AArch64, with BTI), so the marker-based
+// algorithm has nothing to work with. Match with
+// errors.Is(err, ErrNotCET).
 var ErrNotCET = errors.New("core: no end branches found (binary not CET-enabled?)")
 
 // Options selects which refinements run, mirroring the paper's four
@@ -69,6 +70,11 @@ type Options struct {
 	// encodings are long and never alias compiler-generated code, so the
 	// superset adds no false candidates on clean binaries.
 	SupersetEndbrScan bool
+	// Arch forces a specific analysis backend. The zero value
+	// (elfx.ArchAuto) dispatches on the binary's ELF header, which is
+	// right for every normal caller; tests and header-distrusting tools
+	// can pin a backend instead.
+	Arch elfx.Arch
 }
 
 // Configuration presets from Table II.
@@ -89,10 +95,15 @@ var DefaultOptions = Config4
 
 // Report is the result of one identification run.
 type Report struct {
+	// Arch names the backend that produced the report ("x86-64",
+	// "aarch64", ...), in the canonical elfx.Arch spelling.
+	Arch string
+
 	// Entries is the sorted set of identified function entry addresses.
 	Entries []uint64
 
-	// Endbrs is E: every end-branch address in .text.
+	// Endbrs is E: every landmark address in .text — end branches on
+	// x86, call-accepting BTI/PACIASP pads on AArch64.
 	Endbrs []uint64
 	// CallTargets is C: every direct-call target inside .text.
 	CallTargets []uint64
@@ -138,7 +149,7 @@ func IdentifyWithContext(actx *analysis.Context, opts Options) (*Report, error) 
 // a context.Context and actx a *analysis.Context.)
 func IdentifyCtx(ctx context.Context, actx *analysis.Context, opts Options) (*Report, error) {
 	bin := actx.Binary()
-	sw, err := actx.SweepCtx(ctx)
+	sw, err := actx.SweepArchCtx(ctx, opts.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -150,10 +161,11 @@ func IdentifyCtx(ctx context.Context, actx *analysis.Context, opts Options) (*Re
 		return nil, ErrNotCET
 	}
 	if opts.SupersetEndbrScan {
-		endbrs = mergeSupersetEndbrs(actx.SupersetEndbrs(), endbrs)
+		endbrs = mergeSupersetEndbrs(actx.SupersetMarkers(opts.Arch), endbrs)
 	}
 
 	report := &Report{
+		Arch:        sw.Arch.String(),
 		Endbrs:      append([]uint64(nil), endbrs...),
 		CallTargets: append([]uint64(nil), sw.CallTargets...),
 		JumpTargets: append([]uint64(nil), sw.JumpTargets...),

@@ -1,0 +1,132 @@
+package diffcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/synth"
+)
+
+// TestBTIRandomSeeds is the AArch64 slice of the differential soak:
+// every seed compiles through armsynth and must check clean against the
+// BTI invariant battery, including the core-vs-bticore entry
+// differential that pins the generic backend to the reference
+// implementation.
+func TestBTIRandomSeeds(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 40
+	}
+	opts := DefaultGenOptions()
+	for seed := int64(1); seed <= int64(n); seed++ {
+		res := CheckBTISeed(seed, opts)
+		if res.Failed() {
+			t.Fatalf("%s", res)
+		}
+	}
+}
+
+// TestBTIGeneratorDeterminism: the same seed must generate the same
+// AArch64 case, keeping the harness replayable by seed alone.
+func TestBTIGeneratorDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		s1, c1 := GenBTICase(rand.New(rand.NewSource(seed)), DefaultGenOptions())
+		s2, c2 := GenBTICase(rand.New(rand.NewSource(seed)), DefaultGenOptions())
+		if c1 != c2 {
+			t.Fatalf("seed %d: configs differ: %s vs %s", seed, c1, c2)
+		}
+		if s1.Name != s2.Name || len(s1.Funcs) != len(s2.Funcs) {
+			t.Fatalf("seed %d: specs differ", seed)
+		}
+	}
+}
+
+// TestBTIConfigJSONRoundTrip: the serialized ARM configuration decodes
+// back to itself across the generator's draw space.
+func TestBTIConfigJSONRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		_, cfg := GenBTICase(rand.New(rand.NewSource(seed)), DefaultGenOptions())
+		dec, err := EncodeBTIConfig(cfg).Decode()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if dec != cfg {
+			t.Fatalf("seed %d: round trip %s -> %s", seed, cfg, dec)
+		}
+	}
+}
+
+// TestMinimizeBTI exercises the shared shrinking machinery through the
+// ARM entry point: the minimizer must strip functions and features not
+// implied by the predicate and simplify the build configuration.
+func TestMinimizeBTI(t *testing.T) {
+	spec, cfg := GenBTICase(rand.New(rand.NewSource(7)), DefaultGenOptions())
+	cfg.PAC = true
+	interesting := func(s *ProgSpec, c BTIConfig) bool {
+		for i := range s.Funcs {
+			if s.Funcs[i].HasSwitch {
+				return true
+			}
+		}
+		return false
+	}
+	if !interesting(spec, cfg) {
+		spec.Funcs[0].HasSwitch = true
+		spec.Funcs[0].SwitchCases = 3
+	}
+	min, mcfg := MinimizeBTI(spec, cfg, interesting)
+	if !interesting(min, mcfg) {
+		t.Fatal("minimized spec lost the property")
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized spec invalid: %v", err)
+	}
+	if len(min.Funcs) > 2 {
+		t.Errorf("minimizer kept %d functions, want <= 2", len(min.Funcs))
+	}
+	if mcfg.PAC {
+		t.Error("minimizer kept PAC though the property does not need it")
+	}
+	if mcfg.Opt != synth.O0 {
+		t.Errorf("minimizer kept opt level %s, want O0", mcfg.Opt)
+	}
+}
+
+// TestBTIRegressionCaseRoundTrip saves and reloads an AArch64 case and
+// replays it through the arch dispatch in Replay.
+func TestBTIRegressionCaseRoundTrip(t *testing.T) {
+	spec := &ProgSpec{
+		Name: "bti_roundtrip",
+		Lang: synth.LangC,
+		Seed: 1,
+		Funcs: []synth.FuncSpec{
+			{Name: "main", BodySize: 4, Calls: []int{1}},
+			{Name: "helper", Static: true, BodySize: 3},
+		},
+	}
+	cfgJSON := EncodeBTIConfig(BTIConfig{Opt: synth.O2, PAC: true})
+	rc := &RegressionCase{
+		Description: "round-trip probe",
+		Arch:        "aarch64",
+		BTIConfig:   &cfgJSON,
+		Spec:        spec,
+	}
+	path := t.TempDir() + "/case.json"
+	if err := rc.Save(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadCase(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Arch != "aarch64" || loaded.BTIConfig == nil || loaded.BTIConfig.Opt != "O2" || !loaded.BTIConfig.PAC {
+		t.Fatalf("loaded case mangled: %+v", loaded)
+	}
+	vs, err := loaded.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(vs) > 0 {
+		t.Fatalf("well-formed probe case must replay clean, got %v", vs)
+	}
+}

@@ -65,11 +65,11 @@ func TestRegressionSpecs(t *testing.T) {
 		t.Fatalf("load regression specs: %v", err)
 	}
 	for i, rc := range cases {
-		cfg, err := rc.Config.Decode()
+		vs, err := rc.Replay()
 		if err != nil {
 			t.Fatalf("%s: %v", paths[i], err)
 		}
-		if vs := CheckSpec(rc.Spec, cfg); len(vs) > 0 {
+		if len(vs) > 0 {
 			t.Errorf("%s (%s) regressed:", paths[i], rc.Description)
 			for _, v := range vs {
 				t.Errorf("  %s", v)

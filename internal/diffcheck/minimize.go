@@ -34,51 +34,112 @@ func Minimize(spec *ProgSpec, cfg Config, interesting Interesting) (*ProgSpec, C
 		if simplifyConfig(&cfg, cur, test) {
 			changed = true
 		}
-		// Function removal, largest chunks first, then singletons.
-		for chunk := len(cur.Funcs) / 2; chunk >= 1; chunk /= 2 {
-			for lo := len(cur.Funcs) - chunk; lo >= 0; lo -= chunk {
-				// cur shrinks as removals succeed; re-validate bounds.
-				if lo+chunk > len(cur.Funcs) || len(cur.Funcs)-chunk < 1 {
-					continue
-				}
-				cand := removeFuncs(cur, lo, lo+chunk)
-				if test(cand, cfg) {
-					cur = cand
-					changed = true
-				}
+		var specChanged bool
+		cur, specChanged = shrinkSpecOnce(cur, func(s *ProgSpec) bool { return test(s, cfg) })
+		changed = changed || specChanged
+	}
+	return cur, cfg
+}
+
+// MinimizeBTI is Minimize for AArch64 cases: the spec reductions are
+// shared, only the build-configuration simplification differs (drop
+// PAC, lower the optimization level).
+func MinimizeBTI(spec *ProgSpec, cfg BTIConfig, interesting func(*ProgSpec, BTIConfig) bool) (*ProgSpec, BTIConfig) {
+	cur := cloneSpec(spec)
+	tries := 0
+	test := func(s *ProgSpec, c BTIConfig) bool {
+		if tries >= maxMinimizeTries {
+			return false
+		}
+		tries++
+		return s.Validate() == nil && interesting(s, c)
+	}
+
+	for changed := true; changed && tries < maxMinimizeTries; {
+		changed = false
+		try := func(mut func(c *BTIConfig)) {
+			cand := cfg
+			mut(&cand)
+			if cand != cfg && test(cur, cand) {
+				cfg = cand
+				changed = true
 			}
 		}
-		// Per-function feature clearing and edge dropping.
-		for i := 0; i < len(cur.Funcs); i++ {
-			for _, mutate := range featureMutators {
-				cand := cloneSpec(cur)
-				if !mutate(&cand.Funcs[i]) {
-					continue
-				}
-				if test(cand, cfg) {
-					cur = cand
-					changed = true
-				}
+		try(func(c *BTIConfig) { c.PAC = false })
+		try(func(c *BTIConfig) { c.Opt = synth.O0 })
+		var specChanged bool
+		cur, specChanged = shrinkSpecOnce(cur, func(s *ProgSpec) bool { return test(s, cfg) })
+		changed = changed || specChanged
+	}
+	return cur, cfg
+}
+
+// MinimizeBTIResult shrinks a failed BTI case, preserving at least one
+// of the original violation kinds (see MinimizeResult).
+func MinimizeBTIResult(r *BTICaseResult) (*ProgSpec, BTIConfig) {
+	kinds := make(map[string]bool, len(r.Violations))
+	for _, v := range r.Violations {
+		kinds[v.Check] = true
+	}
+	return MinimizeBTI(r.Spec, r.Config, func(spec *ProgSpec, cfg BTIConfig) bool {
+		for _, v := range CheckBTISpec(spec, cfg) {
+			if kinds[v.Check] {
+				return true
 			}
-			for e := len(cur.Funcs[i].Calls) - 1; e >= 0; e-- {
-				cand := cloneSpec(cur)
-				cand.Funcs[i].Calls = deleteAt(cand.Funcs[i].Calls, e)
-				if test(cand, cfg) {
-					cur = cand
-					changed = true
-				}
+		}
+		return false
+	})
+}
+
+// shrinkSpecOnce runs one pass of the configuration-independent spec
+// reductions — function removal (largest chunks first), per-function
+// feature clearing, and call/tail-call edge dropping — accepting each
+// candidate test admits. It returns the reduced spec and whether any
+// reduction was accepted.
+func shrinkSpecOnce(cur *ProgSpec, test func(*ProgSpec) bool) (*ProgSpec, bool) {
+	changed := false
+	for chunk := len(cur.Funcs) / 2; chunk >= 1; chunk /= 2 {
+		for lo := len(cur.Funcs) - chunk; lo >= 0; lo -= chunk {
+			// cur shrinks as removals succeed; re-validate bounds.
+			if lo+chunk > len(cur.Funcs) || len(cur.Funcs)-chunk < 1 {
+				continue
 			}
-			for e := len(cur.Funcs[i].TailCalls) - 1; e >= 0; e-- {
-				cand := cloneSpec(cur)
-				cand.Funcs[i].TailCalls = deleteAt(cand.Funcs[i].TailCalls, e)
-				if test(cand, cfg) {
-					cur = cand
-					changed = true
-				}
+			cand := removeFuncs(cur, lo, lo+chunk)
+			if test(cand) {
+				cur = cand
+				changed = true
 			}
 		}
 	}
-	return cur, cfg
+	for i := 0; i < len(cur.Funcs); i++ {
+		for _, mutate := range featureMutators {
+			cand := cloneSpec(cur)
+			if !mutate(&cand.Funcs[i]) {
+				continue
+			}
+			if test(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		for e := len(cur.Funcs[i].Calls) - 1; e >= 0; e-- {
+			cand := cloneSpec(cur)
+			cand.Funcs[i].Calls = deleteAt(cand.Funcs[i].Calls, e)
+			if test(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		for e := len(cur.Funcs[i].TailCalls) - 1; e >= 0; e-- {
+			cand := cloneSpec(cur)
+			cand.Funcs[i].TailCalls = deleteAt(cand.Funcs[i].TailCalls, e)
+			if test(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur, changed
 }
 
 // MinimizeResult shrinks a failed CaseResult, preserving at least one of

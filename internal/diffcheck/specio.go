@@ -22,8 +22,13 @@ type RegressionCase struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Violations lists the Check names observed at capture time.
 	Violations []string `json:"violations,omitempty"`
-	// Config is the build configuration.
-	Config ConfigJSON `json:"config"`
+	// Arch selects the oracle the case replays under: "" (historical
+	// cases) or "x86" runs CheckSpec, "aarch64" runs CheckBTISpec.
+	Arch string `json:"arch,omitempty"`
+	// Config is the x86 build configuration; nil for AArch64 cases.
+	Config *ConfigJSON `json:"config,omitempty"`
+	// BTIConfig is the ARM build configuration; nil for x86 cases.
+	BTIConfig *BTIConfigJSON `json:"bti_config,omitempty"`
 	// Spec is the program specification.
 	Spec *ProgSpec `json:"spec"`
 }
@@ -76,6 +81,54 @@ func (c ConfigJSON) Decode() (Config, error) {
 	return out, nil
 }
 
+// BTIConfigJSON is the serialized form of an ARM build configuration.
+type BTIConfigJSON struct {
+	Opt string `json:"opt"`
+	PAC bool   `json:"pac,omitempty"`
+}
+
+// EncodeBTIConfig converts an armsynth configuration to its serialized
+// form.
+func EncodeBTIConfig(cfg BTIConfig) BTIConfigJSON {
+	return BTIConfigJSON{Opt: cfg.Opt.String(), PAC: cfg.PAC}
+}
+
+// Decode converts the serialized ARM configuration back to armsynth's
+// form.
+func (c BTIConfigJSON) Decode() (BTIConfig, error) {
+	out := BTIConfig{PAC: c.PAC}
+	for _, o := range synth.AllOptLevels() {
+		if o.String() == c.Opt {
+			out.Opt = o
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("diffcheck: unknown optimization level %q", c.Opt)
+}
+
+// Replay runs the case through the oracle its Arch selects, returning
+// the violations found.
+func (r *RegressionCase) Replay() ([]Violation, error) {
+	if r.Arch == "aarch64" {
+		if r.BTIConfig == nil {
+			return nil, fmt.Errorf("diffcheck: aarch64 case lacks bti_config")
+		}
+		cfg, err := r.BTIConfig.Decode()
+		if err != nil {
+			return nil, err
+		}
+		return CheckBTISpec(r.Spec, cfg), nil
+	}
+	if r.Config == nil {
+		return nil, fmt.Errorf("diffcheck: x86 case lacks config")
+	}
+	cfg, err := r.Config.Decode()
+	if err != nil {
+		return nil, err
+	}
+	return CheckSpec(r.Spec, cfg), nil
+}
+
 // Save writes the case as indented JSON to path, creating parent
 // directories as needed.
 func (r *RegressionCase) Save(path string) error {
@@ -108,8 +161,23 @@ func LoadCase(path string) (*RegressionCase, error) {
 	if err := r.Spec.Validate(); err != nil {
 		return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
 	}
-	if _, err := r.Config.Decode(); err != nil {
-		return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+	switch r.Arch {
+	case "", "x86":
+		if r.Config == nil {
+			return nil, fmt.Errorf("diffcheck: %s: missing config", path)
+		}
+		if _, err := r.Config.Decode(); err != nil {
+			return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+		}
+	case "aarch64":
+		if r.BTIConfig == nil {
+			return nil, fmt.Errorf("diffcheck: %s: missing bti_config", path)
+		}
+		if _, err := r.BTIConfig.Decode(); err != nil {
+			return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+		}
+	default:
+		return nil, fmt.Errorf("diffcheck: %s: unknown arch %q", path, r.Arch)
 	}
 	return &r, nil
 }

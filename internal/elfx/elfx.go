@@ -23,7 +23,11 @@ type Binary struct {
 	// Path is the file path the binary was loaded from, empty for
 	// in-memory images.
 	Path string
-	// Mode is the decode mode implied by the ELF class.
+	// Arch is the instruction-set architecture from the ELF header; it
+	// selects the analysis backend.
+	Arch Arch
+	// Mode is the x86 decode mode implied by the ELF class (meaningful
+	// for the x86 arches only).
 	Mode x86.Mode
 	// PIE reports whether the file is position independent (ET_DYN).
 	PIE bool
@@ -59,8 +63,11 @@ type Binary struct {
 	FuncSymbols []elf.Symbol
 
 	// CETEnabled reports whether the GNU property note declares IBT
-	// support.
+	// support (x86 arches).
 	CETEnabled bool
+	// BTIEnabled reports whether the GNU property note declares BTI
+	// support (AArch64).
+	BTIEnabled bool
 }
 
 // ErrNoText is returned for binaries without an executable .text section.
@@ -98,6 +105,7 @@ func Load(raw []byte) (*Binary, error) {
 		mode = x86.Mode32
 	}
 	bin := &Binary{
+		Arch:  archFrom(f.Machine, f.Class),
 		Mode:  mode,
 		PIE:   f.Type == elf.ET_DYN,
 		Entry: f.Entry,
@@ -134,7 +142,11 @@ func Load(raw []byte) (*Binary, error) {
 		}
 	}
 
-	bin.CETEnabled = hasIBTNote(f)
+	if bin.Arch == ArchAArch64 {
+		bin.BTIEnabled = hasPropertyBit(f, prTypeAArch64Features, 0x1)
+	} else {
+		bin.CETEnabled = hasPropertyBit(f, prTypeX86Features, 0x1)
+	}
 
 	if err := bin.buildPLTMap(f); err != nil {
 		return nil, err
@@ -149,6 +161,11 @@ func (b *Binary) PtrSize() int {
 	}
 	return 4
 }
+
+// MarkersEnabled reports whether the binary's property note declares the
+// landmark feature the identification algorithm keys on: IBT for the x86
+// arches, BTI for AArch64.
+func (b *Binary) MarkersEnabled() bool { return b.CETEnabled || b.BTIEnabled }
 
 // TextEnd returns the first address past the .text section.
 func (b *Binary) TextEnd() uint64 { return b.TextAddr + uint64(len(b.Text)) }
@@ -172,9 +189,16 @@ func (b *Binary) PLTName(va uint64) (string, bool) {
 	return name, ok
 }
 
-// hasIBTNote scans .note.gnu.property for GNU_PROPERTY_X86_FEATURE_1_AND
-// with the IBT bit.
-func hasIBTNote(f *elf.File) bool {
+// GNU property types carrying the landmark feature words: bit 0 of the
+// x86 word is IBT, bit 0 of the AArch64 word is BTI.
+const (
+	prTypeX86Features     = 0xc0000002 // GNU_PROPERTY_X86_FEATURE_1_AND
+	prTypeAArch64Features = 0xc0000000 // GNU_PROPERTY_AARCH64_FEATURE_1_AND
+)
+
+// hasPropertyBit scans .note.gnu.property for the property word prType
+// and reports whether it carries bit.
+func hasPropertyBit(f *elf.File, prType, bit uint32) bool {
 	sec := f.Section(".note.gnu.property")
 	if sec == nil {
 		return false
@@ -194,10 +218,10 @@ func hasIBTNote(f *elf.File) bool {
 		return false
 	}
 	for off := uint32(0); off+8 <= descsz; {
-		prType := le.Uint32(desc[off:])
+		gotType := le.Uint32(desc[off:])
 		prSize := le.Uint32(desc[off+4:])
-		if prType == 0xc0000002 && prSize >= 4 && off+8+4 <= uint32(len(desc)) {
-			return le.Uint32(desc[off+8:])&0x1 != 0
+		if gotType == prType && prSize >= 4 && off+8+4 <= uint32(len(desc)) {
+			return le.Uint32(desc[off+8:])&bit != 0
 		}
 		// Properties are padded to the class alignment.
 		align := uint32(8)
@@ -235,7 +259,11 @@ func (b *Binary) buildPLTMap(f *elf.File) error {
 			b.PLTSecStart = sec.Addr
 			b.PLTSecEnd = sec.Addr + uint64(len(data))
 		}
-		if len(gotToName) == 0 {
+		if len(gotToName) == 0 || b.Arch == ArchAArch64 {
+			// The stub scan below decodes x86; AArch64 PLT stubs would
+			// be decoded as garbage, and the map only feeds the x86-only
+			// indirect-return endbr filter. Section bounds are still
+			// recorded above.
 			return nil
 		}
 		// Walk the stubs: each one contains an indirect jmp through its

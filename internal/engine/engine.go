@@ -108,10 +108,15 @@ type call struct {
 	err  error
 }
 
-// cacheKey is the identity of one analysis: content hash × option bits.
+// cacheKey is the identity of one analysis: content hash × option bits ×
+// backend architecture. The arch component means byte-identical images
+// analyzed under different backends (an option-forced backend, or two
+// files whose headers differ only in e_machine — impossible for one hash,
+// but the forced case is real) can never serve each other's results.
 type cacheKey struct {
 	sum  [sha256.Size]byte
 	opts uint8
+	arch elfx.Arch
 }
 
 // optsBits packs the boolean option set into the cache key.
@@ -210,7 +215,14 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 	e.requests.Add(1)
 	start := time.Now()
 	defer func() { e.met.analyze.ObserveDuration(time.Since(start)) }()
-	k := cacheKey{sum: sha256.Sum256(raw), opts: optsBits(opts)}
+	// The key must be known before the (cached-away) ELF parse, so the
+	// arch comes from the cheap header peek; DetectArch returns exactly
+	// what elfx.Load would assign.
+	arch := opts.Arch
+	if arch == elfx.ArchAuto {
+		arch = elfx.DetectArch(raw)
+	}
+	k := cacheKey{sum: sha256.Sum256(raw), opts: optsBits(opts), arch: arch}
 
 	for {
 		if err := ctx.Err(); err != nil {

@@ -2,6 +2,7 @@ package x86
 
 import (
 	"context"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +13,21 @@ import (
 // fan-out costs more than the decode.
 const minParallelBytes = 64 << 10
 
+// shardScratch is one worker's reusable decode buffers: the speculative
+// instruction stream, the skip offsets, and the shard-local boundary
+// bitmap. Instances are pooled — a corpus run builds thousands of
+// indexes, and the speculative buffers are pure scratch whose contents
+// are copied into the final index during assembly, so recycling them
+// removes the dominant per-build allocations. Inst is pointer-free,
+// which is what makes holding stale ones in the pool harmless.
+type shardScratch struct {
+	insts []Inst
+	skips []int32
+	bits  []uint64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
 // shard is one worker's speculative decode of a chunk of the text.
 //
 // A linear sweep carries no state between instructions beyond the cursor
@@ -21,20 +37,33 @@ const minParallelBytes = 64 << 10
 // but x86's self-synchronization property means the two streams merge
 // after a handful of instructions, and from the first shared cursor
 // offset onward they are identical by determinism.
+//
+// Chunk starts are 64-byte aligned so each shard-local boundary bitmap
+// word maps one-to-one onto a word of the final index bitmap and can be
+// stitched by copy instead of re-walking the instructions.
 type shard struct {
-	start int     // chunk start offset (relative to code[0])
-	end   int     // chunk end offset; the stream may overrun it
-	insts []Inst  // decoded instructions, absolute addresses
-	skips []int32 // offsets where decode failed and the cursor skipped a byte
-	final int     // cursor offset after the last decode step (>= end)
+	start int // chunk start offset (relative to code[0]), 64-byte aligned
+	end   int // chunk end offset; the stream may overrun it
+	final int // cursor offset after the last decode step (>= end)
+	sc    *shardScratch
+
+	// Seam resolution (stitching phase A) results: the instructions
+	// re-decoded at the seam before the speculative stream agreed, and
+	// the authoritative suffix of the speculative stream.
+	seam      []Inst
+	seamSkips int
+	instIdx   int  // first authoritative instruction in sc.insts
+	skipTail  int  // skips at offsets >= the splice point
+	spliced   bool // false when the seam walk consumed the whole chunk
 }
 
 // BuildIndexParallel builds the same index as BuildIndex by decoding
 // workers chunks of code concurrently and stitching them at the first
 // agreeing instruction boundary past each chunk seam. workers <= 0
 // selects GOMAXPROCS and falls back to the sequential build for small
-// texts; an explicit workers >= 2 always shards (tests force odd seam
-// placements this way). The result is byte-identical to BuildIndex —
+// texts; an explicit workers >= 2 shards whenever every worker can get
+// at least one aligned 64-byte chunk (tests force odd seam placements
+// this way). The result is byte-identical to BuildIndex —
 // internal/diffcheck asserts this invariant on every generated binary.
 func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index {
 	idx, _ := buildIndexParallel(context.Background(), code, base, mode, workers)
@@ -44,29 +73,41 @@ func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index
 // buildIndexParallel is the shared implementation behind
 // BuildIndexParallel (context.Background, never cancels) and
 // BuildIndexParallelCtx. Cancellation is checked at cancelStride
-// boundaries inside every shard and inside the stitcher; a background
-// context short-circuits all checks via the Done() == nil fast path.
+// boundaries inside every shard and inside the seam resolver; a
+// background context short-circuits all checks via the Done() == nil
+// fast path.
+//
+// The build runs in three phases. Phase 0 decodes the chunks
+// speculatively in parallel, each shard recording its boundary bits in
+// a chunk-local bitmap as it goes. Phase A walks the seams
+// sequentially, re-decoding only until each speculative stream agrees
+// with the authoritative cursor — after it, the exact instruction and
+// skip totals are known. Phase B allocates the final index at exact
+// size and assembles it: seam instructions individually, shard suffixes
+// by bulk copy, and the boundary bitmap by whole-word OR from the
+// shard-local bitmaps (the first word masked below the splice point).
 func buildIndexParallel(ctx context.Context, code []byte, base uint64, mode Mode, workers int) (*Index, error) {
 	auto := workers <= 0
 	if auto {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(code)/maxInstLen {
-		workers = len(code) / maxInstLen // every shard needs room to decode
-	}
-	if workers < 2 || (auto && len(code) < minParallelBytes) {
+	// Chunks are rounded down to 64-byte multiples so shard-local bitmap
+	// words coincide with final bitmap words. A zero chunk means the
+	// text is too small to give every worker an aligned chunk; decoding
+	// it sequentially is both correct and faster.
+	chunk := (len(code) / workers) &^ 63
+	if workers < 2 || chunk == 0 || (auto && len(code) < minParallelBytes) {
 		return BuildIndexCtx(ctx, code, base, mode)
 	}
 
 	shards := make([]shard, workers)
-	chunk := len(code) / workers
 	var wg sync.WaitGroup
 	for i := range shards {
 		s, e := i*chunk, (i+1)*chunk
 		if i == workers-1 {
 			e = len(code)
 		}
-		shards[i] = shard{start: s, end: e}
+		shards[i] = shard{start: s, end: e, sc: scratchPool.Get().(*shardScratch)}
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
@@ -74,28 +115,44 @@ func buildIndexParallel(ctx context.Context, code []byte, base uint64, mode Mode
 		}(&shards[i])
 	}
 	wg.Wait()
+	recycle := func() {
+		for i := range shards {
+			scratchPool.Put(shards[i].sc)
+			shards[i].sc = nil
+		}
+	}
 	if err := ctx.Err(); err != nil {
+		recycle()
 		return nil, err
 	}
-
-	idx := &Index{
-		Insts:  make([]Inst, 0, len(code)/4+1),
-		Base:   base,
-		Shards: workers,
-	}
-	if err := stitch(ctx, idx, shards, code, base, mode); err != nil {
+	if err := resolveSeams(ctx, shards, code, base, mode); err != nil {
+		recycle()
 		return nil, err
 	}
-	idx.finishPositions(len(code))
+	idx := assemble(shards, code, base)
+	recycle()
 	return idx, nil
 }
 
 // decode runs the speculative sweep of one chunk: from start until the
-// cursor reaches the chunk end (the final instruction may overrun it).
+// cursor reaches the chunk end (the final instruction may overrun it),
+// setting the chunk-local boundary bit of every decoded instruction.
 // A canceled ctx stops the shard at the next cancelStride boundary; the
 // caller discards every shard after noticing the cancellation.
 func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode) {
-	sh.insts = make([]Inst, 0, (sh.end-sh.start)/4+1)
+	sc := sh.sc
+	insts := sc.insts[:0]
+	skips := sc.skips[:0]
+	words := (sh.end - sh.start + 63) / 64
+	bm := sc.bits
+	if cap(bm) < words {
+		bm = make([]uint64, words)
+	} else {
+		bm = bm[:words]
+		clear(bm)
+	}
+	defer func() { sc.insts, sc.skips, sc.bits = insts, skips, bm }()
+
 	done := ctx.Done()
 	var inst Inst
 	off, next := sh.start, sh.start
@@ -107,11 +164,13 @@ func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode
 			next = off + cancelStride
 		}
 		if err := DecodeInto(code[off:], base+uint64(off), mode, &inst); err != nil {
-			sh.skips = append(sh.skips, int32(off))
+			skips = append(skips, int32(off))
 			off++
 			continue
 		}
-		sh.insts = append(sh.insts, inst)
+		rel := off - sh.start
+		bm[rel>>6] |= 1 << (rel & 63)
+		insts = append(insts, inst)
 		off += inst.Len
 	}
 	sh.final = off
@@ -124,26 +183,26 @@ func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode
 // instIdx is the first instruction with offset >= cur and skipTail the
 // number of skips at offsets >= cur.
 func (sh *shard) visitedFrom(cur int, base uint64) (instIdx, skipTail int, found bool) {
+	insts, skips := sh.sc.insts, sh.sc.skips
 	va := base + uint64(cur)
-	instIdx = sort.Search(len(sh.insts), func(i int) bool { return sh.insts[i].Addr >= va })
-	skipIdx := sort.Search(len(sh.skips), func(i int) bool { return sh.skips[i] >= int32(cur) })
-	skipTail = len(sh.skips) - skipIdx
-	if instIdx < len(sh.insts) && sh.insts[instIdx].Addr == va {
+	instIdx = sort.Search(len(insts), func(i int) bool { return insts[i].Addr >= va })
+	skipIdx := sort.Search(len(skips), func(i int) bool { return skips[i] >= int32(cur) })
+	skipTail = len(skips) - skipIdx
+	if instIdx < len(insts) && insts[instIdx].Addr == va {
 		return instIdx, skipTail, true
 	}
-	if skipIdx < len(sh.skips) && sh.skips[skipIdx] == int32(cur) {
+	if skipIdx < len(skips) && skips[skipIdx] == int32(cur) {
 		return instIdx, skipTail, true
 	}
 	return 0, 0, false
 }
 
-// stitch merges the speculative shard streams into the authoritative
-// sequential stream. The cursor walks the shards in order; at each seam
-// it either lands on an offset the next shard visited — in which case
-// the shard's stream is spliced wholesale — or instructions are
-// re-decoded one at a time (counted in StitchRetries) until the streams
-// re-synchronize.
-func stitch(ctx context.Context, idx *Index, shards []shard, code []byte, base uint64, mode Mode) error {
+// resolveSeams walks the shards in cursor order. At each seam the
+// cursor either lands on an offset the next shard visited — in which
+// case the shard's remaining stream is authoritative and its splice
+// point is recorded — or instructions are re-decoded one at a time into
+// the shard's seam buffer until the streams re-synchronize.
+func resolveSeams(ctx context.Context, shards []shard, code []byte, base uint64, mode Mode) error {
 	done := ctx.Done()
 	cur, next := 0, 0
 	var inst Inst
@@ -157,33 +216,85 @@ func stitch(ctx context.Context, idx *Index, shards []shard, code []byte, base u
 				next = cur + cancelStride
 			}
 			if instIdx, skipTail, ok := sh.visitedFrom(cur, base); ok {
-				idx.Insts = append(idx.Insts, sh.insts[instIdx:]...)
-				idx.Skipped += skipTail
+				sh.instIdx, sh.skipTail, sh.spliced = instIdx, skipTail, true
 				cur = sh.final
 				break
 			}
 			// The seam split an instruction: decode from the true
 			// boundary until the speculative stream agrees.
-			idx.StitchRetries++
 			if err := DecodeInto(code[cur:], base+uint64(cur), mode, &inst); err != nil {
-				idx.Skipped++
+				sh.seamSkips++
 				cur++
 				continue
 			}
-			idx.Insts = append(idx.Insts, inst)
+			sh.seam = append(sh.seam, inst)
 			cur += inst.Len
 		}
 	}
-	// The last shard decodes to len(code), so once it is spliced (or
-	// overrun by a straddling instruction) the stream is complete.
-	for cur < len(code) {
-		if err := DecodeInto(code[cur:], base+uint64(cur), mode, &inst); err != nil {
-			idx.Skipped++
-			cur++
+	// The last shard decodes to len(code) and chunks are wider than any
+	// instruction, so the stream is complete once it is spliced or its
+	// seam walk reaches the end; nothing is left to decode here.
+	return nil
+}
+
+// assemble builds the final index from the resolved shards at exact
+// size: one allocation per slice, no growth, no per-instruction bitmap
+// pass for the spliced bulk.
+func assemble(shards []shard, code []byte, base uint64) *Index {
+	total, skipped, retries := 0, 0, 0
+	for i := range shards {
+		sh := &shards[i]
+		total += len(sh.seam)
+		skipped += sh.seamSkips
+		retries += len(sh.seam) + sh.seamSkips
+		if sh.spliced {
+			total += len(sh.sc.insts) - sh.instIdx
+			skipped += sh.skipTail
+		}
+	}
+	words := (len(code) + 63) / 64
+	idx := &Index{
+		Insts:         make([]Inst, 0, total),
+		Base:          base,
+		Skipped:       skipped,
+		Shards:        len(shards),
+		StitchRetries: retries,
+		bits:          make([]uint64, words),
+		ranks:         make([]int32, words),
+		n:             len(code),
+	}
+	for i := range shards {
+		sh := &shards[i]
+		for _, inst := range sh.seam {
+			off := inst.Addr - base
+			idx.bits[off>>6] |= 1 << (off & 63)
+		}
+		idx.Insts = append(idx.Insts, sh.seam...)
+		if !sh.spliced {
 			continue
 		}
-		idx.Insts = append(idx.Insts, inst)
-		cur += inst.Len
+		tail := sh.sc.insts[sh.instIdx:]
+		idx.Insts = append(idx.Insts, tail...)
+		if len(tail) == 0 {
+			continue
+		}
+		// Stitch the shard's boundary bitmap by word copy. start is
+		// 64-byte aligned, so local word w is final word start/64 + w;
+		// the first word is masked below the splice point to drop the
+		// shard's speculative prefix, and words are OR-ed because seam
+		// instructions may share the splice-point word.
+		localFrom := int(tail[0].Addr-base) - sh.start
+		gw, wf := sh.start>>6, localFrom>>6
+		bm := sh.sc.bits
+		idx.bits[gw+wf] |= bm[wf] &^ (1<<(localFrom&63) - 1)
+		for w := wf + 1; w < len(bm); w++ {
+			idx.bits[gw+w] |= bm[w]
+		}
 	}
-	return nil
+	var c int32
+	for w, word := range idx.bits {
+		idx.ranks[w] = c
+		c += int32(bits.OnesCount64(word))
+	}
+	return idx
 }

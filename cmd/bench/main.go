@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -34,6 +35,8 @@ import (
 	"github.com/funseeker/funseeker/internal/arm64"
 	"github.com/funseeker/funseeker/internal/engine"
 	"github.com/funseeker/funseeker/internal/obs"
+	"github.com/funseeker/funseeker/internal/ring"
+	"github.com/funseeker/funseeker/internal/store"
 	"github.com/funseeker/funseeker/internal/x86"
 )
 
@@ -403,6 +406,80 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 			})
 			if n := h.Snapshot().Count; n == 0 {
 				b.Fatal("no observations recorded")
+			}
+		}},
+		// store/Put and store/Get are the persistent result tier's hot
+		// paths: an append + index insert, and a ReadAt outside the lock.
+		// Sized like real traffic — 34-byte cache keys, ~2KB JSON values.
+		benchmark{name: "store/Put", fn: func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "funseeker-bench-store")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(dir, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			val := bytes.Repeat([]byte(`{"v":1,"entries":[4198400,4198464]}`), 60)
+			key := make([]byte, 34)
+			b.SetBytes(int64(len(val)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i))
+				if err := st.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		benchmark{name: "store/Get", fn: func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "funseeker-bench-store")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := store.Open(dir, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			val := bytes.Repeat([]byte(`{"v":1,"entries":[4198400,4198464]}`), 60)
+			const records = 4096
+			key := make([]byte, 34)
+			for i := 0; i < records; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i))
+				if err := st.Put(key, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(val)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i%records))
+				v, ok, err := st.Get(key)
+				if err != nil || !ok || len(v) != len(val) {
+					b.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+				}
+			}
+		}},
+		// ring/Lookup is the router's per-request cost: one SHA-256 of a
+		// 32-byte key plus a binary search over 16×512 vnode points.
+		benchmark{name: "ring/Lookup", fn: func(b *testing.B) {
+			r := ring.New(0)
+			for i := 0; i < 16; i++ {
+				r.Add(fmt.Sprintf("http://replica-%d:8745", i))
+			}
+			key := make([]byte, 32)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i))
+				if _, ok := r.Lookup(key); !ok {
+					b.Fatal("empty ring")
+				}
 			}
 		}},
 		benchmark{name: "evalmatrix/shared-context", fn: func(b *testing.B) {

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/obs"
+	"github.com/funseeker/funseeker/internal/ring"
+)
+
+// routerConfig carries one funseeker-lb instance's knobs.
+type routerConfig struct {
+	// backends are the funseekerd base URLs ("http://host:port") the
+	// router shards over.
+	backends []string
+	// vnodes is the per-backend virtual-node count (0 selects the ring
+	// default).
+	vnodes int
+	// maxBodyBytes caps a single-shot analyze body — the router must
+	// buffer it to hash it.
+	maxBodyBytes int64
+	// failover is how many ring-order successors to try after the
+	// owner fails with a connection-level error (not an HTTP status).
+	failover int
+	// healthEvery is the health-probe cadence; zero disables the
+	// background loop (tests drive checkHealth directly).
+	healthEvery time.Duration
+	// healthTimeout bounds one probe.
+	healthTimeout time.Duration
+	// client is the forwarding HTTP client; nil selects a default with
+	// sane timeouts for analyze calls (batch streams use no timeout).
+	client *http.Client
+	// logger receives routing decisions and health transitions; nil
+	// discards.
+	logger *slog.Logger
+	// registry receives the router metrics; nil selects a private one.
+	registry *obs.Registry
+}
+
+// router is the consistent-hash routing layer in front of N funseekerd
+// replicas: /v1/analyze routes by content hash so each binary's result
+// (LRU-hot or store-warm) lives on one owner replica; /v1/batch
+// round-robins whole archives across healthy replicas; health probes
+// move replicas in and out of the ring so a restart remaps only ~1/N
+// of the key space while it lasts.
+type router struct {
+	cfg  routerConfig
+	ring *ring.Ring
+	// healthy tracks the probe state per backend; the ring holds only
+	// the healthy subset.
+	mu      sync.Mutex
+	healthy map[string]bool
+	// rr is the round-robin cursor for batch routing.
+	rr atomic.Uint64
+
+	routedTo  *obs.CounterVec // requests forwarded, by backend
+	failovers *obs.Counter    // owner skipped after a connection error
+	unrouted  *obs.Counter    // requests refused: no healthy backend
+	healthUp  *obs.GaugeVec   // 1 healthy / 0 down, by backend
+}
+
+func newRouter(cfg routerConfig) (*router, error) {
+	if len(cfg.backends) == 0 {
+		return nil, errors.New("no backends configured")
+	}
+	if cfg.maxBodyBytes <= 0 {
+		cfg.maxBodyBytes = 64 << 20
+	}
+	if cfg.failover <= 0 {
+		cfg.failover = 2
+	}
+	if cfg.healthTimeout <= 0 {
+		cfg.healthTimeout = 2 * time.Second
+	}
+	if cfg.client == nil {
+		cfg.client = &http.Client{}
+	}
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	rt := &router{
+		cfg:     cfg,
+		ring:    ring.New(cfg.vnodes),
+		healthy: make(map[string]bool),
+	}
+	rt.routedTo = cfg.registry.NewCounterVec("funseekerlb_routed_total",
+		"Requests forwarded, by backend.", "backend")
+	rt.failovers = cfg.registry.NewCounter("funseekerlb_failovers_total",
+		"Requests that skipped their owner after a connection error.")
+	rt.unrouted = cfg.registry.NewCounter("funseekerlb_unrouted_total",
+		"Requests refused because no healthy backend remained.")
+	rt.healthUp = cfg.registry.NewGaugeVec("funseekerlb_backend_up",
+		"Backend health probe state (1 up, 0 down).", "backend")
+	// Start optimistic: every configured backend is in the ring until a
+	// probe says otherwise, so the router serves before the first sweep.
+	for _, b := range cfg.backends {
+		rt.healthy[b] = true
+		rt.ring.Add(b)
+		rt.healthUp.With(b).Set(1)
+	}
+	return rt, nil
+}
+
+// handler wires the router's public routes.
+func (rt *router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", rt.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /lb/nodes", rt.handleNodes)
+	mux.Handle("GET /metrics", rt.cfg.registry.Handler())
+	return mux
+}
+
+// healthLoop probes every backend each cfg.healthEvery until stop
+// closes.
+func (rt *router) healthLoop(stop <-chan struct{}) {
+	t := time.NewTicker(rt.cfg.healthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			rt.checkHealth()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// checkHealth probes every configured backend once and moves it in or
+// out of the ring on transitions. Exported-for-tests via direct call.
+func (rt *router) checkHealth() {
+	type probe struct {
+		backend string
+		up      bool
+	}
+	results := make(chan probe, len(rt.cfg.backends))
+	for _, b := range rt.cfg.backends {
+		go func(b string) {
+			results <- probe{b, rt.probe(b)}
+		}(b)
+	}
+	for range rt.cfg.backends {
+		p := <-results
+		rt.setHealth(p.backend, p.up)
+	}
+}
+
+func (rt *router) probe(backend string) bool {
+	client := &http.Client{Timeout: rt.cfg.healthTimeout}
+	resp, err := client.Get(backend + "/v1/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// setHealth records a probe result, updating the ring only on a
+// transition — membership churn is what remaps keys, so steady state
+// must not touch it.
+func (rt *router) setHealth(backend string, up bool) {
+	rt.mu.Lock()
+	was := rt.healthy[backend]
+	rt.healthy[backend] = up
+	rt.mu.Unlock()
+	if was == up {
+		return
+	}
+	if up {
+		rt.ring.Add(backend)
+		rt.healthUp.With(backend).Set(1)
+	} else {
+		rt.ring.Remove(backend)
+		rt.healthUp.With(backend).Set(0)
+	}
+	if rt.cfg.logger != nil {
+		rt.cfg.logger.Info("backend health transition", "backend", backend, "up", up)
+	}
+}
+
+// handleAnalyze buffers the binary, routes it by content hash, and
+// forwards. On a connection-level failure the owner is marked down and
+// the next ring successors are tried; an HTTP-level error (4xx/5xx)
+// is the backend's answer and is relayed as-is.
+func (rt *router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, fmt.Sprintf(`{"error":"body exceeds the %d-byte limit"}`, tooLarge.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, `{"error":"reading body"}`, http.StatusBadRequest)
+		return
+	}
+	sum := sha256.Sum256(raw)
+	candidates := rt.ring.LookupN(sum[:], rt.cfg.failover+1)
+	if len(candidates) == 0 {
+		rt.unrouted.Inc()
+		http.Error(w, `{"error":"no healthy backend"}`, http.StatusServiceUnavailable)
+		return
+	}
+	for i, backend := range candidates {
+		if i > 0 {
+			rt.failovers.Inc()
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			backend+"/v1/analyze?"+r.URL.RawQuery, bytes.NewReader(raw))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		copyTraceHeaders(req, r)
+		resp, err := rt.cfg.client.Do(req)
+		if err != nil {
+			// Connection-level: this replica is gone; say so and try the
+			// next owner in ring order.
+			rt.setHealth(backend, false)
+			if rt.cfg.logger != nil {
+				rt.cfg.logger.Warn("forward failed", "backend", backend, "err", err)
+			}
+			continue
+		}
+		rt.routedTo.With(backend).Inc()
+		relay(w, resp)
+		return
+	}
+	rt.unrouted.Inc()
+	http.Error(w, `{"error":"every candidate backend failed"}`, http.StatusBadGateway)
+}
+
+// handleBatch streams a whole archive to one healthy replica, chosen
+// round-robin: a batch has no single content hash to shard by, and
+// member-level resharding would mean re-framing the archive — the
+// per-binary store/cache tier below makes the placement loss cheap.
+func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	backend, ok := rt.nextBackend()
+	if !ok {
+		rt.unrouted.Inc()
+		http.Error(w, `{"error":"no healthy backend"}`, http.StatusServiceUnavailable)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		backend+"/v1/batch?"+r.URL.RawQuery, r.Body)
+	if err != nil {
+		http.Error(w, `{"error":"building forward request"}`, http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	copyTraceHeaders(req, r)
+	resp, err := rt.cfg.client.Do(req)
+	if err != nil {
+		rt.setHealth(backend, false)
+		rt.unrouted.Inc()
+		http.Error(w, `{"error":"backend unreachable"}`, http.StatusBadGateway)
+		return
+	}
+	rt.routedTo.With(backend).Inc()
+	relayStream(w, resp)
+}
+
+// nextBackend returns the next healthy backend in round-robin order.
+func (rt *router) nextBackend() (string, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := len(rt.cfg.backends)
+	for i := 0; i < n; i++ {
+		b := rt.cfg.backends[int(rt.rr.Add(1))%n]
+		if rt.healthy[b] {
+			return b, true
+		}
+	}
+	return "", false
+}
+
+func (rt *router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","ring_nodes":%d}`+"\n", rt.ring.Len())
+}
+
+// handleNodes reports ring membership and probe state — the operator's
+// view of where the key space lives right now.
+func (rt *router) handleNodes(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	type node struct {
+		Backend string `json:"backend"`
+		Healthy bool   `json:"healthy"`
+	}
+	var nodes []node
+	for _, b := range rt.cfg.backends {
+		nodes = append(nodes, node{Backend: b, Healthy: rt.healthy[b]})
+	}
+	rt.mu.Unlock()
+	writeJSONLB(w, map[string]any{
+		"nodes":      nodes,
+		"ring_nodes": rt.ring.Nodes(),
+	})
+}
+
+// copyTraceHeaders forwards the request-trace header so one ID follows
+// the request across the router hop.
+func copyTraceHeaders(dst *http.Request, src *http.Request) {
+	if id := src.Header.Get(obs.RequestIDHeader); id != "" {
+		dst.Header.Set(obs.RequestIDHeader, id)
+	}
+}
+
+// relay copies a buffered backend response to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	copyResponseHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// relayStream copies an NDJSON stream, flushing per write so records
+// reach the client as they complete.
+func relayStream(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	copyResponseHeaders(w, resp)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func copyResponseHeaders(w http.ResponseWriter, resp *http.Response) {
+	for _, h := range []string{"Content-Type", "Retry-After", obs.RequestIDHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+}
+
+func writeJSONLB(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

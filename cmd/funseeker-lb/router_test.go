@@ -1,0 +1,390 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/corpus"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// fakeBackend is a minimal funseekerd stand-in that records which
+// bodies it saw and answers /v1/analyze with a canned JSON carrying
+// its own name — enough to observe routing without running analyses.
+type fakeBackend struct {
+	name string
+	ts   *httptest.Server
+
+	mu     sync.Mutex
+	bodies []string // SHA-256-free: the raw body text, tests use short tags
+	downMu sync.Mutex
+	down   bool
+}
+
+func newFakeBackend(t *testing.T, name string) *fakeBackend {
+	t.Helper()
+	fb := &fakeBackend{name: name}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		fb.mu.Lock()
+		fb.bodies = append(fb.bodies, string(raw))
+		fb.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"backend":%q}`, fb.name)
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintf(w, `{"summary":true,"backend":%q}`+"\n", fb.name)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fb.downMu.Lock()
+		down := fb.down
+		fb.downMu.Unlock()
+		if down {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	fb.ts = httptest.NewServer(mux)
+	t.Cleanup(fb.ts.Close)
+	return fb
+}
+
+func (fb *fakeBackend) setDown(down bool) {
+	fb.downMu.Lock()
+	fb.down = down
+	fb.downMu.Unlock()
+}
+
+func (fb *fakeBackend) seen() int {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return len(fb.bodies)
+}
+
+func newTestRouter(t *testing.T, backends []*fakeBackend, mutate func(*routerConfig)) *httptest.Server {
+	t.Helper()
+	var urls []string
+	for _, fb := range backends {
+		urls = append(urls, fb.ts.URL)
+	}
+	cfg := routerConfig{backends: urls}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := newRouter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.handler())
+	t.Cleanup(ts.Close)
+	// Stash for tests that drive health checks directly.
+	testRouters[ts] = rt
+	return ts
+}
+
+var testRouters = map[*httptest.Server]*router{}
+
+func analyzeVia(t *testing.T, url string, body string) (string, int) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/analyze", "application/octet-stream", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var out struct {
+		Backend string `json:"backend"`
+	}
+	json.Unmarshal(raw, &out)
+	return out.Backend, resp.StatusCode
+}
+
+// TestRouteDeterministicAndSharded: the same body always lands on the
+// same backend, and many distinct bodies spread across all of them.
+func TestRouteDeterministicAndSharded(t *testing.T) {
+	backends := []*fakeBackend{
+		newFakeBackend(t, "a"), newFakeBackend(t, "b"), newFakeBackend(t, "c"),
+	}
+	ts := newTestRouter(t, backends, nil)
+
+	owner, status := analyzeVia(t, ts.URL, "binary-zero")
+	if status != http.StatusOK || owner == "" {
+		t.Fatalf("first route: status %d owner %q", status, owner)
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := analyzeVia(t, ts.URL, "binary-zero")
+		if again != owner {
+			t.Fatalf("same body routed to %q then %q", owner, again)
+		}
+	}
+
+	hit := map[string]int{}
+	for i := 0; i < 60; i++ {
+		b, status := analyzeVia(t, ts.URL, fmt.Sprintf("binary-%d", i))
+		if status != http.StatusOK {
+			t.Fatalf("route %d: status %d", i, status)
+		}
+		hit[b]++
+	}
+	if len(hit) != 3 {
+		t.Fatalf("60 distinct bodies used %d backends (%v), want all 3", len(hit), hit)
+	}
+}
+
+// TestFailoverOnDeadBackend: killing a replica reroutes its keys to a
+// ring successor without an error surfacing to the client, and the
+// survivors keep their keys (minimal disruption, end to end).
+func TestFailoverOnDeadBackend(t *testing.T) {
+	backends := []*fakeBackend{
+		newFakeBackend(t, "a"), newFakeBackend(t, "b"), newFakeBackend(t, "c"),
+	}
+	ts := newTestRouter(t, backends, nil)
+
+	byName := map[string]*fakeBackend{}
+	for _, fb := range backends {
+		byName[fb.name] = fb
+	}
+
+	// Map a few keys to owners while everyone is up.
+	owners := map[string]string{}
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner, _ := analyzeVia(t, ts.URL, key)
+		owners[key] = owner
+	}
+
+	// Kill one replica's listener outright: connection-level failure.
+	var victim *fakeBackend
+	for _, fb := range backends {
+		if fb.name == owners["key-0"] {
+			victim = fb
+		}
+	}
+	victim.ts.CloseClientConnections()
+	victim.ts.Close()
+
+	for key, prev := range owners {
+		got, status := analyzeVia(t, ts.URL, key)
+		if status != http.StatusOK {
+			t.Fatalf("key %q after kill: status %d", key, status)
+		}
+		if prev != victim.name && got != prev {
+			t.Fatalf("survivor-owned key %q moved %q -> %q", key, prev, got)
+		}
+		if prev == victim.name && (got == victim.name || got == "") {
+			t.Fatalf("victim-owned key %q still answered by %q", key, got)
+		}
+	}
+}
+
+// TestHealthProbeMovesRing: a failing health probe removes the backend
+// from the ring; a passing one restores it — and with it, the exact
+// original key placement.
+func TestHealthProbeMovesRing(t *testing.T) {
+	backends := []*fakeBackend{
+		newFakeBackend(t, "a"), newFakeBackend(t, "b"), newFakeBackend(t, "c"),
+	}
+	ts := newTestRouter(t, backends, nil)
+	rt := testRouters[ts]
+
+	owners := map[string]string{}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("hp-%d", i)
+		owners[key], _ = analyzeVia(t, ts.URL, key)
+	}
+
+	backends[1].setDown(true)
+	rt.checkHealth()
+	if n := rt.ring.Len(); n != 2 {
+		t.Fatalf("ring has %d nodes after probe failure, want 2", n)
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("hp-%d", i)
+		got, status := analyzeVia(t, ts.URL, key)
+		if status != http.StatusOK || got == backends[1].name {
+			t.Fatalf("key %q routed to downed backend (status %d, got %q)", key, status, got)
+		}
+	}
+
+	backends[1].setDown(false)
+	rt.checkHealth()
+	if n := rt.ring.Len(); n != 3 {
+		t.Fatalf("ring has %d nodes after recovery, want 3", n)
+	}
+	for key, prev := range owners {
+		got, _ := analyzeVia(t, ts.URL, key)
+		if got != prev {
+			t.Fatalf("key %q owner %q != original %q after recovery", key, got, prev)
+		}
+	}
+
+	// /lb/nodes reflects the state.
+	resp, err := http.Get(ts.URL + "/lb/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes struct {
+		Nodes []struct {
+			Backend string `json:"backend"`
+			Healthy bool   `json:"healthy"`
+		} `json:"nodes"`
+		RingNodes []string `json:"ring_nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes.Nodes) != 3 || len(nodes.RingNodes) != 3 {
+		t.Fatalf("/lb/nodes = %+v", nodes)
+	}
+	for _, n := range nodes.Nodes {
+		if !n.Healthy {
+			t.Fatalf("backend %q still marked unhealthy", n.Backend)
+		}
+	}
+}
+
+// TestBatchRoundRobin: batches spread across healthy replicas and skip
+// downed ones.
+func TestBatchRoundRobin(t *testing.T) {
+	backends := []*fakeBackend{
+		newFakeBackend(t, "a"), newFakeBackend(t, "b"),
+	}
+	ts := newTestRouter(t, backends, nil)
+	rt := testRouters[ts]
+
+	post := func() string {
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/x-tar", bytes.NewReader([]byte("tar-ish")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var out struct {
+			Backend string `json:"backend"`
+		}
+		json.Unmarshal(raw, &out)
+		return out.Backend
+	}
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		seen[post()]++
+	}
+	if seen["a"] != 3 || seen["b"] != 3 {
+		t.Fatalf("round-robin split = %v, want 3/3", seen)
+	}
+
+	backends[0].setDown(true)
+	rt.checkHealth()
+	for i := 0; i < 4; i++ {
+		if b := post(); b != "b" {
+			t.Fatalf("batch routed to %q with a down", b)
+		}
+	}
+}
+
+// TestNoHealthyBackends: everything down yields 503, counted as
+// unrouted.
+func TestNoHealthyBackends(t *testing.T) {
+	backends := []*fakeBackend{newFakeBackend(t, "a")}
+	ts := newTestRouter(t, backends, nil)
+	rt := testRouters[ts]
+
+	backends[0].setDown(true)
+	rt.checkHealth()
+	_, status := analyzeVia(t, ts.URL, "anything")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	resp, _ := http.Post(ts.URL+"/v1/batch", "application/x-tar", strings.NewReader("x"))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch status = %d, want 503", resp.StatusCode)
+	}
+	if rt.unrouted.Value() != 2 {
+		t.Fatalf("unrouted = %d, want 2", rt.unrouted.Value())
+	}
+}
+
+// TestRelayVerbatim: the router relays a backend's status, body, and
+// the headers that matter (Retry-After from a shedding replica) without
+// rewriting them, and forwards the full binary body. The real
+// replicas-behind-router path runs in CI's cluster smoke job.
+func TestRelayVerbatim(t *testing.T) {
+	raw := realELF(t)
+
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/analyze":
+			body, _ := io.ReadAll(r.Body)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":"overloaded","got_bytes":%d}`, len(body))
+		case "/v1/healthz":
+			fmt.Fprintln(w, "{}")
+		}
+	}))
+	t.Cleanup(backend.Close)
+
+	rt, err := newRouter(routerConfig{backends: []string{backend.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want the backend's 429 relayed", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After = %q, want relayed 7", resp.Header.Get("Retry-After"))
+	}
+	var out struct {
+		GotBytes int `json:"got_bytes"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil || out.GotBytes != len(raw) {
+		t.Fatalf("backend saw %d bytes, want %d (body %s)", out.GotBytes, len(raw), body)
+	}
+}
+
+// realELF compiles one small CET binary.
+var realELFOnce = sync.OnceValues(func() ([]byte, error) {
+	specs := corpus.Generate(corpus.Coreutils, corpus.Options{Scale: 0.1, Seed: 3, Programs: 1})
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no specs")
+	}
+	res, err := synth.Compile(specs[0], synth.Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2})
+	if err != nil {
+		return nil, err
+	}
+	return res.Stripped, nil
+})
+
+func realELF(t *testing.T) []byte {
+	t.Helper()
+	raw, err := realELFOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

@@ -6,9 +6,11 @@
 // Usage:
 //
 //	funseekerd [-addr :8745] [-jobs N] [-cache-bytes B]
-//	           [-max-body B] [-timeout 30s] [-shutdown-grace 10s]
-//	           [-require-cet] [-log text|json] [-slow 1s]
-//	           [-debug-addr addr]
+//	           [-max-body B] [-max-batch B] [-timeout 30s]
+//	           [-shutdown-grace 10s] [-require-cet]
+//	           [-store-dir DIR] [-store-segment-bytes B]
+//	           [-shed-queue-p99 D] [-shed-window 10s]
+//	           [-log text|json] [-slow 1s] [-debug-addr addr]
 //
 // Endpoints:
 //
@@ -18,6 +20,10 @@
 //	                   default 4), superset=1 (byte-level end-branch
 //	                   scan), require_cet=1 (fail on endbr-free
 //	                   binaries). Returns the report as JSON.
+//	POST /v1/batch     analyze a tar archive (or multipart form) of ELF
+//	                   images; results stream back as NDJSON, one
+//	                   record per member in archive order, errors
+//	                   isolated per member, then a summary line.
 //	GET  /v1/healthz   liveness probe.
 //	GET  /v1/stats     cache hit/miss, in-flight, per-stage analysis cost
 //	                   aggregates. Also published through expvar under
@@ -25,6 +31,12 @@
 //	GET  /metrics      Prometheus text-format exposition: request
 //	                   counters by status kind, analyze/stage latency
 //	                   histograms, cache hit/miss/coalesced counters.
+//
+// With -store-dir set, every cold result is written through to a
+// crash-safe append-only store in that directory and served from it
+// after a restart (Cached: "store"). With -shed-queue-p99 set, the
+// server refuses new analysis work with 429 + Retry-After while the
+// windowed queue-wait p99 is over the bound.
 //
 // Every response carries an X-Funseeker-Request-Id header (generated at
 // the edge, or adopted from a well-formed client-supplied value); the
@@ -56,6 +68,7 @@ import (
 
 	"github.com/funseeker/funseeker/internal/engine"
 	"github.com/funseeker/funseeker/internal/obs"
+	"github.com/funseeker/funseeker/internal/store"
 )
 
 func main() {
@@ -74,6 +87,11 @@ func run() error {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request analysis timeout (0 disables)")
 		grace      = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window")
 		requireCET = flag.Bool("require-cet", false, "reject binaries without any end-branch instruction")
+		storeDir   = flag.String("store-dir", "", "persistent result-store directory (empty disables persistence)")
+		storeSeg   = flag.Int64("store-segment-bytes", store.DefaultSegmentBytes, "persistent-store segment rotation size")
+		maxBatch   = flag.Int64("max-batch", 0, "max /v1/batch upload bytes (0 = 16x max-body)")
+		shedP99    = flag.Duration("shed-queue-p99", 0, "shed with 429 when queue-wait p99 exceeds this (0 disables)")
+		shedWin    = flag.Duration("shed-window", 10*time.Second, "sampling window for the shed signal (0 = cumulative)")
 		logFormat  = flag.String("log", "text", "log format: text or json")
 		slow       = flag.Duration("slow", time.Second, "WARN-log requests slower than this (0 disables)")
 		debugAddr  = flag.String("debug-addr", "", "optional debug listen address for pprof/expvar/metrics (e.g. 127.0.0.1:8746)")
@@ -93,6 +111,22 @@ func run() error {
 	// request context — handlers and everything below them just log.
 	logger := slog.New(obs.NewLogHandler(handler))
 
+	// The persistent store survives restarts: results computed before a
+	// crash or deploy are served warm (CacheSource "store") after it.
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{SegmentBytes: *storeSeg})
+		if err != nil {
+			return fmt.Errorf("open result store: %w", err)
+		}
+		defer st.Close()
+		ss := st.Stats()
+		logger.Info("result store open", "dir", *storeDir,
+			"records", ss.Records, "segments", ss.Segments,
+			"recovered", ss.RecoveredRecords, "truncated_bytes", ss.TruncatedBytes)
+	}
+
 	// One registry spans both layers: the engine's stage/cache series
 	// and the server's HTTP series come out of the same /metrics scrape.
 	reg := obs.NewRegistry()
@@ -101,9 +135,13 @@ func run() error {
 		CacheBytes: *cacheBytes,
 		RequireCET: *requireCET,
 		Registry:   reg,
+		Store:      st,
 	})
 	srv2 := newServer(eng, serverConfig{
 		maxBodyBytes:  *maxBody,
+		maxBatchBytes: *maxBatch,
+		shedBound:     *shedP99,
+		shedWindow:    *shedWin,
 		reqTimeout:    *timeout,
 		slowThreshold: *slow,
 		logger:        logger,

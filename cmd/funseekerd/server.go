@@ -25,8 +25,18 @@ import (
 // serverConfig carries the per-request limits of one funseekerd
 // instance.
 type serverConfig struct {
-	// maxBodyBytes caps the request body (the uploaded ELF image).
+	// maxBodyBytes caps the request body (the uploaded ELF image), and
+	// the per-member size inside a batch archive.
 	maxBodyBytes int64
+	// maxBatchBytes caps a whole /v1/batch upload; zero selects
+	// 16×maxBodyBytes.
+	maxBatchBytes int64
+	// shedBound sheds new analysis work with 429 once the windowed
+	// queue-wait p99 exceeds it; zero disables shedding.
+	shedBound time.Duration
+	// shedWindow is the sampling window of the shed signal;
+	// non-positive uses the cumulative distribution.
+	shedWindow time.Duration
 	// reqTimeout bounds one analyze request end to end; zero disables.
 	reqTimeout time.Duration
 	// slowThreshold promotes requests slower than this to a WARN-level
@@ -56,6 +66,12 @@ type server struct {
 	// dispatched backend reported, so a mixed-ISA corpus shows its split
 	// at the scrape endpoint.
 	analyzeByArch *obs.CounterVec
+	// batchItems counts /v1/batch member records by outcome ("ok" or
+	// "error"); shedTotal counts requests refused by the load shedder.
+	batchItems *obs.CounterVec
+	shedTotal  *obs.Counter
+	// shed is the admission controller behind 429 + Retry-After.
+	shed *shedder
 }
 
 // newServer builds the funseekerd HTTP layer over eng. Call handler()
@@ -72,6 +88,14 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 		"Edge-to-edge HTTP request latency.", nil)
 	s.analyzeByArch = cfg.registry.NewCounterVec("funseekerd_analyze_arch_total",
 		"Successful analyses by binary architecture.", "arch")
+	s.batchItems = cfg.registry.NewCounterVec("funseekerd_batch_items_total",
+		"Batch archive members processed, by outcome.", "outcome")
+	s.shedTotal = cfg.registry.NewCounter("funseekerd_shed_total",
+		"Requests refused with 429 by the queue-wait load shedder.")
+	if s.cfg.maxBatchBytes <= 0 {
+		s.cfg.maxBatchBytes = 16 * s.cfg.maxBodyBytes
+	}
+	s.shed = newShedder(eng, cfg.shedBound, cfg.shedWindow)
 	return s
 }
 
@@ -85,6 +109,12 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 //	                    landmark scan, ?require_cet=1 rejects
 //	                    landmark-free binaries, ?arch=x86-64|aarch64
 //	                    pins a backend instead of trusting the header
+//	POST /v1/batch    — analyze a whole archive (tar stream or
+//	                    multipart form) of ELF images; per-member
+//	                    results stream back as NDJSON in archive order,
+//	                    with per-member error isolation and a final
+//	                    summary line. Same query options as
+//	                    /v1/analyze, applied to every member.
 //	GET  /v1/healthz  — liveness
 //	GET  /v1/stats    — engine counters (cache, in-flight, per-stage
 //	                    analysis costs)
@@ -93,6 +123,7 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", s.cfg.registry.Handler())
@@ -125,7 +156,8 @@ type analyzeResponse struct {
 	Arch   string `json:"arch"`
 	Config int    `json:"config"`
 	// Cached is false for a fresh analysis, or the string "lru" /
-	// "coalesced" naming the fast path that served the result.
+	// "store" / "coalesced" naming the fast path that served the
+	// result.
 	Cached    any     `json:"cached"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 
@@ -150,6 +182,13 @@ type errorResponse struct {
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if retry, shed := s.shed.overloaded(); shed {
+		s.shedTotal.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+		writeErrorKind(w, r, http.StatusTooManyRequests,
+			errors.New("queue-wait p99 over the shed bound; retry later"), "overloaded")
+		return
+	}
 	ctx := r.Context()
 	if s.cfg.reqTimeout > 0 {
 		var cancel context.CancelFunc
@@ -182,27 +221,8 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var cached any = false
-	if res.Cached {
-		cached = res.CacheSource
-	}
-	rep := res.Report
-	s.analyzeByArch.With(rep.Arch).Inc()
-	writeJSON(w, http.StatusOK, analyzeResponse{
-		SHA256:                 res.SHA256,
-		Arch:                   rep.Arch,
-		Config:                 configN,
-		Cached:                 cached,
-		ElapsedMS:              float64(res.Elapsed) / float64(time.Millisecond),
-		Entries:                rep.Entries,
-		Endbrs:                 len(rep.Endbrs),
-		CallTargets:            len(rep.CallTargets),
-		JumpTargets:            len(rep.JumpTargets),
-		TailCallTargets:        len(rep.TailCallTargets),
-		FilteredIndirectReturn: rep.FilteredIndirectReturn,
-		FilteredLandingPads:    rep.FilteredLandingPads,
-		Warnings:               rep.Warnings,
-	})
+	s.analyzeByArch.With(res.Report.Arch).Inc()
+	writeJSON(w, http.StatusOK, buildAnalyzeResponse(res, configN))
 }
 
 // optionsFromQuery maps ?config / ?superset / ?require_cet / ?arch to
@@ -327,6 +347,8 @@ func statusKind(status int) string {
 		return "method_not_allowed"
 	case status == http.StatusRequestEntityTooLarge:
 		return "too_large"
+	case status == http.StatusTooManyRequests:
+		return "shed"
 	case status == http.StatusUnprocessableEntity:
 		return "unprocessable"
 	case status == http.StatusServiceUnavailable:

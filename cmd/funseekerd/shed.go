@@ -1,0 +1,105 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/obs"
+)
+
+// shedder is funseekerd's admission controller: it watches the
+// engine's queue-wait histogram (the first place worker-pool
+// saturation shows up) and starts refusing new analysis work with
+// 429 + Retry-After once the p99 wait crosses a configured bound.
+//
+// Refusing early is the whole point: a request the pool cannot start
+// promptly would only sit in the queue holding its body in memory and
+// eventually time out anyway; a 429 with Retry-After lets a
+// well-behaved client (or the funseeker-lb router) back off or try a
+// less-loaded replica instead.
+//
+// The signal is a *windowed* p99: every window the shedder snapshots
+// the cumulative histogram and diffs it against the previous snapshot,
+// so the decision tracks the last window's traffic rather than the
+// whole process lifetime (a busy hour at startup must not shed forever
+// after the load has passed). A non-positive window falls back to the
+// cumulative distribution, which tests use for determinism.
+type shedder struct {
+	eng    *engine.Engine
+	bound  time.Duration // shed when windowed queue-wait p99 exceeds this; 0 disables
+	window time.Duration // refresh cadence of the windowed p99; <=0 reads cumulative
+
+	mu     sync.Mutex
+	prev   obs.HistSnapshot // cumulative snapshot at the last window edge
+	prevAt time.Time
+	p99    float64 // seconds, from the last completed window
+}
+
+func newShedder(eng *engine.Engine, bound, window time.Duration) *shedder {
+	return &shedder{eng: eng, bound: bound, window: window}
+}
+
+// overloaded reports whether new analysis work should be refused right
+// now, and if so for how long the client should back off. Cheap enough
+// to call per request: a bounded atomic scan, and the windowed path
+// only re-diffs once per window.
+func (sh *shedder) overloaded() (retryAfter time.Duration, shed bool) {
+	if sh == nil || sh.bound <= 0 {
+		return 0, false
+	}
+	var p99 float64
+	if sh.window <= 0 {
+		p99 = sh.eng.QueueWaitSnapshot().Quantile(0.99)
+	} else {
+		p99 = sh.windowedP99()
+	}
+	if p99 <= sh.bound.Seconds() {
+		return 0, false
+	}
+	retry := sh.window
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return retry, true
+}
+
+// windowedP99 returns the p99 of the most recent completed window,
+// advancing the window if it has elapsed.
+func (sh *shedder) windowedP99() float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	now := time.Now()
+	if sh.prevAt.IsZero() {
+		// First call: start the window; nothing to diff yet, so admit.
+		sh.prev, sh.prevAt = sh.eng.QueueWaitSnapshot(), now
+		return 0
+	}
+	if now.Sub(sh.prevAt) >= sh.window {
+		cur := sh.eng.QueueWaitSnapshot()
+		sh.p99 = histDelta(cur, sh.prev).Quantile(0.99)
+		sh.prev, sh.prevAt = cur, now
+	}
+	return sh.p99
+}
+
+// histDelta subtracts two cumulative snapshots of the same histogram,
+// yielding the distribution of only the samples observed between them.
+// Counter-monotonicity makes every per-bucket difference non-negative;
+// a shape mismatch (can't happen for one histogram, but be safe)
+// degrades to the current snapshot.
+func histDelta(cur, prev obs.HistSnapshot) obs.HistSnapshot {
+	if len(prev.Counts) != len(cur.Counts) {
+		return cur
+	}
+	d := obs.HistSnapshot{
+		Bounds: cur.Bounds,
+		Counts: make([]uint64, len(cur.Counts)),
+		Count:  cur.Count - prev.Count,
+		Sum:    cur.Sum - prev.Sum,
+	}
+	for i := range cur.Counts {
+		d.Counts[i] = cur.Counts[i] - prev.Counts[i]
+	}
+	return d
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/funseeker/funseeker/internal/core"
 	"github.com/funseeker/funseeker/internal/elfx"
 	"github.com/funseeker/funseeker/internal/obs"
+	"github.com/funseeker/funseeker/internal/store"
 )
 
 // DefaultCacheBytes is the result-cache budget when Config.CacheBytes is
@@ -57,6 +58,13 @@ type Config struct {
 	// binary carries no end-branch instruction, regardless of the
 	// per-request options.
 	RequireCET bool
+	// Store is the persistent result tier layered *under* the LRU: an
+	// LRU miss consults it before paying for a cold analysis, and every
+	// completed cold analysis is written through to it, so a warm
+	// corpus survives a process restart. Nil disables persistence. The
+	// engine does not own the store's lifecycle — the caller opens and
+	// closes it.
+	Store *store.Store
 	// Registry receives the engine's metrics (latency histograms,
 	// cache/coalescing counters, worker-pool gauges). Nil selects a
 	// private registry: the histograms still accumulate — so
@@ -73,19 +81,23 @@ type Engine struct {
 	sem        chan struct{}
 	requireCET bool
 	cache      *lru
+	store      *store.Store
 
 	flightMu sync.Mutex
 	flight   map[cacheKey]*call
 
-	inFlight  atomic.Int64
-	requests  atomic.Uint64
-	analyzed  atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	canceled  atomic.Uint64
-	failures  atomic.Uint64
-	bytesIn   atomic.Uint64
+	inFlight    atomic.Int64
+	requests    atomic.Uint64
+	analyzed    atomic.Uint64
+	hits        atomic.Uint64
+	storeHits   atomic.Uint64
+	storePuts   atomic.Uint64
+	storeErrors atomic.Uint64
+	misses      atomic.Uint64
+	coalesced   atomic.Uint64
+	canceled    atomic.Uint64
+	failures    atomic.Uint64
+	bytesIn     atomic.Uint64
 
 	met *engineMetrics
 
@@ -156,7 +168,8 @@ type Result struct {
 	Cached bool
 	// CacheSource names the fast path that served a cached result:
 	// "lru" for an LRU hit, "coalesced" for a wait on an identical
-	// in-flight analysis, "" for a fresh analysis.
+	// in-flight analysis, "store" for a persistent-store hit after an
+	// LRU miss, "" for a fresh analysis.
 	CacheSource string
 	// Elapsed is this caller's wall-clock wait for the result: the
 	// analysis time on the cold path, the lookup time on an LRU hit,
@@ -186,6 +199,7 @@ func New(cfg Config) *Engine {
 		sem:        make(chan struct{}, jobs),
 		requireCET: cfg.RequireCET,
 		cache:      cache,
+		store:      cfg.Store,
 		flight:     make(map[cacheKey]*call),
 	}
 	reg := cfg.Registry
@@ -206,8 +220,9 @@ func (e *Engine) Jobs() int { return e.jobs }
 //
 // Counter contract (the invariant engine tests assert): every Analyze
 // call increments requests exactly once, and exactly one of hits,
-// misses, coalesced, canceled, or failures — including waiters that
-// share an in-flight failure, and callers whose analysis panicked.
+// storeHits, misses, coalesced, canceled, or failures — including
+// waiters that share an in-flight failure, and callers whose analysis
+// panicked.
 func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*Result, error) {
 	if e.requireCET {
 		opts.RequireCET = true
@@ -286,10 +301,11 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 	}
 }
 
-// analyzeCold runs one uncached analysis: acquire a worker slot, load,
-// identify, account, cache. A panic anywhere inside — worker-slot code,
-// ELF loading, the sweep — is recovered into an error and counted under
-// failures, so one malformed input cannot take the process down.
+// analyzeCold runs one uncached analysis: consult the persistent
+// store, then acquire a worker slot, load, identify, account, cache. A
+// panic anywhere inside — worker-slot code, ELF loading, the sweep —
+// is recovered into an error and counted under failures, so one
+// malformed input cannot take the process down.
 func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options, k cacheKey) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -297,6 +313,33 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 			res, err = nil, fmt.Errorf("analysis panicked: %v", r)
 		}
 	}()
+	start := time.Now()
+
+	// The persistent tier sits under the LRU: an LRU miss is first
+	// checked against the store before paying for a sweep. The read
+	// happens inside the flight entry, so concurrent identical requests
+	// coalesce onto one store read exactly as they coalesce onto one
+	// analysis. Store errors (I/O, a foreign-version record) degrade to
+	// a cold analysis — persistence must never turn a computable
+	// request into a failure.
+	if e.store != nil {
+		if val, ok, serr := e.store.Get(storeKey(k)); serr != nil {
+			e.storeErrors.Add(1)
+		} else if ok {
+			if stored, derr := decodeStoredResult(val); derr != nil {
+				e.storeErrors.Add(1)
+			} else {
+				e.storeHits.Add(1)
+				if e.cache != nil {
+					e.cache.add(k, stored)
+				}
+				return &Result{
+					Report: stored.Report, SHA256: stored.SHA256, BinaryBytes: stored.BinaryBytes,
+					Cached: true, CacheSource: "store", Elapsed: time.Since(start),
+				}, nil
+			}
+		}
+	}
 
 	queueStart := time.Now()
 	select {
@@ -310,7 +353,7 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
-	start := time.Now()
+	start = time.Now() // Elapsed excludes the queue wait
 
 	if e.testHookCold != nil {
 		e.testHookCold(raw)
@@ -351,6 +394,20 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 	if e.cache != nil {
 		e.cache.add(k, res)
 	}
+	// Write-through to the persistent tier. Synchronous on purpose: the
+	// encode+append is microseconds next to the analysis that just ran,
+	// and a replica killed right after responding must find the result
+	// on restart. Failures are counted and swallowed — the result is
+	// already computed and the caller deserves it.
+	if e.store != nil {
+		if val, serr := encodeStoredResult(res); serr != nil {
+			e.storeErrors.Add(1)
+		} else if serr := e.store.Put(storeKey(k), val); serr != nil {
+			e.storeErrors.Add(1)
+		} else {
+			e.storePuts.Add(1)
+		}
+	}
 	return res, nil
 }
 
@@ -368,14 +425,19 @@ type Stats struct {
 	// InFlight is the number of analyses running right now.
 	InFlight int64 `json:"in_flight"`
 	// Requests counts every Analyze call. Each request lands in exactly
-	// one of CacheHits, CacheMisses, Coalesced, Canceled, or Failures,
-	// so those five always sum to Requests.
+	// one of CacheHits, StoreHits, CacheMisses, Coalesced, Canceled, or
+	// Failures, so those six always sum to Requests.
 	Requests uint64 `json:"requests"`
 	// Analyzed counts completed cold analyses (always equal to
 	// CacheMisses).
 	Analyzed uint64 `json:"analyzed"`
-	// CacheHits counts requests served from the LRU.
+	// CacheHits counts requests served from the in-memory LRU.
 	CacheHits uint64 `json:"cache_hits"`
+	// StoreHits counts requests that missed the LRU but were served
+	// from the persistent store. Accounted separately from CacheHits —
+	// a store hit skipped the sweep but still paid a disk read — and
+	// always zero when no store is configured.
+	StoreHits uint64 `json:"store_hits"`
 	// CacheMisses counts requests that ran a fresh analysis.
 	CacheMisses uint64 `json:"cache_misses"`
 	// Coalesced counts requests served by waiting on an identical
@@ -396,6 +458,14 @@ type Stats struct {
 	CacheBytes    int64  `json:"cache_bytes"`
 	CacheCapacity int64  `json:"cache_capacity"`
 	Evictions     uint64 `json:"evictions"`
+	// StorePuts counts results written through to the persistent store;
+	// StoreErrors counts store reads/writes/decodes that failed (each
+	// degraded to a cold analysis or a lost write-through, never a
+	// request failure). Store carries the store's own snapshot; nil
+	// when no store is configured.
+	StorePuts   uint64       `json:"store_puts"`
+	StoreErrors uint64       `json:"store_errors"`
+	Store       *store.Stats `json:"store,omitempty"`
 	// Analysis aggregates the per-stage analysis costs (sweep, eh-parse,
 	// landing-pad join, filter, tail-call) over every cold analysis.
 	Analysis analysis.Stats `json:"analysis"`
@@ -409,14 +479,21 @@ func (e *Engine) Stats() Stats {
 		Requests:      e.requests.Load(),
 		Analyzed:      e.analyzed.Load(),
 		CacheHits:     e.hits.Load(),
+		StoreHits:     e.storeHits.Load(),
 		CacheMisses:   e.misses.Load(),
 		Coalesced:     e.coalesced.Load(),
 		Canceled:      e.canceled.Load(),
 		Failures:      e.failures.Load(),
 		BytesAnalyzed: e.bytesIn.Load(),
+		StorePuts:     e.storePuts.Load(),
+		StoreErrors:   e.storeErrors.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries, s.CacheBytes, s.CacheCapacity, s.Evictions = e.cache.stats()
+	}
+	if e.store != nil {
+		st := e.store.Stats()
+		s.Store = &st
 	}
 	e.aggMu.Lock()
 	s.Analysis = e.agg

@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/store"
+)
+
+func newTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// TestStoreTierWarmRestart is the restart story: a second engine (cold
+// LRU, same store directory) serves everything the first one computed
+// from the persistent tier, without re-analyzing a single byte.
+func TestStoreTierWarmRestart(t *testing.T) {
+	bins := testBinaries(t, 3)
+	st := newTestStore(t)
+
+	e1 := New(Config{Jobs: 2, Store: st})
+	var want []*Result
+	for _, raw := range bins {
+		res, err := e1.Analyze(context.Background(), raw, core.Config4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	if s := e1.Stats(); s.StorePuts != 3 || s.StoreHits != 0 {
+		t.Fatalf("first engine store puts/hits = %d/%d, want 3/0", s.StorePuts, s.StoreHits)
+	}
+
+	// "Restart": fresh engine, fresh LRU, same store.
+	e2 := New(Config{Jobs: 2, Store: st})
+	for i, raw := range bins {
+		res, err := e2.Analyze(context.Background(), raw, core.Config4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached || res.CacheSource != "store" {
+			t.Fatalf("bin %d: cached=%v source=%q, want a store hit", i, res.Cached, res.CacheSource)
+		}
+		if res.Elapsed <= 0 {
+			t.Fatalf("bin %d: store-hit Elapsed = %v, want the (nonzero) lookup cost", i, res.Elapsed)
+		}
+		if res.SHA256 != want[i].SHA256 || res.BinaryBytes != want[i].BinaryBytes {
+			t.Fatalf("bin %d: identity mismatch across the store", i)
+		}
+		if !reflect.DeepEqual(res.Report.Entries, want[i].Report.Entries) ||
+			res.Report.Arch != want[i].Report.Arch {
+			t.Fatalf("bin %d: report round-tripped wrong through the store", i)
+		}
+	}
+	s := e2.Stats()
+	if s.StoreHits != 3 || s.Analyzed != 0 || s.CacheMisses != 0 {
+		t.Fatalf("restarted engine = %d store hits / %d analyzed / %d misses, want 3/0/0", s.StoreHits, s.Analyzed, s.CacheMisses)
+	}
+	if s.Store == nil || s.Store.Records != 3 {
+		t.Fatalf("store snapshot = %+v, want 3 records", s.Store)
+	}
+
+	// A store hit populates the LRU: the next identical request is an
+	// LRU hit, not a second disk read.
+	res, err := e2.Analyze(context.Background(), bins[0], core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheSource != "lru" {
+		t.Fatalf("post-store-hit source = %q, want lru", res.CacheSource)
+	}
+}
+
+// TestStoreTierKeysRespectOptionsAndArch: different option bits must
+// not serve each other's stored results.
+func TestStoreTierKeysRespectOptionsAndArch(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	st := newTestStore(t)
+	e1 := New(Config{Jobs: 1, Store: st})
+	if _, err := e1.Analyze(context.Background(), raw, core.Config4); err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Config{Jobs: 1, Store: st})
+	res, err := e2.Analyze(context.Background(), raw, core.Config1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Fatalf("Config1 request served from Config4's stored result (source %q)", res.CacheSource)
+	}
+	if s := e2.Stats(); s.StoreHits != 0 || s.CacheMisses != 1 {
+		t.Fatalf("stats = %d store hits / %d misses, want 0/1", s.StoreHits, s.CacheMisses)
+	}
+}
+
+// TestStoreTierWithoutLRU: caching disabled entirely still leaves the
+// persistent tier working — every repeat is a store hit.
+func TestStoreTierWithoutLRU(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	st := newTestStore(t)
+	e := New(Config{Jobs: 1, CacheBytes: -1, Store: st})
+	if _, err := e.Analyze(context.Background(), raw, core.Config4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := e.Analyze(context.Background(), raw, core.Config4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheSource != "store" {
+			t.Fatalf("repeat %d source = %q, want store (LRU disabled)", i, res.CacheSource)
+		}
+	}
+	if s := e.Stats(); s.StoreHits != 3 || s.CacheHits != 0 || s.Analyzed != 1 {
+		t.Fatalf("stats = %d store hits / %d lru hits / %d analyzed, want 3/0/1", s.StoreHits, s.CacheHits, s.Analyzed)
+	}
+}
+
+// TestStoreDecodeErrorDegradesToCold: a corrupt (foreign-version)
+// stored value must degrade to a fresh analysis, counted under
+// store_errors — never a request failure.
+func TestStoreDecodeErrorDegradesToCold(t *testing.T) {
+	raw := testBinaries(t, 1)[0]
+	st := newTestStore(t)
+
+	// Poison the exact key the engine will look up.
+	k := cacheKey{sum: sha256.Sum256(raw), opts: optsBits(core.Config4), arch: elfx.DetectArch(raw)}
+	if err := st.Put(storeKey(k), []byte(`{"v":999}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Config{Jobs: 1, Store: st})
+	res, err := e.Analyze(context.Background(), raw, core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || len(res.Report.Entries) == 0 {
+		t.Fatalf("poisoned store served cached=%v, want a fresh full analysis", res.Cached)
+	}
+	s := e.Stats()
+	if s.StoreErrors == 0 {
+		t.Fatal("decode failure not counted under store_errors")
+	}
+	if s.Failures != 0 || s.CacheMisses != 1 {
+		t.Fatalf("failures/misses = %d/%d, want 0/1", s.Failures, s.CacheMisses)
+	}
+	// The fresh result overwrote the poison: a new engine now store-hits.
+	e2 := New(Config{Jobs: 1, Store: st})
+	res2, err := e2.Analyze(context.Background(), raw, core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheSource != "store" {
+		t.Fatalf("after overwrite, source = %q, want store", res2.CacheSource)
+	}
+}
+
+// TestStoredResultCodecQuick: the value codec round-trips arbitrary
+// report shapes bit-exactly.
+func TestStoredResultCodecQuick(t *testing.T) {
+	prop := func(entries, endbrs []uint64, fir, flp int, warnings []string, nbytes uint16) bool {
+		res := &Result{
+			Report: &core.Report{
+				Arch:                   "x86-64",
+				Entries:                entries,
+				Endbrs:                 endbrs,
+				FilteredIndirectReturn: fir,
+				FilteredLandingPads:    flp,
+				Warnings:               warnings,
+			},
+			SHA256:      "8d14a573cdbdb212e38b8d83e20b0cd0bbbabd872f1a4445b0f2d72e2a307d12",
+			BinaryBytes: int(nbytes),
+		}
+		val, err := encodeStoredResult(res)
+		if err != nil {
+			return false
+		}
+		got, err := decodeStoredResult(val)
+		if err != nil {
+			return false
+		}
+		return got.SHA256 == res.SHA256 &&
+			got.BinaryBytes == res.BinaryBytes &&
+			got.Report.Arch == res.Report.Arch &&
+			len(got.Report.Entries) == len(res.Report.Entries) &&
+			reflect.DeepEqual(nonNil(got.Report.Entries), nonNil(res.Report.Entries)) &&
+			reflect.DeepEqual(nonNil(got.Report.Endbrs), nonNil(res.Report.Endbrs)) &&
+			got.Report.FilteredIndirectReturn == res.Report.FilteredIndirectReturn &&
+			got.Report.FilteredLandingPads == res.Report.FilteredLandingPads
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Version and shape guards reject foreign records.
+	for _, bad := range []string{`{"v":0}`, `{"v":2,"sha256":""}`, `not json`, ``} {
+		if _, err := decodeStoredResult([]byte(bad)); err == nil {
+			t.Fatalf("decode accepted %q", bad)
+		}
+	}
+}
+
+func nonNil(s []uint64) []uint64 {
+	if s == nil {
+		return []uint64{}
+	}
+	return s
+}
+
+// TestCounterConsistencyWithStore extends the PR-5 pinning property to
+// the persistent tier: under a randomized concurrent workload with an
+// LRU small enough to evict constantly and a store underneath,
+//
+//	requests == lru_hits + store_hits + misses + coalesced + canceled + failures
+//	analyzed == misses
+//
+// and the store tier genuinely absorbs LRU evictions (store_hits > 0),
+// so a store hit misclassified as a cold miss (the skew this test
+// exists to catch) breaks the sums.
+func TestCounterConsistencyWithStore(t *testing.T) {
+	bins := testBinaries(t, 4)
+	st := newTestStore(t)
+
+	// Budget for roughly one report: every distinct binary evicts the
+	// previous one, so repeats miss the LRU and fall to the store.
+	probe := New(Config{Jobs: 2})
+	r, err := probe.Analyze(context.Background(), bins[0], core.Config4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Jobs: 3, CacheBytes: entrySize(r.Report) + entrySize(r.Report)/2, Store: st})
+
+	junk := [][]byte{[]byte("not an elf"), {}, []byte("\x7fELF torn")}
+	const goroutines = 10
+	const iters = 40
+	var issued atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(9000 + g)))
+			for i := 0; i < iters; i++ {
+				ctx := context.Background()
+				var raw []byte
+				switch rng.Intn(12) {
+				case 0: // malformed -> failure
+					raw = junk[rng.Intn(len(junk))]
+				case 1: // pre-canceled -> canceled
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithCancel(ctx)
+					cancel()
+					raw = bins[rng.Intn(len(bins))]
+				default: // good -> lru hit, store hit, miss, or coalesced
+					raw = bins[rng.Intn(len(bins))]
+				}
+				issued.Add(1)
+				_, _ = e.Analyze(ctx, raw, core.Config4)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := e.Stats()
+	if s.Requests != issued.Load() {
+		t.Fatalf("requests = %d, issued %d", s.Requests, issued.Load())
+	}
+	if s.Analyzed != s.CacheMisses {
+		t.Fatalf("analyzed %d != cache_misses %d", s.Analyzed, s.CacheMisses)
+	}
+	sum := s.CacheHits + s.StoreHits + s.CacheMisses + s.Coalesced + s.Canceled + s.Failures
+	if sum != s.Requests {
+		t.Fatalf("lru %d + store %d + misses %d + coalesced %d + canceled %d + failures %d = %d, want requests %d",
+			s.CacheHits, s.StoreHits, s.CacheMisses, s.Coalesced, s.Canceled, s.Failures, sum, s.Requests)
+	}
+	// The workload exercised the new tier for real.
+	if s.StoreHits == 0 {
+		t.Fatal("degenerate workload: no store hits despite constant LRU eviction")
+	}
+	if s.Evictions == 0 || s.CacheMisses == 0 || s.Canceled == 0 || s.Failures == 0 {
+		t.Fatalf("degenerate workload: evictions %d misses %d canceled %d failures %d",
+			s.Evictions, s.CacheMisses, s.Canceled, s.Failures)
+	}
+	// Every distinct (binary, options) pair was analyzed cold at most
+	// once per store generation: misses never exceed puts + errors.
+	if s.StorePuts < 4 {
+		t.Fatalf("store puts = %d, want one per distinct binary at minimum", s.StorePuts)
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("in-flight = %d after quiesce", s.InFlight)
+	}
+
+	// And the durability story holds end to end: a fresh engine over
+	// the same store serves all four binaries without re-analyzing.
+	e2 := New(Config{Jobs: 2, Store: st})
+	for i, raw := range bins {
+		res, err := e2.Analyze(context.Background(), raw, core.Config4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheSource != "store" {
+			t.Fatalf("bin %d after restart: source %q, want store", i, res.CacheSource)
+		}
+	}
+	if s2 := e2.Stats(); s2.Analyzed != 0 {
+		t.Fatalf("restarted engine re-analyzed %d binaries", s2.Analyzed)
+	}
+}

@@ -395,7 +395,7 @@ func TestAnalyzePanicUnblocksWaiters(t *testing.T) {
 	if st.Analyzed != 1 || st.CacheMisses != 1 {
 		t.Fatalf("analyzed/misses = %d/%d, want 1/1", st.Analyzed, st.CacheMisses)
 	}
-	if sum := st.CacheHits + st.CacheMisses + st.Coalesced + st.Canceled + st.Failures; sum != st.Requests {
+	if sum := st.CacheHits + st.StoreHits + st.CacheMisses + st.Coalesced + st.Canceled + st.Failures; sum != st.Requests {
 		t.Fatalf("counter sum %d != requests %d", sum, st.Requests)
 	}
 }
@@ -531,10 +531,10 @@ func TestCounterConsistency(t *testing.T) {
 	if st.Analyzed != st.CacheMisses {
 		t.Fatalf("analyzed %d != cache_misses %d", st.Analyzed, st.CacheMisses)
 	}
-	sum := st.CacheHits + st.CacheMisses + st.Coalesced + st.Canceled + st.Failures
+	sum := st.CacheHits + st.StoreHits + st.CacheMisses + st.Coalesced + st.Canceled + st.Failures
 	if sum != st.Requests {
-		t.Fatalf("hits %d + misses %d + coalesced %d + canceled %d + failures %d = %d, want requests %d",
-			st.CacheHits, st.CacheMisses, st.Coalesced, st.Canceled, st.Failures, sum, st.Requests)
+		t.Fatalf("hits %d + store %d + misses %d + coalesced %d + canceled %d + failures %d = %d, want requests %d",
+			st.CacheHits, st.StoreHits, st.CacheMisses, st.Coalesced, st.Canceled, st.Failures, sum, st.Requests)
 	}
 	// The workload genuinely exercised each class.
 	if st.CacheMisses == 0 || st.CacheHits == 0 || st.Canceled == 0 || st.Failures == 0 {

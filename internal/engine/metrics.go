@@ -7,6 +7,7 @@ import (
 
 	"github.com/funseeker/funseeker/internal/analysis"
 	"github.com/funseeker/funseeker/internal/obs"
+	"github.com/funseeker/funseeker/internal/store"
 )
 
 // engineMetrics is the engine's observability surface: latency
@@ -47,7 +48,13 @@ func registerEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 	reg.NewCounterFunc("funseeker_engine_analyzed_total",
 		"Completed cold analyses.", e.analyzed.Load)
 	reg.NewCounterFunc("funseeker_engine_cache_hits_total",
-		"Requests served from the LRU result cache.", e.hits.Load)
+		"Requests served from the in-memory LRU result cache.", e.hits.Load)
+	reg.NewCounterFunc("funseeker_engine_store_hits_total",
+		"Requests that missed the LRU but were served from the persistent result store.", e.storeHits.Load)
+	reg.NewCounterFunc("funseeker_engine_store_puts_total",
+		"Cold results written through to the persistent result store.", e.storePuts.Load)
+	reg.NewCounterFunc("funseeker_engine_store_errors_total",
+		"Persistent-store reads, writes, or decodes that failed (degraded, not fatal).", e.storeErrors.Load)
 	reg.NewCounterFunc("funseeker_engine_cache_misses_total",
 		"Requests that ran a fresh analysis.", e.misses.Load)
 	reg.NewCounterFunc("funseeker_engine_coalesced_total",
@@ -68,7 +75,21 @@ func registerEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 		"Result-cache retained bytes.", func() float64 { _, b, _, _ := e.cacheStats(); return float64(b) })
 	reg.NewCounterFunc("funseeker_engine_cache_evictions_total",
 		"Result-cache evictions.", func() uint64 { _, _, _, ev := e.cacheStats(); return ev })
+	reg.NewGaugeFunc("funseeker_engine_store_records",
+		"Live records in the persistent result store.",
+		func() float64 { return float64(e.storeStats().Records) })
+	reg.NewGaugeFunc("funseeker_engine_store_bytes",
+		"On-disk segment bytes of the persistent result store.",
+		func() float64 { return float64(e.storeStats().SegmentBytes) })
 	return m
+}
+
+// storeStats is the nil-safe store snapshot behind the sampled metrics.
+func (e *Engine) storeStats() store.Stats {
+	if e.store == nil {
+		return store.Stats{}
+	}
+	return e.store.Stats()
 }
 
 // cacheStats is the nil-safe cache snapshot behind the sampled metrics.
@@ -89,6 +110,13 @@ func (m *engineMetrics) observeStages(st analysis.Stats) {
 		}
 		m.stages.With(name).ObserveDuration(s.Time)
 	})
+}
+
+// QueueWaitSnapshot returns the worker-slot queue-wait distribution —
+// the saturation signal the server's load shedder watches. Cheap
+// enough to call per request (a bounded atomic scan).
+func (e *Engine) QueueWaitSnapshot() obs.HistSnapshot {
+	return e.met.queue.Snapshot()
 }
 
 // StageLatencies returns the engine's latency distributions by name:

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/funseeker/funseeker/internal/core"
+)
+
+// storeKey flattens a cacheKey into the byte key the persistent store
+// is addressed by: 32 hash bytes, one option byte, one arch byte. The
+// layout is part of the on-disk format — changing it orphans (but does
+// not corrupt) existing stores.
+func storeKey(k cacheKey) []byte {
+	key := make([]byte, 0, len(k.sum)+2)
+	key = append(key, k.sum[:]...)
+	key = append(key, k.opts, byte(k.arch))
+	return key
+}
+
+// storedResultVersion gates the value codec; bump it when storedResult
+// changes incompatibly, and old records decode as misses instead of as
+// garbage.
+const storedResultVersion = 1
+
+// storedResult is the persistent form of one analysis result: the full
+// Report plus the service metadata worth keeping across restarts. JSON
+// keeps it dependency-free, debuggable with jq against a segment file,
+// and tolerant of field additions.
+type storedResult struct {
+	Version int    `json:"v"`
+	Arch    string `json:"arch"`
+
+	Entries         []uint64 `json:"entries"`
+	Endbrs          []uint64 `json:"endbrs,omitempty"`
+	CallTargets     []uint64 `json:"call_targets,omitempty"`
+	JumpTargets     []uint64 `json:"jump_targets,omitempty"`
+	TailCallTargets []uint64 `json:"tail_call_targets,omitempty"`
+
+	FilteredIndirectReturn int      `json:"filtered_indirect_return,omitempty"`
+	FilteredLandingPads    int      `json:"filtered_landing_pads,omitempty"`
+	Warnings               []string `json:"warnings,omitempty"`
+
+	SHA256      string `json:"sha256"`
+	BinaryBytes int    `json:"binary_bytes"`
+}
+
+// encodeStoredResult serializes a completed result for the store.
+func encodeStoredResult(res *Result) ([]byte, error) {
+	r := res.Report
+	return json.Marshal(storedResult{
+		Version:                storedResultVersion,
+		Arch:                   r.Arch,
+		Entries:                r.Entries,
+		Endbrs:                 r.Endbrs,
+		CallTargets:            r.CallTargets,
+		JumpTargets:            r.JumpTargets,
+		TailCallTargets:        r.TailCallTargets,
+		FilteredIndirectReturn: r.FilteredIndirectReturn,
+		FilteredLandingPads:    r.FilteredLandingPads,
+		Warnings:               r.Warnings,
+		SHA256:                 res.SHA256,
+		BinaryBytes:            res.BinaryBytes,
+	})
+}
+
+// decodeStoredResult parses a stored value back into a Result. The
+// returned Result carries no cache/source metadata — the caller stamps
+// Cached/CacheSource/Elapsed for its own request.
+func decodeStoredResult(val []byte) (*Result, error) {
+	var sr storedResult
+	if err := json.Unmarshal(val, &sr); err != nil {
+		return nil, err
+	}
+	if sr.Version != storedResultVersion {
+		return nil, fmt.Errorf("stored result version %d, want %d", sr.Version, storedResultVersion)
+	}
+	if len(sr.SHA256) != 64 {
+		return nil, fmt.Errorf("stored result with malformed sha256 %q", sr.SHA256)
+	}
+	return &Result{
+		Report: &core.Report{
+			Arch:                   sr.Arch,
+			Entries:                sr.Entries,
+			Endbrs:                 sr.Endbrs,
+			CallTargets:            sr.CallTargets,
+			JumpTargets:            sr.JumpTargets,
+			TailCallTargets:        sr.TailCallTargets,
+			FilteredIndirectReturn: sr.FilteredIndirectReturn,
+			FilteredLandingPads:    sr.FilteredLandingPads,
+			Warnings:               sr.Warnings,
+		},
+		SHA256:      sr.SHA256,
+		BinaryBytes: sr.BinaryBytes,
+	}, nil
+}

@@ -293,6 +293,60 @@ func (g *Gauge) expose(b *bytes.Buffer) {
 	fmt.Fprintf(b, "%s %d\n", g.name, g.v.Load())
 }
 
+// GaugeVec is a family of gauges split by the values of one label
+// (e.g. backend health by backend). Children are created on first use
+// and live for the registry's lifetime, so label values must be low
+// cardinality.
+type GaugeVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	if !validLabel(label) {
+		panic("obs: invalid label name " + strconv.Quote(label))
+	}
+	v := &GaugeVec{name: name, help: help, label: label, children: make(map[string]*Gauge)}
+	r.register(v)
+	return v
+}
+
+// With returns the child gauge for one label value, creating it on
+// first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[value]
+	if !ok {
+		g = &Gauge{}
+		v.children[value] = g
+	}
+	return g
+}
+
+func (v *GaugeVec) metricName() string { return v.name }
+
+func (v *GaugeVec) expose(b *bytes.Buffer) {
+	header(b, v.name, v.help, "gauge")
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for val := range v.children {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	vals := make([]int64, len(values))
+	for i, val := range values {
+		vals[i] = v.children[val].Value()
+	}
+	v.mu.Unlock()
+	for i, val := range values {
+		fmt.Fprintf(b, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabel(val), vals[i])
+	}
+}
+
 // GaugeFunc is a gauge sampled from a callback at exposition time.
 type GaugeFunc struct {
 	name, help string

@@ -1,0 +1,235 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// keySet generates deterministic pseudo-random keys shaped like the
+// engine's (hash-valued, uniformly distributed).
+func keySet(n int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 34)
+		rng.Read(k)
+		keys[i] = k
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d.funseeker.internal:8745", i)
+	}
+	return names
+}
+
+// TestDistributionFairShare is the balance property: for every fleet
+// size from 3 to 16 nodes, each node's share of a large key set stays
+// within ±15% of fair share.
+func TestDistributionFairShare(t *testing.T) {
+	const nKeys = 20000
+	keys := keySet(nKeys, 7)
+	for n := 3; n <= 16; n++ {
+		r := New(0)
+		for _, name := range nodeNames(n) {
+			r.Add(name)
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			node, ok := r.Lookup(k)
+			if !ok {
+				t.Fatalf("n=%d: lookup on a populated ring failed", n)
+			}
+			counts[node]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes received keys", n, len(counts))
+		}
+		fair := float64(nKeys) / float64(n)
+		for node, c := range counts {
+			dev := (float64(c) - fair) / fair
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("n=%d: %s holds %d keys (%.1f%% off a fair share of %.0f)",
+					n, node, c, dev*100, fair)
+			}
+		}
+	}
+}
+
+// TestMinimalDisruptionOnRemove is the consistent-hashing invariant:
+// removing one node remaps exactly the keys it owned (~1/N of the key
+// space) and no key owned by a surviving node moves.
+func TestMinimalDisruptionOnRemove(t *testing.T) {
+	const nKeys = 10000
+	keys := keySet(nKeys, 11)
+	for _, n := range []int{3, 5, 8, 16} {
+		names := nodeNames(n)
+		r := New(0)
+		for _, name := range names {
+			r.Add(name)
+		}
+		before := make([]string, nKeys)
+		for i, k := range keys {
+			before[i], _ = r.Lookup(k)
+		}
+
+		victim := names[n/2]
+		r.Remove(victim)
+		moved, ownedByVictim := 0, 0
+		for i, k := range keys {
+			after, ok := r.Lookup(k)
+			if !ok {
+				t.Fatal("lookup failed after removal")
+			}
+			if before[i] == victim {
+				ownedByVictim++
+				if after == victim {
+					t.Fatalf("n=%d: key still maps to the removed node", n)
+				}
+				continue
+			}
+			if after != before[i] {
+				moved++
+			}
+		}
+		if moved != 0 {
+			t.Errorf("n=%d: %d keys owned by survivors remapped on an unrelated removal", n, moved)
+		}
+		// The victim's share — the only keys that moved — is ~1/N.
+		frac := float64(ownedByVictim) / float64(nKeys)
+		fair := 1.0 / float64(n)
+		if frac < fair*0.85 || frac > fair*1.15 {
+			t.Errorf("n=%d: removal remapped %.3f of keys, want ~%.3f (±15%%)", n, frac, fair)
+		}
+
+		// Re-adding the node restores the exact original mapping:
+		// membership, not history, determines the ring.
+		r.Add(victim)
+		for i, k := range keys {
+			if got, _ := r.Lookup(k); got != before[i] {
+				t.Fatalf("n=%d: mapping not restored after re-add (key %d: %s != %s)", n, i, got, before[i])
+			}
+		}
+	}
+}
+
+// TestLookupDeterministicQuick: the owner of any key is a pure function
+// of membership — two independently built rings with the same nodes
+// agree on every key, and LookupN's first entry is Lookup.
+func TestLookupDeterministicQuick(t *testing.T) {
+	names := nodeNames(5)
+	build := func() *Ring {
+		r := New(64)
+		for _, n := range names {
+			r.Add(n)
+		}
+		return r
+	}
+	a, b := build(), build()
+	prop := func(seed uint64) bool {
+		var k [8]byte
+		binary.LittleEndian.PutUint64(k[:], seed)
+		na, oka := a.Lookup(k[:])
+		nb, okb := b.Lookup(k[:])
+		if !oka || !okb || na != nb {
+			return false
+		}
+		succ := a.LookupN(k[:], 3)
+		return len(succ) == 3 && succ[0] == na && succ[1] != na && succ[2] != succ[1] && succ[2] != na
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndSingleNode(t *testing.T) {
+	r := New(8)
+	if _, ok := r.Lookup([]byte("k")); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := r.LookupN([]byte("k"), 2); got != nil {
+		t.Fatalf("empty ring LookupN = %v", got)
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("len = %d after duplicate add", r.Len())
+	}
+	node, ok := r.Lookup([]byte("anything"))
+	if !ok || node != "only" {
+		t.Fatalf("single-node lookup = %q %v", node, ok)
+	}
+	if got := r.LookupN([]byte("anything"), 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("LookupN on one node = %v", got)
+	}
+	r.Remove("only")
+	r.Remove("only") // idempotent
+	if _, ok := r.Lookup([]byte("k")); ok {
+		t.Fatal("drained ring claimed an owner")
+	}
+}
+
+// TestConcurrentMembershipChurn exercises the locks under -race:
+// lookups race with add/remove churn and must always return a live
+// answer or a clean empty-ring miss.
+func TestConcurrentMembershipChurn(t *testing.T) {
+	r := New(32)
+	names := nodeNames(4)
+	for _, n := range names {
+		r.Add(n)
+	}
+	keys := keySet(64, 3)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	churnDone := make(chan struct{})
+	go func() {
+		defer close(churnDone)
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := names[rng.Intn(len(names)-1)+1] // node 0 stays: the ring is never empty
+			if rng.Intn(2) == 0 {
+				r.Remove(n)
+			} else {
+				r.Add(n)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if _, ok := r.Lookup(keys[i%len(keys)]); !ok {
+					t.Error("lookup failed while node 0 was a member")
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Nodes()
+				r.LookupN(keys[i%len(keys)], 3)
+			}
+		}()
+	}
+	wg.Wait() // lookups done
+	close(stop)
+	<-churnDone
+}

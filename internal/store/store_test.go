@@ -1,0 +1,383 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// fill writes n deterministic records and returns their keys/values.
+func fill(t *testing.T, s *Store, n int) (keys, vals [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		val := make([]byte, 16+rng.Intn(200))
+		rng.Read(val)
+		if err := s.Put(key, val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		keys, vals = append(keys, key), append(vals, val)
+	}
+	return keys, vals
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := fill(t, s, 20)
+
+	for i := range keys {
+		got, ok, err := s.Get(keys[i])
+		if err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("get %d: value mismatch", i)
+		}
+	}
+	if _, ok, _ := s.Get([]byte("absent")); ok {
+		t.Fatal("absent key found")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything survives, recovery reports a clean replay.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := range keys {
+		got, ok, err := s2.Get(keys[i])
+		if err != nil || !ok || !bytes.Equal(got, vals[i]) {
+			t.Fatalf("reopened get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	st := s2.Stats()
+	if st.Records != 20 || st.RecoveredRecords != 20 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats after clean reopen = %+v", st)
+	}
+}
+
+func TestPutReplacesAndAccounts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := []byte("k")
+	if err := s.Put(key, bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, bytes.Repeat([]byte{2}, 10)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok || len(got) != 10 || got[0] != 2 {
+		t.Fatalf("get after replace: %v %v %v", got, ok, err)
+	}
+	st := s.Stats()
+	if st.Records != 1 || st.Replaced != 1 || st.LiveBytes != 10 {
+		t.Fatalf("stats = %+v, want 1 record / 1 replaced / 10 live bytes", st)
+	}
+	if st.SegmentBytes <= st.LiveBytes {
+		t.Fatalf("segment bytes %d should include the superseded record", st.SegmentBytes)
+	}
+}
+
+// TestCrashRecoveryTruncateEveryByte is the torn-tail battery: write N
+// records, then simulate a crash by truncating the segment at every
+// byte offset inside the final record. Whatever the cut point, reopen
+// must (a) keep every prior record intact, (b) drop the torn tail, and
+// (c) leave the store appendable.
+func TestCrashRecoveryTruncateEveryByte(t *testing.T) {
+	const n = 5
+	master := t.TempDir()
+	s, err := Open(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := fill(t, s, n-1)
+	segPath := filepath.Join(master, segmentName(1))
+	info, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSize := info.Size() // offset where the final record begins
+	lastKey, lastVal := []byte("key-last"), bytes.Repeat([]byte{0xAB}, 64)
+	if err := s.Put(lastKey, lastVal); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) <= cleanSize {
+		t.Fatalf("final record added no bytes: %d <= %d", len(full), cleanSize)
+	}
+
+	for cut := cleanSize; cut < int64(len(full)); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, segmentName(1)), full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rs, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer rs.Close()
+
+			for i := range keys {
+				got, ok, err := rs.Get(keys[i])
+				if err != nil || !ok {
+					t.Fatalf("record %d lost at cut %d: ok=%v err=%v", i, cut, ok, err)
+				}
+				if !bytes.Equal(got, vals[i]) {
+					t.Fatalf("record %d corrupted at cut %d", i, cut)
+				}
+			}
+			if _, ok, _ := rs.Get(lastKey); ok {
+				t.Fatalf("torn final record survived a cut at %d", cut)
+			}
+			st := rs.Stats()
+			if st.RecoveredRecords != n-1 {
+				t.Fatalf("recovered %d records, want %d", st.RecoveredRecords, n-1)
+			}
+			if cut > cleanSize && (st.TruncatedSegments != 1 || st.TruncatedBytes != cut-cleanSize) {
+				t.Fatalf("truncation stats = %d segs / %d bytes, want 1 / %d",
+					st.TruncatedSegments, st.TruncatedBytes, cut-cleanSize)
+			}
+
+			// The recovered store accepts new writes and a re-put of the
+			// torn key, and a second reopen replays them.
+			if err := rs.Put(lastKey, lastVal); err != nil {
+				t.Fatalf("re-put after recovery: %v", err)
+			}
+			got, ok, err := rs.Get(lastKey)
+			if err != nil || !ok || !bytes.Equal(got, lastVal) {
+				t.Fatalf("re-put read-back failed: ok=%v err=%v", ok, err)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryCorruptByte flips each byte of the final record in
+// place (same length, bad content): the CRC must catch it and recovery
+// must truncate exactly the corrupt tail.
+func TestCrashRecoveryCorruptByte(t *testing.T) {
+	master := t.TempDir()
+	s, err := Open(master, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := fill(t, s, 3)
+	segPath := filepath.Join(master, segmentName(1))
+	info, _ := os.Stat(segPath)
+	cleanSize := info.Size()
+	if err := s.Put([]byte("victim"), bytes.Repeat([]byte{0xCD}, 32)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A handful of offsets across header and body, not all (cheap test).
+	for _, delta := range []int64{0, 3, 4, 9, 13, 14, 20, int64(len(full)) - cleanSize - 1} {
+		off := cleanSize + delta
+		t.Run(fmt.Sprintf("flip=%d", delta), func(t *testing.T) {
+			dir := t.TempDir()
+			mut := append([]byte(nil), full...)
+			mut[off] ^= 0xFF
+			if err := os.WriteFile(filepath.Join(dir, segmentName(1)), mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			rs, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer rs.Close()
+			for i := range keys {
+				got, ok, err := rs.Get(keys[i])
+				if err != nil || !ok || !bytes.Equal(got, vals[i]) {
+					t.Fatalf("record %d lost after flip at +%d", i, delta)
+				}
+			}
+			if _, ok, _ := rs.Get([]byte("victim")); ok {
+				t.Fatalf("corrupt record served after flip at +%d", delta)
+			}
+			if st := rs.Stats(); st.TruncatedBytes == 0 {
+				t.Fatal("no truncation reported for a corrupt tail")
+			}
+		})
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every record larger than ~100B rotates.
+	s, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := fill(t, s, 12)
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("segments = %d, want rotation under a 256-byte cap", st.Segments)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := range keys {
+		got, ok, err := s2.Get(keys[i])
+		if err != nil || !ok || !bytes.Equal(got, vals[i]) {
+			t.Fatalf("multi-segment reopen lost record %d", i)
+		}
+	}
+	// A same-key put in a later segment supersedes the earlier one
+	// across a reopen.
+	if err := s2.Put(keys[0], []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	got, ok, err := s3.Get(keys[0])
+	if err != nil || !ok || string(got) != "newest" {
+		t.Fatalf("newest record did not win across reopen: %q %v %v", got, ok, err)
+	}
+	if s3.Stats().Replaced == 0 {
+		t.Fatal("replay did not count the superseded record")
+	}
+}
+
+func TestPutBounds(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(nil, []byte("v")); err != ErrTooLarge {
+		t.Fatalf("empty key err = %v, want ErrTooLarge", err)
+	}
+	if err := s.Put(bytes.Repeat([]byte{1}, MaxKeyLen+1), []byte("v")); err != ErrTooLarge {
+		t.Fatalf("oversized key err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestRecordCodecQuick is the testing/quick round-trip property for the
+// record codec: encode→parse is the identity for any in-bounds
+// key/value, and parse rejects every strict prefix of an encoding.
+func TestRecordCodecQuick(t *testing.T) {
+	roundTrip := func(key []byte, val []byte) bool {
+		if len(key) == 0 {
+			key = []byte{0}
+		}
+		if len(key) > MaxKeyLen {
+			key = key[:MaxKeyLen]
+		}
+		rec, err := encodeRecord(key, val)
+		if err != nil {
+			return false
+		}
+		// Parse accepts the exact encoding (with arbitrary trailing
+		// bytes, as in a segment) and returns the same pair.
+		gotKey, gotVal, n, err := parseRecord(append(rec, 0xEE, 0xFF))
+		if err != nil || n != len(rec) {
+			return false
+		}
+		if !bytes.Equal(gotKey, key) || !bytes.Equal(gotVal, val) {
+			return false
+		}
+		// Every strict prefix is rejected as torn.
+		for _, cut := range []int{0, 1, headerSize - 1, headerSize, len(rec) - 1} {
+			if cut >= len(rec) {
+				continue
+			}
+			if _, _, _, err := parseRecord(rec[:cut]); err == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentPutGet exercises the locks under -race: writers and
+// readers over an overlapping key space, with rotation happening
+// underneath.
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers, readers, iters = 4, 4, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				key := []byte(fmt.Sprintf("k-%d", rng.Intn(32)))
+				val := make([]byte, 64)
+				rng.Read(val)
+				if err := s.Put(key, val); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < iters; i++ {
+				key := []byte(fmt.Sprintf("k-%d", rng.Intn(32)))
+				if _, _, err := s.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.Len() == 0 {
+		t.Fatal("no records after the hammer")
+	}
+}

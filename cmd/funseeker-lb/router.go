@@ -36,8 +36,11 @@ type routerConfig struct {
 	healthEvery time.Duration
 	// healthTimeout bounds one probe.
 	healthTimeout time.Duration
-	// client is the forwarding HTTP client; nil selects a default with
-	// sane timeouts for analyze calls (batch streams use no timeout).
+	// client is the forwarding HTTP client; nil selects a default whose
+	// transport bounds the wait for response headers, so a backend that
+	// accepts connections but never answers fails over instead of
+	// hanging the forward. Response bodies are unbounded — batch
+	// streams legitimately run for minutes.
 	client *http.Client
 	// logger receives routing decisions and health transitions; nil
 	// discards.
@@ -82,7 +85,13 @@ func newRouter(cfg routerConfig) (*router, error) {
 		cfg.healthTimeout = 2 * time.Second
 	}
 	if cfg.client == nil {
-		cfg.client = &http.Client{}
+		// No Client.Timeout: it would cap the whole exchange and kill
+		// long batch streams. ResponseHeaderTimeout bounds only the
+		// header wait, which is what failover needs to engage on a hung
+		// backend.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.ResponseHeaderTimeout = 30 * time.Second
+		cfg.client = &http.Client{Transport: tr}
 	}
 	if cfg.registry == nil {
 		cfg.registry = obs.NewRegistry()
@@ -252,8 +261,20 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `{"error":"no healthy backend"}`, http.StatusServiceUnavailable)
 		return
 	}
+	// The batch hop is full duplex: the transport is still forwarding
+	// the uploader's archive off r.Body while relayStream writes the
+	// backend's NDJSON records. Without this, the HTTP/1 server drains
+	// the unread request body on the first response write — racing the
+	// transport's forwarding and corrupting the archive the backend
+	// sees for any batch not fully uploaded by then. funseekerd's own
+	// batch handler does the same; the proxy hop needs it too.
+	if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+		http.Error(w, `{"error":"full-duplex streaming unsupported"}`, http.StatusInternalServerError)
+		return
+	}
+	body := &bodyErrReader{r: r.Body}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		backend+"/v1/batch?"+r.URL.RawQuery, r.Body)
+		backend+"/v1/batch?"+r.URL.RawQuery, body)
 	if err != nil {
 		http.Error(w, `{"error":"building forward request"}`, http.StatusInternalServerError)
 		return
@@ -262,6 +283,13 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	copyTraceHeaders(req, r)
 	resp, err := rt.cfg.client.Do(req)
 	if err != nil {
+		if body.Err() != nil {
+			// The uploader's stream failed, not the backend: demoting the
+			// backend here would eject a healthy replica from the ring and
+			// remap ~1/N of the key space on every flaky client.
+			http.Error(w, `{"error":"reading request body"}`, http.StatusBadRequest)
+			return
+		}
 		rt.setHealth(backend, false)
 		rt.unrouted.Inc()
 		http.Error(w, `{"error":"backend unreachable"}`, http.StatusBadGateway)
@@ -269,6 +297,33 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.routedTo.With(backend).Inc()
 	relayStream(w, resp)
+}
+
+// bodyErrReader wraps the uploader's request body and records any read
+// error, so a failed forward is blamed on the right side of the proxy:
+// a client that dies mid-upload must not cost a backend its ring slot.
+// The mutex makes Err safe to call from the handler while the
+// transport's write loop is still reading.
+type bodyErrReader struct {
+	r   io.Reader
+	mu  sync.Mutex
+	err error
+}
+
+func (b *bodyErrReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err != nil && err != io.EOF {
+		b.mu.Lock()
+		b.err = err
+		b.mu.Unlock()
+	}
+	return n, err
+}
+
+func (b *bodyErrReader) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // nextBackend returns the next healthy backend in round-robin order.

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/funseeker/funseeker/internal/corpus"
 	"github.com/funseeker/funseeker/internal/synth"
@@ -316,6 +320,225 @@ func TestNoHealthyBackends(t *testing.T) {
 	}
 	if rt.unrouted.Value() != 2 {
 		t.Fatalf("unrouted = %d, want 2", rt.unrouted.Value())
+	}
+}
+
+// TestBatchFullDuplexThroughRouter: a batch whose upload is still in
+// flight when the first NDJSON record streams back must reach the
+// backend intact. The upload is larger than the HTTP/1 server's
+// post-response body-drain window (256 KiB), so if the router hop ever
+// stops being full duplex, the server's drain races the transport's
+// body forwarding and the backend sees a truncated archive.
+func TestBatchFullDuplexThroughRouter(t *testing.T) {
+	const (
+		firstChunk = 64 << 10
+		restChunk  = 2 << 20
+	)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		if err := http.NewResponseController(w).EnableFullDuplex(); err != nil {
+			t.Errorf("backend EnableFullDuplex: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		buf := make([]byte, 32<<10)
+		var total int
+		sentFirst := false
+		for {
+			n, err := r.Body.Read(buf)
+			total += n
+			// First record goes out while the uploader still holds most
+			// of the archive: this is what arms the race at the router.
+			if !sentFirst && total > 0 {
+				sentFirst = true
+				fmt.Fprintln(w, `{"index":0}`)
+				fl.Flush()
+			}
+			if err != nil {
+				if err != io.EOF {
+					fmt.Fprintf(w, `{"summary":true,"got_bytes":%d,"read_err":%q}`+"\n", total, err)
+					return
+				}
+				break
+			}
+		}
+		fmt.Fprintf(w, `{"summary":true,"got_bytes":%d}`+"\n", total)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "{}")
+	})
+	backend := httptest.NewServer(mux)
+	t.Cleanup(backend.Close)
+
+	rt, err := newRouter(routerConfig{backends: []string{backend.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.handler())
+	t.Cleanup(ts.Close)
+
+	pr, pw := io.Pipe()
+	gotFirst := make(chan struct{})
+	writeErr := make(chan error, 1)
+	go func() {
+		if _, err := pw.Write(bytes.Repeat([]byte{0xAB}, firstChunk)); err != nil {
+			writeErr <- err
+			return
+		}
+		// Hold the rest of the upload until the first record has come
+		// back through the router, so the stream is genuinely duplex.
+		<-gotFirst
+		if _, err := pw.Write(bytes.Repeat([]byte{0xCD}, restChunk)); err != nil {
+			writeErr <- err
+			return
+		}
+		writeErr <- pw.Close()
+	}()
+
+	// A deadline, not a hang: the known failure mode here is a deadlock
+	// (the server's body drain waits on an upload gated on the first
+	// record it is blocking), so a regression must fail, not stall.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batch", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-tar")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("batch request: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var summary struct {
+		Summary  bool   `json:"summary"`
+		GotBytes int    `json:"got_bytes"`
+		ReadErr  string `json:"read_err"`
+	}
+	sawSummary := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Summary bool `json:"summary"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if probe.Summary {
+			if err := json.Unmarshal(line, &summary); err != nil {
+				t.Fatal(err)
+			}
+			sawSummary = true
+			continue
+		}
+		// First per-item record: release the rest of the upload.
+		select {
+		case <-gotFirst:
+		default:
+			close(gotFirst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if err := <-writeErr; err != nil {
+		t.Fatalf("uploading while stream was open: %v", err)
+	}
+	if !sawSummary {
+		t.Fatal("stream ended without a summary record")
+	}
+	if summary.ReadErr != "" {
+		t.Fatalf("backend body read failed mid-batch: %s (got %d bytes)", summary.ReadErr, summary.GotBytes)
+	}
+	if want := firstChunk + restChunk; summary.GotBytes != want {
+		t.Fatalf("backend saw %d bytes, want %d — upload corrupted across the router hop", summary.GotBytes, want)
+	}
+}
+
+// TestBatchUploaderFailureKeepsBackendHealthy: a client that dies
+// mid-upload makes the forward fail, but the failure is the client's —
+// the backend must keep its ring slot, or every flaky uploader remaps
+// ~1/N of the key space.
+func TestBatchUploaderFailureKeepsBackendHealthy(t *testing.T) {
+	forwardDone := make(chan error, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		// Read the whole body before answering, so the router's Do is
+		// still in flight when the uploader aborts.
+		_, err := io.Copy(io.Discard, r.Body)
+		forwardDone <- err
+		fmt.Fprintln(w, `{"summary":true}`)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "{}")
+	})
+	backend := httptest.NewServer(mux)
+	t.Cleanup(backend.Close)
+
+	rt, err := newRouter(routerConfig{backends: []string{backend.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.handler())
+	t.Cleanup(ts.Close)
+
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(bytes.Repeat([]byte{0x11}, 64<<10))
+		pw.CloseWithError(errors.New("uploader crashed"))
+	}()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-tar")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		// Depending on timing the router may answer before the client
+		// transport notices its own body error; either way the response
+		// must not be a success.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("status = %d, want an error for an aborted upload", resp.StatusCode)
+		}
+	}
+
+	// Wait for the aborted forward to reach the backend, then give the
+	// router's error path time to (wrongly) demote it.
+	select {
+	case <-forwardDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("forward never reached the backend")
+	}
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if n := rt.ring.Len(); n != 1 {
+			t.Fatalf("ring has %d nodes after an uploader failure, want 1 — healthy backend was demoted", n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := rt.unrouted.Value(); v != 0 {
+		t.Fatalf("unrouted = %d after an uploader failure, want 0", v)
+	}
+
+	// And the backend still serves: a clean batch goes straight through.
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-tar", strings.NewReader("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up batch status = %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -8,10 +8,15 @@
 // Usage:
 //
 //	bench [-out .] [-date YYYY-MM-DD] [-smoke] [-check] [-threshold 1.25]
+//	      [-mbs-threshold 0.85] [-series regexp] [-cpuprofile f] [-memprofile f]
 //
 // -smoke runs every benchmark for a single iteration (harness
 // correctness, not timing) — this is what CI uses. The JSON schema per
-// result is {name, ns_op, b_op, allocs_op, mb_s}.
+// result is {name, ns_op, b_op, allocs_op, mb_s}. -check also enforces
+// the throughput floor (-mbs-threshold, new/old MB/s) and the parallel
+// scaling curve: on hosts with >= 4 cores, BuildIndexParallel/workers=4
+// pinned at gomaxprocs=4 must reach 1.8x sequential BuildIndex, and no
+// workers=N row may fall below sequential anywhere.
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -56,11 +63,19 @@ type result struct {
 }
 
 type report struct {
-	Date       string   `json:"date"`
-	Goos       string   `json:"goos"`
-	Goarch     string   `json:"goarch"`
-	Gomaxprocs int      `json:"gomaxprocs"`
-	Results    []result `json:"results"`
+	Date   string `json:"date"`
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	// Gomaxprocs is the process-wide default: it applies to every row
+	// whose own gomaxprocs field is absent. Rows in the gomaxprocs=N
+	// series pin the scheduler for their measurement and record the
+	// pinned value, overriding this default for that row only.
+	Gomaxprocs int `json:"gomaxprocs"`
+	// NumCPU records the host's core count so scaling rows (workers=N,
+	// gomaxprocs=N) can be read honestly: pinning gomaxprocs=4 on a
+	// 1-core host changes scheduling, not hardware parallelism.
+	NumCPU  int      `json:"numcpu"`
+	Results []result `json:"results"`
 }
 
 func main() {
@@ -73,16 +88,29 @@ func main() {
 func run() error {
 	testing.Init()
 	var (
-		outDir    = flag.String("out", ".", "directory for BENCH_<date>.json")
-		date      = flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output file")
-		smoke     = flag.Bool("smoke", false, "single-iteration run (harness correctness, not timing)")
-		check     = flag.Bool("check", false, "exit non-zero if any ns/op regressed beyond -threshold vs the previous BENCH_*.json")
-		threshold = flag.Float64("threshold", 1.25, "regression threshold as a ratio (new/old ns_op)")
-		scale     = flag.Float64("scale", 0.5, "corpus function-count scale factor")
-		programs  = flag.Int("programs", 2, "programs per suite in the corpus")
+		outDir       = flag.String("out", ".", "directory for BENCH_<date>.json")
+		date         = flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the output file")
+		smoke        = flag.Bool("smoke", false, "single-iteration run (harness correctness, not timing)")
+		check        = flag.Bool("check", false, "exit non-zero on ns/op, MB/s, or parallel-scaling regressions vs the previous BENCH_*.json")
+		threshold    = flag.Float64("threshold", 1.25, "regression threshold as a ratio (new/old ns_op)")
+		mbsThreshold = flag.Float64("mbs-threshold", 0.85, "throughput floor as a ratio (new/old mb_s); rows below it regress")
+		scale        = flag.Float64("scale", 0.5, "corpus function-count scale factor")
+		programs     = flag.Int("programs", 2, "programs per suite in the corpus")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile covering every benchmark to this file")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		seriesExpr   = flag.String("series", "", "regexp selecting which benchmark rows run (empty = all)")
+		benchFlag    = flag.String("benchtime", "1s", "per-row sampling budget (go test -benchtime syntax); longer tightens noisy rows")
 	)
 	flag.Parse()
-	benchtime := "1s"
+	var seriesRe *regexp.Regexp
+	if *seriesExpr != "" {
+		re, err := regexp.Compile(*seriesExpr)
+		if err != nil {
+			return fmt.Errorf("-series: %w", err)
+		}
+		seriesRe = re
+	}
+	benchtime := *benchFlag
 	if *smoke {
 		benchtime = "1x"
 	}
@@ -95,6 +123,33 @@ func run() error {
 		Goos:       runtime.GOOS,
 		Goarch:     runtime.GOARCH,
 		Gomaxprocs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
 	}
 
 	fmt.Fprintf(os.Stderr, "bench: corpus (scale=%g programs=%d)...\n", *scale, *programs)
@@ -105,6 +160,9 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "bench: %d binaries, %d bytes; benchtime=%s\n", len(set), corpusBytes, benchtime)
 
 	for _, bm := range series(set, corpusBytes) {
+		if seriesRe != nil && !seriesRe.MatchString(bm.name) {
+			continue
+		}
 		if bm.gomaxprocs > 0 {
 			runtime.GOMAXPROCS(bm.gomaxprocs)
 		}
@@ -153,11 +211,61 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %s\n", outPath)
 
+	var cmpErr error
 	if prev == nil {
 		fmt.Fprintln(os.Stderr, "bench: no previous BENCH_*.json to compare against")
+	} else {
+		cmpErr = compare(prev, prevPath, &rep, *threshold, *mbsThreshold, *check)
+	}
+	if *check {
+		if err := checkScaling(&rep, *smoke); err != nil {
+			return err
+		}
+	}
+	return cmpErr
+}
+
+// checkScaling enforces the parallel scaling curve within one report:
+// no workers=N row may fall below sequential BuildIndex (beyond noise),
+// and on hosts with at least 4 cores the workers=4 row pinned at
+// gomaxprocs=4 must reach 1.8x sequential throughput. Smoke runs are
+// single-iteration and carry no timing signal, so they skip the check.
+func checkScaling(rep *report, smoke bool) error {
+	if smoke {
+		fmt.Fprintln(os.Stderr, "bench: scaling check skipped (-smoke timing is not meaningful)")
 		return nil
 	}
-	return compare(prev, prevPath, &rep, *threshold, *check)
+	mbs := make(map[string]float64, len(rep.Results))
+	for _, r := range rep.Results {
+		mbs[r.Name] = r.MBPerS
+	}
+	seq := mbs["x86/BuildIndex"]
+	if seq <= 0 {
+		fmt.Fprintln(os.Stderr, "bench: scaling check skipped (no x86/BuildIndex row)")
+		return nil
+	}
+	// Same-binary benchmark noise on shared VMs runs ~10%; only flag a
+	// parallel row as a collapse when it is clearly below sequential.
+	const noise = 0.90
+	for _, r := range rep.Results {
+		if !strings.HasPrefix(r.Name, "x86/BuildIndexParallel/") || r.MBPerS <= 0 {
+			continue
+		}
+		if r.MBPerS < seq*noise {
+			return fmt.Errorf("scaling: %s at %.2f MB/s is below sequential BuildIndex %.2f MB/s", r.Name, r.MBPerS, seq)
+		}
+	}
+	if rep.NumCPU < 4 {
+		fmt.Fprintf(os.Stderr, "bench: 1.8x scaling target skipped (%d cores; needs >= 4)\n", rep.NumCPU)
+		return nil
+	}
+	const target = 1.8
+	name := "x86/BuildIndexParallel/workers=4/gomaxprocs=4"
+	if par := mbs[name]; par > 0 && par < seq*target {
+		return fmt.Errorf("scaling: %s at %.2f MB/s is %.2fx sequential (%.2f MB/s), want >= %.1fx",
+			name, par, par/seq, seq, target)
+	}
+	return nil
 }
 
 type benchmark struct {
@@ -250,6 +358,20 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 			for i := 0; i < b.N; i++ {
 				if idx := x86.BuildIndex(text, 0x401000, x86.Mode64); len(idx.Insts) == 0 {
 					b.Fatal("empty index")
+				}
+			}
+		}},
+		// x86/Superset decodes at every byte offset (the length-memoized
+		// superset disassembly); MB/s is per text byte, so the row reads
+		// directly against x86/Sweep as the cost of superset coverage.
+		// The generated text ends mid-instruction, so whole-text chain
+		// viability is legitimately empty — assert on the memo instead.
+		{name: "x86/Superset", fn: func(b *testing.B) {
+			b.SetBytes(textLen)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if s := x86.BuildSuperset(text, 0x401000, x86.Mode64); s.LenAt(0) == 0 {
+					b.Fatal("offset 0 did not decode")
 				}
 			}
 		}},
@@ -540,13 +662,18 @@ func sameFile(a, b string) bool {
 }
 
 // compare prints a per-benchmark delta table vs prev and, in check mode,
-// returns an error if any ns/op regressed beyond threshold.
-func compare(prev *report, prevPath string, cur *report, threshold float64, check bool) error {
+// returns an error if any ns/op regressed beyond threshold or any
+// throughput row fell below mbsThreshold of its previous MB/s. The two
+// axes overlap for fixed-size rows but diverge for corpus rows, where a
+// corpus-size change moves ns/op without moving MB/s — throughput is the
+// comparison that survives re-parameterization.
+func compare(prev *report, prevPath string, cur *report, threshold, mbsThreshold float64, check bool) error {
 	old := make(map[string]result, len(prev.Results))
 	for _, r := range prev.Results {
 		old[r.Name] = r
 	}
-	fmt.Fprintf(os.Stderr, "bench: comparing against %s (threshold %.2fx)\n", prevPath, threshold)
+	fmt.Fprintf(os.Stderr, "bench: comparing against %s (ns/op threshold %.2fx, MB/s floor %.2fx)\n",
+		prevPath, threshold, mbsThreshold)
 	var regressed []string
 	for _, r := range cur.Results {
 		o, ok := old[r.Name]
@@ -560,10 +687,20 @@ func compare(prev *report, prevPath string, cur *report, threshold float64, chec
 			mark = "  REGRESSION"
 			regressed = append(regressed, r.Name)
 		}
-		fmt.Printf("%-40s %8.2fx ns/op vs %s%s\n", r.Name, ratio, prev.Date, mark)
+		line := fmt.Sprintf("%-40s %8.2fx ns/op", r.Name, ratio)
+		if o.MBPerS > 0 && r.MBPerS > 0 {
+			mbsRatio := r.MBPerS / o.MBPerS
+			line += fmt.Sprintf(" %8.2fx MB/s", mbsRatio)
+			if mbsRatio < mbsThreshold && mark == "" {
+				mark = "  REGRESSION(MB/s)"
+				regressed = append(regressed, r.Name)
+			}
+		}
+		fmt.Printf("%s vs %s%s\n", line, prev.Date, mark)
 	}
 	if check && len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx: %v", len(regressed), threshold, regressed)
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.2fx ns/op or below %.2fx MB/s: %v",
+			len(regressed), threshold, mbsThreshold, regressed)
 	}
 	return nil
 }

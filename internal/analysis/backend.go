@@ -77,21 +77,16 @@ func (b x86Backend) Arch() elfx.Arch {
 	return elfx.ArchX86_64
 }
 
-// parallelSweepThreshold is the .text size above which the backend
-// shards the sweep across cores. Below it the sequential build wins:
-// the goroutine fan-out plus the seam stitching cost more than the
-// decode of a small section.
-const parallelSweepThreshold = 256 << 10
-
-// buildIndex picks the sweep strategy by text size: the sharded parallel
-// build for large sections, the sequential build otherwise. Both produce
-// byte-identical indexes (internal/diffcheck asserts it per binary), and
-// both honor ctx cancellation at stride boundaries.
+// buildIndex delegates the sweep strategy to the x86 package: workers
+// <= 0 lets BuildIndexParallelCtx pick shard and goroutine counts from
+// the text size and the cores actually available, falling back to the
+// sequential two-pass build below its own minParallelBytes threshold.
+// Keeping the auto-selection in one place means the backend cannot
+// disagree with the sweep layer about when sharding pays. Both
+// strategies produce byte-identical indexes (internal/diffcheck asserts
+// it per binary) and honor ctx cancellation at stride boundaries.
 func (b x86Backend) buildIndex(ctx context.Context, bin *elfx.Binary) (*x86.Index, error) {
-	if len(bin.Text) >= parallelSweepThreshold {
-		return x86.BuildIndexParallelCtx(ctx, bin.Text, bin.TextAddr, b.mode, 0)
-	}
-	return x86.BuildIndexCtx(ctx, bin.Text, bin.TextAddr, b.mode)
+	return x86.BuildIndexParallelCtx(ctx, bin.Text, bin.TextAddr, b.mode, 0)
 }
 
 // BuildSweep implements Backend: one x86 linear sweep, with endbr

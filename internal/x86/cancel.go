@@ -45,26 +45,10 @@ func LinearSweepCtx(ctx context.Context, code []byte, base uint64, mode Mode, fn
 
 // BuildIndexCtx is BuildIndex with cooperative cancellation (see
 // LinearSweepCtx). On cancellation it returns (nil, ctx.Err()) and the
-// partial decode is discarded.
+// partial decode is discarded. It shares the two-pass exact-size build
+// with BuildIndex.
 func BuildIndexCtx(ctx context.Context, code []byte, base uint64, mode Mode) (*Index, error) {
-	if ctx.Done() == nil {
-		return BuildIndex(code, base, mode), nil
-	}
-	idx := &Index{
-		Insts:  make([]Inst, 0, len(code)/4+1),
-		Base:   base,
-		Shards: 1,
-	}
-	skipped, err := LinearSweepCtx(ctx, code, base, mode, func(inst *Inst) bool {
-		idx.Insts = append(idx.Insts, *inst)
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	idx.Skipped = skipped
-	idx.finishPositions(len(code))
-	return idx, nil
+	return buildIndexSeq(ctx, code, base, mode)
 }
 
 // BuildIndexParallelCtx is BuildIndexParallel with cooperative

@@ -104,8 +104,10 @@ func Decode(code []byte, addr uint64, mode Mode) (Inst, error) {
 // Decode: hot loops reuse one Inst across calls instead of copying a
 // fresh ~80-byte value per instruction. On error *inst is zeroed.
 //
-// Common compiler-emitted encodings (push/pop, mov/lea, ret, nop, direct
-// call/jmp/jcc, the ALU register forms — see fastpath.go) take a
+// Common compiler-emitted encodings — the single-byte families
+// (push/pop, mov/lea, ret, nop, direct call/jmp/jcc, the ALU register
+// forms) and the two-byte 0F families (Jcc rel32, setcc, cmovcc,
+// movzx/movsx, multi-byte NOP, the endbr row), see fastpath.go — take a
 // table-driven fast path that skips the full decodeState machinery; all
 // remaining encodings fall back to the complete Intel-SDM walk. The two
 // paths produce bit-identical Inst values (asserted by

@@ -2,11 +2,15 @@ package x86
 
 // Table-driven fast path for the opcode families that dominate
 // compiler-generated text: push/pop, mov/lea, the ALU register forms,
-// test/cmp, shifts, direct call/jmp/jcc, ret, nop, int3, and the FF
-// indirect-branch group. Profiling the linear sweep shows >90% of decoded
-// instructions start with one of these first bytes (optionally behind a
-// single REX prefix), so skipping the general decodeState walk for them
-// roughly halves the per-instruction cost.
+// test/cmp, shifts, direct call/jmp/jcc, ret, nop, int3, the FF
+// indirect-branch group, and — via a second 256-entry table dispatched
+// after the 0F escape — the two-byte families (Jcc rel32, setcc, cmovcc,
+// movzx/movsx, imul, the 0F 1E/0F 1F hint-NOP rows). A single leading
+// 66/F3/F2 prefix ahead of a 0F opcode is also handled, which covers
+// endbr64/endbr32 and the scalar SSE mov forms. Profiling the linear
+// sweep shows >95% of decoded instructions take one of these shapes
+// (optionally behind a single REX prefix), so skipping the general
+// decodeState walk for them roughly halves the per-instruction cost.
 //
 // The contract is strict: for every byte sequence the fast path accepts,
 // it must produce an Inst bit-identical to the full decoder's. Anything
@@ -137,6 +141,51 @@ func buildFastOps() [256]fastOp {
 	return t
 }
 
+// fastOps2 maps the second opcode byte of a 0F-escaped instruction to its
+// fast-path handling. It is derived mechanically from the twoByte
+// attribute table so the two stay consistent by construction: every map-2
+// opcode is ModRM-driven, bare, ModRM+imm8, or Jcc relZ — none of the
+// prefix-sized immediate kinds (iz/iv) exist in map 2, which is what
+// makes the whole map fast-path eligible. The exceptions decline
+// (fkNone): the 0F 38 / 0F 3A three-byte escapes (VEX/EVEX-adjacent
+// territory) and the fUndef rows, which must keep erroring through the
+// slow path.
+var fastOps2 = buildFastOps2()
+
+func buildFastOps2() [256]fastOp {
+	var t [256]fastOp
+	for b := 0; b < 256; b++ {
+		info := twoByte[b]
+		if b == 0x38 || b == 0x3A || info.has(fUndef) {
+			continue // escapes + undefined rows: decline to decodeSlow
+		}
+		var kind fastKind
+		switch {
+		case info.has(fModRM) && info.imm == imm8:
+			kind = fkModRMImm8
+		case info.has(fModRM) && info.imm == immNone:
+			kind = fkModRM
+		case info.imm == relZ:
+			kind = fkRel32 // Jcc 0F 80-8F; 16-bit form declined by the caller
+		case info.imm == immNone:
+			kind = fkLen1
+		default:
+			continue
+		}
+		class := ClassOther
+		switch {
+		case b >= 0x80 && b <= 0x8F:
+			class = ClassJccRel
+		case b == 0x1F:
+			class = ClassNop // 0F 1F /0 long NOP; 0F 1E stays ClassOther unless F3-prefixed
+		case b == 0x0B || b == 0xB9:
+			class = ClassUD
+		}
+		t[b] = fastOp{kind: kind, class: class}
+	}
+	return t
+}
+
 // decodeFast attempts the fast path. It reports false — leaving *inst in
 // an unspecified state — when the encoding needs the full decoder.
 func decodeFast(code []byte, addr uint64, mode Mode, inst *Inst) bool {
@@ -145,80 +194,229 @@ func decodeFast(code []byte, addr uint64, mode Mode, inst *Inst) bool {
 	}
 	pos := 0
 	b := code[0]
-	var rex byte
-	if mode == Mode64 && b >= 0x40 && b <= 0x4F {
+	var rex, pfx byte
+	switch {
+	case mode == Mode64 && b&0xF0 == 0x40:
 		if len(code) < 2 {
 			return false
 		}
 		nb := code[1]
-		if isLegacyPrefix(nb) || (nb >= 0x40 && nb <= 0x4F) {
+		if legacyPrefixTab[nb] || nb&0xF0 == 0x40 {
 			return false // dead REX: leave prefix bookkeeping to the slow path
 		}
 		rex = b
 		pos = 1
 		b = nb
+	case b == 0x66 || b == 0xF3 || b == 0xF2:
+		// Single legacy prefix forms. 66 90 is the two-byte NOP; a single
+		// 66/F3/F2 ahead of a 0F escape covers endbr64/endbr32 and the
+		// scalar/packed SSE families, whose map-2 lengths are independent
+		// of the SIMD prefix. Anything else (prefix runs, prefix+REX,
+		// prefixed one-byte opcodes) declines to the slow path.
+		if len(code) < 2 {
+			return false
+		}
+		if b == 0x66 && code[1] == 0x90 {
+			*inst = Inst{Addr: addr, Len: 2, Class: ClassNop, Opcode: 0x90,
+				OpcodeMap: 1, Prefix: [4]byte{0x66}, NPrefix: 1}
+			return true
+		}
+		if code[1] != 0x0F {
+			return false
+		}
+		pfx = b
+		pos, b = 1, 0x0F
 	}
-	op := fastOps[b]
+	opcodeMap := 1
+	var op fastOp
+	if b == 0x0F {
+		// Two-byte map: dispatch the byte after the escape through
+		// fastOps2. REX ahead of 0F is fine (it has no length effect in
+		// map 2 — no iv immediates there); the 16-bit Jcc displacement
+		// form (66 + 0F 8x in 32-bit mode) is the one prefix-dependent
+		// length in the map and declines below.
+		if pos+1 >= len(code) {
+			return false
+		}
+		pos++
+		b = code[pos]
+		op = fastOps2[b]
+		opcodeMap = 2
+		if op.kind == fkRel32 && pfx == 0x66 && mode == Mode32 {
+			return false // rel16 under the operand-size prefix
+		}
+	} else {
+		op = fastOps[b]
+	}
 	if op.kind == fkNone {
 		return false
 	}
 	pos++
-	*inst = Inst{Addr: addr, Class: op.class, Opcode: b, OpcodeMap: 1}
+	*inst = Inst{Addr: addr, Class: op.class, Opcode: b, OpcodeMap: opcodeMap}
+	if pfx != 0 {
+		inst.Prefix[0] = pfx
+		inst.NPrefix = 1
+	}
+
+	// The two dominant kinds in compiler output (bare one-byte opcodes
+	// and plain ModRM forms — together ~2/3 of decoded instructions) are
+	// peeled off ahead of the general kind switch so they ride two
+	// well-predicted branches instead of an indirect jump.
+	if op.kind == fkLen1 {
+		if opcodeMap == 1 && b == 0x90 && rex&1 != 0 {
+			inst.Class = ClassOther // REX.B 90 is XCHG R8, not NOP
+		}
+		inst.Len = pos
+		return true
+	}
+	if op.kind == fkModRM && pos < len(code) {
+		if m := code[pos]; m >= 0xC0 || (m&7 != 4 && (m >= 0x40 || m&7 != 5)) {
+			n := 1
+			switch m >> 6 {
+			case 1:
+				n = 2 // ModRM + disp8
+			case 2:
+				n = 5 // ModRM + disp32
+			}
+			if pos+n > len(code) {
+				return false
+			}
+			inst.ModRM = m
+			inst.HasModRM = true
+			pos += n
+			if opcodeMap == 2 && b == 0x1E && pfx == 0xF3 {
+				switch m {
+				case 0xFA:
+					inst.Class = ClassEndbr64
+				case 0xFB:
+					inst.Class = ClassEndbr32
+				}
+			}
+			inst.Len = pos
+			return true
+		}
+	}
 
 	var disp int64
 	var ripRel, absDisp bool
 	switch op.kind {
 	case fkLen1:
-		if b == 0x90 && rex&1 != 0 {
-			inst.Class = ClassOther // REX.B 90 is XCHG R8, not NOP
-		}
+		// Unreachable (peeled above); kept for the switch's exhaustiveness.
 	case fkImm8:
-		if !fastImm(code, &pos, 1, inst) {
+		if pos >= len(code) {
 			return false
 		}
+		inst.Imm = int64(int8(code[pos]))
+		inst.HasImm = true
+		pos++
 	case fkImm16:
-		if !fastImm(code, &pos, 2, inst) {
+		if pos+2 > len(code) {
 			return false
 		}
+		inst.Imm = int64(int16(uint16(code[pos]) | uint16(code[pos+1])<<8))
+		inst.HasImm = true
+		pos += 2
 	case fkImmZ:
-		if !fastImm(code, &pos, 4, inst) {
+		if pos+4 > len(code) {
 			return false
 		}
+		inst.Imm = int64(int32(le32(code[pos:])))
+		inst.HasImm = true
+		pos += 4
 	case fkImmV:
-		n := 4
 		if rex&0x08 != 0 {
-			n = 8
+			if pos+8 > len(code) {
+				return false
+			}
+			inst.Imm = int64(uint64(le32(code[pos:])) | uint64(le32(code[pos+4:]))<<32)
+			pos += 8
+		} else {
+			if pos+4 > len(code) {
+				return false
+			}
+			inst.Imm = int64(int32(le32(code[pos:])))
+			pos += 4
 		}
-		if !fastImm(code, &pos, n, inst) {
-			return false
-		}
+		inst.HasImm = true
 	case fkRel8:
-		if !fastImm(code, &pos, 1, inst) {
+		if pos >= len(code) {
 			return false
 		}
+		inst.Imm = int64(int8(code[pos]))
+		inst.HasImm = true
+		pos++
 		inst.Target = truncAddr(mode, addr+uint64(pos)+uint64(inst.Imm))
 		inst.HasTarget = true
 	case fkRel32:
-		if !fastImm(code, &pos, 4, inst) {
+		if pos+4 > len(code) {
 			return false
 		}
+		inst.Imm = int64(int32(le32(code[pos:])))
+		inst.HasImm = true
+		pos += 4
 		inst.Target = truncAddr(mode, addr+uint64(pos)+uint64(inst.Imm))
 		inst.HasTarget = true
 	case fkModRM, fkModRMImm8, fkModRMImmZ, fkModRMGroup5:
-		var ok bool
-		disp, ripRel, absDisp, ok = fastModRM(code, &pos, mode, inst)
-		if !ok {
+		// Peel the addressing forms that dominate compiler output before
+		// the general walk, keeping them branch-light and call-free:
+		// register-register (mod 3), bare [reg], and [reg+disp8/disp32].
+		// Only the SIB forms and mod-0 rm-5 (RIP-relative / absolute)
+		// fall through to fastModRM. The peeled displacement forms never
+		// materialize a reference, so their disp bytes are skipped, not
+		// read — bounds checks are all that remains of them.
+		if pos >= len(code) {
 			return false
+		}
+		if m := code[pos]; m >= 0xC0 {
+			inst.ModRM = m
+			inst.HasModRM = true
+			pos++
+		} else if rm := m & 7; rm != 4 && (m >= 0x40 || rm != 5) {
+			n := 1
+			switch m >> 6 {
+			case 1:
+				n = 2 // ModRM + disp8
+			case 2:
+				n = 5 // ModRM + disp32
+			}
+			if pos+n > len(code) {
+				return false
+			}
+			inst.ModRM = m
+			inst.HasModRM = true
+			pos += n
+		} else {
+			var ok bool
+			disp, ripRel, absDisp, ok = fastModRM(code, &pos, mode, inst)
+			if !ok {
+				return false
+			}
+		}
+		if opcodeMap == 2 && b == 0x1E && pfx == 0xF3 {
+			// F3 0F 1E FA/FB are the CET end-branch markers; any other
+			// ModRM value stays a reserved hint NOP (ClassOther).
+			switch inst.ModRM {
+			case 0xFA:
+				inst.Class = ClassEndbr64
+			case 0xFB:
+				inst.Class = ClassEndbr32
+			}
 		}
 		switch op.kind {
 		case fkModRMImm8:
-			if !fastImm(code, &pos, 1, inst) {
+			if pos >= len(code) {
 				return false
 			}
+			inst.Imm = int64(int8(code[pos]))
+			inst.HasImm = true
+			pos++
 		case fkModRMImmZ:
-			if !fastImm(code, &pos, 4, inst) {
+			if pos+4 > len(code) {
 				return false
 			}
+			inst.Imm = int64(int32(le32(code[pos:])))
+			inst.HasImm = true
+			pos += 4
 		case fkModRMGroup5:
 			switch inst.Reg() {
 			case 2:
@@ -242,16 +440,12 @@ func decodeFast(code []byte, addr uint64, mode Mode, inst *Inst) bool {
 	return true
 }
 
-// fastImm consumes an n-byte sign-extended immediate.
-func fastImm(code []byte, pos *int, n int, inst *Inst) bool {
-	p := *pos
-	if p+n > len(code) {
-		return false
-	}
-	inst.Imm = signExtendLE(code[p : p+n])
-	inst.HasImm = true
-	*pos = p + n
-	return true
+// le32 is an inlinable little-endian 32-bit load (a single MOV on
+// amd64); the generic signExtendLE byte loop shows up in sweep profiles
+// for the 4-byte immediates and displacements that dominate branches.
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // fastModRM consumes the ModRM byte and its addressing-form bytes (SIB,
@@ -299,15 +493,35 @@ func fastModRM(code []byte, pos *int, mode Mode, inst *Inst) (disp int64, ripRel
 	case 2:
 		dispN = 4
 	}
-	if dispN > 0 {
-		if p+dispN > len(code) {
+	switch dispN {
+	case 1:
+		if p >= len(code) {
 			return 0, false, false, false
 		}
-		disp = signExtendLE(code[p : p+dispN])
-		p += dispN
+		disp = int64(int8(code[p]))
+		p++
+	case 4:
+		if p+4 > len(code) {
+			return 0, false, false, false
+		}
+		disp = int64(int32(le32(code[p:])))
+		p += 4
 	}
 	*pos = p
 	return disp, ripRel, absDisp, true
+}
+
+// legacyPrefixTab is isLegacyPrefix as a direct-indexed table: the fast
+// path consults it once per REX-prefixed instruction, where the 11-way
+// switch shows up in sweep profiles.
+var legacyPrefixTab = buildLegacyPrefixTab()
+
+func buildLegacyPrefixTab() [256]bool {
+	var t [256]bool
+	for b := 0; b < 256; b++ {
+		t[b] = isLegacyPrefix(byte(b))
+	}
+	return t
 }
 
 // truncAddr wraps an address to the mode's pointer width.

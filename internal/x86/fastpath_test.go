@@ -48,6 +48,68 @@ func TestFastPathMatchesFullDecode(t *testing.T) {
 	}
 }
 
+// TestFastPathDeclineSet pins the decline behavior of the two-byte
+// table: the escape bytes into maps 3A/38, the undefined map-2 rows, and
+// every VEX/EVEX-adjacent first byte must make decodeFast return false —
+// the slow path is the only decoder allowed to judge them. The test then
+// confirms the slow path really does own each declined sequence (decode
+// or reject, its call — the fast path just must not have an opinion).
+func TestFastPathDeclineSet(t *testing.T) {
+	const addr = 0x401000
+	tail := []byte{0xC0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}
+
+	// Map-2 escapes and undefined rows, with and without an operand-size
+	// prefix: three-byte-map instructions share the 0F prefix with the
+	// families the fast path accepts, so a table bug here would mis-size
+	// every SSE4/SHA instruction in real text.
+	declined := [][]byte{
+		append([]byte{0x0F, 0x38}, tail...),       // three-byte map 38
+		append([]byte{0x0F, 0x3A}, tail...),       // three-byte map 3A (imm8)
+		append([]byte{0x66, 0x0F, 0x38}, tail...), // 66-prefixed map 38
+		append([]byte{0x0F, 0x04}, tail...),       // undefined map-2 row
+		append([]byte{0x0F, 0x0A}, tail...),       // undefined map-2 row
+		append([]byte{0x0F, 0xA6}, tail...),       // undefined map-2 row
+	}
+	// VEX/EVEX-adjacent first bytes: C4/C5/62 open multi-byte prefix
+	// forms in some mode/ModRM combinations; the fast path declines them
+	// all rather than re-implementing the mode-dependent disambiguation.
+	for _, b := range []byte{0xC4, 0xC5, 0x62} {
+		declined = append(declined, append([]byte{b}, tail...))
+	}
+	for _, mode := range []Mode{Mode32, Mode64} {
+		for _, code := range declined {
+			var inst Inst
+			if decodeFast(code, addr, mode, &inst) {
+				t.Errorf("mode %v % x: fast path accepted a decline-set sequence (inst %+v)", mode, code, inst)
+				continue
+			}
+			// The slow path must own the sequence: whatever it says is the
+			// DecodeInto result, bit-identical.
+			var slow, full Inst
+			slowErr := decodeSlow(code, addr, mode, &slow)
+			fullErr := DecodeInto(code, addr, mode, &full)
+			if (slowErr == nil) != (fullErr == nil) || (slowErr == nil && slow != full) {
+				t.Errorf("mode %v % x: DecodeInto diverged from decodeSlow on a declined sequence", mode, code)
+			}
+		}
+	}
+
+	// Mode32 + operand-size Jcc flips relZ to rel16: the one map-2 row
+	// whose length is prefix-dependent, and exactly why the fast path
+	// declines it in Mode32 while accepting it in Mode64.
+	jcc := []byte{0x66, 0x0F, 0x84, 0x10, 0x20, 0x30, 0x40}
+	var inst Inst
+	if decodeFast(jcc, addr, Mode32, &inst) {
+		t.Errorf("mode32 % x: fast path accepted 66-prefixed Jcc (rel16 form)", jcc)
+	}
+	if err := decodeSlow(jcc, addr, Mode32, &inst); err != nil || inst.Len != 5 {
+		t.Errorf("mode32 % x: slow path len = %d err = %v, want rel16 len 5", jcc, inst.Len, err)
+	}
+	if !decodeFast(jcc, addr, Mode64, &inst) || inst.Len != 7 {
+		t.Errorf("mode64 % x: fast path len = %d accepted = %v, want rel32 len 7", jcc, inst.Len, inst.Len == 7)
+	}
+}
+
 // TestFastPathTruncation: the fast path must decline truncated buffers
 // rather than mis-size an instruction; Decode then reports ErrTruncated
 // through the slow path.

@@ -6,22 +6,51 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // minParallelBytes is the smallest text BuildIndexParallel will shard
 // when asked to pick a worker count itself: below this the goroutine
-// fan-out costs more than the decode.
-const minParallelBytes = 64 << 10
+// fan-out and seam stitching cost more than the decode. This is the
+// single auto-selection threshold — internal/analysis delegates to it by
+// always requesting workers <= 0.
+const minParallelBytes = 256 << 10
 
-// shardScratch is one worker's reusable decode buffers: the speculative
-// instruction stream, the skip offsets, and the shard-local boundary
-// bitmap. Instances are pooled — a corpus run builds thousands of
-// indexes, and the speculative buffers are pure scratch whose contents
-// are copied into the final index during assembly, so recycling them
-// removes the dominant per-build allocations. Inst is pointer-free,
-// which is what makes holding stale ones in the pool harmless.
+// minShardBytes is the smallest chunk the auto worker-count picker will
+// hand a shard. Explicit worker counts bypass it (tests deliberately
+// shard tiny texts to force odd seam placements).
+const minShardBytes = 64 << 10
+
+// maxShardBytes caps how much text one shard covers. Shard count is
+// decoupled from worker count: workers bounds *concurrency* while the
+// atomic work-stealing counter in runShards hands out shards, so
+// splitting a large text into more, smaller shards costs nothing and
+// wins twice — per-shard working set (code + length memo) stays
+// cache-sized, and stragglers shrink because a slow core holds at most
+// one small shard, not 1/workers of the text. Low explicit worker
+// counts on big texts otherwise run measurably *slower* than
+// sequential (the workers=2 row on the 1 MiB bench corpus).
+const maxShardBytes = 128 << 10
+
+// shardScratch is one worker's reusable decode buffers: the per-chunk
+// instruction-length memo, the skip offsets, and the shard-local
+// boundary bitmap. Instances are pooled — a corpus run builds thousands
+// of indexes and the buffers are pure scratch, so recycling them removes
+// the dominant per-build allocations.
+//
+// lens is the length memo at the heart of the speculative build: one
+// byte per chunk byte, 0 = never visited, 0xFF = visited but
+// undecodable (skip), otherwise the encoded instruction length (1..15).
+// It makes the seam resolver's "has this shard's stream visited offset
+// X?" test O(1) instead of a binary search, and it is what lets phase 0
+// avoid materializing instructions at all: a chunk's speculative decode
+// is fully described by ~1.2 bytes/byte of scratch instead of the ~35
+// bytes/byte the old Inst stream cost (112-byte Inst per ~3-byte
+// encoding). That footprint was the workers=8 collapse: eight full-size
+// speculative Inst buffers live at once put the build allocation-bound
+// (174-208 MB/op) instead of decode-bound.
 type shardScratch struct {
-	insts []Inst
+	lens  []uint8
 	skips []int32
 	bits  []uint64
 }
@@ -40,31 +69,37 @@ var scratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
 //
 // Chunk starts are 64-byte aligned so each shard-local boundary bitmap
 // word maps one-to-one onto a word of the final index bitmap and can be
-// stitched by copy instead of re-walking the instructions.
+// stitched by whole-word OR instead of re-walking the instructions.
 type shard struct {
 	start int // chunk start offset (relative to code[0]), 64-byte aligned
 	end   int // chunk end offset; the stream may overrun it
 	final int // cursor offset after the last decode step (>= end)
 	sc    *shardScratch
 
-	// Seam resolution (stitching phase A) results: the instructions
-	// re-decoded at the seam before the speculative stream agreed, and
-	// the authoritative suffix of the speculative stream.
+	// Seam resolution (phase A) results: the instructions re-decoded at
+	// the seam before the speculative stream agreed, and the shape of the
+	// authoritative suffix of the speculative stream.
 	seam      []Inst
 	seamSkips int
-	instIdx   int  // first authoritative instruction in sc.insts
-	skipTail  int  // skips at offsets >= the splice point
+	authStart int  // splice offset; suffix [authStart, final) is authoritative
+	authInsts int  // instructions in the authoritative suffix
+	authSkips int  // skips in the authoritative suffix
 	spliced   bool // false when the seam walk consumed the whole chunk
+	outPos    int  // index in the final Insts where this shard's output begins
 }
 
 // BuildIndexParallel builds the same index as BuildIndex by decoding
 // workers chunks of code concurrently and stitching them at the first
 // agreeing instruction boundary past each chunk seam. workers <= 0
-// selects GOMAXPROCS and falls back to the sequential build for small
-// texts; an explicit workers >= 2 shards whenever every worker can get
-// at least one aligned 64-byte chunk (tests force odd seam placements
-// this way). The result is byte-identical to BuildIndex —
-// internal/diffcheck asserts this invariant on every generated binary.
+// selects a count from GOMAXPROCS and the text size and falls back to
+// the sequential build for small texts; an explicit workers >= 2 shards
+// whenever every worker can get at least one aligned 64-byte chunk
+// (tests force odd seam placements this way), though the number of
+// shards decoding concurrently is always capped at GOMAXPROCS and the
+// physical core count — shard count sets seam geometry, not goroutine
+// oversubscription. The result
+// is byte-identical to BuildIndex — internal/diffcheck asserts this
+// invariant on every generated binary.
 func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index {
 	idx, _ := buildIndexParallel(context.Background(), code, base, mode, workers)
 	return idx
@@ -73,54 +108,83 @@ func BuildIndexParallel(code []byte, base uint64, mode Mode, workers int) *Index
 // buildIndexParallel is the shared implementation behind
 // BuildIndexParallel (context.Background, never cancels) and
 // BuildIndexParallelCtx. Cancellation is checked at cancelStride
-// boundaries inside every shard and inside the seam resolver; a
+// boundaries inside every shard pass and inside the seam resolver; a
 // background context short-circuits all checks via the Done() == nil
 // fast path.
 //
-// The build runs in three phases. Phase 0 decodes the chunks
-// speculatively in parallel, each shard recording its boundary bits in
-// a chunk-local bitmap as it goes. Phase A walks the seams
-// sequentially, re-decoding only until each speculative stream agrees
-// with the authoritative cursor — after it, the exact instruction and
-// skip totals are known. Phase B allocates the final index at exact
-// size and assembles it: seam instructions individually, shard suffixes
-// by bulk copy, and the boundary bitmap by whole-word OR from the
-// shard-local bitmaps (the first word masked below the splice point).
+// The build runs in four phases. Phase 0 decodes the chunks
+// speculatively in parallel, each shard recording lengths into its memo
+// and boundary bits into a chunk-local bitmap — no instructions are
+// materialized. Phase A walks the seams sequentially, re-decoding only
+// until each speculative stream agrees with the authoritative cursor
+// (an O(1) length-memo hit per probe); after it the exact instruction
+// and skip totals are known, so the final index is allocated at exact
+// size. Phase B re-decodes each shard's authoritative range in parallel
+// directly into its disjoint window of the final Insts slice —
+// determinism makes this a pure materialization of what phase 0 already
+// measured, replacing the old sequential bulk copy that dominated
+// assembly (112 bytes of memmove per ~3-byte encoding). The last phase
+// stitches the boundary bitmap by whole-word OR and builds the rank
+// directory.
 func buildIndexParallel(ctx context.Context, code []byte, base uint64, mode Mode, workers int) (*Index, error) {
 	auto := workers <= 0
 	if auto {
 		workers = runtime.GOMAXPROCS(0)
+		if mx := len(code) / minShardBytes; workers > mx {
+			workers = mx
+		}
+	}
+	if workers < 2 || (auto && len(code) < minParallelBytes) {
+		return buildIndexSeq(ctx, code, base, mode)
 	}
 	// Chunks are rounded down to 64-byte multiples so shard-local bitmap
 	// words coincide with final bitmap words. A zero chunk means the
 	// text is too small to give every worker an aligned chunk; decoding
 	// it sequentially is both correct and faster.
 	chunk := (len(code) / workers) &^ 63
-	if workers < 2 || chunk == 0 || (auto && len(code) < minParallelBytes) {
-		return BuildIndexCtx(ctx, code, base, mode)
+	if chunk == 0 {
+		return buildIndexSeq(ctx, code, base, mode)
+	}
+	nShards := workers
+	if chunk > maxShardBytes {
+		chunk = maxShardBytes
+		nShards = (len(code) + chunk - 1) / chunk
+		// A tail chunk below one bitmap word merges into its
+		// predecessor, mirroring the i == last handling below.
+		if nShards > 1 && len(code)-(nShards-1)*chunk < 64 {
+			nShards--
+		}
 	}
 
-	shards := make([]shard, workers)
-	var wg sync.WaitGroup
+	shards := make([]shard, nShards)
 	for i := range shards {
 		s, e := i*chunk, (i+1)*chunk
-		if i == workers-1 {
+		if i == nShards-1 {
 			e = len(code)
 		}
 		shards[i] = shard{start: s, end: e, sc: scratchPool.Get().(*shardScratch)}
-		wg.Add(1)
-		go func(sh *shard) {
-			defer wg.Done()
-			sh.decode(ctx, code, base, mode)
-		}(&shards[i])
 	}
-	wg.Wait()
 	recycle := func() {
 		for i := range shards {
 			scratchPool.Put(shards[i].sc)
 			shards[i].sc = nil
 		}
 	}
+	// Concurrency is capped at both GOMAXPROCS and the physical core
+	// count: goroutines beyond either cannot add decode throughput, they
+	// only add scheduler churn and keep more scratch live at once (the
+	// old one-goroutine-per-shard design is what made high worker counts
+	// collapse on small machines, and a GOMAXPROCS pinned above NumCPU —
+	// the bench's gomaxprocs=N series on a small host — reproduces the
+	// same collapse without the cores cap).
+	conc := workers
+	if p := runtime.GOMAXPROCS(0); conc > p {
+		conc = p
+	}
+	if p := runtime.NumCPU(); conc > p {
+		conc = p
+	}
+	runShards(shards, conc, func(sh *shard) { sh.decode(ctx, code, base, mode) })
 	if err := ctx.Err(); err != nil {
 		recycle()
 		return nil, err
@@ -129,21 +193,91 @@ func buildIndexParallel(ctx context.Context, code []byte, base uint64, mode Mode
 		recycle()
 		return nil, err
 	}
-	idx := assemble(shards, code, base)
+
+	// Exact sizing from the seam resolution.
+	total, skipped, retries := 0, 0, 0
+	for i := range shards {
+		sh := &shards[i]
+		sh.outPos = total
+		total += len(sh.seam)
+		skipped += sh.seamSkips
+		retries += len(sh.seam) + sh.seamSkips
+		if sh.spliced {
+			total += sh.authInsts
+			skipped += sh.authSkips
+		}
+	}
+	words := (len(code) + 63) / 64
+	idx := &Index{
+		Insts:         make([]Inst, total),
+		Base:          base,
+		Skipped:       skipped,
+		Shards:        len(shards),
+		StitchRetries: retries,
+		bits:          make([]uint64, words),
+		ranks:         make([]int32, words),
+		n:             len(code),
+	}
+	// Phase B: materialize every shard's output into its disjoint window.
+	runShards(shards, conc, func(sh *shard) { sh.materialize(ctx, code, base, mode, idx.Insts) })
+	if err := ctx.Err(); err != nil {
+		recycle()
+		return nil, err
+	}
+	stitchBits(idx, shards)
 	recycle()
 	return idx, nil
 }
 
+// runShards applies fn to every shard with at most conc goroutines. A
+// conc of 1 runs inline — the sharded geometry is preserved (seam
+// placement, Shards count) without spawning anything.
+func runShards(shards []shard, conc int, fn func(*shard)) {
+	if conc <= 1 || len(shards) == 1 {
+		for i := range shards {
+			fn(&shards[i])
+		}
+		return
+	}
+	if conc > len(shards) {
+		conc = len(shards)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				fn(&shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // decode runs the speculative sweep of one chunk: from start until the
 // cursor reaches the chunk end (the final instruction may overrun it),
-// setting the chunk-local boundary bit of every decoded instruction.
-// A canceled ctx stops the shard at the next cancelStride boundary; the
-// caller discards every shard after noticing the cancellation.
+// recording each decode step in the length memo and the chunk-local
+// boundary bitmap. A canceled ctx stops the shard at the next
+// cancelStride boundary; the caller discards every shard after noticing
+// the cancellation.
 func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode) {
 	sc := sh.sc
-	insts := sc.insts[:0]
+	n := sh.end - sh.start
+	lens := sc.lens
+	if cap(lens) < n {
+		lens = make([]uint8, n)
+	} else {
+		lens = lens[:n]
+		clear(lens)
+	}
 	skips := sc.skips[:0]
-	words := (sh.end - sh.start + 63) / 64
+	words := (n + 63) / 64
 	bm := sc.bits
 	if cap(bm) < words {
 		bm = make([]uint64, words)
@@ -151,7 +285,7 @@ func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode
 		bm = bm[:words]
 		clear(bm)
 	}
-	defer func() { sc.insts, sc.skips, sc.bits = insts, skips, bm }()
+	defer func() { sc.lens, sc.skips, sc.bits = lens, skips, bm }()
 
 	done := ctx.Done()
 	var inst Inst
@@ -163,45 +297,39 @@ func (sh *shard) decode(ctx context.Context, code []byte, base uint64, mode Mode
 			}
 			next = off + cancelStride
 		}
+		rel := off - sh.start
 		if err := DecodeInto(code[off:], base+uint64(off), mode, &inst); err != nil {
+			lens[rel] = 0xFF
 			skips = append(skips, int32(off))
 			off++
 			continue
 		}
-		rel := off - sh.start
+		lens[rel] = uint8(inst.Len)
 		bm[rel>>6] |= 1 << (rel & 63)
-		insts = append(insts, inst)
 		off += inst.Len
 	}
 	sh.final = off
 }
 
-// visitedFrom locates the authoritative cursor offset cur in the shard's
-// visited-offset set (instruction starts ∪ skip positions). When found,
-// the shard's remaining stream from cur onward is exactly what a
-// sequential decode would produce, so the caller can splice it verbatim:
-// instIdx is the first instruction with offset >= cur and skipTail the
-// number of skips at offsets >= cur.
-func (sh *shard) visitedFrom(cur int, base uint64) (instIdx, skipTail int, found bool) {
-	insts, skips := sh.sc.insts, sh.sc.skips
-	va := base + uint64(cur)
-	instIdx = sort.Search(len(insts), func(i int) bool { return insts[i].Addr >= va })
-	skipIdx := sort.Search(len(skips), func(i int) bool { return skips[i] >= int32(cur) })
-	skipTail = len(skips) - skipIdx
-	if instIdx < len(insts) && insts[instIdx].Addr == va {
-		return instIdx, skipTail, true
+// popcountFrom counts the set bits of bm at positions >= rel.
+func popcountFrom(bm []uint64, rel int) int {
+	w := rel >> 6
+	if w >= len(bm) {
+		return 0
 	}
-	if skipIdx < len(skips) && skips[skipIdx] == int32(cur) {
-		return instIdx, skipTail, true
+	c := bits.OnesCount64(bm[w] &^ (1<<(rel&63) - 1))
+	for _, word := range bm[w+1:] {
+		c += bits.OnesCount64(word)
 	}
-	return 0, 0, false
+	return c
 }
 
-// resolveSeams walks the shards in cursor order. At each seam the
-// cursor either lands on an offset the next shard visited — in which
-// case the shard's remaining stream is authoritative and its splice
-// point is recorded — or instructions are re-decoded one at a time into
-// the shard's seam buffer until the streams re-synchronize.
+// resolveSeams walks the shards in cursor order. At each seam the cursor
+// either lands on an offset the next shard visited — an O(1) length-memo
+// probe, in which case the shard's remaining stream is authoritative and
+// its splice point plus suffix totals are recorded — or instructions are
+// re-decoded one at a time into the shard's seam buffer until the
+// streams re-synchronize.
 func resolveSeams(ctx context.Context, shards []shard, code []byte, base uint64, mode Mode) error {
 	done := ctx.Done()
 	cur, next := 0, 0
@@ -215,8 +343,14 @@ func resolveSeams(ctx context.Context, shards []shard, code []byte, base uint64,
 				}
 				next = cur + cancelStride
 			}
-			if instIdx, skipTail, ok := sh.visitedFrom(cur, base); ok {
-				sh.instIdx, sh.skipTail, sh.spliced = instIdx, skipTail, true
+			if rel := cur - sh.start; rel >= 0 && sh.sc.lens[rel] != 0 {
+				// The speculative stream visited this offset (instruction
+				// or skip): everything from here on is authoritative.
+				sh.spliced = true
+				sh.authStart = cur
+				sh.authInsts = popcountFrom(sh.sc.bits, rel)
+				sk := sh.sc.skips
+				sh.authSkips = len(sk) - sort.Search(len(sk), func(j int) bool { return sk[j] >= int32(cur) })
 				cur = sh.final
 				break
 			}
@@ -237,58 +371,69 @@ func resolveSeams(ctx context.Context, shards []shard, code []byte, base uint64,
 	return nil
 }
 
-// assemble builds the final index from the resolved shards at exact
-// size: one allocation per slice, no growth, no per-instruction bitmap
-// pass for the spliced bulk.
-func assemble(shards []shard, code []byte, base uint64) *Index {
-	total, skipped, retries := 0, 0, 0
-	for i := range shards {
-		sh := &shards[i]
-		total += len(sh.seam)
-		skipped += sh.seamSkips
-		retries += len(sh.seam) + sh.seamSkips
-		if sh.spliced {
-			total += len(sh.sc.insts) - sh.instIdx
-			skipped += sh.skipTail
+// materialize writes one shard's output — its seam instructions followed
+// by the authoritative suffix of its speculative stream — into the
+// shard's disjoint window of the final Insts slice. The suffix is
+// re-decoded boundary-by-boundary from the shard bitmap straight into
+// the final slots: phase 0 proved each decode succeeds, so this is a
+// pure materialization pass with no growth, no copies, and no error
+// handling beyond cancellation.
+func (sh *shard) materialize(ctx context.Context, code []byte, base uint64, mode Mode, out []Inst) {
+	i := sh.outPos
+	i += copy(out[i:], sh.seam)
+	if !sh.spliced || sh.authInsts == 0 {
+		return
+	}
+	done := ctx.Done()
+	bm := sh.sc.bits
+	rel := sh.authStart - sh.start
+	w := rel >> 6
+	// Mask off the speculative prefix below the splice point.
+	word := bm[w] &^ (1<<(rel&63) - 1)
+	next := sh.authStart
+	for {
+		for word == 0 {
+			w++
+			if w >= len(bm) {
+				return
+			}
+			word = bm[w]
 		}
+		off := sh.start + w<<6 + bits.TrailingZeros64(word)
+		word &= word - 1
+		if done != nil && off >= next {
+			if ctx.Err() != nil {
+				return
+			}
+			next = off + cancelStride
+		}
+		_ = DecodeInto(code[off:], base+uint64(off), mode, &out[i])
+		i++
 	}
-	words := (len(code) + 63) / 64
-	idx := &Index{
-		Insts:         make([]Inst, 0, total),
-		Base:          base,
-		Skipped:       skipped,
-		Shards:        len(shards),
-		StitchRetries: retries,
-		bits:          make([]uint64, words),
-		ranks:         make([]int32, words),
-		n:             len(code),
-	}
+}
+
+// stitchBits assembles the final boundary bitmap and rank directory:
+// seam instructions bit-by-bit, spliced shard suffixes by whole-word OR
+// from the chunk-local bitmaps (the first word masked below the splice
+// point), then one running-popcount pass for the ranks.
+func stitchBits(idx *Index, shards []shard) {
 	for i := range shards {
 		sh := &shards[i]
 		for _, inst := range sh.seam {
-			off := inst.Addr - base
+			off := inst.Addr - idx.Base
 			idx.bits[off>>6] |= 1 << (off & 63)
 		}
-		idx.Insts = append(idx.Insts, sh.seam...)
 		if !sh.spliced {
 			continue
 		}
-		tail := sh.sc.insts[sh.instIdx:]
-		idx.Insts = append(idx.Insts, tail...)
-		if len(tail) == 0 {
-			continue
-		}
-		// Stitch the shard's boundary bitmap by word copy. start is
-		// 64-byte aligned, so local word w is final word start/64 + w;
-		// the first word is masked below the splice point to drop the
-		// shard's speculative prefix, and words are OR-ed because seam
-		// instructions may share the splice-point word.
-		localFrom := int(tail[0].Addr-base) - sh.start
+		localFrom := sh.authStart - sh.start
 		gw, wf := sh.start>>6, localFrom>>6
 		bm := sh.sc.bits
-		idx.bits[gw+wf] |= bm[wf] &^ (1<<(localFrom&63) - 1)
-		for w := wf + 1; w < len(bm); w++ {
-			idx.bits[gw+w] |= bm[w]
+		if wf < len(bm) {
+			idx.bits[gw+wf] |= bm[wf] &^ (1<<(localFrom&63) - 1)
+			for w := wf + 1; w < len(bm); w++ {
+				idx.bits[gw+w] |= bm[w]
+			}
 		}
 	}
 	var c int32
@@ -296,5 +441,4 @@ func assemble(shards []shard, code []byte, base uint64) *Index {
 		idx.ranks[w] = c
 		c += int32(bits.OnesCount64(word))
 	}
-	return idx
 }

@@ -1,0 +1,151 @@
+package x86
+
+import "math/bits"
+
+// Superset is a superset disassembly of a text: one decode at every byte
+// offset, memoized. Where the linear sweep commits to a single
+// instruction stream, the superset keeps every candidate stream alive —
+// the representation the sound-disassembly and FDE-fusion directions
+// build on, and the one reverse-engineering tooling needs to reason
+// about overlapping instruction sequences.
+//
+// The whole point of the structure is the length memo: naive superset
+// disassembly re-decodes each fallthrough chain from scratch at every
+// offset it visits (the average chain touches an offset ~L times for an
+// average instruction length L), while Superset decodes each offset
+// exactly once and answers every subsequent chain step with a table
+// lookup. Lens and Classes are one byte per text byte, so the memo costs
+// ~2 bytes/byte — 50× smaller than materializing an Inst per offset.
+type Superset struct {
+	// Base is the virtual address of offset 0.
+	Base uint64
+	// Mode is the decode mode the superset was built under.
+	Mode Mode
+	// Lens[i] is the encoded length of the instruction decoding at
+	// offset i, or 0 if no instruction decodes there.
+	Lens []uint8
+	// Classes[i] is the Class of the instruction at offset i,
+	// meaningful only where Lens[i] > 0.
+	Classes []uint8
+
+	// viable is a bitmap over offsets: bit i is set when the fallthrough
+	// chain starting at i reaches exactly the end of the text without
+	// ever hitting an undecodable offset. Endbr-anchored chains that are
+	// viable in this sense are the seed of the soundness argument in
+	// Zhao et al. (arXiv:2506.09426).
+	viable []uint64
+}
+
+// BuildSuperset decodes code at every byte offset and returns the memo.
+// It costs one decode per offset — roughly 3× a linear sweep for
+// compiler-generated text — after which chain walks, viability queries,
+// and marker scans are pure table work.
+func BuildSuperset(code []byte, base uint64, mode Mode) *Superset {
+	n := len(code)
+	s := &Superset{
+		Base:    base,
+		Mode:    mode,
+		Lens:    make([]uint8, n),
+		Classes: make([]uint8, n),
+		viable:  make([]uint64, (n+63)/64),
+	}
+	var inst Inst
+	for off := 0; off < n; off++ {
+		if err := DecodeInto(code[off:], base+uint64(off), mode, &inst); err != nil {
+			continue
+		}
+		s.Lens[off] = uint8(inst.Len)
+		s.Classes[off] = uint8(inst.Class)
+	}
+	// Viability is a pure function of the length memo: off is viable iff
+	// it decodes and its successor is the text end or itself viable.
+	// Successors are strictly ahead (Len >= 1), so one back-to-front
+	// pass reaches the fixpoint — this is where the memo pays: the naive
+	// formulation re-decodes the whole chain from every offset.
+	for off := n - 1; off >= 0; off-- {
+		l := int(s.Lens[off])
+		if l == 0 {
+			continue
+		}
+		nxt := off + l
+		if nxt == n || s.viable[nxt>>6]>>(uint(nxt)&63)&1 == 1 {
+			s.viable[off>>6] |= 1 << (uint(off) & 63)
+		}
+	}
+	return s
+}
+
+// Len returns the number of byte offsets covered.
+func (s *Superset) Len() int { return len(s.Lens) }
+
+// LenAt returns the instruction length at offset off, or 0 if nothing
+// decodes there (or off is out of range).
+func (s *Superset) LenAt(off int) int {
+	if off < 0 || off >= len(s.Lens) {
+		return 0
+	}
+	return int(s.Lens[off])
+}
+
+// ClassAt returns the class of the instruction at offset off;
+// ClassOther when nothing decodes there.
+func (s *Superset) ClassAt(off int) Class {
+	if off < 0 || off >= len(s.Lens) || s.Lens[off] == 0 {
+		return ClassOther
+	}
+	return Class(s.Classes[off])
+}
+
+// Viable reports whether the fallthrough chain from off reaches exactly
+// the end of the text without hitting an undecodable offset.
+func (s *Superset) Viable(off int) bool {
+	if off < 0 || off >= len(s.Lens) {
+		return false
+	}
+	return s.viable[off>>6]>>(uint(off)&63)&1 == 1
+}
+
+// Chain walks the fallthrough chain from off using only the memo — no
+// re-decoding — invoking fn with each offset, length, and class until
+// the chain leaves the text, hits an undecodable offset, or fn returns
+// false. It returns the offset the walk stopped at (the first offset
+// not delivered to fn).
+func (s *Superset) Chain(off int, fn func(off, length int, class Class) bool) int {
+	for off >= 0 && off < len(s.Lens) {
+		l := int(s.Lens[off])
+		if l == 0 {
+			return off
+		}
+		if !fn(off, l, Class(s.Classes[off])) {
+			return off
+		}
+		off += l
+	}
+	return off
+}
+
+// Markers returns the virtual addresses of every end-branch marker in
+// the superset, in ascending order — a pure scan of the class memo. On
+// CET-enabled text this agrees with the raw byte-pattern marker scan;
+// the superset additionally knows each marker's decode viability.
+func (s *Superset) Markers() []uint64 {
+	var out []uint64
+	for off, c := range s.Classes {
+		if s.Lens[off] == 0 {
+			continue
+		}
+		if cl := Class(c); cl == ClassEndbr64 || cl == ClassEndbr32 {
+			out = append(out, s.Base+uint64(off))
+		}
+	}
+	return out
+}
+
+// ViableCount returns the number of viable offsets.
+func (s *Superset) ViableCount() int {
+	n := 0
+	for _, w := range s.viable {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSupersetMatchesDecode pins the memo contract: every offset's
+// length and class must equal a fresh DecodeInto at that offset, on both
+// clean generated text and random soup, in both modes.
+func TestSupersetMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mode := range []Mode{Mode64, Mode32} {
+		clean := GenText(16<<10, mode, rng, 0)
+		soup := make([]byte, 16<<10)
+		rng.Read(soup)
+		for name, code := range map[string][]byte{"gentext": clean, "soup": soup} {
+			s := BuildSuperset(code, 0x401000, mode)
+			if s.Len() != len(code) {
+				t.Fatalf("%s/%v: Len = %d, want %d", name, mode, s.Len(), len(code))
+			}
+			var inst Inst
+			for off := 0; off < len(code); off++ {
+				err := DecodeInto(code[off:], 0x401000+uint64(off), mode, &inst)
+				if err != nil {
+					if s.Lens[off] != 0 {
+						t.Fatalf("%s/%v off %#x: memo len %d, decode error %v", name, mode, off, s.Lens[off], err)
+					}
+					continue
+				}
+				if int(s.Lens[off]) != inst.Len || Class(s.Classes[off]) != inst.Class {
+					t.Fatalf("%s/%v off %#x: memo (len %d, class %v), decode (len %d, class %v)",
+						name, mode, off, s.Lens[off], Class(s.Classes[off]), inst.Len, inst.Class)
+				}
+			}
+		}
+	}
+}
+
+// TestSupersetViabilityFixpoint checks the DP invariant directly:
+// viable(off) iff off decodes and its fallthrough successor is the text
+// end or viable itself.
+func TestSupersetViabilityFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	code := GenText(8<<10, Mode64, rng, 0.2)
+	s := BuildSuperset(code, 0x1000, Mode64)
+	n := len(code)
+	for off := 0; off < n; off++ {
+		l := int(s.Lens[off])
+		want := l > 0 && (off+l == n || s.Viable(off+l))
+		if got := s.Viable(off); got != want {
+			t.Fatalf("off %#x: Viable = %v, want %v (len %d)", off, got, want, l)
+		}
+	}
+	if s.ViableCount() == 0 {
+		t.Fatal("no viable offsets in generated text")
+	}
+	// Out-of-range queries are false/zero, never a panic.
+	if s.Viable(-1) || s.Viable(n) || s.LenAt(-1) != 0 || s.LenAt(n) != 0 {
+		t.Fatal("out-of-range query leaked state")
+	}
+}
+
+// TestSupersetChainMatchesSweep: walking the chain from offset 0 of
+// clean text via the memo must visit exactly the linear sweep's
+// instruction stream, with identical lengths — the "re-decode becomes a
+// table hit" guarantee.
+func TestSupersetChainMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	code := GenText(32<<10, Mode64, rng, 0)
+	s := BuildSuperset(code, 0x401000, Mode64)
+
+	type step struct {
+		off, len int
+		class    Class
+	}
+	var want []step
+	off := 0
+	LinearSweep(code, 0x401000, Mode64, func(inst *Inst) bool {
+		want = append(want, step{off, inst.Len, inst.Class})
+		off += inst.Len
+		return true
+	})
+	// Replicate the sweep's skip-on-error resynchronization with memo
+	// lookups only: chain until it stops, then advance one byte — the
+	// same recovery LinearSweep performs with a fresh decode.
+	var got []step
+	cur := 0
+	for cur < len(code) {
+		end := s.Chain(cur, func(off, length int, class Class) bool {
+			got = append(got, step{off, length, class})
+			return true
+		})
+		if end >= len(code) {
+			break
+		}
+		if s.LenAt(end) != 0 {
+			t.Fatalf("chain stopped at decodable offset %#x", end)
+		}
+		cur = end + 1
+	}
+	if len(got) != len(want) {
+		t.Fatalf("chain visited %d instructions, sweep %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: chain %+v, sweep %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSupersetMarkers: the class-memo marker scan must agree with a
+// direct decode scan for endbr instructions.
+func TestSupersetMarkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	code := GenText(32<<10, Mode64, rng, 0)
+	const base = 0x401000
+	s := BuildSuperset(code, base, Mode64)
+
+	var want []uint64
+	var inst Inst
+	for off := 0; off < len(code); off++ {
+		if DecodeInto(code[off:], base+uint64(off), Mode64, &inst) == nil && inst.IsEndbr() {
+			want = append(want, base+uint64(off))
+		}
+	}
+	got := s.Markers()
+	if len(got) != len(want) {
+		t.Fatalf("Markers: %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("marker %d: %#x, want %#x", i, got[i], want[i])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("generated text contains no endbr markers")
+	}
+}

@@ -470,7 +470,10 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 			b.SetBytes(int64(corpusBytes))
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				eng := engine.New(engine.Config{})
+				eng, err := engine.New(engine.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
 				var wg sync.WaitGroup
 				errs := make(chan error, len(set))
 				for _, c := range set {
@@ -492,7 +495,10 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 		// engine/CacheHit measures the content-hash fast path: every
 		// binary is pre-warmed, so each op is pure SHA-256 + LRU lookup.
 		benchmark{name: "engine/CacheHit", fn: func(b *testing.B) {
-			eng := engine.New(engine.Config{})
+			eng, err := engine.New(engine.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
 			for _, c := range set {
 				if _, err := eng.Analyze(context.Background(), c.raw, funseeker.Config4); err != nil {
 					b.Fatal(err)
@@ -585,6 +591,47 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				if err != nil || !ok || len(v) != len(val) {
 					b.Fatalf("get %d: ok=%v err=%v", i, ok, err)
 				}
+			}
+		}},
+		// store/Compact measures the cold-segment rewrite: each iteration
+		// rebuilds a store where every key was written twice (50% garbage)
+		// and compacts it down to the newest generation.
+		benchmark{name: "store/Compact", fn: func(b *testing.B) {
+			val := bytes.Repeat([]byte(`{"v":1,"entries":[4198400,4198464]}`), 60)
+			const records = 1024
+			key := make([]byte, 34)
+			b.SetBytes(int64(2 * records * len(val)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "funseeker-bench-compact")
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := store.Open(dir, store.Options{SegmentBytes: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for gen := 0; gen < 2; gen++ {
+					for j := 0; j < records; j++ {
+						binary.LittleEndian.PutUint64(key, uint64(j))
+						if err := st.Put(key, val); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StartTimer()
+				res, err := st.Compact()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if res.ReclaimedBytes <= 0 {
+					b.Fatalf("compaction reclaimed %d bytes", res.ReclaimedBytes)
+				}
+				st.Close()
+				os.RemoveAll(dir)
+				b.StartTimer()
 			}
 		}},
 		// ring/Lookup is the router's per-request cost: one SHA-256 of a

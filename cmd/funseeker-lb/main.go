@@ -4,7 +4,7 @@
 // Usage:
 //
 //	funseeker-lb -backends http://h1:8745,http://h2:8745 [-addr :8744]
-//	             [-vnodes 512] [-failover 2] [-max-body B]
+//	             [-vnodes 512] [-replicas 2] [-failover 2] [-max-body B]
 //	             [-health-interval 2s] [-health-timeout 2s]
 //	             [-log text|json]
 //
@@ -20,9 +20,19 @@
 //	POST /v1/batch    — streamed round-robin to one healthy replica
 //	                    (an archive has no single content hash).
 //	GET  /v1/healthz  — router liveness + current ring size.
-//	GET  /lb/nodes    — per-backend health and ring membership.
-//	GET  /metrics     — router metrics (routed/failover/unrouted
-//	                    counters, per-backend health gauges).
+//	GET  /lb/nodes    — per-backend health, ring membership, and each
+//	                    node's relayed v2 stats document.
+//	GET  /metrics     — router metrics (routed/failover/unrouted and
+//	                    replica write/fallback/repair counters,
+//	                    per-backend health gauges).
+//
+// Replication (-replicas N, default 2): after every successful analyze
+// the stored result is copied — by value transfer over GET/PUT
+// /v1/result, never recomputation — to the first N distinct nodes in
+// ring order for that binary. Killing any one node then fails its keys
+// over to a sibling that already holds them warm, and when the node
+// rejoins, a repair pass diffs /v1/keys against a healthy donor and
+// copies back everything it missed. -replicas 1 disables all of this.
 //
 // A background loop probes every backend's /v1/healthz; a replica that
 // fails its probe (or a forward) leaves the ring — remapping only its
@@ -55,7 +65,8 @@ func run() error {
 		addr        = flag.String("addr", ":8744", "listen address")
 		backends    = flag.String("backends", "", "comma-separated funseekerd base URLs (required)")
 		vnodes      = flag.Int("vnodes", 0, "virtual nodes per backend (0 = ring default)")
-		failover    = flag.Int("failover", 2, "ring-order successors to try after a connection failure")
+		replicas    = flag.Int("replicas", 2, "nodes holding each result (1 disables replication)")
+		failover    = flag.Int("failover", 2, "extra ring-order successors to try after a connection failure")
 		maxBody     = flag.Int64("max-body", 64<<20, "max /v1/analyze body bytes (buffered to hash)")
 		healthEvery = flag.Duration("health-interval", 2*time.Second, "backend health-probe cadence")
 		healthTO    = flag.Duration("health-timeout", 2*time.Second, "single health-probe timeout")
@@ -83,6 +94,7 @@ func run() error {
 	rt, err := newRouter(routerConfig{
 		backends:      list,
 		vnodes:        *vnodes,
+		replicas:      *replicas,
 		failover:      *failover,
 		maxBodyBytes:  *maxBody,
 		healthEvery:   *healthEvery,

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// This file is the router's replication layer: every result computed on
+// a binary's ring owner is copied (as its ~2 KB stored-result value,
+// never recomputed) to the rest of its replica set — the first
+// cfg.replicas distinct nodes in ring order. With N=2, killing any one
+// node leaves a warm sibling already holding every result the victim
+// owned, so failover serves from the store tier instead of re-running
+// analyses; and when the victim rejoins, a repair pass copies back what
+// it missed while it was gone.
+
+// storeKeyHeader mirrors funseekerd's response header naming the
+// persistent-store key of an analyze result. The first 32 bytes of the
+// (hex) key are the binary's SHA-256 — the same bytes the router
+// shards by — so ring placement is computable from the key alone.
+const storeKeyHeader = "X-Funseeker-Store-Key"
+
+// replicaTransferTimeout bounds one replica copy (a GET plus PUTs of a
+// small JSON value) and one repair inventory fetch.
+const replicaTransferTimeout = 15 * time.Second
+
+// replicate copies the stored result named by key from the backend that
+// just served it to the other members of its replica set. Runs
+// asynchronously after the client response; failures are logged and
+// retried on the next request for the same binary (the seen-set entry
+// is dropped).
+func (rt *router) replicate(sum []byte, src, key string) {
+	defer rt.repairWG.Done()
+	if !rt.markSeen(key) {
+		return
+	}
+	members := rt.ring.LookupN(sum, rt.cfg.replicas)
+	var val []byte
+	ok := true
+	for _, m := range members {
+		if m == src {
+			continue
+		}
+		if val == nil {
+			v, err := rt.fetchResult(src, key)
+			if err != nil {
+				rt.logWarn("replica fetch failed", "backend", src, "err", err)
+				rt.unmarkSeen(key)
+				return
+			}
+			val = v
+		}
+		if err := rt.putResult(m, key, val); err != nil {
+			rt.logWarn("replica write failed", "backend", m, "err", err)
+			ok = false
+			continue
+		}
+		rt.replicaWrites.Inc()
+	}
+	if !ok {
+		rt.unmarkSeen(key)
+	}
+}
+
+// repairNode re-warms a backend that just rejoined the ring: it diffs
+// the rejoined node's key inventory against a healthy donor's and
+// copies over every missing result whose replica set includes the
+// rejoined node. Without this, a node that was down during a burst of
+// writes would hold cold gaps until each binary happened to be
+// requested again.
+func (rt *router) repairNode(target string) {
+	defer rt.repairWG.Done()
+	rt.mu.Lock()
+	var donor string
+	for _, b := range rt.cfg.backends {
+		if b != target && rt.healthy[b] {
+			donor = b
+			break
+		}
+	}
+	rt.mu.Unlock()
+	if donor == "" {
+		return
+	}
+	donorKeys, err := rt.fetchKeys(donor)
+	if err != nil {
+		rt.logWarn("repair inventory failed", "backend", donor, "err", err)
+		return
+	}
+	targetKeys, err := rt.fetchKeys(target)
+	if err != nil {
+		rt.logWarn("repair inventory failed", "backend", target, "err", err)
+		return
+	}
+	have := make(map[string]bool, len(targetKeys))
+	for _, k := range targetKeys {
+		have[k] = true
+	}
+	var copied int
+	for _, k := range donorKeys {
+		if have[k] {
+			continue
+		}
+		kb, err := hex.DecodeString(k)
+		if err != nil || len(kb) < 32 {
+			continue
+		}
+		// Placement is by the binary's SHA-256: the key's first 32 bytes.
+		owned := false
+		for _, m := range rt.ring.LookupN(kb[:32], rt.cfg.replicas) {
+			if m == target {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			continue
+		}
+		val, err := rt.fetchResult(donor, k)
+		if err != nil {
+			continue
+		}
+		if err := rt.putResult(target, k, val); err != nil {
+			continue
+		}
+		rt.replicaRepairs.Inc()
+		copied++
+	}
+	if copied > 0 {
+		rt.logInfo("repaired rejoined backend", "backend", target, "donor", donor, "results", copied)
+	}
+}
+
+// markSeen records that key's replication has been handled; false means
+// another request already did (or is doing) it. The set is bounded and
+// cleared on membership transitions, when placements may have moved.
+func (rt *router) markSeen(key string) bool {
+	rt.seenMu.Lock()
+	defer rt.seenMu.Unlock()
+	if rt.seen[key] {
+		return false
+	}
+	if len(rt.seen) >= 1<<16 {
+		rt.seen = make(map[string]bool)
+	}
+	rt.seen[key] = true
+	return true
+}
+
+func (rt *router) unmarkSeen(key string) {
+	rt.seenMu.Lock()
+	delete(rt.seen, key)
+	rt.seenMu.Unlock()
+}
+
+func (rt *router) clearSeen() {
+	rt.seenMu.Lock()
+	rt.seen = make(map[string]bool)
+	rt.seenMu.Unlock()
+}
+
+// fetchResult reads the raw stored-result value for key from backend.
+func (rt *router) fetchResult(backend, key string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replicaTransferTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/v1/result?key="+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.cfg.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /v1/result: status %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// putResult installs a stored-result value on backend under key.
+func (rt *router) putResult(backend, key string, val []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), replicaTransferTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, backend+"/v1/result?key="+key, bytes.NewReader(val))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("PUT /v1/result: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// fetchKeys lists backend's persisted result keys. A 404 (no store
+// configured) is an empty inventory, not an error.
+func (rt *router) fetchKeys(backend string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), replicaTransferTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, backend+"/v1/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.cfg.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /v1/keys: status %d", resp.StatusCode)
+	}
+	var kr struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&kr); err != nil {
+		return nil, err
+	}
+	return kr.Keys, nil
+}
+
+func (rt *router) logWarn(msg string, args ...any) {
+	if rt.cfg.logger != nil {
+		rt.cfg.logger.Warn(msg, args...)
+	}
+}
+
+func (rt *router) logInfo(msg string, args ...any) {
+	if rt.cfg.logger != nil {
+		rt.cfg.logger.Info(msg, args...)
+	}
+}

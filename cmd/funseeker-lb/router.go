@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
@@ -28,8 +29,13 @@ type routerConfig struct {
 	// maxBodyBytes caps a single-shot analyze body — the router must
 	// buffer it to hash it.
 	maxBodyBytes int64
-	// failover is how many ring-order successors to try after the
-	// owner fails with a connection-level error (not an HTTP status).
+	// replicas is the replica-set width: every analyze result is
+	// copied to the first `replicas` distinct nodes in ring order for
+	// its binary, so losing any one node leaves a warm sibling.
+	// 1 disables replication; 0 selects the default of 2.
+	replicas int
+	// failover is how many extra ring-order successors (beyond the
+	// replica set) to try after a connection-level failure.
 	failover int
 	// healthEvery is the health-probe cadence; zero disables the
 	// background loop (tests drive checkHealth directly).
@@ -65,10 +71,21 @@ type router struct {
 	// rr is the round-robin cursor for batch routing.
 	rr atomic.Uint64
 
-	routedTo  *obs.CounterVec // requests forwarded, by backend
-	failovers *obs.Counter    // owner skipped after a connection error
-	unrouted  *obs.Counter    // requests refused: no healthy backend
-	healthUp  *obs.GaugeVec   // 1 healthy / 0 down, by backend
+	// seen is the bounded set of store keys whose replication already
+	// ran; cleared on membership transitions, when placements move.
+	seenMu sync.Mutex
+	seen   map[string]bool
+	// repairWG tracks in-flight replication and repair goroutines, so
+	// tests (and shutdown) can wait for them deterministically.
+	repairWG sync.WaitGroup
+
+	routedTo         *obs.CounterVec // requests forwarded, by backend
+	failovers        *obs.Counter    // candidates skipped after a connection error
+	unrouted         *obs.Counter    // requests refused: no healthy backend
+	healthUp         *obs.GaugeVec   // 1 healthy / 0 down, by backend
+	replicaWrites    *obs.Counter    // results copied to a replica after an analyze
+	replicaFallbacks *obs.Counter    // analyzes served by a non-first candidate
+	replicaRepairs   *obs.Counter    // results copied back to a rejoining node
 }
 
 func newRouter(cfg routerConfig) (*router, error) {
@@ -77,6 +94,12 @@ func newRouter(cfg routerConfig) (*router, error) {
 	}
 	if cfg.maxBodyBytes <= 0 {
 		cfg.maxBodyBytes = 64 << 20
+	}
+	if cfg.replicas == 0 {
+		cfg.replicas = 2
+	}
+	if cfg.replicas < 1 {
+		return nil, fmt.Errorf("replicas must be >= 1, got %d", cfg.replicas)
 	}
 	if cfg.failover <= 0 {
 		cfg.failover = 2
@@ -100,6 +123,7 @@ func newRouter(cfg routerConfig) (*router, error) {
 		cfg:     cfg,
 		ring:    ring.New(cfg.vnodes),
 		healthy: make(map[string]bool),
+		seen:    make(map[string]bool),
 	}
 	rt.routedTo = cfg.registry.NewCounterVec("funseekerlb_routed_total",
 		"Requests forwarded, by backend.", "backend")
@@ -109,6 +133,12 @@ func newRouter(cfg routerConfig) (*router, error) {
 		"Requests refused because no healthy backend remained.")
 	rt.healthUp = cfg.registry.NewGaugeVec("funseekerlb_backend_up",
 		"Backend health probe state (1 up, 0 down).", "backend")
+	rt.replicaWrites = cfg.registry.NewCounter("funseekerlb_replica_writes_total",
+		"Stored results copied to a replica after an analyze.")
+	rt.replicaFallbacks = cfg.registry.NewCounter("funseekerlb_replica_fallbacks_total",
+		"Analyzes served by a replica other than the ring owner.")
+	rt.replicaRepairs = cfg.registry.NewCounter("funseekerlb_replica_repairs_total",
+		"Stored results copied back to a rejoining node by the repair pass.")
 	// Start optimistic: every configured backend is in the ring until a
 	// probe says otherwise, so the router serves before the first sweep.
 	for _, b := range cfg.backends {
@@ -186,9 +216,18 @@ func (rt *router) setHealth(backend string, up bool) {
 	if was == up {
 		return
 	}
+	// Membership changed: replica placements may have moved, so the
+	// replication dedup set is stale either way.
+	rt.clearSeen()
 	if up {
 		rt.ring.Add(backend)
 		rt.healthUp.With(backend).Set(1)
+		// The rejoined node missed every write while it was out; copy
+		// back what it should hold before cold requests find the gaps.
+		if rt.cfg.replicas > 1 {
+			rt.repairWG.Add(1)
+			go rt.repairNode(backend)
+		}
 	} else {
 		rt.ring.Remove(backend)
 		rt.healthUp.With(backend).Set(0)
@@ -215,16 +254,16 @@ func (rt *router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sum := sha256.Sum256(raw)
-	candidates := rt.ring.LookupN(sum[:], rt.cfg.failover+1)
+	// Candidates in ring order: the replica set first (any of them can
+	// serve the result warm), then failover spares for when a whole
+	// replica set is unreachable at once.
+	candidates := rt.ring.LookupN(sum[:], rt.cfg.replicas+rt.cfg.failover)
 	if len(candidates) == 0 {
 		rt.unrouted.Inc()
 		http.Error(w, `{"error":"no healthy backend"}`, http.StatusServiceUnavailable)
 		return
 	}
 	for i, backend := range candidates {
-		if i > 0 {
-			rt.failovers.Inc()
-		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 			backend+"/v1/analyze?"+r.URL.RawQuery, bytes.NewReader(raw))
 		if err != nil {
@@ -235,15 +274,39 @@ func (rt *router) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		resp, err := rt.cfg.client.Do(req)
 		if err != nil {
 			// Connection-level: this replica is gone; say so and try the
-			// next owner in ring order.
+			// next candidate in ring order.
 			rt.setHealth(backend, false)
+			rt.failovers.Inc()
 			if rt.cfg.logger != nil {
 				rt.cfg.logger.Warn("forward failed", "backend", backend, "err", err)
 			}
 			continue
 		}
+		if resp.StatusCode >= 500 && i+1 < len(candidates) {
+			// The replica answered but failed internally; its sibling may
+			// hold the replicated result. Not a connection failure, so it
+			// keeps its ring slot. 4xx (including 429) is the backend's
+			// answer and is relayed as-is below.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if rt.cfg.logger != nil {
+				rt.cfg.logger.Warn("backend 5xx, trying sibling", "backend", backend, "status", resp.StatusCode)
+			}
+			continue
+		}
 		rt.routedTo.With(backend).Inc()
+		if i > 0 {
+			rt.replicaFallbacks.Inc()
+		}
+		key := resp.Header.Get(storeKeyHeader)
+		status := resp.StatusCode
 		relay(w, resp)
+		if status == http.StatusOK && key != "" && rt.cfg.replicas > 1 {
+			// Copy the stored result to the rest of its replica set off
+			// the request path; the client never waits on replication.
+			rt.repairWG.Add(1)
+			go rt.replicate(sum[:], backend, key)
+		}
 		return
 	}
 	rt.unrouted.Inc()
@@ -345,20 +408,54 @@ func (rt *router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, `{"status":"ok","ring_nodes":%d}`+"\n", rt.ring.Len())
 }
 
-// handleNodes reports ring membership and probe state — the operator's
-// view of where the key space lives right now.
+// handleNodes reports ring membership, probe state, and each healthy
+// node's own v2 stats document — the operator's one-stop view of where
+// the key space lives and how warm each replica is.
 func (rt *router) handleNodes(w http.ResponseWriter, r *http.Request) {
-	rt.mu.Lock()
 	type node struct {
 		Backend string `json:"backend"`
 		Healthy bool   `json:"healthy"`
+		// Stats is the node's relayed /v1/stats ("v": 2) document;
+		// omitted when the node is down or the fetch fails.
+		Stats json.RawMessage `json:"stats,omitempty"`
 	}
-	var nodes []node
+	rt.mu.Lock()
+	nodes := make([]node, 0, len(rt.cfg.backends))
 	for _, b := range rt.cfg.backends {
 		nodes = append(nodes, node{Backend: b, Healthy: rt.healthy[b]})
 	}
 	rt.mu.Unlock()
+	var wg sync.WaitGroup
+	for i := range nodes {
+		if !nodes[i].Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.healthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Backend+"/v1/stats", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.cfg.client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				return
+			}
+			if raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20)); err == nil && json.Valid(raw) {
+				n.Stats = raw
+			}
+		}(&nodes[i])
+	}
+	wg.Wait()
 	writeJSONLB(w, map[string]any{
+		"replicas":   rt.cfg.replicas,
 		"nodes":      nodes,
 		"ring_nodes": rt.ring.Nodes(),
 	})
@@ -405,7 +502,7 @@ func relayStream(w http.ResponseWriter, resp *http.Response) {
 }
 
 func copyResponseHeaders(w http.ResponseWriter, resp *http.Response) {
-	for _, h := range []string{"Content-Type", "Retry-After", obs.RequestIDHeader} {
+	for _, h := range []string{"Content-Type", "Retry-After", storeKeyHeader, obs.RequestIDHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

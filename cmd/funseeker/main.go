@@ -215,7 +215,10 @@ func runCorpus(args []string, opts funseeker.Options, configN, jobs int, jsonOut
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng := engine.New(engine.Config{Jobs: jobs})
+	eng, err := engine.New(engine.Config{Jobs: jobs})
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(os.Stdout)
 	var failures int
 	err = eng.Files(ctx, paths, opts, func(fr engine.FileResult) error {

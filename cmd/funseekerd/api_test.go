@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/engine"
+	"github.com/funseeker/funseeker/internal/store"
+)
+
+// TestAnalyzeOptionsStrict drives the shared query parser through both
+// endpoints that use it: a typo'd or malformed option must be a
+// structured 400 on /v1/analyze AND /v1/batch, never a silent analysis
+// under different options than the client asked for.
+func TestAnalyzeOptionsStrict(t *testing.T) {
+	ts, _ := newTestServerEngine(t, engine.Config{Jobs: 2}, serverConfig{})
+	raw := testELFs(t, 1)[0]
+	archive := tarArchive(t, []tarMember{{"a", raw}})
+
+	cases := []struct {
+		name       string
+		query      string
+		wantStatus int
+	}{
+		{"defaults", "", http.StatusOK},
+		{"all valid", "?config=2&superset=1&require_cet=0&arch=x86-64", http.StatusOK},
+		{"bool spellings", "?superset=yes&require_cet=false", http.StatusOK},
+		{"unknown key", "?supserset=1", http.StatusBadRequest},
+		{"config out of range", "?config=9", http.StatusBadRequest},
+		{"config not a number", "?config=four", http.StatusBadRequest},
+		{"bad bool", "?superset=maybe", http.StatusBadRequest},
+		{"bad arch", "?arch=mips", http.StatusBadRequest},
+	}
+	endpoints := []struct {
+		name, path, contentType string
+		body                    []byte
+	}{
+		{"analyze", "/v1/analyze", "application/octet-stream", raw},
+		{"batch", "/v1/batch", "application/x-tar", archive},
+	}
+	for _, ep := range endpoints {
+		for _, tc := range cases {
+			t.Run(ep.name+"/"+tc.name, func(t *testing.T) {
+				resp, err := http.Post(ts.URL+ep.path+tc.query, ep.contentType, bytes.NewReader(ep.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != tc.wantStatus {
+					t.Fatalf("%s%s = %d, want %d (body %s)", ep.path, tc.query, resp.StatusCode, tc.wantStatus, body)
+				}
+				if tc.wantStatus == http.StatusBadRequest {
+					var er errorResponse
+					if err := json.Unmarshal(body, &er); err != nil || er.Kind != "bad_request" {
+						t.Fatalf("envelope = %s (err %v), want kind bad_request", body, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestResultTransferRoundTrip is the replica-transfer path end to end,
+// exactly as funseeker-lb drives it: node A computes a result and
+// exposes it under its store key; the raw value is copied to node B
+// with PUT /v1/result; B then serves the same binary warm — from its
+// caches, with zero fresh analyses — and lists the key in /v1/keys.
+func TestResultTransferRoundTrip(t *testing.T) {
+	raw := testELFs(t, 1)[0]
+	tsA, _ := newTestServerEngine(t, engine.Config{Jobs: 2, StoreDir: t.TempDir()}, serverConfig{})
+	tsB, engB := newTestServerEngine(t, engine.Config{Jobs: 2, StoreDir: t.TempDir()}, serverConfig{})
+
+	// Node A computes; the response names the stored result.
+	resp, body := postBinary(t, tsA.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze on A = %d, body %s", resp.StatusCode, body)
+	}
+	key := resp.Header.Get(storeKeyHeader)
+	if len(key) != 68 { // 34 key bytes, hex
+		t.Fatalf("%s = %q, want 68 hex chars", storeKeyHeader, key)
+	}
+
+	// Fetch the stored value from A.
+	vresp, err := http.Get(tsA.URL + "/v1/result?key=" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK || len(val) == 0 {
+		t.Fatalf("GET /v1/result on A = %d (%d bytes)", vresp.StatusCode, len(val))
+	}
+
+	// A key nobody stored is a clean 404, not an error.
+	missing := strings.Repeat("ab", 34)
+	mresp, err := http.Get(tsA.URL + "/v1/result?key=" + missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET missing key = %d, want 404", mresp.StatusCode)
+	}
+
+	// Install it on B.
+	preq, err := http.NewRequest(http.MethodPut, tsB.URL+"/v1/result?key="+key, bytes.NewReader(val))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/result on B = %d, body %s", presp.StatusCode, pbody)
+	}
+
+	// Installing under a mislabeled key must be refused — that's the
+	// poisoning guard.
+	wreq, _ := http.NewRequest(http.MethodPut, tsB.URL+"/v1/result?key="+missing, bytes.NewReader(val))
+	wresp, err := http.DefaultClient.Do(wreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT under wrong key = %d, want 400", wresp.StatusCode)
+	}
+
+	// B lists the key.
+	kresp, err := http.Get(tsB.URL + "/v1/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kr keysResponse
+	if err := json.NewDecoder(kresp.Body).Decode(&kr); err != nil {
+		t.Fatal(err)
+	}
+	kresp.Body.Close()
+	if kr.Count != 1 || len(kr.Keys) != 1 || kr.Keys[0] != key {
+		t.Fatalf("/v1/keys on B = %+v, want exactly %q", kr, key)
+	}
+
+	// B serves the binary warm: no fresh analysis ran.
+	resp, body = postBinary(t, tsB.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze on B = %d, body %s", resp.StatusCode, body)
+	}
+	ar := decodeAnalyze(t, body)
+	if ar.Cached == false {
+		t.Fatalf("B recomputed the transferred result (cached = %v)", ar.Cached)
+	}
+	if resp.Header.Get(storeKeyHeader) != key {
+		t.Fatalf("B's store key header = %q, want %q", resp.Header.Get(storeKeyHeader), key)
+	}
+	if st := engB.Stats(); st.Analyzed != 0 || st.StoreInjected != 1 {
+		t.Fatalf("B stats analyzed=%d injected=%d, want 0/1", st.Analyzed, st.StoreInjected)
+	}
+}
+
+// TestAdminCompactEndpoint superseded-key garbage is reclaimable over
+// HTTP: re-injecting a key twice leaves a stale record behind, and
+// POST /v1/admin/compact rewrites it away without losing the live one.
+func TestAdminCompactEndpoint(t *testing.T) {
+	raw := testELFs(t, 1)[0]
+	// Tiny segments so the records land in cold segments Compact can touch.
+	tsA, _ := newTestServerEngine(t, engine.Config{
+		Jobs: 2, StoreDir: t.TempDir(), StoreSegmentBytes: 256, StoreCompactEvery: -1,
+	}, serverConfig{})
+
+	resp, body := postBinary(t, tsA.URL+"/v1/analyze", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze = %d, body %s", resp.StatusCode, body)
+	}
+	key := resp.Header.Get(storeKeyHeader)
+	vresp, err := http.Get(tsA.URL + "/v1/result?key=" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+
+	// Re-install the same key a few times: same live set, growing garbage.
+	for i := 0; i < 4; i++ {
+		preq, _ := http.NewRequest(http.MethodPut, tsA.URL+"/v1/result?key="+key, bytes.NewReader(val))
+		presp, err := http.DefaultClient.Do(preq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT %d = %d", i, presp.StatusCode)
+		}
+	}
+
+	cresp, err := http.Post(tsA.URL+"/v1/admin/compact", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr store.CompactResult
+	if err := json.NewDecoder(cresp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("compact = %d", cresp.StatusCode)
+	}
+	if cr.ReclaimedBytes <= 0 {
+		t.Fatalf("compact reclaimed %d bytes, want > 0 (result %+v)", cr.ReclaimedBytes, cr)
+	}
+
+	// The live result is still served.
+	vresp2, err := http.Get(tsA.URL + "/v1/result?key=" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val2, _ := io.ReadAll(vresp2.Body)
+	vresp2.Body.Close()
+	if vresp2.StatusCode != http.StatusOK || !bytes.Equal(val, val2) {
+		t.Fatalf("post-compact GET = %d, value match %v", vresp2.StatusCode, bytes.Equal(val, val2))
+	}
+}
+
+// TestReplicaEndpointsWithoutStore: a storeless node answers the whole
+// replica surface with 404 kind no_store — the router treats it as
+// having nothing, not as broken.
+func TestReplicaEndpointsWithoutStore(t *testing.T) {
+	ts, _ := newTestServerEngine(t, engine.Config{Jobs: 1}, serverConfig{})
+	key := strings.Repeat("ab", 34)
+
+	check := func(method, path string, body io.Reader) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rbody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s %s = %d, want 404", method, path, resp.StatusCode)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(rbody, &er); err != nil || er.Kind != "no_store" {
+			t.Fatalf("%s %s envelope = %s, want kind no_store", method, path, rbody)
+		}
+	}
+	check(http.MethodGet, "/v1/result?key="+key, nil)
+	check(http.MethodPut, "/v1/result?key="+key, strings.NewReader("{}"))
+	check(http.MethodGet, "/v1/keys", nil)
+	check(http.MethodPost, "/v1/admin/compact", nil)
+}

@@ -86,9 +86,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			errors.New("queue-wait p99 over the shed bound; retry later"), "overloaded")
 		return
 	}
-	opts, configN, err := optionsFromQuery(r)
+	opts, configN, err := parseAnalyzeOptions(r.URL.Query())
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeErrorKind(w, r, http.StatusBadRequest, err, "bad_request")
 		return
 	}
 	next, drain, err := s.batchIterator(w, r)

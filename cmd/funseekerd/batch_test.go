@@ -66,7 +66,11 @@ func newTestServerEngine(t *testing.T, engCfg engine.Config, cfg serverConfig) (
 		cfg.registry = obs.NewRegistry()
 	}
 	engCfg.Registry = cfg.registry
-	eng := engine.New(engCfg)
+	eng, err := engine.New(engCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
 	ts := httptest.NewServer(newServer(eng, cfg).handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
@@ -357,8 +361,9 @@ func TestBatchClientDisconnectNoLeak(t *testing.T) {
 // request — single-shot or batch — is refused with 429 + Retry-After.
 func TestShedRetryAfter(t *testing.T) {
 	reg := obs.NewRegistry()
-	ts, _ := newTestServerEngine(t, engine.Config{Jobs: 1},
-		serverConfig{shedBound: time.Nanosecond, shedWindow: 0, registry: reg})
+	ts, _ := newTestServerEngine(t,
+		engine.Config{Jobs: 1, ShedQueueP99: time.Nanosecond, ShedWindow: -1},
+		serverConfig{registry: reg})
 	raw := testELFs(t, 1)[0]
 
 	// Histogram empty: the first request is admitted and seeds it.
@@ -455,22 +460,18 @@ func TestBatchStoreTierVisible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats struct {
-		CacheHits uint64 `json:"cache_hits"`
-		StoreHits uint64 `json:"store_hits"`
-		StorePuts uint64 `json:"store_puts"`
-		Store     *struct {
-			Records int `json:"records"`
-		} `json:"store"`
-	}
+	var stats engine.StatsDoc
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if stats.StoreHits != 3 || stats.CacheHits != 0 {
-		t.Fatalf("/v1/stats store_hits=%d cache_hits=%d, want 3/0", stats.StoreHits, stats.CacheHits)
+	if stats.Store == nil {
+		t.Fatal("/v1/stats has no store block")
 	}
-	if stats.Store == nil || stats.Store.Records != 3 {
+	if stats.Store.Hits != 3 || stats.Cache.Hits != 0 {
+		t.Fatalf("/v1/stats store hits=%d cache hits=%d, want 3/0", stats.Store.Hits, stats.Cache.Hits)
+	}
+	if stats.Store.Records != 3 {
 		t.Fatalf("/v1/stats store block = %+v, want 3 records", stats.Store)
 	}
 

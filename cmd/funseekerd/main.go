@@ -25,9 +25,16 @@
 //	                   record per member in archive order, errors
 //	                   isolated per member, then a summary line.
 //	GET  /v1/healthz   liveness probe.
-//	GET  /v1/stats     cache hit/miss, in-flight, per-stage analysis cost
-//	                   aggregates. Also published through expvar under
-//	                   "funseeker" at /debug/vars.
+//	GET  /v1/stats     versioned stats document ("v": 2): engine, cache,
+//	                   store (with compaction), shed, and server blocks.
+//	                   ?v=1 keeps the old flat shape for one release.
+//	                   Also published through expvar under "funseeker"
+//	                   at /debug/vars.
+//	GET  /v1/result    raw stored-result value by hex store key; with
+//	PUT  /v1/result    and GET /v1/keys this is the replica-transfer
+//	                   surface funseeker-lb uses to copy results between
+//	                   nodes instead of recomputing them.
+//	POST /v1/admin/compact  run one store compaction immediately.
 //	GET  /metrics      Prometheus text-format exposition: request
 //	                   counters by status kind, analyze/stage latency
 //	                   histograms, cache hit/miss/coalesced counters.
@@ -68,7 +75,6 @@ import (
 
 	"github.com/funseeker/funseeker/internal/engine"
 	"github.com/funseeker/funseeker/internal/obs"
-	"github.com/funseeker/funseeker/internal/store"
 )
 
 func main() {
@@ -80,21 +86,24 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8745", "listen address")
-		jobs       = flag.Int("jobs", 0, "max concurrent analyses (0 = GOMAXPROCS)")
-		cacheBytes = flag.Int64("cache-bytes", engine.DefaultCacheBytes, "result-cache budget in bytes (negative disables)")
-		maxBody    = flag.Int64("max-body", 64<<20, "max request body bytes")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-request analysis timeout (0 disables)")
-		grace      = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window")
-		requireCET = flag.Bool("require-cet", false, "reject binaries without any end-branch instruction")
-		storeDir   = flag.String("store-dir", "", "persistent result-store directory (empty disables persistence)")
-		storeSeg   = flag.Int64("store-segment-bytes", store.DefaultSegmentBytes, "persistent-store segment rotation size")
-		maxBatch   = flag.Int64("max-batch", 0, "max /v1/batch upload bytes (0 = 16x max-body)")
-		shedP99    = flag.Duration("shed-queue-p99", 0, "shed with 429 when queue-wait p99 exceeds this (0 disables)")
-		shedWin    = flag.Duration("shed-window", 10*time.Second, "sampling window for the shed signal (0 = cumulative)")
-		logFormat  = flag.String("log", "text", "log format: text or json")
-		slow       = flag.Duration("slow", time.Second, "WARN-log requests slower than this (0 disables)")
-		debugAddr  = flag.String("debug-addr", "", "optional debug listen address for pprof/expvar/metrics (e.g. 127.0.0.1:8746)")
+		addr         = flag.String("addr", ":8745", "listen address")
+		jobs         = flag.Int("jobs", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+		cacheBytes   = flag.Int64("cache-bytes", engine.DefaultCacheBytes, "result-cache budget in bytes (negative disables)")
+		maxBody      = flag.Int64("max-body", 64<<20, "max request body bytes")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request analysis timeout (0 disables)")
+		grace        = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown window")
+		requireCET   = flag.Bool("require-cet", false, "reject binaries without any end-branch instruction")
+		storeDir     = flag.String("store-dir", "", "persistent result-store directory (empty disables persistence)")
+		storeSeg     = flag.Int64("store-segment-bytes", 0, "persistent-store segment rotation size (0 = default)")
+		compactEvery = flag.Duration("store-compact-every", 0, "background store-compaction check interval (0 = default, negative disables)")
+		compactRatio = flag.Float64("store-compact-ratio", 0, "garbage ratio that triggers background compaction (0 = default)")
+		compactMin   = flag.Int64("store-compact-min-bytes", 0, "on-disk floor below which background compaction never runs (0 = default)")
+		maxBatch     = flag.Int64("max-batch", 0, "max /v1/batch upload bytes (0 = 16x max-body)")
+		shedP99      = flag.Duration("shed-queue-p99", 0, "shed with 429 when queue-wait p99 exceeds this (0 disables)")
+		shedWin      = flag.Duration("shed-window", 0, "sampling window for the shed signal (0 = default, negative = cumulative)")
+		logFormat    = flag.String("log", "text", "log format: text or json")
+		slow         = flag.Duration("slow", time.Second, "WARN-log requests slower than this (0 disables)")
+		debugAddr    = flag.String("debug-addr", "", "optional debug listen address for pprof/expvar/metrics (e.g. 127.0.0.1:8746)")
 	)
 	flag.Parse()
 
@@ -111,37 +120,41 @@ func run() error {
 	// request context — handlers and everything below them just log.
 	logger := slog.New(obs.NewLogHandler(handler))
 
-	// The persistent store survives restarts: results computed before a
-	// crash or deploy are served warm (CacheSource "store") after it.
-	var st *store.Store
-	if *storeDir != "" {
-		var err error
-		st, err = store.Open(*storeDir, store.Options{SegmentBytes: *storeSeg})
-		if err != nil {
-			return fmt.Errorf("open result store: %w", err)
-		}
-		defer st.Close()
-		ss := st.Stats()
-		logger.Info("result store open", "dir", *storeDir,
-			"records", ss.Records, "segments", ss.Segments,
-			"recovered", ss.RecoveredRecords, "truncated_bytes", ss.TruncatedBytes)
-	}
-
 	// One registry spans both layers: the engine's stage/cache series
 	// and the server's HTTP series come out of the same /metrics scrape.
+	// Defaults and validation for every engine knob — cache budget,
+	// store sizing, compaction, shedding — live in Config.Normalize, so
+	// the flags above pass zeros straight through. With -store-dir set,
+	// the engine opens (and owns) the persistent store: results computed
+	// before a crash or deploy are served warm (CacheSource "store")
+	// after a restart, and the background compactor keeps superseded
+	// records from accumulating.
 	reg := obs.NewRegistry()
-	eng := engine.New(engine.Config{
-		Jobs:       *jobs,
-		CacheBytes: *cacheBytes,
-		RequireCET: *requireCET,
-		Registry:   reg,
-		Store:      st,
+	eng, err := engine.New(engine.Config{
+		Jobs:                     *jobs,
+		CacheBytes:               *cacheBytes,
+		RequireCET:               *requireCET,
+		StoreDir:                 *storeDir,
+		StoreSegmentBytes:        *storeSeg,
+		StoreCompactEvery:        *compactEvery,
+		StoreCompactGarbageRatio: *compactRatio,
+		StoreCompactMinBytes:     *compactMin,
+		ShedQueueP99:             *shedP99,
+		ShedWindow:               *shedWin,
+		Registry:                 reg,
 	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if st := eng.Stats().Store; st != nil {
+		logger.Info("result store open", "dir", st.Dir,
+			"records", st.Records, "segments", st.Segments,
+			"recovered", st.RecoveredRecords, "truncated_bytes", st.TruncatedBytes)
+	}
 	srv2 := newServer(eng, serverConfig{
 		maxBodyBytes:  *maxBody,
 		maxBatchBytes: *maxBatch,
-		shedBound:     *shedP99,
-		shedWindow:    *shedWin,
 		reqTimeout:    *timeout,
 		slowThreshold: *slow,
 		logger:        logger,

@@ -12,6 +12,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"runtime"
 	"strconv"
 	"time"
@@ -31,12 +32,6 @@ type serverConfig struct {
 	// maxBatchBytes caps a whole /v1/batch upload; zero selects
 	// 16×maxBodyBytes.
 	maxBatchBytes int64
-	// shedBound sheds new analysis work with 429 once the windowed
-	// queue-wait p99 exceeds it; zero disables shedding.
-	shedBound time.Duration
-	// shedWindow is the sampling window of the shed signal;
-	// non-positive uses the cumulative distribution.
-	shedWindow time.Duration
 	// reqTimeout bounds one analyze request end to end; zero disables.
 	reqTimeout time.Duration
 	// slowThreshold promotes requests slower than this to a WARN-level
@@ -95,7 +90,10 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 	if s.cfg.maxBatchBytes <= 0 {
 		s.cfg.maxBatchBytes = 16 * s.cfg.maxBodyBytes
 	}
-	s.shed = newShedder(eng, cfg.shedBound, cfg.shedWindow)
+	// The shed knobs live in engine.Config (normalized with everything
+	// else); the admission check stays here at the edge.
+	bound, window := eng.ShedConfig()
+	s.shed = newShedder(eng, bound, window)
 	return s
 }
 
@@ -116,8 +114,15 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 //	                    summary line. Same query options as
 //	                    /v1/analyze, applied to every member.
 //	GET  /v1/healthz  — liveness
-//	GET  /v1/stats    — engine counters (cache, in-flight, per-stage
-//	                    analysis costs)
+//	GET  /v1/stats    — versioned stats document ("v": 2) with
+//	                    engine/cache/store/shed/server blocks; ?v=1
+//	                    serves the deprecated flat shape for one more
+//	                    release
+//	GET  /v1/result   — raw stored-result value by hex store key
+//	PUT  /v1/result   — install a stored result computed on another
+//	                    replica (validated against the key's hash)
+//	GET  /v1/keys     — every persisted result key, for replica diffs
+//	POST /v1/admin/compact — run one store compaction now
 //	GET  /metrics     — Prometheus text-format exposition (engine +
 //	                    HTTP series)
 func (s *server) handler() http.Handler {
@@ -126,6 +131,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/result", s.handleGetResult)
+	mux.HandleFunc("PUT /v1/result", s.handlePutResult)
+	mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 	mux.Handle("GET /metrics", s.cfg.registry.Handler())
 	return s.middleware(mux)
 }
@@ -196,9 +205,9 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	opts, configN, err := optionsFromQuery(r)
+	opts, configN, err := parseAnalyzeOptions(r.URL.Query())
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		writeErrorKind(w, r, http.StatusBadRequest, err, "bad_request")
 		return
 	}
 
@@ -222,13 +231,39 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.analyzeByArch.With(res.Report.Arch).Inc()
+	// The store key identifies this result across replicas; the router's
+	// replication path copies it to the ring successor by this handle.
+	w.Header().Set(storeKeyHeader, res.StoreKey)
 	writeJSON(w, http.StatusOK, buildAnalyzeResponse(res, configN))
 }
 
-// optionsFromQuery maps ?config / ?superset / ?require_cet / ?arch to
-// Options.
-func optionsFromQuery(r *http.Request) (core.Options, int, error) {
-	q := r.URL.Query()
+// storeKeyHeader carries the hex persistent-store key of an analyze
+// result, so a proxy can address the stored result without recomputing
+// the content hash + option bits itself.
+const storeKeyHeader = "X-Funseeker-Store-Key"
+
+// analyzeQueryKeys is the complete query surface of /v1/analyze and
+// /v1/batch. Anything else is a structured 400 — a typo like
+// ?supserset=1 must fail loudly, not silently analyze with different
+// options than the client believes.
+var analyzeQueryKeys = map[string]bool{
+	"config":      true,
+	"superset":    true,
+	"require_cet": true,
+	"arch":        true,
+}
+
+// parseAnalyzeOptions maps the analyze query surface (?config=1..4,
+// ?superset, ?require_cet, ?arch=) to engine options. One parser for
+// both /v1/analyze and /v1/batch, so the two endpoints can never
+// drift; unknown keys and malformed values are errors the handlers
+// turn into 400 kind "bad_request".
+func parseAnalyzeOptions(q url.Values) (core.Options, int, error) {
+	for key := range q {
+		if !analyzeQueryKeys[key] {
+			return core.Options{}, 0, fmt.Errorf("unknown query parameter %q (want config, superset, require_cet, arch)", key)
+		}
+	}
 	configN := 4
 	if v := q.Get("config"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -248,12 +283,16 @@ func optionsFromQuery(r *http.Request) (core.Options, int, error) {
 	case 4:
 		opts = core.Config4
 	}
-	if isQueryTrue(q.Get("superset")) {
-		opts.SupersetEndbrScan = true
+	superset, err := parseQueryBool(q, "superset")
+	if err != nil {
+		return core.Options{}, 0, err
 	}
-	if isQueryTrue(q.Get("require_cet")) {
-		opts.RequireCET = true
+	opts.SupersetEndbrScan = opts.SupersetEndbrScan || superset
+	requireCET, err := parseQueryBool(q, "require_cet")
+	if err != nil {
+		return core.Options{}, 0, err
 	}
+	opts.RequireCET = opts.RequireCET || requireCET
 	if v := q.Get("arch"); v != "" {
 		arch, ok := elfx.ParseArch(v)
 		if !ok {
@@ -264,8 +303,18 @@ func optionsFromQuery(r *http.Request) (core.Options, int, error) {
 	return opts, configN, nil
 }
 
-func isQueryTrue(v string) bool {
-	return v == "1" || v == "true" || v == "yes"
+// parseQueryBool reads an optional boolean query flag strictly: the
+// usual spellings of true and false are accepted, anything else is an
+// error rather than a silent false.
+func parseQueryBool(q url.Values, key string) (bool, error) {
+	switch v := q.Get(key); v {
+	case "", "0", "false", "no":
+		return false, nil
+	case "1", "true", "yes":
+		return true, nil
+	default:
+		return false, fmt.Errorf("%s must be a boolean (1/true/yes or 0/false/no), got %q", key, v)
+	}
 }
 
 // readBinary extracts the ELF image from the request: the "binary" file
@@ -366,16 +415,16 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// statsResponse is /v1/stats: the engine snapshot plus process-level
-// context.
+// statsResponse is the legacy (v1) flat /v1/stats shape, kept behind
+// ?v=1 for one release; see docs/API.md for the deprecation note.
 type statsResponse struct {
 	engine.Stats
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Goroutines    int     `json:"goroutines"`
 }
 
-// statsSnapshot builds the full stats payload; the expvar publication in
-// main reuses it so /v1/stats and /debug/vars never disagree.
+// statsSnapshot builds the legacy flat payload; the expvar publication
+// in main reuses it so ?v=1 and /debug/vars never disagree.
 func (s *server) statsSnapshot() statsResponse {
 	return statsResponse{
 		Stats:         s.eng.Stats(),
@@ -384,8 +433,137 @@ func (s *server) statsSnapshot() statsResponse {
 	}
 }
 
+// statsDoc builds the versioned v2 stats document: the engine's
+// engine/cache/store blocks plus the server-owned shed and process
+// blocks. funseeker-lb relays this same document per node.
+func (s *server) statsDoc() engine.StatsDoc {
+	doc := s.eng.StatsDoc()
+	bound, window := s.eng.ShedConfig()
+	doc.Shed = &engine.ShedStatsBlock{
+		Enabled:    bound > 0,
+		BoundMS:    float64(bound) / float64(time.Millisecond),
+		WindowMS:   float64(window) / float64(time.Millisecond),
+		QueueP99MS: s.shed.currentP99() * 1000,
+		ShedTotal:  s.shedTotal.Value(),
+	}
+	doc.Server = &engine.ServerStatsBlock{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+	}
+	return doc
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.statsSnapshot())
+	switch v := r.URL.Query().Get("v"); v {
+	case "", "2":
+		writeJSON(w, http.StatusOK, s.statsDoc())
+	case "1":
+		// Deprecated compatibility shim, scheduled for removal one
+		// release after the v2 envelope shipped.
+		writeJSON(w, http.StatusOK, s.statsSnapshot())
+	default:
+		writeErrorKind(w, r, http.StatusBadRequest,
+			fmt.Errorf("unsupported stats version %q (want 1 or 2)", v), "bad_request")
+	}
+}
+
+// handleGetResult serves the raw stored-result value under a hex store
+// key — the replica-transfer read side. 404 not_found when the key is
+// absent (or no store is configured: a storeless replica has nothing
+// to offer and the router treats both the same).
+func (s *server) handleGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErrorKind(w, r, http.StatusBadRequest, errors.New("missing key parameter"), "bad_request")
+		return
+	}
+	val, ok, err := s.eng.StoredValue(key)
+	if errors.Is(err, engine.ErrNoStore) {
+		writeErrorKind(w, r, http.StatusNotFound, err, "no_store")
+		return
+	}
+	if err != nil {
+		writeErrorKind(w, r, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	if !ok {
+		writeErrorKind(w, r, http.StatusNotFound, errors.New("no stored result under that key"), "not_found")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(val)
+}
+
+// handlePutResult installs a stored result computed on another replica
+// — the replica-transfer write side. The engine validates the codec
+// and that the value's content hash matches the key before anything is
+// persisted or cached.
+func (s *server) handlePutResult(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeErrorKind(w, r, http.StatusBadRequest, errors.New("missing key parameter"), "bad_request")
+		return
+	}
+	val, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
+		writeErrorKind(w, r, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	if err := s.eng.InjectResult(key, val); err != nil {
+		if errors.Is(err, engine.ErrNoStore) {
+			writeErrorKind(w, r, http.StatusNotFound, err, "no_store")
+			return
+		}
+		writeErrorKind(w, r, http.StatusBadRequest, err, "bad_request")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+}
+
+// keysResponse is GET /v1/keys: every persisted result key, the
+// inventory the router's re-replication diff walks.
+type keysResponse struct {
+	Count int      `json:"count"`
+	Keys  []string `json:"keys"`
+}
+
+func (s *server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.eng.StoreKeys()
+	if errors.Is(err, engine.ErrNoStore) {
+		writeErrorKind(w, r, http.StatusNotFound, err, "no_store")
+		return
+	}
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	writeJSON(w, http.StatusOK, keysResponse{Count: len(keys), Keys: keys})
+}
+
+// handleCompact runs one explicit store compaction and reports what it
+// reclaimed. Admin surface: the background compactor does the same on
+// its own schedule; this exists for tests, runbooks, and the CI smoke.
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	res, err := s.eng.CompactStore()
+	if errors.Is(err, engine.ErrNoStore) {
+		writeErrorKind(w, r, http.StatusNotFound, err, "no_store")
+		return
+	}
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // middleware is the observability edge shared by every route: it mints

@@ -54,7 +54,10 @@ func newTestServer(t *testing.T, cfg serverConfig) (*httptest.Server, *engine.En
 	if cfg.registry == nil {
 		cfg.registry = obs.NewRegistry()
 	}
-	eng := engine.New(engine.Config{Jobs: 2, Registry: cfg.registry})
+	eng, err := engine.New(engine.Config{Jobs: 2, Registry: cfg.registry})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(newServer(eng, cfg).handler())
 	t.Cleanup(ts.Close)
 	return ts, eng
@@ -125,19 +128,51 @@ func TestAnalyzeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var st statsResponse
+	var st engine.StatsDoc
 	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
 	statsResp.Body.Close()
-	if st.CacheHits < 1 || st.CacheMisses != 1 || st.Analyzed != 1 {
-		t.Fatalf("stats = hits %d misses %d analyzed %d, want ≥1/1/1", st.CacheHits, st.CacheMisses, st.Analyzed)
+	if st.V != 2 {
+		t.Fatalf("stats version = %d, want 2", st.V)
 	}
-	if st.Analysis.Sweep.Computes != 1 {
-		t.Fatalf("aggregate sweep computes = %d, want 1", st.Analysis.Sweep.Computes)
+	if st.Cache.Hits < 1 || st.Cache.Misses != 1 || st.Engine.Analyzed != 1 {
+		t.Fatalf("stats = hits %d misses %d analyzed %d, want ≥1/1/1",
+			st.Cache.Hits, st.Cache.Misses, st.Engine.Analyzed)
 	}
-	if st.UptimeSeconds <= 0 {
-		t.Fatalf("uptime = %v", st.UptimeSeconds)
+	if st.Engine.Analysis.Sweep.Computes != 1 {
+		t.Fatalf("aggregate sweep computes = %d, want 1", st.Engine.Analysis.Sweep.Computes)
+	}
+	if st.Server == nil || st.Server.UptimeSeconds <= 0 {
+		t.Fatalf("server block = %+v", st.Server)
+	}
+	if st.Shed == nil || st.Shed.Enabled {
+		t.Fatalf("shed block = %+v, want present and disabled", st.Shed)
+	}
+
+	// The v1 shim still serves the legacy flat shape.
+	legacyResp, err := http.Get(ts.URL + "/v1/stats?v=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy statsResponse
+	if err := json.NewDecoder(legacyResp.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	legacyResp.Body.Close()
+	if legacy.CacheHits < 1 || legacy.UptimeSeconds <= 0 {
+		t.Fatalf("v1 shim = hits %d uptime %v", legacy.CacheHits, legacy.UptimeSeconds)
+	}
+
+	// Unknown versions are refused, not silently defaulted.
+	badResp, err := http.Get(ts.URL + "/v1/stats?v=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, badResp.Body)
+	badResp.Body.Close()
+	if badResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?v=3 status = %d, want 400", badResp.StatusCode)
 	}
 }
 
@@ -556,7 +591,10 @@ func (plainWriter) WriteHeader(int)             {}
 // pprof index and /metrics respond through the tracing middleware.
 func TestDebugHandlerPprof(t *testing.T) {
 	reg := obs.NewRegistry()
-	eng := engine.New(engine.Config{Jobs: 1, Registry: reg})
+	eng, err := engine.New(engine.Config{Jobs: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := newServer(eng, serverConfig{maxBodyBytes: 1 << 20, registry: reg})
 	ts := httptest.NewServer(s.debugHandler())
 	defer ts.Close()

@@ -64,6 +64,21 @@ func (sh *shedder) overloaded() (retryAfter time.Duration, shed bool) {
 	return retry, true
 }
 
+// currentP99 returns the queue-wait p99 (seconds) the shedder is
+// judging admission by right now — the number the stats document
+// reports so an operator can see how close the node is to shedding.
+func (sh *shedder) currentP99() float64 {
+	if sh == nil {
+		return 0
+	}
+	if sh.window <= 0 {
+		return sh.eng.QueueWaitSnapshot().Quantile(0.99)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.p99
+}
+
 // windowedP99 returns the p99 of the most recent completed window,
 // advancing the window if it has elapsed.
 func (sh *shedder) windowedP99() float64 {

@@ -46,7 +46,18 @@ import (
 // zero.
 const DefaultCacheBytes = 256 << 20
 
-// Config tunes an Engine.
+// DefaultStoreCompactEvery is the background-compactor check interval
+// for engine-owned stores when Config.StoreCompactEvery is zero.
+const DefaultStoreCompactEvery = time.Minute
+
+// DefaultShedWindow is the load-shedding observation window when
+// Config.ShedWindow is zero.
+const DefaultShedWindow = 10 * time.Second
+
+// Config tunes an Engine. Zero values select defaults everywhere — call
+// Normalize (New does it for you) to materialize them; Normalize is
+// the single place defaults and validation live, so servers and tests
+// never duplicate them next to their flag definitions.
 type Config struct {
 	// Jobs bounds the number of concurrently running analyses. Zero or
 	// negative selects runtime.GOMAXPROCS(0).
@@ -58,19 +69,92 @@ type Config struct {
 	// binary carries no end-branch instruction, regardless of the
 	// per-request options.
 	RequireCET bool
-	// Store is the persistent result tier layered *under* the LRU: an
-	// LRU miss consults it before paying for a cold analysis, and every
-	// completed cold analysis is written through to it, so a warm
-	// corpus survives a process restart. Nil disables persistence. The
-	// engine does not own the store's lifecycle — the caller opens and
-	// closes it.
+	// Store is a caller-owned persistent result tier layered *under*
+	// the LRU: an LRU miss consults it before paying for a cold
+	// analysis, and every completed cold analysis is written through to
+	// it, so a warm corpus survives a process restart. The engine does
+	// not open or close a caller-provided store. Mutually exclusive
+	// with StoreDir.
 	Store *store.Store
+	// StoreDir, when non-empty, makes the engine open (and own) a
+	// persistent store rooted there: New opens it with the Store*
+	// knobs below and Close closes it. Mutually exclusive with Store.
+	StoreDir string
+	// StoreSegmentBytes rotates the store's active segment past this
+	// size. Zero selects store.DefaultSegmentBytes. Only used with
+	// StoreDir.
+	StoreSegmentBytes int64
+	// StoreCompactEvery is the background compaction check interval for
+	// an engine-owned store. Zero selects DefaultStoreCompactEvery;
+	// negative disables background compaction (explicit CompactStore
+	// calls still work). Only used with StoreDir.
+	StoreCompactEvery time.Duration
+	// StoreCompactGarbageRatio is the garbage fraction that triggers a
+	// background compaction. Zero selects
+	// store.DefaultCompactGarbageRatio. Only used with StoreDir.
+	StoreCompactGarbageRatio float64
+	// StoreCompactMinBytes is the on-disk floor below which background
+	// compaction never runs. Zero selects store.DefaultCompactMinBytes.
+	// Only used with StoreDir.
+	StoreCompactMinBytes int64
+	// ShedQueueP99 is the queue-wait p99 past which the serving layer
+	// should refuse new work (429). Zero disables shedding. The engine
+	// only carries the knob — the admission check lives in the server —
+	// so every deployment surface reads the same normalized value.
+	ShedQueueP99 time.Duration
+	// ShedWindow is the observation window for the shedding signal.
+	// Zero selects DefaultShedWindow; negative means cumulative (no
+	// windowing — tests use it for determinism).
+	ShedWindow time.Duration
 	// Registry receives the engine's metrics (latency histograms,
 	// cache/coalescing counters, worker-pool gauges). Nil selects a
 	// private registry: the histograms still accumulate — so
 	// StageLatencyTable works for the CLI — they are just not exported
 	// anywhere. At most one engine may register on a given registry.
 	Registry *obs.Registry
+}
+
+// Normalize fills every defaulted field in place and validates the
+// rest. It is idempotent; New calls it, and callers that want to
+// inspect or log the effective configuration can call it themselves.
+func (c *Config) Normalize() error {
+	if c.Jobs <= 0 {
+		c.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.Store != nil && c.StoreDir != "" {
+		return errors.New("engine: Config.Store and Config.StoreDir are mutually exclusive")
+	}
+	if c.StoreSegmentBytes < 0 {
+		return fmt.Errorf("engine: negative StoreSegmentBytes %d", c.StoreSegmentBytes)
+	}
+	if c.StoreSegmentBytes == 0 {
+		c.StoreSegmentBytes = store.DefaultSegmentBytes
+	}
+	if c.StoreCompactEvery == 0 {
+		c.StoreCompactEvery = DefaultStoreCompactEvery
+	}
+	if c.StoreCompactGarbageRatio < 0 || c.StoreCompactGarbageRatio > 1 {
+		return fmt.Errorf("engine: StoreCompactGarbageRatio %v outside [0, 1]", c.StoreCompactGarbageRatio)
+	}
+	if c.StoreCompactGarbageRatio == 0 {
+		c.StoreCompactGarbageRatio = store.DefaultCompactGarbageRatio
+	}
+	if c.StoreCompactMinBytes < 0 {
+		return fmt.Errorf("engine: negative StoreCompactMinBytes %d", c.StoreCompactMinBytes)
+	}
+	if c.StoreCompactMinBytes == 0 {
+		c.StoreCompactMinBytes = store.DefaultCompactMinBytes
+	}
+	if c.ShedQueueP99 < 0 {
+		return fmt.Errorf("engine: negative ShedQueueP99 %v", c.ShedQueueP99)
+	}
+	if c.ShedWindow == 0 {
+		c.ShedWindow = DefaultShedWindow
+	}
+	return nil
 }
 
 // Engine runs identification requests over a bounded worker pool with a
@@ -82,17 +166,21 @@ type Engine struct {
 	requireCET bool
 	cache      *lru
 	store      *store.Store
+	ownsStore  bool
+	shedBound  time.Duration
+	shedWindow time.Duration
 
 	flightMu sync.Mutex
 	flight   map[cacheKey]*call
 
-	inFlight    atomic.Int64
-	requests    atomic.Uint64
-	analyzed    atomic.Uint64
-	hits        atomic.Uint64
-	storeHits   atomic.Uint64
-	storePuts   atomic.Uint64
-	storeErrors atomic.Uint64
+	inFlight      atomic.Int64
+	requests      atomic.Uint64
+	analyzed      atomic.Uint64
+	hits          atomic.Uint64
+	storeHits     atomic.Uint64
+	storePuts     atomic.Uint64
+	storeErrors   atomic.Uint64
+	storeInjected atomic.Uint64
 	misses      atomic.Uint64
 	coalesced   atomic.Uint64
 	canceled    atomic.Uint64
@@ -162,6 +250,11 @@ type Result struct {
 	Report *core.Report
 	// SHA256 is the lowercase hex content hash of the analyzed image.
 	SHA256 string
+	// StoreKey is the lowercase hex persistent-store key of this result
+	// (content hash + option bits + arch). It identifies the result
+	// across replicas: the router's replication path copies stored
+	// results between funseekerd instances by this key.
+	StoreKey string
 	// Cached reports whether the result came from the LRU (or from
 	// coalescing onto another request's in-flight analysis) rather than
 	// a fresh analysis.
@@ -180,26 +273,46 @@ type Result struct {
 	BinaryBytes int
 }
 
-// New builds an engine from cfg.
-func New(cfg Config) *Engine {
-	jobs := cfg.Jobs
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
+// New builds an engine from cfg, normalizing it first. When
+// cfg.StoreDir is set the engine opens — and owns, see Close — the
+// persistent store there, with background compaction wired from the
+// StoreCompact* knobs.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
 	}
-	cacheBytes := cfg.CacheBytes
-	if cacheBytes == 0 {
-		cacheBytes = DefaultCacheBytes
+	st := cfg.Store
+	ownsStore := false
+	if st == nil && cfg.StoreDir != "" {
+		every := cfg.StoreCompactEvery
+		if every < 0 {
+			every = 0 // background compaction disabled
+		}
+		var err error
+		st, err = store.Open(cfg.StoreDir, store.Options{
+			SegmentBytes:        cfg.StoreSegmentBytes,
+			CompactEvery:        every,
+			CompactGarbageRatio: cfg.StoreCompactGarbageRatio,
+			CompactMinBytes:     cfg.StoreCompactMinBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: opening store %s: %w", cfg.StoreDir, err)
+		}
+		ownsStore = true
 	}
 	var cache *lru
-	if cacheBytes > 0 {
-		cache = newLRU(cacheBytes)
+	if cfg.CacheBytes > 0 {
+		cache = newLRU(cfg.CacheBytes)
 	}
 	e := &Engine{
-		jobs:       jobs,
-		sem:        make(chan struct{}, jobs),
+		jobs:       cfg.Jobs,
+		sem:        make(chan struct{}, cfg.Jobs),
 		requireCET: cfg.RequireCET,
 		cache:      cache,
-		store:      cfg.Store,
+		store:      st,
+		ownsStore:  ownsStore,
+		shedBound:  cfg.ShedQueueP99,
+		shedWindow: cfg.ShedWindow,
 		flight:     make(map[cacheKey]*call),
 	}
 	reg := cfg.Registry
@@ -207,11 +320,32 @@ func New(cfg Config) *Engine {
 		reg = obs.NewRegistry()
 	}
 	e.met = registerEngineMetrics(reg, e)
-	return e
+	return e, nil
 }
 
 // Jobs returns the configured worker-pool width.
 func (e *Engine) Jobs() int { return e.jobs }
+
+// ShedConfig returns the normalized load-shedding knobs (bound zero
+// means shedding is disabled). The admission check itself lives in the
+// serving layer; carrying the knobs here keeps their defaults in
+// Config.Normalize with everything else.
+func (e *Engine) ShedConfig() (bound, window time.Duration) {
+	return e.shedBound, e.shedWindow
+}
+
+// HasStore reports whether a persistent store tier is configured.
+func (e *Engine) HasStore() bool { return e.store != nil }
+
+// Close releases resources the engine owns: the store opened via
+// Config.StoreDir (and its background compactor). A caller-provided
+// Config.Store is left open — its owner closes it.
+func (e *Engine) Close() error {
+	if e.ownsStore && e.store != nil {
+		return e.store.Close()
+	}
+	return nil
+}
 
 // Analyze identifies function entries in the ELF image raw under ctx.
 // The fast path — a byte-identical image analyzed before with the same
@@ -238,6 +372,7 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 		arch = elfx.DetectArch(raw)
 	}
 	k := cacheKey{sum: sha256.Sum256(raw), opts: optsBits(opts), arch: arch}
+	keyHex := hex.EncodeToString(storeKey(k))
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -248,7 +383,7 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 			if res, ok := e.cache.get(k); ok {
 				e.hits.Add(1)
 				return &Result{
-					Report: res.Report, SHA256: res.SHA256, BinaryBytes: res.BinaryBytes,
+					Report: res.Report, SHA256: res.SHA256, StoreKey: keyHex, BinaryBytes: res.BinaryBytes,
 					Cached: true, CacheSource: "lru", Elapsed: time.Since(start),
 				}, nil
 			}
@@ -264,7 +399,7 @@ func (e *Engine) Analyze(ctx context.Context, raw []byte, opts core.Options) (*R
 					// Elapsed is this caller's real wait, which spans the
 					// underlying analysis — not the ~zero of a map lookup.
 					return &Result{
-						Report: c.res.Report, SHA256: c.res.SHA256, BinaryBytes: c.res.BinaryBytes,
+						Report: c.res.Report, SHA256: c.res.SHA256, StoreKey: keyHex, BinaryBytes: c.res.BinaryBytes,
 						Cached: true, CacheSource: "coalesced", Elapsed: time.Since(start),
 					}, nil
 				}
@@ -334,7 +469,7 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 					e.cache.add(k, stored)
 				}
 				return &Result{
-					Report: stored.Report, SHA256: stored.SHA256, BinaryBytes: stored.BinaryBytes,
+					Report: stored.Report, SHA256: stored.SHA256, StoreKey: hex.EncodeToString(storeKey(k)), BinaryBytes: stored.BinaryBytes,
 					Cached: true, CacheSource: "store", Elapsed: time.Since(start),
 				}, nil
 			}
@@ -385,6 +520,7 @@ func (e *Engine) analyzeCold(ctx context.Context, raw []byte, opts core.Options,
 	res = &Result{
 		Report:      report,
 		SHA256:      hex.EncodeToString(k.sum[:]),
+		StoreKey:    hex.EncodeToString(storeKey(k)),
 		Elapsed:     time.Since(start),
 		BinaryBytes: len(raw),
 	}
@@ -461,11 +597,14 @@ type Stats struct {
 	// StorePuts counts results written through to the persistent store;
 	// StoreErrors counts store reads/writes/decodes that failed (each
 	// degraded to a cold analysis or a lost write-through, never a
-	// request failure). Store carries the store's own snapshot; nil
-	// when no store is configured.
-	StorePuts   uint64       `json:"store_puts"`
-	StoreErrors uint64       `json:"store_errors"`
-	Store       *store.Stats `json:"store,omitempty"`
+	// request failure); StoreInjected counts results installed by
+	// InjectResult (the replication path) rather than computed here.
+	// Store carries the store's own snapshot; nil when no store is
+	// configured.
+	StorePuts     uint64       `json:"store_puts"`
+	StoreErrors   uint64       `json:"store_errors"`
+	StoreInjected uint64       `json:"store_injected"`
+	Store         *store.Stats `json:"store,omitempty"`
 	// Analysis aggregates the per-stage analysis costs (sweep, eh-parse,
 	// landing-pad join, filter, tail-call) over every cold analysis.
 	Analysis analysis.Stats `json:"analysis"`
@@ -487,6 +626,7 @@ func (e *Engine) Stats() Stats {
 		BytesAnalyzed: e.bytesIn.Load(),
 		StorePuts:     e.storePuts.Load(),
 		StoreErrors:   e.storeErrors.Load(),
+		StoreInjected: e.storeInjected.Load(),
 	}
 	if e.cache != nil {
 		s.CacheEntries, s.CacheBytes, s.CacheCapacity, s.Evictions = e.cache.stats()

@@ -50,7 +50,7 @@ func testBTIBinary(tb testing.TB) []byte {
 // and the entry set matches the reference bticore implementation.
 func TestAnalyzeAArch64RoundTrip(t *testing.T) {
 	raw := testBTIBinary(t)
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 
 	res, err := e.Analyze(context.Background(), raw, core.Config4)
 	if err != nil {
@@ -85,7 +85,7 @@ func TestAnalyzeAArch64RoundTrip(t *testing.T) {
 // backend's result.
 func TestCacheKeyArchSeparation(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 
 	optsX86 := core.Config4
 	optsX86.Arch = elfx.ArchX86_64
@@ -143,7 +143,7 @@ func TestFilesMixedArchCorpus(t *testing.T) {
 		t.Fatalf("Expand found %d files, want 3", len(paths))
 	}
 
-	e := New(Config{Jobs: 4})
+	e := newTestEngine(t, Config{Jobs: 4})
 	got := map[string]string{}
 	err = e.Files(context.Background(), paths, core.Config4, func(fr FileResult) error {
 		if fr.Err != nil {

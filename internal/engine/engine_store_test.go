@@ -32,7 +32,7 @@ func TestStoreTierWarmRestart(t *testing.T) {
 	bins := testBinaries(t, 3)
 	st := newTestStore(t)
 
-	e1 := New(Config{Jobs: 2, Store: st})
+	e1 := newTestEngine(t, Config{Jobs: 2, Store: st})
 	var want []*Result
 	for _, raw := range bins {
 		res, err := e1.Analyze(context.Background(), raw, core.Config4)
@@ -46,7 +46,7 @@ func TestStoreTierWarmRestart(t *testing.T) {
 	}
 
 	// "Restart": fresh engine, fresh LRU, same store.
-	e2 := New(Config{Jobs: 2, Store: st})
+	e2 := newTestEngine(t, Config{Jobs: 2, Store: st})
 	for i, raw := range bins {
 		res, err := e2.Analyze(context.Background(), raw, core.Config4)
 		if err != nil {
@@ -90,11 +90,11 @@ func TestStoreTierWarmRestart(t *testing.T) {
 func TestStoreTierKeysRespectOptionsAndArch(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
 	st := newTestStore(t)
-	e1 := New(Config{Jobs: 1, Store: st})
+	e1 := newTestEngine(t, Config{Jobs: 1, Store: st})
 	if _, err := e1.Analyze(context.Background(), raw, core.Config4); err != nil {
 		t.Fatal(err)
 	}
-	e2 := New(Config{Jobs: 1, Store: st})
+	e2 := newTestEngine(t, Config{Jobs: 1, Store: st})
 	res, err := e2.Analyze(context.Background(), raw, core.Config1)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +112,7 @@ func TestStoreTierKeysRespectOptionsAndArch(t *testing.T) {
 func TestStoreTierWithoutLRU(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
 	st := newTestStore(t)
-	e := New(Config{Jobs: 1, CacheBytes: -1, Store: st})
+	e := newTestEngine(t, Config{Jobs: 1, CacheBytes: -1, Store: st})
 	if _, err := e.Analyze(context.Background(), raw, core.Config4); err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestStoreDecodeErrorDegradesToCold(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e := New(Config{Jobs: 1, Store: st})
+	e := newTestEngine(t, Config{Jobs: 1, Store: st})
 	res, err := e.Analyze(context.Background(), raw, core.Config4)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +159,7 @@ func TestStoreDecodeErrorDegradesToCold(t *testing.T) {
 		t.Fatalf("failures/misses = %d/%d, want 0/1", s.Failures, s.CacheMisses)
 	}
 	// The fresh result overwrote the poison: a new engine now store-hits.
-	e2 := New(Config{Jobs: 1, Store: st})
+	e2 := newTestEngine(t, Config{Jobs: 1, Store: st})
 	res2, err := e2.Analyze(context.Background(), raw, core.Config4)
 	if err != nil {
 		t.Fatal(err)
@@ -237,12 +237,12 @@ func TestCounterConsistencyWithStore(t *testing.T) {
 
 	// Budget for roughly one report: every distinct binary evicts the
 	// previous one, so repeats miss the LRU and fall to the store.
-	probe := New(Config{Jobs: 2})
+	probe := newTestEngine(t, Config{Jobs: 2})
 	r, err := probe.Analyze(context.Background(), bins[0], core.Config4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := New(Config{Jobs: 3, CacheBytes: entrySize(r.Report) + entrySize(r.Report)/2, Store: st})
+	e := newTestEngine(t, Config{Jobs: 3, CacheBytes: entrySize(r.Report) + entrySize(r.Report)/2, Store: st})
 
 	junk := [][]byte{[]byte("not an elf"), {}, []byte("\x7fELF torn")}
 	const goroutines = 10
@@ -306,7 +306,7 @@ func TestCounterConsistencyWithStore(t *testing.T) {
 
 	// And the durability story holds end to end: a fresh engine over
 	// the same store serves all four binaries without re-analyzing.
-	e2 := New(Config{Jobs: 2, Store: st})
+	e2 := newTestEngine(t, Config{Jobs: 2, Store: st})
 	for i, raw := range bins {
 		res, err := e2.Analyze(context.Background(), raw, core.Config4)
 		if err != nil {

@@ -52,7 +52,7 @@ func testBinaries(tb testing.TB, n int) [][]byte {
 
 func TestAnalyzeCacheHit(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 
 	first, err := e.Analyze(context.Background(), raw, core.Config4)
 	if err != nil {
@@ -90,7 +90,7 @@ func TestAnalyzeCacheHit(t *testing.T) {
 
 func TestAnalyzeOptionsKeyedSeparately(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 	ctx := context.Background()
 
 	if _, err := e.Analyze(ctx, raw, core.Config1); err != nil {
@@ -109,7 +109,7 @@ func TestAnalyzeOptionsKeyedSeparately(t *testing.T) {
 }
 
 func TestAnalyzeNotELF(t *testing.T) {
-	e := New(Config{})
+	e := newTestEngine(t, Config{})
 	_, err := e.Analyze(context.Background(), []byte("definitely not an ELF image"), core.Config4)
 	if !errors.Is(err, elfx.ErrNotELF) {
 		t.Fatalf("err = %v, want ErrNotELF", err)
@@ -121,7 +121,7 @@ func TestAnalyzeNotELF(t *testing.T) {
 
 func TestAnalyzePreCanceled(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
-	e := New(Config{})
+	e := newTestEngine(t, Config{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := e.Analyze(ctx, raw, core.Config4); !errors.Is(err, context.Canceled) {
@@ -143,12 +143,12 @@ func TestConcurrentCacheHammer(t *testing.T) {
 	bins := testBinaries(t, 4)
 
 	// Budget for roughly two of the four reports: constant churn.
-	probe := New(Config{Jobs: 2})
+	probe := newTestEngine(t, Config{Jobs: 2})
 	r, err := probe.Analyze(context.Background(), bins[0], core.Config4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := New(Config{Jobs: 4, CacheBytes: 2 * entrySize(r.Report)})
+	e := newTestEngine(t, Config{Jobs: 4, CacheBytes: 2 * entrySize(r.Report)})
 
 	const goroutines = 16
 	const iters = 25
@@ -233,7 +233,7 @@ func TestFilesBatch(t *testing.T) {
 		t.Fatalf("Expand found %d files (%v), want 3", len(paths), paths)
 	}
 
-	e := New(Config{Jobs: 4})
+	e := newTestEngine(t, Config{Jobs: 4})
 	var got []string
 	err = e.Files(context.Background(), paths, core.Config4, func(fr FileResult) error {
 		if fr.Err != nil {
@@ -270,7 +270,7 @@ func TestFilesPerFileErrorDoesNotAbort(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 	var oks, fails int
 	err := e.Files(context.Background(), []string{bad, good}, core.Config4, func(fr FileResult) error {
 		if fr.Err != nil {
@@ -300,7 +300,7 @@ func TestFilesCallbackStopsBatch(t *testing.T) {
 		paths = append(paths, p)
 	}
 
-	e := New(Config{Jobs: 1})
+	e := newTestEngine(t, Config{Jobs: 1})
 	stop := errors.New("stop after first")
 	calls := 0
 	err := e.Files(context.Background(), paths, core.Config4, func(fr FileResult) error {
@@ -322,7 +322,7 @@ func TestFilesCallbackStopsBatch(t *testing.T) {
 // reusable so the next request runs a fresh analysis.
 func TestAnalyzePanicUnblocksWaiters(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -405,7 +405,7 @@ func TestAnalyzePanicUnblocksWaiters(t *testing.T) {
 // zero), and an LRU hit reports the (small, nonzero) lookup cost.
 func TestCoalescedAndHitElapsed(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
-	e := New(Config{Jobs: 2})
+	e := newTestEngine(t, Config{Jobs: 2})
 
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -487,7 +487,7 @@ func TestCounterConsistency(t *testing.T) {
 		{},
 		[]byte("\x7fELF but truncated"),
 	}
-	e := New(Config{Jobs: 3})
+	e := newTestEngine(t, Config{Jobs: 3})
 
 	const goroutines = 12
 	const iters = 40
@@ -552,7 +552,7 @@ func TestCounterConsistency(t *testing.T) {
 func TestStageLatencyHistograms(t *testing.T) {
 	raw := testBinaries(t, 1)[0]
 	reg := obs.NewRegistry()
-	e := New(Config{Jobs: 1, Registry: reg})
+	e := newTestEngine(t, Config{Jobs: 1, Registry: reg})
 	if _, err := e.Analyze(context.Background(), raw, core.Config4); err != nil {
 		t.Fatal(err)
 	}
@@ -585,4 +585,15 @@ func TestStageLatencyHistograms(t *testing.T) {
 			t.Fatalf("registry exposition missing %q:\n%s", want, out)
 		}
 	}
+}
+
+// newTestEngine is the test-side New wrapper: valid configs only, so a
+// construction error is a test bug.
+func newTestEngine(t testing.TB, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
 }

@@ -81,7 +81,34 @@ func registerEngineMetrics(reg *obs.Registry, e *Engine) *engineMetrics {
 	reg.NewGaugeFunc("funseeker_engine_store_bytes",
 		"On-disk segment bytes of the persistent result store.",
 		func() float64 { return float64(e.storeStats().SegmentBytes) })
+	reg.NewCounterFunc("funseeker_engine_store_injected_total",
+		"Results installed by replication (InjectResult) rather than computed here.",
+		e.storeInjected.Load)
+	reg.NewCounterFunc("funseeker_store_compactions_total",
+		"Completed store compactions (background and explicit).",
+		func() uint64 { return e.storeStats().Compaction.Compactions })
+	reg.NewCounterFunc("funseeker_store_reclaimed_bytes_total",
+		"On-disk bytes freed by store compactions.",
+		func() uint64 { return uint64(max64(e.storeStats().Compaction.ReclaimedBytes, 0)) })
+	reg.NewGaugeFunc("funseeker_store_live_record_bytes",
+		"On-disk bytes of newest-per-key store records.",
+		func() float64 { return float64(e.storeStats().Compaction.LiveRecordBytes) })
+	reg.NewGaugeFunc("funseeker_store_garbage_bytes",
+		"On-disk bytes occupied by superseded store records.",
+		func() float64 { return float64(e.storeStats().Compaction.GarbageBytes) })
+	reg.NewGaugeFunc("funseeker_store_garbage_ratio",
+		"Fraction of store bytes that are superseded records.",
+		func() float64 { return e.storeStats().Compaction.GarbageRatio })
 	return m
+}
+
+// max64 exists because the metrics funcs want a non-negative counter
+// view of a signed accounting value.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // storeStats is the nil-safe store snapshot behind the sampled metrics.

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"github.com/funseeker/funseeker/internal/analysis"
+	"github.com/funseeker/funseeker/internal/store"
+)
+
+// StatsDoc is the versioned stats envelope ("v": 2) that /v1/stats
+// serves and funseeker-lb relays per node under /lb/nodes. One struct,
+// serialized everywhere — the ad-hoc flat merging of v1 is gone, and a
+// consumer can dispatch on the version field when v3 eventually
+// changes shape. The engine fills the engine/cache/store blocks; the
+// serving layer attaches its own shed and server blocks.
+type StatsDoc struct {
+	V      int              `json:"v"`
+	Engine EngineStatsBlock `json:"engine"`
+	Cache  CacheStatsBlock  `json:"cache"`
+	// Store is nil when no persistent store is configured.
+	Store *StoreStatsBlock `json:"store,omitempty"`
+	// Shed is attached by funseekerd (the admission control lives
+	// there); nil from bare engines.
+	Shed *ShedStatsBlock `json:"shed,omitempty"`
+	// Server is attached by funseekerd; nil from bare engines.
+	Server *ServerStatsBlock `json:"server,omitempty"`
+}
+
+// EngineStatsBlock is the worker-pool and request-outcome block.
+type EngineStatsBlock struct {
+	Jobs          int            `json:"jobs"`
+	InFlight      int64          `json:"in_flight"`
+	Requests      uint64         `json:"requests"`
+	Analyzed      uint64         `json:"analyzed"`
+	Coalesced     uint64         `json:"coalesced"`
+	Canceled      uint64         `json:"canceled"`
+	Failures      uint64         `json:"failures"`
+	BytesAnalyzed uint64         `json:"bytes_analyzed"`
+	Analysis      analysis.Stats `json:"analysis"`
+}
+
+// CacheStatsBlock is the in-memory LRU tier block.
+type CacheStatsBlock struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Capacity  int64  `json:"capacity"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// StoreStatsBlock is the persistent tier block: the engine-side
+// counters plus the store's own snapshot (records, segments, bytes,
+// recovery facts, compaction) inlined.
+type StoreStatsBlock struct {
+	Hits     uint64 `json:"hits"`
+	Puts     uint64 `json:"puts_through"`
+	Injected uint64 `json:"injected"`
+	Errors   uint64 `json:"errors"`
+	store.Stats
+}
+
+// ShedStatsBlock is the load-shedding block funseekerd attaches.
+type ShedStatsBlock struct {
+	Enabled    bool    `json:"enabled"`
+	BoundMS    float64 `json:"bound_ms"`
+	WindowMS   float64 `json:"window_ms"`
+	QueueP99MS float64 `json:"queue_p99_ms"`
+	ShedTotal  uint64  `json:"shed_total"`
+}
+
+// ServerStatsBlock is the process-level block funseekerd attaches.
+type ServerStatsBlock struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+}
+
+// StatsDoc builds the v2 stats document from the engine's counters.
+func (e *Engine) StatsDoc() StatsDoc {
+	s := e.Stats()
+	doc := StatsDoc{
+		V: 2,
+		Engine: EngineStatsBlock{
+			Jobs:          s.Jobs,
+			InFlight:      s.InFlight,
+			Requests:      s.Requests,
+			Analyzed:      s.Analyzed,
+			Coalesced:     s.Coalesced,
+			Canceled:      s.Canceled,
+			Failures:      s.Failures,
+			BytesAnalyzed: s.BytesAnalyzed,
+			Analysis:      s.Analysis,
+		},
+		Cache: CacheStatsBlock{
+			Hits:      s.CacheHits,
+			Misses:    s.CacheMisses,
+			Entries:   s.CacheEntries,
+			Bytes:     s.CacheBytes,
+			Capacity:  s.CacheCapacity,
+			Evictions: s.Evictions,
+		},
+	}
+	if s.Store != nil {
+		doc.Store = &StoreStatsBlock{
+			Hits:     s.StoreHits,
+			Puts:     s.StorePuts,
+			Injected: s.StoreInjected,
+			Errors:   s.StoreErrors,
+			Stats:    *s.Store,
+		}
+	}
+	return doc
+}

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 
 	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
 )
 
 // storeKey flattens a cacheKey into the byte key the persistent store
@@ -16,6 +18,22 @@ func storeKey(k cacheKey) []byte {
 	key = append(key, k.sum[:]...)
 	key = append(key, k.opts, byte(k.arch))
 	return key
+}
+
+// storeKeyLen is the exact encoded length of a store key.
+const storeKeyLen = sha256.Size + 2
+
+// parseStoreKey is storeKey's inverse; the replication path uses it to
+// recover the cache identity of a result arriving from another replica.
+func parseStoreKey(b []byte) (cacheKey, error) {
+	if len(b) != storeKeyLen {
+		return cacheKey{}, fmt.Errorf("store key is %d bytes, want %d", len(b), storeKeyLen)
+	}
+	var k cacheKey
+	copy(k.sum[:], b[:sha256.Size])
+	k.opts = b[sha256.Size]
+	k.arch = elfx.Arch(b[sha256.Size+1])
+	return k, nil
 }
 
 // storedResultVersion gates the value codec; bump it when storedResult

@@ -233,3 +233,53 @@ func TestConcurrentMembershipChurn(t *testing.T) {
 	close(stop)
 	<-churnDone
 }
+
+// TestReplicaSetProperty pins the replica-placement contract the
+// router's N=2 replication builds on: for every fleet size from 3 to
+// 16 nodes, every key's LookupN(k, 2) set is exactly two distinct
+// nodes, led by the owner, deterministic across membership-insertion
+// order — and removing the owner promotes exactly the former successor,
+// which is the whole warm-failover argument.
+func TestReplicaSetProperty(t *testing.T) {
+	keys := keySet(500, 42)
+	for n := 3; n <= 16; n++ {
+		names := nodeNames(n)
+		r := New(0)
+		for _, name := range names {
+			r.Add(name)
+		}
+		// Same membership added in a different order must agree.
+		shuffled := New(0)
+		for i := len(names) - 1; i >= 0; i-- {
+			shuffled.Add(names[i])
+		}
+		for i, k := range keys {
+			set := r.LookupN(k, 2)
+			if len(set) != 2 {
+				t.Fatalf("n=%d: LookupN returned %d nodes, want 2", n, len(set))
+			}
+			if set[0] == set[1] {
+				t.Fatalf("n=%d: replica set not distinct: %v", n, set)
+			}
+			owner, ok := r.Lookup(k)
+			if !ok || owner != set[0] {
+				t.Fatalf("n=%d: owner %q (ok=%v) != LookupN[0] %q", n, owner, ok, set[0])
+			}
+			if got := shuffled.LookupN(k, 2); got[0] != set[0] || got[1] != set[1] {
+				t.Fatalf("n=%d: replica set depends on insertion order: %v vs %v", n, got, set)
+			}
+			// Kill the owner: the successor must take over ownership, so
+			// a replicated key survives the owner's death warm. Sampled,
+			// because each membership change rebuilds the point table.
+			if i%25 != 0 {
+				continue
+			}
+			r.Remove(set[0])
+			next, ok := r.Lookup(k)
+			if !ok || next != set[1] {
+				t.Fatalf("n=%d: after removing owner, Lookup = %q (ok=%v), want successor %q", n, next, ok, set[1])
+			}
+			r.Add(set[0])
+		}
+	}
+}

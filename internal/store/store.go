@@ -20,11 +20,13 @@
 //     a different key; same-key re-puts are idempotent overwrites) is
 //     just another append.
 //
-// Compaction: superseded records are dead weight but harmless; a store
-// can be compacted offline by copying live records into a fresh
-// directory (see docs/API.md). The engine's keys are content hashes, so
-// in practice duplication is rare and segments stay append-only for
-// their whole life.
+// Compaction: superseded records are dead weight; Compact rewrites the
+// cold (non-active) segments keeping only the newest record per key,
+// with the same crash-safety contract as the log itself (write a new
+// segment, fsync, atomically rename, then delete the old files — see
+// compact.go for the replay-order argument). A background compactor
+// goroutine (Options.CompactEvery) triggers it automatically once the
+// garbage ratio passes Options.CompactGarbageRatio.
 package store
 
 import (
@@ -36,6 +38,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 const (
@@ -57,6 +60,17 @@ const (
 	// DefaultSegmentBytes is the active-segment rotation threshold when
 	// Options.SegmentBytes is zero.
 	DefaultSegmentBytes = 64 << 20
+
+	// DefaultCompactGarbageRatio is the store-wide garbage fraction
+	// (superseded bytes / on-disk bytes) past which the background
+	// compactor rewrites cold segments, when Options.CompactGarbageRatio
+	// is zero.
+	DefaultCompactGarbageRatio = 0.5
+
+	// DefaultCompactMinBytes is the on-disk floor below which the
+	// background compactor never runs (rewriting a few kilobytes is not
+	// worth the churn), when Options.CompactMinBytes is zero.
+	DefaultCompactMinBytes = 1 << 20
 )
 
 // ErrTooLarge reports a key or value beyond the record bounds.
@@ -72,6 +86,19 @@ type Options struct {
 	// the OS already guarantee; full power-loss durability costs an
 	// fsync per record and is opt-in.
 	Sync bool
+
+	// CompactEvery runs a background compactor goroutine that checks the
+	// garbage ratio at this interval and rewrites cold segments when it
+	// passes CompactGarbageRatio. Zero disables background compaction
+	// (explicit Compact calls always work).
+	CompactEvery time.Duration
+	// CompactGarbageRatio is the garbage fraction (superseded bytes over
+	// total on-disk bytes) that triggers a background compaction. Zero
+	// selects DefaultCompactGarbageRatio; must be within (0, 1].
+	CompactGarbageRatio float64
+	// CompactMinBytes is the minimum on-disk size before the background
+	// compactor considers running. Zero selects DefaultCompactMinBytes.
+	CompactMinBytes int64
 }
 
 // Store is an append-only key-value store over segment files in one
@@ -85,9 +112,19 @@ type Store struct {
 	index  map[string]location // key → newest record location
 	closed bool
 
-	liveBytes int64 // value bytes reachable through the index
-	replaced  uint64
-	puts      uint64
+	liveBytes    int64 // value bytes reachable through the index
+	liveRecBytes int64 // full record bytes (header+key+value) reachable through the index
+	replaced     uint64
+	puts         uint64
+
+	// Compaction state. compactMu serializes compactions (background and
+	// explicit) so at most one rewrite is in flight; the counters are
+	// cumulative over the store's open lifetime.
+	compactMu      sync.Mutex
+	compactions    uint64
+	reclaimedBytes int64
+	stopCompactor  chan struct{}
+	compactorDone  chan struct{}
 
 	// Recovery facts from Open, for observability.
 	recoveredRecords  int
@@ -119,8 +156,23 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
+	if opts.CompactGarbageRatio <= 0 || opts.CompactGarbageRatio > 1 {
+		opts.CompactGarbageRatio = DefaultCompactGarbageRatio
+	}
+	if opts.CompactMinBytes <= 0 {
+		opts.CompactMinBytes = DefaultCompactMinBytes
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	// A leftover .tmp is a compaction that died before its atomic
+	// rename; the original segments are still intact, so the tmp is
+	// garbage by construction and must not survive (a later compaction
+	// would otherwise O_EXCL-collide or rename stale data into place).
+	if tmps, err := filepath.Glob(filepath.Join(dir, "seg-*.log.tmp")); err == nil {
+		for _, tmp := range tmps {
+			os.Remove(tmp)
+		}
 	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
 	if err != nil {
@@ -147,6 +199,11 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.segs = append(s.segs, seg)
+	}
+	if opts.CompactEvery > 0 {
+		s.stopCompactor = make(chan struct{})
+		s.compactorDone = make(chan struct{})
+		go s.compactLoop(s.stopCompactor)
 	}
 	return s, nil
 }
@@ -207,10 +264,12 @@ func (s *Store) openSegment(path string, id int) (*segment, error) {
 		loc := location{seg: seg, valOff: off + headerSize + keyLen, valLen: uint32(valLen)}
 		if old, ok := s.index[key]; ok {
 			s.liveBytes -= int64(old.valLen)
+			s.liveRecBytes -= headerSize + keyLen + int64(old.valLen)
 			s.replaced++
 		}
 		s.index[key] = loc
 		s.liveBytes += valLen
+		s.liveRecBytes += headerSize + keyLen + valLen
 		s.recoveredRecords++
 		off += headerSize + keyLen + valLen
 	}
@@ -308,33 +367,55 @@ func (s *Store) Put(key, val []byte) error {
 	active.size += int64(len(rec))
 	if old, ok := s.index[string(key)]; ok {
 		s.liveBytes -= int64(old.valLen)
+		s.liveRecBytes -= int64(headerSize + len(key)) + int64(old.valLen)
 		s.replaced++
 	}
 	s.index[string(key)] = loc
 	s.liveBytes += int64(len(val))
+	s.liveRecBytes += int64(len(rec))
 	s.puts++
 	return nil
 }
 
 // Get returns the newest value stored under key. The read happens via
 // ReadAt outside the index lock, so concurrent Gets never serialize on
-// each other's disk reads.
+// each other's disk reads. A reader that snapshots a location just
+// before a compaction swaps the index can find its segment handle
+// closed by the time it reads; the index already points at the live
+// copy, so that exact race is retried rather than surfaced.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
-	s.mu.RLock()
-	if s.closed {
+	for attempt := 0; ; attempt++ {
+		s.mu.RLock()
+		if s.closed {
+			s.mu.RUnlock()
+			return nil, false, errors.New("store: closed")
+		}
+		loc, ok := s.index[string(key)]
 		s.mu.RUnlock()
-		return nil, false, errors.New("store: closed")
+		if !ok {
+			return nil, false, nil
+		}
+		val := make([]byte, loc.valLen)
+		if _, err := loc.seg.f.ReadAt(val, loc.valOff); err != nil {
+			if errors.Is(err, os.ErrClosed) && attempt < 8 {
+				continue
+			}
+			return nil, false, fmt.Errorf("store: reading %s@%d: %w", loc.seg.path, loc.valOff, err)
+		}
+		return val, true, nil
 	}
-	loc, ok := s.index[string(key)]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, false, nil
+}
+
+// Keys returns a snapshot of every live key, in unspecified order. The
+// router's re-replication path diffs these sets across replicas.
+func (s *Store) Keys() [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([][]byte, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, []byte(k))
 	}
-	val := make([]byte, loc.valLen)
-	if _, err := loc.seg.f.ReadAt(val, loc.valOff); err != nil {
-		return nil, false, fmt.Errorf("store: reading %s@%d: %w", loc.seg.path, loc.valOff, err)
-	}
-	return val, true, nil
+	return keys
 }
 
 // Has reports whether key is present without reading its value.
@@ -376,6 +457,29 @@ type Stats struct {
 	RecoveredRecords  int   `json:"recovered_records"`
 	TruncatedSegments int   `json:"truncated_segments"`
 	TruncatedBytes    int64 `json:"truncated_bytes"`
+
+	// Compaction describes the garbage state and the compactor's work
+	// so far.
+	Compaction CompactionStats `json:"compaction"`
+}
+
+// CompactionStats is the compaction block of Stats.
+type CompactionStats struct {
+	// Compactions counts completed compactions since Open.
+	Compactions uint64 `json:"compactions"`
+	// ReclaimedBytes is the cumulative on-disk size freed by
+	// compactions since Open.
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// LiveRecordBytes is the full on-disk size (header + key + value)
+	// of the newest-per-key records.
+	LiveRecordBytes int64 `json:"live_record_bytes"`
+	// GarbageBytes is the on-disk size occupied by superseded records:
+	// total segment bytes minus live record bytes.
+	GarbageBytes int64 `json:"garbage_bytes"`
+	// GarbageRatio is GarbageBytes over total segment bytes (0 when the
+	// store is empty). The background compactor fires when this passes
+	// Options.CompactGarbageRatio.
+	GarbageRatio float64 `json:"garbage_ratio"`
 }
 
 // Stats snapshots the store counters.
@@ -396,11 +500,31 @@ func (s *Store) Stats() Stats {
 	for _, seg := range s.segs {
 		st.SegmentBytes += seg.size
 	}
+	st.Compaction = CompactionStats{
+		Compactions:     s.compactions,
+		ReclaimedBytes:  s.reclaimedBytes,
+		LiveRecordBytes: s.liveRecBytes,
+		GarbageBytes:    st.SegmentBytes - s.liveRecBytes,
+	}
+	if st.SegmentBytes > 0 {
+		st.Compaction.GarbageRatio = float64(st.Compaction.GarbageBytes) / float64(st.SegmentBytes)
+	}
 	return st
 }
 
-// Close releases the segment handles. The store is unusable afterwards.
+// Close stops the background compactor and releases the segment
+// handles. The store is unusable afterwards.
 func (s *Store) Close() error {
+	if s.stopCompactor != nil {
+		s.mu.Lock()
+		stop := s.stopCompactor
+		s.stopCompactor = nil
+		s.mu.Unlock()
+		if stop != nil {
+			close(stop)
+			<-s.compactorDone
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.closeLocked()

@@ -445,6 +445,15 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 				}
 			}
 		}},
+		benchmark{name: "identify/Config5", fn: func(b *testing.B) {
+			b.SetBytes(perBin)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := funseeker.IdentifyBinary(set[i%len(set)].bin, funseeker.Config5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		benchmark{name: "classify/Endbrs", fn: func(b *testing.B) {
 			b.SetBytes(perBin)
 			b.ReportAllocs()
@@ -661,7 +670,8 @@ func series(set []benchCase, corpusBytes int) []benchmark {
 						b.Fatal(err)
 					}
 					for _, opts := range []funseeker.Options{
-						funseeker.Config1, funseeker.Config2, funseeker.Config3, funseeker.Config4,
+						funseeker.Config1, funseeker.Config2, funseeker.Config3,
+						funseeker.Config4, funseeker.Config5,
 					} {
 						if _, err := funseeker.IdentifyWithContext(ctx, opts); err != nil {
 							b.Fatal(err)

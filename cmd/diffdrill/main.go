@@ -2,19 +2,22 @@
 // internal/diffcheck over a range of generator seeds: each seed becomes
 // a random program specification, is compiled to a CET ELF image with
 // known ground truth, and is checked against the full invariant oracle
-// (FunSeeker four configs, baseline models, recursive descent, shared
-// analysis-context bookkeeping).
+// (FunSeeker configurations ①–⑤, baseline models, recursive descent,
+// shared analysis-context bookkeeping).
 //
 // Usage:
 //
 //	diffdrill [-seeds N] [-start S] [-duration D] [-workers W]
-//	          [-keep-failures DIR] [-max-funcs N] [-bti F] [-v]
+//	          [-keep-failures DIR] [-max-funcs N] [-bti F] [-nocet F] [-v]
 //
 // With -duration set, diffdrill runs seeds from -start upward until the
 // deadline; otherwise it runs exactly -seeds seeds. With -bti F, the
 // given fraction of seeds (chosen deterministically per seed, so runs
 // replay) compile through the AArch64/BTI synthesizer and check the BTI
-// invariant battery instead. Failing cases are minimized and written as
+// invariant battery instead. With -nocet F, that fraction of x86 builds
+// drop -fcf-protection entirely (the FDE-only workload configuration ⑤
+// degrades to); -nocet -1 keeps the generator default. Failing cases
+// are minimized and written as
 // regression-spec JSON under -keep-failures (default
 // internal/diffcheck/testdata/failures; promote good ones to
 // internal/diffcheck/testdata/specs so the package test replays them).
@@ -44,6 +47,7 @@ func main() {
 		maxFail  = flag.Int("max-failures", 10, "stop after this many failing seeds")
 		maxFuncs = flag.Int("max-funcs", 0, "override generator max function count (0 = default)")
 		btiFrac  = flag.Float64("bti", 0, "fraction of seeds checked through the AArch64/BTI backend (0-1)")
+		noCET    = flag.Float64("nocet", -1, "fraction of x86 builds generated without CET markers (0-1; -1 = generator default)")
 		verbose  = flag.Bool("v", false, "log every violation as it is found")
 	)
 	flag.Parse()
@@ -51,6 +55,9 @@ func main() {
 	opts := diffcheck.DefaultGenOptions()
 	if *maxFuncs > 0 {
 		opts.MaxFuncs = *maxFuncs
+	}
+	if *noCET >= 0 {
+		opts.NoCETProb = *noCET
 	}
 
 	var (

@@ -55,6 +55,35 @@ func newReplicaBackend(t *testing.T, name string) *replicaBackend {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"backend":%q,"warm":%v}`, rb.name, warm)
 	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		// Stand-in batch framing: newline-separated member payloads
+		// (the router treats the archive body as opaque bytes, so the
+		// tar details don't matter here). Every member writes through
+		// the same store as /v1/analyze and names its key in the
+		// NDJSON record, like funseekerd does.
+		raw, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		items := 0
+		for i, m := range strings.Split(string(raw), "\n") {
+			if m == "" {
+				continue
+			}
+			key := fakeStoreKey([]byte(m))
+			rb.mu.Lock()
+			if _, warm := rb.store[key]; !warm {
+				rb.computes++
+				rb.store[key] = []byte(fmt.Sprintf(`{"backend":%q,"body":%q}`, rb.name, m))
+			}
+			rb.mu.Unlock()
+			enc.Encode(map[string]any{
+				"index": i, "name": fmt.Sprintf("member-%d", i),
+				"backend": rb.name, "store_key": key,
+			})
+			items++
+		}
+		enc.Encode(map[string]any{"summary": true, "items": items, "ok": items})
+	})
 	mux.HandleFunc("GET /v1/result", func(w http.ResponseWriter, r *http.Request) {
 		rb.mu.Lock()
 		val, ok := rb.store[r.URL.Query().Get("key")]
@@ -329,6 +358,157 @@ func TestRepairRewarmsRejoinedNode(t *testing.T) {
 	}
 	if got := backends[1].computeCount(); got != computesBefore {
 		t.Fatalf("rejoined node computed %d results after repair, want 0", got-computesBefore)
+	}
+}
+
+// TestBatchMemberReplication: every member of a proxied /v1/batch ends
+// up replicated exactly like the same binaries pushed one by one
+// through /v1/analyze — the router tees each record's store_key off the
+// NDJSON stream and runs the ordinary value-transfer replication per
+// member. With the batch's serving backend killed afterwards, every
+// member must still be served warm from its replica set with zero
+// recomputation.
+func TestBatchMemberReplication(t *testing.T) {
+	backends := []*replicaBackend{
+		newReplicaBackend(t, "a"), newReplicaBackend(t, "b"), newReplicaBackend(t, "c"),
+	}
+	ts, rt := newReplicaRouter(t, backends)
+	byURL := map[string]*replicaBackend{}
+	byName := map[string]*replicaBackend{}
+	for _, rb := range backends {
+		byURL[rb.ts.URL] = rb
+		byName[rb.name] = rb
+	}
+
+	members := make([]string, 5)
+	for i := range members {
+		members[i] = fmt.Sprintf("batch-member-%d", i)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-tar",
+		strings.NewReader(strings.Join(members, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", resp.StatusCode, raw)
+	}
+
+	// Decode the relayed NDJSON: one record per member (each naming its
+	// store key and the backend that computed it) plus the summary.
+	var servedBy string
+	keys := make(map[string]string, len(members)) // member body -> key
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct {
+			Summary  bool   `json:"summary"`
+			Index    int    `json:"index"`
+			Backend  string `json:"backend"`
+			StoreKey string `json:"store_key"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if rec.Summary {
+			continue
+		}
+		if rec.StoreKey == "" {
+			t.Fatalf("member record without store_key: %q", line)
+		}
+		servedBy = rec.Backend
+		keys[members[rec.Index]] = rec.StoreKey
+	}
+	if len(keys) != len(members) {
+		t.Fatalf("got %d member records, want %d", len(keys), len(members))
+	}
+
+	// Every member's full replica set converges on its stored value.
+	for _, m := range members {
+		sum := sha256.Sum256([]byte(m))
+		for _, u := range rt.ring.LookupN(sum[:], 2) {
+			u, m := u, m
+			waitFor(t, "batch replica write "+m, func() bool { return byURL[u].hasKey(keys[m]) })
+		}
+	}
+	if v := rt.replicaWrites.Value(); v < uint64(len(members)) {
+		t.Fatalf("replica writes = %d, want >= %d (one per member at minimum)", v, len(members))
+	}
+	totalComputes := func() int {
+		n := 0
+		for _, rb := range backends {
+			n += rb.computeCount()
+		}
+		return n
+	}
+	if got := totalComputes(); got != len(members) {
+		t.Fatalf("batch cost %d computes, want %d", got, len(members))
+	}
+
+	// Kill the backend that served the whole batch. Every member must
+	// still be served warm by a surviving replica-set node — replication
+	// made the batch's results survive the owner, with zero recomputation.
+	served := byName[servedBy]
+	if served == nil {
+		t.Fatalf("unknown serving backend %q", servedBy)
+	}
+	served.ts.CloseClientConnections()
+	served.ts.Close()
+	for _, m := range members {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/octet-stream", strings.NewReader(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze %q after kill = %d, body %s", m, resp.StatusCode, body)
+		}
+		var out struct {
+			Backend string `json:"backend"`
+			Warm    bool   `json:"warm"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.Warm {
+			t.Fatalf("member %q served cold by %q after owner kill", m, out.Backend)
+		}
+	}
+	if got := totalComputes(); got != len(members) {
+		t.Fatalf("members recomputed after owner kill: %d computes, want still %d", got, len(members))
+	}
+}
+
+// TestBatchReplicationSkippedWhenDisabled: with replicas=1 the batch
+// tee must not run — no keys collected, no replication traffic.
+func TestBatchReplicationSkippedWhenDisabled(t *testing.T) {
+	backends := []*replicaBackend{
+		newReplicaBackend(t, "a"), newReplicaBackend(t, "b"),
+	}
+	var urls []string
+	for _, rb := range backends {
+		urls = append(urls, rb.ts.URL)
+	}
+	rt, err := newRouter(routerConfig{backends: urls, replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/x-tar",
+		strings.NewReader("solo-member"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rt.repairWG.Wait()
+	if v := rt.replicaWrites.Value(); v != 0 {
+		t.Fatalf("replica writes = %d with replication disabled, want 0", v)
+	}
+	if total := backends[0].keyCount() + backends[1].keyCount(); total != 1 {
+		t.Fatalf("stored copies = %d, want exactly 1 (no replication)", total)
 	}
 }
 

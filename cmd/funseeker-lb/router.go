@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -359,7 +360,69 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.routedTo.With(backend).Inc()
-	relayStream(w, resp)
+	// Tee the NDJSON stream: each member record carries its store_key,
+	// and a batch must leave every member's result replicated exactly
+	// like the same binaries pushed through /v1/analyze one by one —
+	// otherwise killing the serving backend after a batch would force a
+	// full recomputation of the whole archive. Keys are collected while
+	// relaying and replicated off the response path once the stream
+	// ends (even a partial relay replicates what was computed).
+	var keys *batchKeyScanner
+	if resp.StatusCode == http.StatusOK && rt.cfg.replicas > 1 {
+		keys = &batchKeyScanner{}
+	}
+	relayStream(w, resp, keys)
+	if keys == nil {
+		return
+	}
+	for _, key := range keys.finish() {
+		kb, err := hex.DecodeString(key)
+		if err != nil || len(kb) < sha256.Size {
+			continue
+		}
+		rt.repairWG.Add(1)
+		go rt.replicate(kb[:sha256.Size], backend, key)
+	}
+}
+
+// batchKeyScanner incrementally splits a relayed batch response into
+// NDJSON lines and collects each member record's store_key. Error
+// records and the summary line carry no key and are skipped; the
+// carry buffer only ever holds one partial line (~2 KB), never the
+// stream.
+type batchKeyScanner struct {
+	carry []byte
+	keys  []string
+}
+
+func (s *batchKeyScanner) feed(p []byte) {
+	s.carry = append(s.carry, p...)
+	for {
+		i := bytes.IndexByte(s.carry, '\n')
+		if i < 0 {
+			return
+		}
+		s.line(s.carry[:i])
+		s.carry = append(s.carry[:0], s.carry[i+1:]...)
+	}
+}
+
+func (s *batchKeyScanner) line(line []byte) {
+	var rec struct {
+		StoreKey string `json:"store_key"`
+	}
+	if json.Unmarshal(line, &rec) == nil && rec.StoreKey != "" {
+		s.keys = append(s.keys, rec.StoreKey)
+	}
+}
+
+// finish flushes any trailing unterminated line and returns the keys.
+func (s *batchKeyScanner) finish() []string {
+	if len(s.carry) > 0 {
+		s.line(s.carry)
+		s.carry = nil
+	}
+	return s.keys
 }
 
 // bodyErrReader wraps the uploader's request body and records any read
@@ -478,8 +541,10 @@ func relay(w http.ResponseWriter, resp *http.Response) {
 }
 
 // relayStream copies an NDJSON stream, flushing per write so records
-// reach the client as they complete.
-func relayStream(w http.ResponseWriter, resp *http.Response) {
+// reach the client as they complete. When keys is non-nil every relayed
+// byte is also fed to it, so the batch handler can replicate member
+// results after the stream ends.
+func relayStream(w http.ResponseWriter, resp *http.Response, keys *batchKeyScanner) {
 	defer resp.Body.Close()
 	copyResponseHeaders(w, resp)
 	w.WriteHeader(resp.StatusCode)
@@ -488,6 +553,9 @@ func relayStream(w http.ResponseWriter, resp *http.Response) {
 	for {
 		n, err := resp.Body.Read(buf)
 		if n > 0 {
+			if keys != nil {
+				keys.feed(buf[:n])
+			}
 			if _, werr := w.Write(buf[:n]); werr != nil {
 				return
 			}

@@ -8,7 +8,9 @@
 //	funseeker [-config 4] [-jobs N] [-json] <binary|dir> ...
 //
 // By default the full algorithm (configuration ④) runs and the entry
-// addresses are printed one per line. With -gt the result is scored
+// addresses are printed one per line. Configuration ⑤ additionally
+// fuses .eh_frame FDE evidence, which also recovers functions on
+// binaries built without CET markers. With -gt the result is scored
 // against a ground-truth sidecar produced by synthgen. With -stats the
 // intermediate set sizes and filter counters are reported.
 //
@@ -44,7 +46,7 @@ func main() {
 
 func run() error {
 	var (
-		configN  = flag.Int("config", 4, "algorithm configuration 1-4 (Table II)")
+		configN  = flag.Int("config", 4, "algorithm configuration 1-5 (Table II; 5 fuses .eh_frame evidence)")
 		gtPath   = flag.String("gt", "", "score against this ground-truth JSON")
 		stats    = flag.Bool("stats", false, "print intermediate set statistics")
 		quiet    = flag.Bool("quiet", false, "suppress the entry listing")
@@ -69,8 +71,10 @@ func run() error {
 		opts = funseeker.Config3
 	case 4:
 		opts = funseeker.Config4
+	case 5:
+		opts = funseeker.Config5
 	default:
-		return fmt.Errorf("-config must be 1-4, got %d", *configN)
+		return fmt.Errorf("-config must be 1-5, got %d", *configN)
 	}
 	opts.SupersetEndbrScan = *superset
 

@@ -28,6 +28,11 @@ type batchRecord struct {
 	Error  string           `json:"error,omitempty"`
 	Kind   string           `json:"kind,omitempty"`
 	Result *analyzeResponse `json:"result,omitempty"`
+	// StoreKey is the hex persistent-store key of this member's result
+	// — the batch-stream equivalent of the X-Funseeker-Store-Key
+	// header, so a proxy can replicate every member without recomputing
+	// content hashes. Empty on error records and storeless replicas.
+	StoreKey string `json:"store_key,omitempty"`
 }
 
 // batchSummary is the final NDJSON line: totals for the whole batch.
@@ -232,7 +237,7 @@ func (s *server) batchRecordFor(job *batchJob, out batchOutcome, configN int) *b
 	}
 	s.analyzeByArch.With(out.res.Report.Arch).Inc()
 	resp := buildAnalyzeResponse(out.res, configN)
-	return &batchRecord{Index: job.index, Name: job.name, Result: &resp}
+	return &batchRecord{Index: job.index, Name: job.name, Result: &resp, StoreKey: out.res.StoreKey}
 }
 
 // batchIterator returns a pull function over the uploaded archive's
@@ -319,6 +324,7 @@ func buildAnalyzeResponse(res *engine.Result, configN int) analyzeResponse {
 		TailCallTargets:        len(rep.TailCallTargets),
 		FilteredIndirectReturn: rep.FilteredIndirectReturn,
 		FilteredLandingPads:    rep.FilteredLandingPads,
+		FusedFDEEntries:        rep.FusedFDEEntries,
 		Warnings:               rep.Warnings,
 	}
 }

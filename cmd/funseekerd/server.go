@@ -102,7 +102,7 @@ func newServer(eng *engine.Engine, cfg serverConfig) *server {
 //	POST /v1/analyze  — analyze an ELF image (raw body or multipart
 //	                    field "binary"); x86-64 and aarch64 images are
 //	                    dispatched to their backends by the ELF header.
-//	                    ?config=1..4 selects the algorithm
+//	                    ?config=1..5 selects the algorithm
 //	                    configuration, ?superset=1 adds the byte-level
 //	                    landmark scan, ?require_cet=1 rejects
 //	                    landmark-free binaries, ?arch=x86-64|aarch64
@@ -176,9 +176,12 @@ type analyzeResponse struct {
 	JumpTargets     int      `json:"jump_targets"`
 	TailCallTargets int      `json:"tail_call_targets"`
 
-	FilteredIndirectReturn int      `json:"filtered_indirect_return"`
-	FilteredLandingPads    int      `json:"filtered_landing_pads"`
-	Warnings               []string `json:"warnings,omitempty"`
+	FilteredIndirectReturn int `json:"filtered_indirect_return"`
+	FilteredLandingPads    int `json:"filtered_landing_pads"`
+	// FusedFDEEntries counts the entries configuration ⑤ added from
+	// .eh_frame FDE starts; always 0 for configs 1-4.
+	FusedFDEEntries int      `json:"fused_fde_entries,omitempty"`
+	Warnings        []string `json:"warnings,omitempty"`
 }
 
 // errorResponse is the JSON error envelope; kind is the stable sentinel
@@ -253,7 +256,7 @@ var analyzeQueryKeys = map[string]bool{
 	"arch":        true,
 }
 
-// parseAnalyzeOptions maps the analyze query surface (?config=1..4,
+// parseAnalyzeOptions maps the analyze query surface (?config=1..5,
 // ?superset, ?require_cet, ?arch=) to engine options. One parser for
 // both /v1/analyze and /v1/batch, so the two endpoints can never
 // drift; unknown keys and malformed values are errors the handlers
@@ -267,8 +270,8 @@ func parseAnalyzeOptions(q url.Values) (core.Options, int, error) {
 	configN := 4
 	if v := q.Get("config"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 || n > 4 {
-			return core.Options{}, 0, fmt.Errorf("config must be 1-4, got %q", v)
+		if err != nil || n < 1 || n > 5 {
+			return core.Options{}, 0, fmt.Errorf("config must be 1-5, got %q", v)
 		}
 		configN = n
 	}
@@ -282,6 +285,8 @@ func parseAnalyzeOptions(q url.Values) (core.Options, int, error) {
 		opts = core.Config3
 	case 4:
 		opts = core.Config4
+	case 5:
+		opts = core.Config5
 	}
 	superset, err := parseQueryBool(q, "superset")
 	if err != nil {

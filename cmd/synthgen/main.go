@@ -7,6 +7,12 @@
 //
 //	synthgen -out dataset/ [-suites coreutils,binutils,spec]
 //	         [-scale 1.0] [-seed 2022] [-configs all|gcc-x86-64-nopie-O2,...]
+//	         [-nocet]
+//
+// With -nocet every selected configuration builds without CET markers
+// (as if -fcf-protection were absent): the FDE-only workload for
+// FunSeeker configuration ⑤. Config directory names gain a "-nocet"
+// suffix.
 //
 // Layout produced:
 //
@@ -40,6 +46,7 @@ func run() error {
 		seed    = flag.Int64("seed", 2022, "generation seed")
 		configs = flag.String("configs", "all", "comma-separated config names or 'all'")
 		progs   = flag.Int("programs", 0, "override programs per suite (0 = paper counts)")
+		noCET   = flag.Bool("nocet", false, "build without CET markers (FDE-only corpus for config 5)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -75,6 +82,11 @@ func run() error {
 				return fmt.Errorf("unknown config %q (want e.g. %q)", name, all[0].String())
 			}
 			selConfigs = append(selConfigs, c)
+		}
+	}
+	if *noCET {
+		for i := range selConfigs {
+			selConfigs[i].NoCET = true
 		}
 	}
 

@@ -81,6 +81,9 @@ var (
 	Config3 = core.Config3
 	// Config4 is the full algorithm (E′ ∪ C ∪ J′).
 	Config4 = core.Config4
+	// Config5 fuses .eh_frame evidence into the full algorithm
+	// (E′ ∪ C ∪ J′ ∪ F); it keeps working on binaries without CET markers.
+	Config5 = core.Config5
 	// DefaultOptions is Config4.
 	DefaultOptions = core.DefaultOptions
 )

@@ -26,6 +26,8 @@ package analysis
 
 import (
 	"context"
+	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -137,13 +139,18 @@ type Context struct {
 	sweeps    [elfx.NArch]sweepMemo
 	supersets [elfx.NArch]supersetMemo
 
-	ehOnce onceStage
-	fdes   []ehframe.FDE
-	ehErr  error
+	ehOnce  onceStage
+	fdes    []ehframe.FDE
+	ehWarns []string
+	ehErr   error
 
 	padsOnce onceStage
 	pads     map[uint64]bool
 	padsErr  error
+
+	fdeIxOnce onceStage
+	fdeIx     *FDEIndex
+	fdeIxErr  error
 
 	stats statCounters
 }
@@ -250,9 +257,112 @@ func (c *Context) FDEs() ([]ehframe.FDE, error) {
 		return nil, nil
 	}
 	c.ehOnce.do(&c.stats.ehParse, func() {
-		c.fdes, c.ehErr = ehframe.Parse(c.bin.EHFrame, c.bin.EHFrameAddr, c.bin.PtrSize())
+		c.fdes, c.ehWarns, c.ehErr = ehframe.ParseWithWarnings(c.bin.EHFrame, c.bin.EHFrameAddr, c.bin.PtrSize())
 	})
 	return c.fdes, c.ehErr
+}
+
+// EHWarnings returns the non-fatal degradations the .eh_frame parse
+// applied (unknown CIE augmentations, skipped FDEs). It shares the
+// memoized parse with FDEs; a well-formed section yields none.
+func (c *Context) EHWarnings() []string {
+	_, _ = c.FDEs()
+	return c.ehWarns
+}
+
+// FDEIndex is the interval view of a binary's FDE records: the set of
+// pc-begin addresses (candidate function entries under EH-fused
+// detection, per Pang et al., arXiv:2104.03168) plus a merged coverage
+// map answering "does some FDE cover this address?". All fields are
+// read-only after construction.
+type FDEIndex struct {
+	// Starts is every FDE pc-begin that lies inside .text, ascending,
+	// deduplicated.
+	Starts []uint64
+	// StartSet is Starts as a membership set.
+	StartSet map[uint64]bool
+
+	// begins/ends are the merged coverage intervals, sorted by begin.
+	begins []uint64
+	ends   []uint64
+}
+
+// Covers reports whether addr falls inside some FDE coverage interval
+// [pc-begin, pc-begin+pc-range).
+func (ix *FDEIndex) Covers(addr uint64) bool {
+	i := sort.Search(len(ix.begins), func(i int) bool { return ix.begins[i] > addr })
+	return i > 0 && addr < ix.ends[i-1]
+}
+
+// Interior reports whether addr is strictly inside an FDE coverage
+// interval — covered, but not a pc-begin. An FDE-covered tail-call
+// "target" that is Interior is part of an already-known function, not a
+// new entry.
+func (ix *FDEIndex) Interior(addr uint64) bool {
+	return ix.Covers(addr) && !ix.StartSet[addr]
+}
+
+// FDEIndex returns the memoized interval index over the binary's FDE
+// records, derived from the memoized parse (so the whole context still
+// performs at most one .eh_frame parse). Binaries without .eh_frame
+// yield an empty index.
+func (c *Context) FDEIndex() (*FDEIndex, error) {
+	c.fdeIxOnce.do(&c.stats.fdeIndex, func() {
+		fdes, err := c.FDEs()
+		if err != nil {
+			c.fdeIxErr = err
+			return
+		}
+		c.fdeIx = buildFDEIndex(c.bin, fdes)
+	})
+	return c.fdeIx, c.fdeIxErr
+}
+
+// buildFDEIndex materializes the start set and merged coverage intervals
+// for the FDEs that land in .text.
+func buildFDEIndex(bin *elfx.Binary, fdes []ehframe.FDE) *FDEIndex {
+	textEnd := bin.TextAddr + uint64(len(bin.Text))
+	ix := &FDEIndex{StartSet: make(map[uint64]bool)}
+	type iv struct{ begin, end uint64 }
+	ivs := make([]iv, 0, len(fdes))
+	for _, fde := range fdes {
+		if fde.PCBegin < bin.TextAddr || fde.PCBegin >= textEnd {
+			continue
+		}
+		if !ix.StartSet[fde.PCBegin] {
+			ix.StartSet[fde.PCBegin] = true
+			ix.Starts = append(ix.Starts, fde.PCBegin)
+		}
+		end := fde.PCBegin + fde.PCRange
+		if end > textEnd {
+			end = textEnd
+		}
+		if end > fde.PCBegin {
+			ivs = append(ivs, iv{fde.PCBegin, end})
+		}
+	}
+	slices.Sort(ix.Starts)
+	slices.SortFunc(ivs, func(a, b iv) int {
+		switch {
+		case a.begin < b.begin:
+			return -1
+		case a.begin > b.begin:
+			return 1
+		}
+		return 0
+	})
+	for _, v := range ivs {
+		n := len(ix.begins)
+		if n > 0 && v.begin <= ix.ends[n-1] {
+			if v.end > ix.ends[n-1] {
+				ix.ends[n-1] = v.end
+			}
+			continue
+		}
+		ix.begins = append(ix.begins, v.begin)
+		ix.ends = append(ix.ends, v.end)
+	}
+	return ix
 }
 
 // LandingPads returns the memoized exception landing-pad set, derived

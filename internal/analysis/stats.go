@@ -47,6 +47,8 @@ type Stats struct {
 	EHParse StageStat
 	// LandingPad is the FDE×LSDA landing-pad join.
 	LandingPad StageStat
+	// FDEIndex is the FDE start-set + coverage-interval index build.
+	FDEIndex StageStat
 	// Superset is the byte-level end-branch scan.
 	Superset StageStat
 	// Filter is the FILTERENDBR refinement (per identification run).
@@ -68,6 +70,7 @@ func (s *Stats) Add(o Stats) {
 	s.Sweep.Add(o.Sweep)
 	s.EHParse.Add(o.EHParse)
 	s.LandingPad.Add(o.LandingPad)
+	s.FDEIndex.Add(o.FDEIndex)
 	s.Superset.Add(o.Superset)
 	s.Filter.Add(o.Filter)
 	s.TailCall.Add(o.TailCall)
@@ -83,6 +86,7 @@ func (s Stats) EachStage(f func(name string, st StageStat)) {
 	f("sweep", s.Sweep)
 	f("eh-parse", s.EHParse)
 	f("landing-pad", s.LandingPad)
+	f("fde-index", s.FDEIndex)
 	f("superset", s.Superset)
 	f("filter", s.Filter)
 	f("tail-call", s.TailCall)
@@ -113,6 +117,7 @@ type statCounters struct {
 	sweep      stageCounter
 	ehParse    stageCounter
 	landingPad stageCounter
+	fdeIndex   stageCounter
 	superset   stageCounter
 	filter     stageCounter
 	tailCall   stageCounter
@@ -149,6 +154,7 @@ func (c *Context) Stats() Stats {
 		Sweep:         c.stats.sweep.snapshot(),
 		EHParse:       c.stats.ehParse.snapshot(),
 		LandingPad:    c.stats.landingPad.snapshot(),
+		FDEIndex:      c.stats.fdeIndex.snapshot(),
 		Superset:      c.stats.superset.snapshot(),
 		Filter:        c.stats.filter.snapshot(),
 		TailCall:      c.stats.tailCall.snapshot(),

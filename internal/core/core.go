@@ -61,6 +61,17 @@ type Options struct {
 	// reject non-CET binaries loudly instead of returning the silently
 	// degraded E=∅ result.
 	RequireCET bool
+	// FuseEH fuses exception-handling metadata into the candidate set
+	// (configuration ⑤, after Pang et al., arXiv:2104.03168): every
+	// .eh_frame FDE pc-begin inside .text that is not an exception
+	// landing pad becomes an entry, and — when SelectTailCall is on —
+	// SELECTTAILCALL runs a second pass over the enlarged set, keeping
+	// only extra tail-call targets that do not land strictly inside an
+	// FDE coverage interval. The stage only ever adds candidates, so a
+	// FuseEH report's entry set is a superset of the same options
+	// without it. On binaries without CET markers the FDE+LSDA evidence
+	// alone carries detection (RequireCET must be off for those).
+	FuseEH bool
 	// SupersetEndbrScan additionally scans for end-branch encodings at
 	// every byte offset rather than only at linear-sweep instruction
 	// boundaries. This realizes the paper's §VI suggestion of pairing
@@ -88,6 +99,11 @@ var (
 	Config3 = Options{FilterEndbr: true, UseJumpTargets: true}
 	// Config4 is E′ ∪ C ∪ J′: the full FunSeeker algorithm.
 	Config4 = Options{FilterEndbr: true, UseJumpTargets: true, SelectTailCall: true}
+	// Config5 is E′ ∪ C ∪ J′ ∪ F: configuration ④ fused with .eh_frame
+	// evidence (FDE starts + coverage intervals + LSDA landing pads).
+	// Unlike ①–④ it keeps working on binaries with no CET markers at
+	// all — FDE starts alone carry detection there.
+	Config5 = Options{FilterEndbr: true, UseJumpTargets: true, SelectTailCall: true, FuseEH: true}
 )
 
 // DefaultOptions is the full algorithm (configuration ④).
@@ -119,6 +135,10 @@ type Report struct {
 	// FilteredLandingPads counts end branches removed because they sit
 	// at an exception landing pad.
 	FilteredLandingPads int
+
+	// FusedFDEEntries counts entries the EH-fusion stage added that no
+	// other evidence source had found (zero unless Options.FuseEH).
+	FusedFDEEntries int
 
 	// Warnings records non-fatal degradations of the run — today, corrupt
 	// exception metadata that forced FILTERENDBR to proceed without the
@@ -210,12 +230,13 @@ func IdentifyCtx(ctx context.Context, actx *analysis.Context, opts Options) (*Re
 	}
 
 	// Jump-target handling.
+	tailSet := map[uint64]bool{}
 	switch {
 	case opts.UseJumpTargets && opts.SelectTailCall:
 		tailStart := time.Now()
 		tails := selectTailCalls(bin, sw.JumpRefs, candidates, opts.TailBoundaryOnly)
 		actx.ObserveTailCall(time.Since(tailStart))
-		report.TailCallTargets = setToSorted(tails)
+		tailSet = tails
 		for t := range tails {
 			candidates[t] = true
 		}
@@ -224,9 +245,85 @@ func IdentifyCtx(ctx context.Context, actx *analysis.Context, opts Options) (*Re
 			candidates[t] = true
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// EH fusion (configuration ⑤). Runs after the marker pipeline is
+	// complete and only ever adds candidates, so the result is a
+	// superset of the same options without FuseEH by construction.
+	if opts.FuseEH {
+		fuseEH(actx, bin, sw, opts, report, candidates, tailSet, landingPads)
+	}
+	if len(tailSet) > 0 {
+		report.TailCallTargets = setToSorted(tailSet)
+	}
+
+	if opts.FilterEndbr || opts.FuseEH {
+		for _, w := range actx.EHWarnings() {
+			report.Warnings = append(report.Warnings, "eh_frame: "+w)
+		}
+	}
 
 	report.Entries = setToSorted(candidates)
 	return report, nil
+}
+
+// fuseEH is the configuration-⑤ stage: union in-text FDE start addresses
+// (minus landing pads) into the candidate set, then — when tail-call
+// selection is on — re-run SELECTTAILCALL over the enlarged set and keep
+// only the extra tail targets that are not strictly interior to an FDE
+// coverage interval (an interior "target" belongs to an already-known
+// function) and not landing pads. Both steps are purely additive.
+func fuseEH(actx *analysis.Context, bin *elfx.Binary, sw *analysis.Sweep, opts Options,
+	report *Report, candidates, tailSet, landingPads map[uint64]bool) {
+	ix, err := actx.FDEIndex()
+	if err != nil {
+		// Same degradation contract as FILTERENDBR: corrupt exception
+		// metadata must not abort identification, and the caller must be
+		// able to tell fused from fell-back.
+		report.Warnings = append(report.Warnings,
+			"exception metadata unreadable, EH fusion disabled: "+err.Error())
+		return
+	}
+	if !opts.FilterEndbr {
+		// The filter stage did not materialize the landing-pad set; the
+		// fusion stage still needs it (an FDE never *starts* at a pad,
+		// but guard against hand-built metadata that says otherwise).
+		if pads, err := actx.LandingPads(); err == nil {
+			landingPads = pads
+		}
+	}
+	// On a CET binary every real entry the fusion could add is a
+	// marker-less function nothing references (the dead-static miss
+	// class); an FDE start that IS a direct jump target there is a
+	// .cold/.part fragment split out of its parent, and fusing it would
+	// trade the recall win for a precision loss. On marker-free
+	// binaries the distinction is unavailable — tail-called functions
+	// are legitimately jump targets — so every FDE start counts.
+	cet := len(sw.Endbrs) > 0
+	for _, start := range ix.Starts {
+		if landingPads[start] || candidates[start] {
+			continue
+		}
+		if cet && sw.JumpTargetSet[start] {
+			continue
+		}
+		candidates[start] = true
+		report.FusedFDEEntries++
+	}
+	if opts.UseJumpTargets && opts.SelectTailCall && report.FusedFDEEntries > 0 {
+		tailStart := time.Now()
+		tails := selectTailCalls(bin, sw.JumpRefs, candidates, opts.TailBoundaryOnly)
+		actx.ObserveTailCall(time.Since(tailStart))
+		for t := range tails {
+			if candidates[t] || tailSet[t] || landingPads[t] || ix.Interior(t) {
+				continue
+			}
+			tailSet[t] = true
+			candidates[t] = true
+		}
+	}
 }
 
 // IdentifyFile loads the ELF at path and runs the full algorithm.

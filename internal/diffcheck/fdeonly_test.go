@@ -1,0 +1,223 @@
+package diffcheck
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/funseeker/funseeker/internal/core"
+	"github.com/funseeker/funseeker/internal/elfx"
+	"github.com/funseeker/funseeker/internal/synth"
+	"github.com/funseeker/funseeker/internal/x86"
+)
+
+// fdeOnlySpec is a fixed program with every function role configuration
+// ⑤ must carry on a no-CET binary: a live exported entry, a static
+// helper reachable only by direct call, a dead static function (no
+// references at all — only its FDE betrays it), a tail-only target, and
+// a C++ function with landing pads (FDE + LSDA).
+func fdeOnlySpec() *ProgSpec {
+	return &ProgSpec{
+		Name: "fde_only",
+		Lang: synth.LangCPP,
+		Seed: 11,
+		Funcs: []synth.FuncSpec{
+			{Name: "main", BodySize: 5, Calls: []int{1}, TailCalls: []int{3}},
+			{Name: "helper", Static: true, BodySize: 4, Calls: []int{4}},
+			{Name: "dead_static", Static: true, Dead: true, BodySize: 3},
+			{Name: "tail_only", Static: true, BodySize: 3},
+			{Name: "thrower", BodySize: 4, HasEH: true, NumLandingPads: 2,
+				CallsPLT: []string{"__cxa_throw"}},
+		},
+	}
+}
+
+// fdeOnlyConfigs are the no-CET builds whose toolchains emit an FDE for
+// every function (GCC both modes, Clang 64-bit) — the workload where
+// configuration ⑤'s FDE evidence must carry full recovery on its own.
+func fdeOnlyConfigs() []Config {
+	var out []Config
+	for _, base := range []Config{
+		{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2, PIE: true},
+		{Compiler: synth.GCC, Mode: x86.Mode32, Opt: synth.O0},
+		{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.Os},
+		{Compiler: synth.Clang, Mode: x86.Mode64, Opt: synth.O2},
+		{Compiler: synth.Clang, Mode: x86.Mode64, Opt: synth.O3, PIE: true},
+	} {
+		base.NoCET = true
+		out = append(out, base)
+	}
+	return out
+}
+
+// TestFDEOnlyRecall: on stripped no-CET binaries from full-FDE
+// toolchains, configurations ①–④ recover essentially nothing beyond
+// direct-call targets (E = ∅), RequireCET rejects the binary outright,
+// and configuration ⑤ recovers every ground-truth function from the
+// exception metadata alone — recall 1.0, far above the ≥ 0.9 the
+// acceptance bar asks for.
+func TestFDEOnlyRecall(t *testing.T) {
+	for _, cfg := range fdeOnlyConfigs() {
+		t.Run(cfg.String(), func(t *testing.T) {
+			spec := fdeOnlySpec()
+			res, err := synth.Compile(spec, cfg)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			bin, err := elfx.Load(res.Stripped)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+
+			// The binary really is marker-free.
+			rep1, err := core.Identify(bin, core.Config1)
+			if err != nil {
+				t.Fatalf("config 1: %v", err)
+			}
+			if len(rep1.Endbrs) != 0 {
+				t.Fatalf("no-CET binary swept %d end branches", len(rep1.Endbrs))
+			}
+
+			// Configurations ①–④ with RequireCET reject it loudly.
+			for i, opts := range []core.Options{core.Config1, core.Config2, core.Config3, core.Config4} {
+				opts.RequireCET = true
+				if _, err := core.Identify(bin, opts); !errors.Is(err, core.ErrNotCET) {
+					t.Fatalf("config %d + RequireCET: err = %v, want ErrNotCET", i+1, err)
+				}
+			}
+
+			// Without the gate they only see direct-call targets.
+			rep4, err := core.Identify(bin, core.Config4)
+			if err != nil {
+				t.Fatalf("config 4: %v", err)
+			}
+			for _, e := range rep4.Entries {
+				if !member(rep4.CallTargets, e) {
+					t.Errorf("config 4 entry %#x is not a direct-call target — markerless recovery should be impossible", e)
+				}
+			}
+
+			// Configuration ⑤ recovers the full ground truth from FDEs.
+			rep5, err := core.Identify(bin, core.Config5)
+			if err != nil {
+				t.Fatalf("config 5: %v", err)
+			}
+			var missed []string
+			for _, f := range res.GT.Funcs {
+				if !member(rep5.Entries, f.Addr) {
+					missed = append(missed, f.Name)
+				}
+			}
+			if len(missed) > 0 {
+				t.Errorf("config 5 missed %v (recall %d/%d, want 1.0)",
+					missed, len(res.GT.Funcs)-len(missed), len(res.GT.Funcs))
+			}
+			if rep5.FusedFDEEntries == 0 {
+				t.Error("config 5 reports zero fused FDE entries on an FDE-only binary")
+			}
+			if missing := firstNotIn(rep4.Entries, rep5.Entries); missing != 0 {
+				t.Errorf("config 4 entry %#x absent from config 5", missing)
+			}
+			if len(rep5.Warnings) != 0 {
+				t.Errorf("unexpected warnings: %v", rep5.Warnings)
+			}
+		})
+	}
+}
+
+// TestFDEOnlyClang32: Clang 32-bit emits FDEs only for functions that
+// need exception handling, so configuration ⑤'s recall legitimately
+// degrades there — but it must still find every EH function and stay a
+// superset of configuration ④. This pins the documented asymmetry
+// rather than papering over it.
+func TestFDEOnlyClang32(t *testing.T) {
+	cfg := Config{Compiler: synth.Clang, Mode: x86.Mode32, Opt: synth.O2, NoCET: true}
+	spec := fdeOnlySpec()
+	res, err := synth.Compile(spec, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	bin, err := elfx.Load(res.Stripped)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rep4, err := core.Identify(bin, core.Config4)
+	if err != nil {
+		t.Fatalf("config 4: %v", err)
+	}
+	rep5, err := core.Identify(bin, core.Config5)
+	if err != nil {
+		t.Fatalf("config 5: %v", err)
+	}
+	if missing := firstNotIn(rep4.Entries, rep5.Entries); missing != 0 {
+		t.Errorf("config 4 entry %#x absent from config 5", missing)
+	}
+	for _, f := range res.GT.Funcs {
+		if f.Name == "thrower" && !member(rep5.Entries, f.Addr) {
+			t.Errorf("config 5 missed EH function %s at %#x", f.Name, f.Addr)
+		}
+	}
+}
+
+// TestFDEOnlyDiffcheckBattery runs the full differential oracle over a
+// spread of explicitly no-CET random cases, so the config-⑤ and
+// RequireCET invariants are exercised on FDE-only binaries every run
+// regardless of what the probabilistic generator draws.
+func TestFDEOnlyDiffcheckBattery(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	opts := DefaultGenOptions()
+	opts.NoCETProb = 1.0 // every case is a no-CET build
+	for seed := int64(1); seed <= int64(n); seed++ {
+		res := CheckSeed(seed, opts)
+		if res.Failed() {
+			t.Fatalf("%s", res)
+		}
+		if !res.Config.NoCET {
+			t.Fatalf("seed %d: NoCETProb=1 drew a CET build %s", seed, res.Config)
+		}
+	}
+}
+
+// TestConfig5CETSuperset: on CET binaries configuration ⑤ must equal or
+// grow configuration ④ — and the dead static function (the paper's
+// dominant miss class) is exactly what the FDE evidence adds back.
+func TestConfig5CETSuperset(t *testing.T) {
+	spec := fdeOnlySpec()
+	cfg := Config{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2} // CET build
+	res, err := synth.Compile(spec, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	bin, err := elfx.Load(res.Stripped)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	rep4, err := core.Identify(bin, core.Config4)
+	if err != nil {
+		t.Fatalf("config 4: %v", err)
+	}
+	rep5, err := core.Identify(bin, core.Config5)
+	if err != nil {
+		t.Fatalf("config 5: %v", err)
+	}
+	if missing := firstNotIn(rep4.Entries, rep5.Entries); missing != 0 {
+		t.Fatalf("config 4 entry %#x absent from config 5", missing)
+	}
+	var dead uint64
+	for _, f := range res.GT.Funcs {
+		if f.Name == "dead_static" {
+			dead = f.Addr
+		}
+	}
+	if dead == 0 {
+		t.Fatal("ground truth lost dead_static")
+	}
+	if member(rep4.Entries, dead) {
+		t.Fatal("config 4 unexpectedly found the dead static function (test premise broken)")
+	}
+	if !member(rep5.Entries, dead) {
+		t.Error("config 5 did not recover the dead static function from its FDE")
+	}
+}

@@ -27,11 +27,17 @@ type GenOptions struct {
 	DataInText float64
 	// ManualEndbrProb is the probability the build uses -mmanual-endbr.
 	ManualEndbrProb float64
+	// NoCETProb is the probability the build runs without -fcf-protection
+	// (synth.Config.NoCET): no end branches anywhere, EH metadata intact.
+	// These are the FDE-only cases that exercise configuration ⑤'s
+	// degraded path and the RequireCET gate. Mutually exclusive with
+	// ManualEndbr — NoCET wins the draw.
+	NoCETProb float64
 }
 
 // DefaultGenOptions is the mix used by tests and cmd/diffdrill.
 func DefaultGenOptions() GenOptions {
-	return GenOptions{MinFuncs: 4, MaxFuncs: 48, DataInText: 0.04, ManualEndbrProb: 0.06}
+	return GenOptions{MinFuncs: 4, MaxFuncs: 48, DataInText: 0.04, ManualEndbrProb: 0.06, NoCETProb: 0.10}
 }
 
 func (o *GenOptions) fill() {
@@ -77,6 +83,10 @@ func genConfig(rng *rand.Rand, opts GenOptions) Config {
 	}
 	if rng.Float64() < opts.ManualEndbrProb {
 		cfg.ManualEndbr = true
+	}
+	if rng.Float64() < opts.NoCETProb {
+		cfg.ManualEndbr = false
+		cfg.NoCET = true
 	}
 	return cfg
 }

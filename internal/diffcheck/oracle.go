@@ -1,6 +1,7 @@
 package diffcheck
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"slices"
@@ -64,13 +65,22 @@ func CheckSpec(spec *ProgSpec, cfg Config) (vs []Violation) {
 		reports[i] = rep
 		c.checkReportShape(fmt.Sprintf("config %d", i+1), rep, bin)
 	}
+	// Configuration ⑤ (EH fusion) through the same shared context.
+	rep5, err := core.IdentifyWithContext(ctx, core.Config5)
+	if err != nil {
+		c.addf("identify", "config 5: %v", err)
+		return c.vs
+	}
+	c.checkReportShape("config 5", rep5, bin)
 	c.checkDifferentials(bin, full, ctx, reports)
 	c.checkNesting(reports)
+	c.checkConfig5(ctx, cfg, reports[3], rep5)
+	c.checkRequireCET(ctx, cfg, reports, rep5)
 	supEntries := c.checkSuperset(ctx, reports[3], hasData)
 	if !hasData {
 		c.checkEndbrExactness(reports[0], gt)
 		c.checkFilterCounts(reports, gt)
-		c.checkEntrySets(reports, supEntries, gt)
+		c.checkEntrySets(reports, rep5, supEntries, gt)
 		c.checkClassification(ctx, gt)
 	}
 	c.checkBaselines(ctx, bin)
@@ -172,6 +182,84 @@ func (c *checker) checkNesting(reports []*core.Report) {
 	}
 }
 
+// checkConfig5 asserts the EH-fusion contract of configuration ⑤:
+// it is a superset of configuration ④ by construction, every in-text
+// FDE start is recovered (on no-CET binaries this IS the detection —
+// the FDE+LSDA evidence alone must carry it; on CET binaries FDE
+// starts that are direct jump targets are treated as split-out
+// fragments and may be skipped), the reported fused-entry count is
+// consistent with the entry-set growth, and configurations without
+// FuseEH never report fused entries.
+func (c *checker) checkConfig5(ctx *analysis.Context, cfg Config, rep4, rep5 *core.Report) {
+	if missing := firstNotIn(rep4.Entries, rep5.Entries); missing != 0 {
+		c.addf("config-nesting", "config 4 entry %#x absent from config 5", missing)
+	}
+	ix, err := ctx.FDEIndex()
+	if err != nil {
+		c.addf("identify", "FDE index: %v", err)
+		return
+	}
+	cet := len(rep4.Endbrs) > 0
+	for _, s := range ix.Starts {
+		if cet && member(rep4.JumpTargets, s) {
+			continue // fragment heuristic: jump-target FDE starts are skippable on CET binaries
+		}
+		if !member(rep5.Entries, s) {
+			c.addf("eh-fusion", "in-text FDE start %#x missed by config 5", s)
+		}
+	}
+	if grown := len(rep5.Entries) - len(rep4.Entries); grown < rep5.FusedFDEEntries {
+		c.addf("eh-fusion", "config 5 grew the entry set by %d but reports %d fused FDE starts",
+			grown, rep5.FusedFDEEntries)
+	}
+	if rep4.FusedFDEEntries != 0 {
+		c.addf("eh-fusion", "config 4 reports %d fused FDE entries, want 0", rep4.FusedFDEEntries)
+	}
+	if cfg.NoCET {
+		if len(rep5.Entries) == 0 && len(ix.Starts) > 0 {
+			c.addf("eh-fusion", "config 5 found nothing on a no-CET binary with %d FDE starts",
+				len(ix.Starts))
+		}
+		if len(rep5.Endbrs) != 0 {
+			c.addf("eh-fusion", "no-CET binary swept %d end branches, want 0", len(rep5.Endbrs))
+		}
+	}
+}
+
+// checkRequireCET asserts the CET gate is orthogonal to fusion: with
+// RequireCET set every configuration — including ⑤, whose gate fires
+// before the fusion stage — errors with ErrNotCET exactly when the
+// sweep found no end branch (no-CET builds, or manual-endbr builds with
+// nothing address-taken), and identifies exactly as its ungated twin
+// otherwise.
+func (c *checker) checkRequireCET(ctx *analysis.Context, cfg Config, reports []*core.Report, rep5 *core.Report) {
+	gated := append(slices.Clone(fourConfigs), core.Config5)
+	ungated := append(slices.Clone(reports), rep5)
+	wantGate := len(reports[0].Endbrs) == 0
+	if cfg.NoCET && !wantGate {
+		c.addf("require-cet", "no-CET build swept %d end branches", len(reports[0].Endbrs))
+	}
+	for i, opts := range gated {
+		opts.RequireCET = true
+		rep, err := core.IdentifyWithContext(ctx, opts)
+		if wantGate {
+			if !errors.Is(err, core.ErrNotCET) {
+				c.addf("require-cet", "config %d + RequireCET on marker-free binary: err = %v, want ErrNotCET",
+					i+1, err)
+			}
+			continue
+		}
+		if err != nil {
+			c.addf("require-cet", "config %d + RequireCET on CET binary: %v", i+1, err)
+			continue
+		}
+		if !slices.Equal(rep.Entries, ungated[i].Entries) {
+			c.addf("require-cet", "config %d + RequireCET changed the entry set: %s",
+				i+1, diffSummary(ungated[i].Entries, rep.Entries))
+		}
+	}
+}
+
 // checkSuperset runs configuration ④ with the byte-level end-branch scan
 // and asserts it is a conservative extension: E and the entry set only
 // grow. On binaries without inline data the scan must find exactly the
@@ -246,7 +334,7 @@ func (c *checker) checkFilterCounts(reports []*core.Report, gt *groundtruth.GT) 
 // Spurious entries must be .cold/.part fragments — except configuration
 // ①, which may also report the unfiltered non-entry end branches, and
 // configuration ③, which reports every direct jump target by design.
-func (c *checker) checkEntrySets(reports []*core.Report, supEntries []uint64, gt *groundtruth.GT) {
+func (c *checker) checkEntrySets(reports []*core.Report, rep5 *core.Report, supEntries []uint64, gt *groundtruth.GT) {
 	truth := gt.Entries()
 	parts := make(map[uint64]bool, len(gt.PartBlocks))
 	for _, p := range gt.PartBlocks {
@@ -294,6 +382,7 @@ func (c *checker) checkEntrySets(reports []*core.Report, supEntries []uint64, gt
 	checkOne("config 2", reports[1].Entries, nil)
 	checkOne("config 3", reports[2].Entries, jumpTargets)
 	checkOne("config 4", reports[3].Entries, nil)
+	checkOne("config 5", rep5.Entries, nil)
 	if supEntries != nil {
 		checkOne("config 4+superset", supEntries, nil)
 	}
@@ -439,6 +528,9 @@ func (c *checker) checkStats(ctx *analysis.Context, bin *elfx.Binary) {
 	}
 	if st.Superset.Computes > 1 {
 		c.addf("stats", "superset scan ran %d times, want at most 1", st.Superset.Computes)
+	}
+	if st.FDEIndex.Computes != 1 {
+		c.addf("stats", "FDE index built %d times across the battery, want exactly 1", st.FDEIndex.Computes)
 	}
 }
 

@@ -41,6 +41,7 @@ type ConfigJSON struct {
 	PIE         bool   `json:"pie"`
 	Opt         string `json:"opt"`
 	ManualEndbr bool   `json:"manual_endbr,omitempty"`
+	NoCET       bool   `json:"no_cet,omitempty"`
 }
 
 // EncodeConfig converts a synth configuration to its serialized form.
@@ -51,12 +52,13 @@ func EncodeConfig(cfg Config) ConfigJSON {
 		PIE:         cfg.PIE,
 		Opt:         cfg.Opt.String(),
 		ManualEndbr: cfg.ManualEndbr,
+		NoCET:       cfg.NoCET,
 	}
 }
 
 // Decode converts the serialized configuration back to synth's form.
 func (c ConfigJSON) Decode() (Config, error) {
-	out := Config{PIE: c.PIE, ManualEndbr: c.ManualEndbr, Mode: x86.Mode(c.Mode)}
+	out := Config{PIE: c.PIE, ManualEndbr: c.ManualEndbr, NoCET: c.NoCET, Mode: x86.Mode(c.Mode)}
 	switch c.Compiler {
 	case "gcc":
 		out.Compiler = synth.GCC

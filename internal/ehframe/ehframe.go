@@ -91,17 +91,42 @@ type cieInfo struct {
 	fdeEnc  byte
 	lsdaEnc byte
 	hasL    bool
+	// skipFDEs marks a CIE whose FDE pointer encoding could not be
+	// determined (an unrecognized augmentation character appeared before
+	// 'R'): its FDEs cannot be decoded and are dropped with a warning.
+	skipFDEs bool
 }
 
 // Parse decodes every FDE in the section. sectionVA is the virtual address
 // the section is mapped at (needed for pcrel pointers) and ptrSize is the
 // architecture pointer size in bytes (4 or 8).
+//
+// Unrecognized CIE augmentation characters do not fail the parse: the 'z'
+// augmentation-data length makes unknown trailing entries skippable, so
+// the affected CIE is degraded (see ParseWithWarnings) rather than
+// dropping every FDE in the section.
 func Parse(data []byte, sectionVA uint64, ptrSize int) ([]FDE, error) {
+	fdes, _, err := ParseWithWarnings(data, sectionVA, ptrSize)
+	return fdes, err
+}
+
+// ParseWithWarnings is Parse plus the list of non-fatal degradations the
+// parser applied. Today these are all CIE-augmentation downgrades: a CIE
+// with an augmentation character the parser does not recognize stops
+// interpreting its augmentation data there (the 'z' length field bounds
+// it), and — when the unknown character precedes 'R', leaving the FDE
+// pointer encoding unknowable — that one CIE's FDEs are skipped instead
+// of failing the whole section. A well-formed GCC/Clang section produces
+// no warnings.
+func ParseWithWarnings(data []byte, sectionVA uint64, ptrSize int) ([]FDE, []string, error) {
 	if ptrSize != 4 && ptrSize != 8 {
-		return nil, fmt.Errorf("ehframe: bad pointer size %d", ptrSize)
+		return nil, nil, fmt.Errorf("ehframe: bad pointer size %d", ptrSize)
 	}
 	var fdes []FDE
+	var warns []string
 	cies := make(map[uint64]cieInfo)
+	skipped := make(map[uint64]int) // CIE offset -> FDEs dropped
+	var skippedOrder []uint64       // first-skip order, for deterministic warnings
 	off := uint64(0)
 	for off+4 <= uint64(len(data)) {
 		length := uint64(binary.LittleEndian.Uint32(data[off:]))
@@ -109,57 +134,74 @@ func Parse(data []byte, sectionVA uint64, ptrSize int) ([]FDE, error) {
 			break // terminator
 		}
 		if length == 0xFFFFFFFF {
-			return nil, fmt.Errorf("%w: 64-bit DWARF length not supported", ErrUnsupportedEncoding)
+			return nil, warns, fmt.Errorf("%w: 64-bit DWARF length not supported", ErrUnsupportedEncoding)
 		}
 		entryStart := off + 4
 		entryEnd := entryStart + length
 		if entryEnd > uint64(len(data)) {
-			return nil, fmt.Errorf("%w: entry at %#x overruns section", ErrMalformed, off)
+			return nil, warns, fmt.Errorf("%w: entry at %#x overruns section", ErrMalformed, off)
 		}
 		body := data[entryStart:entryEnd]
 		if len(body) < 4 {
-			return nil, fmt.Errorf("%w: entry at %#x too short", ErrMalformed, off)
+			return nil, warns, fmt.Errorf("%w: entry at %#x too short", ErrMalformed, off)
 		}
 		id := binary.LittleEndian.Uint32(body)
 		if id == 0 {
-			info, err := parseCIE(body[4:])
+			info, warn, err := parseCIE(body[4:])
 			if err != nil {
-				return nil, fmt.Errorf("CIE at %#x: %w", off, err)
+				return nil, warns, fmt.Errorf("CIE at %#x: %w", off, err)
+			}
+			if warn != "" {
+				warns = append(warns, fmt.Sprintf("CIE at %#x: %s", off, warn))
 			}
 			cies[off] = info
 		} else {
 			ciePos := entryStart - uint64(id)
 			info, ok := cies[ciePos]
 			if !ok {
-				return nil, fmt.Errorf("%w: FDE at %#x references unknown CIE %#x", ErrMalformed, off, ciePos)
+				return nil, warns, fmt.Errorf("%w: FDE at %#x references unknown CIE %#x", ErrMalformed, off, ciePos)
+			}
+			if info.skipFDEs {
+				if skipped[ciePos] == 0 {
+					skippedOrder = append(skippedOrder, ciePos)
+				}
+				skipped[ciePos]++
+				off = entryEnd
+				continue
 			}
 			fde, err := parseFDE(body[4:], info, sectionVA+entryStart+4, ptrSize)
 			if err != nil {
-				return nil, fmt.Errorf("FDE at %#x: %w", off, err)
+				return nil, warns, fmt.Errorf("FDE at %#x: %w", off, err)
 			}
 			fdes = append(fdes, fde)
 		}
 		off = entryEnd
 	}
-	return fdes, nil
+	for _, cieOff := range skippedOrder {
+		warns = append(warns, fmt.Sprintf("skipped %d FDE(s) of CIE at %#x: FDE pointer encoding unknown", skipped[cieOff], cieOff))
+	}
+	return fdes, warns, nil
 }
 
 // parseCIE extracts the pointer encodings from a CIE body (after the ID).
-func parseCIE(body []byte) (cieInfo, error) {
+// The warning return is non-empty when the CIE parsed but was degraded
+// (unknown augmentation character); it is a fragment suitable for
+// prefixing with the CIE's section offset.
+func parseCIE(body []byte) (cieInfo, string, error) {
 	r := leb128.NewReader(body)
 	version, err := r.Byte()
 	if err != nil {
-		return cieInfo{}, err
+		return cieInfo{}, "", err
 	}
 	if version != 1 && version != 3 {
-		return cieInfo{}, fmt.Errorf("%w: CIE version %d", ErrUnsupportedEncoding, version)
+		return cieInfo{}, "", fmt.Errorf("%w: CIE version %d", ErrUnsupportedEncoding, version)
 	}
 	// Augmentation string, NUL-terminated.
 	var aug []byte
 	for {
 		b, err := r.Byte()
 		if err != nil {
-			return cieInfo{}, err
+			return cieInfo{}, "", err
 		}
 		if b == 0 {
 			break
@@ -167,65 +209,80 @@ func parseCIE(body []byte) (cieInfo, error) {
 		aug = append(aug, b)
 	}
 	if _, err := r.Uleb(); err != nil { // code alignment factor
-		return cieInfo{}, err
+		return cieInfo{}, "", err
 	}
 	if _, err := r.Sleb(); err != nil { // data alignment factor
-		return cieInfo{}, err
+		return cieInfo{}, "", err
 	}
 	// Return-address register: byte in v1, ULEB in v3.
 	if version == 1 {
 		if _, err := r.Byte(); err != nil {
-			return cieInfo{}, err
+			return cieInfo{}, "", err
 		}
 	} else {
 		if _, err := r.Uleb(); err != nil {
-			return cieInfo{}, err
+			return cieInfo{}, "", err
 		}
 	}
 	info := cieInfo{fdeEnc: EncAbsPtr}
 	if len(aug) == 0 || aug[0] != 'z' {
-		return info, nil
+		return info, "", nil
 	}
 	augLen, err := r.Uleb()
 	if err != nil {
-		return cieInfo{}, err
+		return cieInfo{}, "", err
 	}
 	augData, err := r.Bytes(int(augLen))
 	if err != nil {
-		return cieInfo{}, err
+		return cieInfo{}, "", err
 	}
 	ar := leb128.NewReader(augData)
+	var warn string
+	seenR := false
 	for _, c := range aug[1:] {
+		if warn != "" {
+			break
+		}
 		switch c {
 		case 'R':
 			enc, err := ar.Byte()
 			if err != nil {
-				return cieInfo{}, err
+				return cieInfo{}, "", err
 			}
 			info.fdeEnc = enc
+			seenR = true
 		case 'L':
 			enc, err := ar.Byte()
 			if err != nil {
-				return cieInfo{}, err
+				return cieInfo{}, "", err
 			}
 			info.lsdaEnc = enc
 			info.hasL = true
 		case 'P':
 			enc, err := ar.Byte()
 			if err != nil {
-				return cieInfo{}, err
+				return cieInfo{}, "", err
 			}
 			// Skip the personality pointer; its size follows from enc.
 			if _, err := skipEncoded(ar, enc); err != nil {
-				return cieInfo{}, err
+				return cieInfo{}, "", err
 			}
 		case 'S', 'B':
 			// Signal frame / ARM B-key markers: no data.
 		default:
-			return cieInfo{}, fmt.Errorf("%w: augmentation %q", ErrUnsupportedEncoding, string(c))
+			// Unknown augmentation character. Its augmentation-data
+			// layout is unknowable, so stop interpreting augData here —
+			// the 'z' length already bounded it, so the CIE body is
+			// still well framed. Without 'R' the FDE pointer encoding
+			// is unknown too, making this CIE's FDEs undecodable.
+			warn = fmt.Sprintf("unrecognized augmentation %q in %q, remaining augmentation data ignored", string(c), string(aug))
+			if !seenR {
+				info.skipFDEs = true
+				warn += "; FDE pointer encoding unknown, its FDEs will be skipped"
+			}
 		}
 	}
-	return info, nil
+	return info, warn, nil
 }
 
 // parseFDE decodes one FDE body. fieldVA is the virtual address of the

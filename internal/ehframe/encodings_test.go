@@ -2,6 +2,7 @@ package ehframe
 
 import (
 	"encoding/binary"
+	"strings"
 	"testing"
 
 	"github.com/funseeker/funseeker/internal/leb128"
@@ -130,11 +131,83 @@ func TestParseSignalFrameAugmentation(t *testing.T) {
 	}
 }
 
-func TestParseUnknownAugmentationFails(t *testing.T) {
+func TestParseUnknownAugmentationWarns(t *testing.T) {
+	// A lone CIE with an unknown augmentation character must not fail
+	// the parse; it degrades with a warning.
 	sec := buildCIE("zQ", []byte{0x00})
 	sec = terminate(sec)
-	if _, err := Parse(sec, 0, 8); err == nil {
-		t.Fatal("want error for unknown augmentation")
+	fdes, warns, err := ParseWithWarnings(sec, 0, 8)
+	if err != nil {
+		t.Fatalf("ParseWithWarnings: %v", err)
+	}
+	if len(fdes) != 0 {
+		t.Fatalf("fdes = %+v, want none", fdes)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], `augmentation "Q"`) {
+		t.Fatalf("warns = %q, want one unknown-augmentation warning", warns)
+	}
+}
+
+func TestParseUnknownAugmentationAfterR(t *testing.T) {
+	// "zRQ": 'R' is read before the unknown 'Q', so the FDE pointer
+	// encoding is known and the CIE's FDEs still decode.
+	sec := buildCIE("zRQ", []byte{EncUData4, 0xAA})
+	var fields []byte
+	fields = binary.LittleEndian.AppendUint32(fields, 0x8049000)
+	fields = binary.LittleEndian.AppendUint32(fields, 0x30)
+	fields = append(fields, 0)
+	sec = appendFDE(sec, 0, fields)
+	sec = terminate(sec)
+	fdes, warns, err := ParseWithWarnings(sec, 0, 4)
+	if err != nil {
+		t.Fatalf("ParseWithWarnings: %v", err)
+	}
+	if len(fdes) != 1 || fdes[0].PCBegin != 0x8049000 || fdes[0].PCRange != 0x30 {
+		t.Fatalf("fdes = %+v", fdes)
+	}
+	if len(warns) != 1 {
+		t.Fatalf("warns = %q, want one", warns)
+	}
+}
+
+func TestParseUnknownAugmentationBeforeR(t *testing.T) {
+	// "zQR": the unknown 'Q' precedes 'R', so that CIE's FDE pointer
+	// encoding is unknowable and its FDEs are skipped — but a healthy
+	// CIE later in the same section keeps all of its FDEs. One exotic
+	// CIE must never drop the whole section's EH info.
+	sec := buildCIE("zQR", []byte{0xAA, EncUData4})
+	var badFields []byte
+	badFields = binary.LittleEndian.AppendUint32(badFields, 0x8049000)
+	badFields = binary.LittleEndian.AppendUint32(badFields, 0x30)
+	badFields = append(badFields, 0)
+	sec = appendFDE(sec, 0, badFields)
+
+	goodCIEOff := len(sec)
+	sec = append(sec, buildCIE("zR", []byte{EncUData4})...)
+	var goodFields []byte
+	goodFields = binary.LittleEndian.AppendUint32(goodFields, 0x804a000)
+	goodFields = binary.LittleEndian.AppendUint32(goodFields, 0x50)
+	goodFields = append(goodFields, 0)
+	sec = appendFDE(sec, goodCIEOff, goodFields)
+	sec = terminate(sec)
+
+	fdes, warns, err := ParseWithWarnings(sec, 0, 4)
+	if err != nil {
+		t.Fatalf("ParseWithWarnings: %v", err)
+	}
+	if len(fdes) != 1 || fdes[0].PCBegin != 0x804a000 || fdes[0].PCRange != 0x50 {
+		t.Fatalf("fdes = %+v, want only the healthy CIE's FDE", fdes)
+	}
+	if len(warns) != 2 {
+		t.Fatalf("warns = %q, want CIE downgrade + skipped-FDE warnings", warns)
+	}
+	if !strings.Contains(warns[1], "skipped 1 FDE") {
+		t.Fatalf("warns[1] = %q, want skipped-FDE count", warns[1])
+	}
+	// The plain Parse wrapper sees the same FDE list, no error.
+	plain, err := Parse(sec, 0, 4)
+	if err != nil || len(plain) != 1 {
+		t.Fatalf("Parse = %+v, %v", plain, err)
 	}
 }
 

@@ -15,6 +15,18 @@ func buildSeed(ptrSize int, withLSDA bool) []byte {
 	return b.Bytes()
 }
 
+// buildUnknownAugSeed assembles a section mixing a CIE with an unknown
+// augmentation character ("zQR", FDEs undecodable) and a healthy "zR"
+// CIE with one FDE — the shape the skip-and-warn path degrades on.
+func buildUnknownAugSeed() []byte {
+	sec := buildCIE("zQR", []byte{0xAA, EncUData4})
+	sec = appendFDE(sec, 0, []byte{0x00, 0x90, 0x04, 0x08, 0x30, 0x00, 0x00, 0x00, 0x00})
+	goodOff := len(sec)
+	sec = append(sec, buildCIE("zR", []byte{EncUData4})...)
+	sec = appendFDE(sec, goodOff, []byte{0x00, 0xa0, 0x04, 0x08, 0x50, 0x00, 0x00, 0x00, 0x00})
+	return terminate(sec)
+}
+
 // FuzzParse feeds arbitrary bytes to the .eh_frame parser. Malformed
 // input must produce an error or a truncated FDE list — never a panic —
 // and any FDE that is returned must have a sane range.
@@ -25,6 +37,9 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte{}, 8)
 	f.Add([]byte{0, 0, 0, 0}, 8)                            // lone terminator
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5}, 8) // bogus length
+	// Unknown augmentation characters: degraded parse, not an error.
+	f.Add(terminate(buildCIE("zQ", []byte{0x00})), 8)
+	f.Add(buildUnknownAugSeed(), 4)
 	f.Fuzz(func(t *testing.T, data []byte, ptrSize int) {
 		if ptrSize != 4 && ptrSize != 8 {
 			ptrSize = 8

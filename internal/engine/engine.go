@@ -181,11 +181,11 @@ type Engine struct {
 	storePuts     atomic.Uint64
 	storeErrors   atomic.Uint64
 	storeInjected atomic.Uint64
-	misses      atomic.Uint64
-	coalesced   atomic.Uint64
-	canceled    atomic.Uint64
-	failures    atomic.Uint64
-	bytesIn     atomic.Uint64
+	misses        atomic.Uint64
+	coalesced     atomic.Uint64
+	canceled      atomic.Uint64
+	failures      atomic.Uint64
+	bytesIn       atomic.Uint64
 
 	met *engineMetrics
 
@@ -239,6 +239,9 @@ func optsBits(o core.Options) uint8 {
 	}
 	if o.RequireCET {
 		b |= 1 << 5
+	}
+	if o.FuseEH {
+		b |= 1 << 6
 	}
 	return b
 }

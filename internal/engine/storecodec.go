@@ -57,6 +57,7 @@ type storedResult struct {
 
 	FilteredIndirectReturn int      `json:"filtered_indirect_return,omitempty"`
 	FilteredLandingPads    int      `json:"filtered_landing_pads,omitempty"`
+	FusedFDEEntries        int      `json:"fused_fde_entries,omitempty"`
 	Warnings               []string `json:"warnings,omitempty"`
 
 	SHA256      string `json:"sha256"`
@@ -76,6 +77,7 @@ func encodeStoredResult(res *Result) ([]byte, error) {
 		TailCallTargets:        r.TailCallTargets,
 		FilteredIndirectReturn: r.FilteredIndirectReturn,
 		FilteredLandingPads:    r.FilteredLandingPads,
+		FusedFDEEntries:        r.FusedFDEEntries,
 		Warnings:               r.Warnings,
 		SHA256:                 res.SHA256,
 		BinaryBytes:            res.BinaryBytes,
@@ -106,6 +108,7 @@ func decodeStoredResult(val []byte) (*Result, error) {
 			TailCallTargets:        sr.TailCallTargets,
 			FilteredIndirectReturn: sr.FilteredIndirectReturn,
 			FilteredLandingPads:    sr.FilteredLandingPads,
+			FusedFDEEntries:        sr.FusedFDEEntries,
 			Warnings:               sr.Warnings,
 		},
 		SHA256:      sr.SHA256,

@@ -9,7 +9,7 @@ import (
 	"github.com/funseeker/funseeker/internal/x86"
 )
 
-// TestSharedContextSingleSweep runs the full tool×config matrix — four
+// TestSharedContextSingleSweep runs the full tool×config matrix — five
 // FunSeeker configurations, IDA, Ghidra, FETCH, plus the Table I and
 // Figure 3 studies — and asserts on the analysis.Stats counters that each
 // binary was linearly swept exactly once and its .eh_frame parsed at most
@@ -34,11 +34,11 @@ func TestSharedContextSingleSweep(t *testing.T) {
 	if st.Sweep.Computes != n {
 		t.Errorf("linear sweeps = %d over %d binaries, want exactly one per binary", st.Sweep.Computes, n)
 	}
-	// Sweep consumers per binary: the 4 FunSeeker configurations, the IDA
+	// Sweep consumers per binary: the 5 FunSeeker configurations, the IDA
 	// code-reference scan, the FETCH jump scan, and the two studies — all
 	// but the first must be cache hits.
-	if st.Sweep.Hits < 7*n {
-		t.Errorf("sweep cache hits = %d, want >= %d (7 per binary)", st.Sweep.Hits, 7*n)
+	if st.Sweep.Hits < 8*n {
+		t.Errorf("sweep cache hits = %d, want >= %d (8 per binary)", st.Sweep.Hits, 8*n)
 	}
 	if st.EHParse.Computes > n {
 		t.Errorf(".eh_frame parses = %d over %d binaries, want at most one per binary", st.EHParse.Computes, n)
@@ -50,12 +50,16 @@ func TestSharedContextSingleSweep(t *testing.T) {
 		t.Errorf("landing-pad joins = %d, want exactly one per binary", st.LandingPad.Computes)
 	}
 	// FILTERENDBR runs once per FunSeeker configuration, SELECTTAILCALL
-	// only for configuration ④.
-	if st.Filter.Computes != 4*n {
-		t.Errorf("filter stage ran %d times, want %d (4 configs per binary)", st.Filter.Computes, 4*n)
+	// for configurations ④ and ⑤, and the FDE index is built once per
+	// binary (configuration ⑤'s fusion stage).
+	if st.Filter.Computes != 5*n {
+		t.Errorf("filter stage ran %d times, want %d (5 configs per binary)", st.Filter.Computes, 5*n)
 	}
-	if st.TailCall.Computes != n {
-		t.Errorf("tail-call stage ran %d times, want %d (config 4 only)", st.TailCall.Computes, n)
+	if st.TailCall.Computes != 2*n {
+		t.Errorf("tail-call stage ran %d times, want %d (configs 4 and 5 only)", st.TailCall.Computes, 2*n)
+	}
+	if st.FDEIndex.Computes != n {
+		t.Errorf("FDE index built %d times, want exactly one per binary", st.FDEIndex.Computes)
 	}
 
 	if out := res.RenderStages(); !strings.Contains(out, "sweep") {

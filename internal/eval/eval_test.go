@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/funseeker/funseeker/internal/core"
@@ -234,8 +235,68 @@ func TestRunAllShapes(t *testing.T) {
 	}
 }
 
+// TestConfig5Acceptance pins configuration ⑤'s two-sided contract. On
+// CET binaries fusing EH metadata may only help: F1 must be at least
+// configuration ④'s. On FDE-only (no-CET) binaries — where ①–④
+// degrade to direct-call targets and recover only a fraction of the
+// functions — the FDE+LSDA evidence alone must carry recall to ≥ 90%.
+func TestConfig5Acceptance(t *testing.T) {
+	opts := corpus.Options{Scale: 0.25, Seed: 19, Programs: 2}
+
+	score := func(configs []synth.Config) (m4, m5 Metrics) {
+		t.Helper()
+		var mu sync.Mutex
+		cases := Cases(corpus.AllSuites(), configs, opts)
+		err := ForEach(cases, 0, func(obs Observation) error {
+			e4, err := ToolFunSeeker.RunContext(obs.Ctx)
+			if err != nil {
+				return err
+			}
+			e5, err := ToolFunSeeker5.RunContext(obs.Ctx)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			m4.Add(Score(e4, obs.Result.GT))
+			m5.Add(Score(e5, obs.Result.GT))
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ForEach: %v", err)
+		}
+		return m4, m5
+	}
+
+	// CET side: the full smoke matrix.
+	m4, m5 := score(smokeConfigs())
+	if m5.F1() < m4.F1() {
+		t.Errorf("CET: config-5 F1 %.3f below config-4 F1 %.3f", m5.F1(), m4.F1())
+	}
+	if m5.Recall() < m4.Recall() {
+		t.Errorf("CET: config-5 recall %.3f below config-4 recall %.3f", m5.Recall(), m4.Recall())
+	}
+
+	// FDE-only side: the same toolchains without -fcf-protection,
+	// restricted to full-FDE emitters (GCC both modes, Clang x86-64 —
+	// Clang x86 only covers EH functions and is pinned separately in
+	// the diffcheck battery).
+	nocet := []synth.Config{
+		{Compiler: synth.GCC, Mode: x86.Mode64, Opt: synth.O2, NoCET: true},
+		{Compiler: synth.GCC, Mode: x86.Mode32, Opt: synth.O0, NoCET: true},
+		{Compiler: synth.Clang, Mode: x86.Mode64, PIE: true, Opt: synth.O3, NoCET: true},
+	}
+	n4, n5 := score(nocet)
+	if r := n5.Recall(); r < 90 {
+		t.Errorf("FDE-only: config-5 recall = %.2f%%, want >= 90%%", r)
+	}
+	if r4, r5 := n4.Recall(), n5.Recall(); r4 >= r5 {
+		t.Errorf("FDE-only: config-4 recall %.2f%% should trail config-5 %.2f%%", r4, r5)
+	}
+}
+
 func TestToolStrings(t *testing.T) {
-	for _, tool := range []Tool{ToolFunSeeker, ToolFunSeeker1, ToolFunSeeker2, ToolFunSeeker3, ToolIDA, ToolGhidra, ToolFETCH} {
+	for _, tool := range []Tool{ToolFunSeeker, ToolFunSeeker1, ToolFunSeeker2, ToolFunSeeker3, ToolFunSeeker5, ToolIDA, ToolGhidra, ToolFETCH} {
 		if tool.String() == "" {
 			t.Errorf("tool %d has empty name", tool)
 		}

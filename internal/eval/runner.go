@@ -33,6 +33,11 @@ const (
 	ToolGhidra
 	// ToolFETCH is the FETCH model.
 	ToolFETCH
+	// ToolFunSeeker5 is configuration ⑤: configuration ④ plus EH
+	// fusion (FDE starts + coverage intervals + LSDA landing pads).
+	// Appended after the original tools so persisted Tool values keep
+	// their meaning.
+	ToolFunSeeker5
 )
 
 // String names the tool as the paper's tables do.
@@ -52,6 +57,8 @@ func (t Tool) String() string {
 		return "Ghidra"
 	case ToolFETCH:
 		return "FETCH"
+	case ToolFunSeeker5:
+		return "FunSeeker-5"
 	default:
 		return fmt.Sprintf("Tool(%d)", int(t))
 	}
@@ -69,12 +76,13 @@ func (t Tool) Run(bin *elfx.Binary) ([]uint64, error) {
 // context.
 func (t Tool) RunContext(actx *analysis.Context) ([]uint64, error) {
 	switch t {
-	case ToolFunSeeker, ToolFunSeeker1, ToolFunSeeker2, ToolFunSeeker3:
+	case ToolFunSeeker, ToolFunSeeker1, ToolFunSeeker2, ToolFunSeeker3, ToolFunSeeker5:
 		opts := map[Tool]core.Options{
 			ToolFunSeeker:  core.Config4,
 			ToolFunSeeker1: core.Config1,
 			ToolFunSeeker2: core.Config2,
 			ToolFunSeeker3: core.Config3,
+			ToolFunSeeker5: core.Config5,
 		}[t]
 		r, err := core.IdentifyWithContext(actx, opts)
 		if err != nil {

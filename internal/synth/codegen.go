@@ -184,21 +184,32 @@ func (g *gen) genPLT() {
 	b := g.pb
 	s := g.psb
 	b.Label("plt0")
-	b.Endbr()
-	b.Nop(pltEntrySize - 4)
+	if g.cfg.NoCET {
+		b.Nop(pltEntrySize)
+	} else {
+		b.Endbr()
+		b.Nop(pltEntrySize - 4)
+	}
 	for i, name := range g.imports {
 		b.Align(pltEntrySize)
 		b.Label("pltlazy." + name)
-		b.Endbr()
+		if !g.cfg.NoCET {
+			b.Endbr()
+		}
 		b.PushImm32(uint32(i))
 		b.Jmp("plt0")
 		b.Align(pltEntrySize)
 
 		s.Align(pltEntrySize)
 		s.Label("plt." + name)
-		s.Endbr()
-		s.PltJmp("got." + name)
-		s.Nop(pltEntrySize - 4 - 6)
+		if g.cfg.NoCET {
+			s.PltJmp("got." + name)
+			s.Nop(pltEntrySize - 6)
+		} else {
+			s.Endbr()
+			s.PltJmp("got." + name)
+			s.Nop(pltEntrySize - 4 - 6)
+		}
 	}
 }
 
@@ -239,8 +250,10 @@ func (g *gen) genStart() {
 	fi := &fnInfo{spec: &FuncSpec{Name: "_start"}, idx: -1, implicit: true, lsdaOff: -1}
 	fi.start = b.Offset()
 	b.Label("f._start")
-	b.Endbr()
-	g.recordEndbr(fi.start, groundtruth.RoleFuncEntry)
+	if !g.cfg.NoCET {
+		b.Endbr()
+		g.recordEndbr(fi.start, groundtruth.RoleFuncEntry)
+	}
 	b.XorRegReg(asmx.RBP, asmx.RBP)
 	if g.needsThunk() {
 		b.Call("f.__x86.get_pc_thunk.bx")
@@ -418,7 +431,9 @@ func (g *gen) genFunc(idx int) {
 	// declared static. Under -mmanual-endbr only genuinely address-taken
 	// functions keep the marker — the program would trap at indirect
 	// calls otherwise.
-	if g.cfg.ManualEndbr {
+	if g.cfg.NoCET {
+		fi.hasEndbr = false
+	} else if g.cfg.ManualEndbr {
 		fi.hasEndbr = spec.AddressTaken || spec.AddressTakenData || idx == g.entryFuncIdx()
 	} else {
 		fi.hasEndbr = spec.hasEndbr() || idx == g.entryFuncIdx()
@@ -476,8 +491,10 @@ func (g *gen) genFunc(idx int) {
 				b.Push(asmx.RAX)
 			}
 			b.Call("plt." + irc)
-			g.recordEndbr(b.Offset(), groundtruth.RoleIndirectReturn)
-			b.Endbr()
+			if !g.cfg.NoCET {
+				g.recordEndbr(b.Offset(), groundtruth.RoleIndirectReturn)
+				b.Endbr()
+			}
 			b.TestRegReg(asmx.RAX, asmx.RAX)
 			skip := g.fresh("sj")
 			b.Jcc(asmx.CondNE, skip)
@@ -621,9 +638,11 @@ func (g *gen) genFunc(idx int) {
 		})
 		padOffsets := make([]uint64, 0, pads)
 		for p := 0; p < pads; p++ {
-			g.recordEndbr(b.Offset(), groundtruth.RoleException)
 			padOff := uint64(b.Offset() - fi.start)
-			b.Endbr()
+			if !g.cfg.NoCET {
+				g.recordEndbr(b.Offset(), groundtruth.RoleException)
+				b.Endbr()
+			}
 			b.MovRegReg(asmx.RDI, asmx.RAX)
 			b.Call("plt.__cxa_begin_catch")
 			g.filler(rng, 1+rng.Intn(3), false)

@@ -119,6 +119,15 @@ type Config struct {
 	// cannot run without) keep their marker. Not part of AllConfigs; used
 	// by the dedicated ablation experiment.
 	ManualEndbr bool
+	// NoCET models a toolchain run without -fcf-protection: no end-branch
+	// instructions anywhere (function entries, PLT stubs, landing pads,
+	// after indirect-return calls) and no IBT feature bit in the GNU
+	// property note. Exception metadata (.eh_frame/.gcc_except_table) is
+	// still emitted per the toolchain's normal FDE policy, which is what
+	// makes these binaries the FDE-only workload of configuration ⑤. Not
+	// part of AllConfigs; used by the EH-fusion experiments and the
+	// diffcheck generator.
+	NoCET bool
 }
 
 // String renders e.g. "gcc-x86-64-pie-O2".
@@ -130,6 +139,9 @@ func (c Config) String() string {
 	s := fmt.Sprintf("%s-%s-%s-%s", c.Compiler, c.Mode, pie, c.Opt)
 	if c.ManualEndbr {
 		s += "-manual-endbr"
+	}
+	if c.NoCET {
+		s += "-nocet"
 	}
 	return s
 }

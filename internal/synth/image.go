@@ -103,7 +103,11 @@ func (g *gen) assemble() (*Result, error) {
 
 	// Virtual address layout.
 	noteVA, pltVA := cfg.bases()
-	noteData := elfw.GNUPropertyNote(class, elfw.FeatureIBT|elfw.FeatureSHSTK)
+	noteFeatures := uint32(elfw.FeatureIBT | elfw.FeatureSHSTK)
+	if cfg.NoCET {
+		noteFeatures = uint32(elfw.FeatureSHSTK)
+	}
+	noteData := elfw.GNUPropertyNote(class, noteFeatures)
 	dynsymVA := alignVA(noteVA+uint64(len(noteData)), 8)
 	dynstrVA := dynsymVA + uint64(len(dynsymData))
 	relaVA := alignVA(dynstrVA+uint64(len(dynstrData)), 8)
@@ -371,7 +375,7 @@ func (g *gen) buildGroundTruth(textVA uint64, class elf.Class) (*groundtruth.GT,
 			bind = elf.STB_LOCAL
 		}
 		hasEndbr := fi.hasEndbr
-		if fi.implicit && fi.spec.Name == "_start" {
+		if fi.implicit && fi.spec.Name == "_start" && !g.cfg.NoCET {
 			hasEndbr = true
 		}
 		if fi.spec.Intrinsic {
